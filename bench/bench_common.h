@@ -1,0 +1,47 @@
+/// \file
+/// Shared helpers for the paper-reproduction bench binaries: environment
+/// knobs and uniform headers so bench_output is self-describing.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace transform::bench {
+
+/// Reads an integer knob from the environment (bounds, budgets).
+inline int
+env_int(const char* name, int fallback)
+{
+    const char* value = std::getenv(name);
+    if (value == nullptr) {
+        return fallback;
+    }
+    try {
+        return std::stoi(value);
+    } catch (...) {
+        return fallback;
+    }
+}
+
+/// Prints the standard bench banner.
+inline void
+banner(const char* experiment, const char* paper_artifact,
+       const char* expectation)
+{
+    std::printf("==============================================================\n");
+    std::printf("experiment : %s\n", experiment);
+    std::printf("reproduces : %s\n", paper_artifact);
+    std::printf("expected   : %s\n", expectation);
+    std::printf("==============================================================\n");
+}
+
+/// PASS/FAIL line for shape checks.
+inline bool
+check(const char* what, bool ok)
+{
+    std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what);
+    return ok;
+}
+
+}  // namespace transform::bench

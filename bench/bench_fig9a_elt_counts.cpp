@@ -1,0 +1,118 @@
+/// \file
+/// Reproduces Fig. 9a: the number of ELT programs synthesized in each
+/// per-axiom suite of x86t_elt, by instruction bound. The paper synthesizes
+/// under a one-week timeout; this run sweeps bounds
+/// 4..TRANSFORM_FIG9_BOUND (default 8) with TRANSFORM_CELL_BUDGET seconds
+/// (default 120) per (axiom, bound) cell. Expected shapes: counts grow with
+/// the bound; sc_per_loc is the largest suite at every bound; the
+/// tlb_causality suite stays tiny (the paper attributes exactly 5 of its
+/// 140 ELTs to tlb_causality); the union comfortably exceeds 100 unique
+/// ELTs at the largest bound.
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "mtm/model.h"
+#include "synth/engine.h"
+
+int
+main()
+{
+    using namespace transform;
+    const int max_bound = bench::env_int("TRANSFORM_FIG9_BOUND", 8);
+    const int budget = bench::env_int("TRANSFORM_CELL_BUDGET", 120);
+    bench::banner("fig9a_elt_counts", "Fig. 9a",
+                  "per-axiom suite sizes grow with bound; sc_per_loc largest; "
+                  "tlb_causality ~5; >100 unique ELTs at the top bound");
+    std::printf("sweep: bounds 4..%d, %ds per cell "
+                "(TRANSFORM_FIG9_BOUND / TRANSFORM_CELL_BUDGET)\n\n",
+                max_bound, budget);
+
+    const mtm::Model model = mtm::x86t_elt();
+    const auto axioms = mtm::x86t_elt_axiom_names();
+
+    std::printf("%-15s", "axiom \\ bound");
+    for (int bound = 4; bound <= max_bound; ++bound) {
+        std::printf("%8d", bound);
+    }
+    std::printf("\n");
+
+    std::map<std::string, std::vector<synth::SuiteResult>> results;
+    for (const auto& axiom : axioms) {
+        std::printf("%-15s", axiom.c_str());
+        for (int bound = 4; bound <= max_bound; ++bound) {
+            synth::SynthesisOptions opt;
+            opt.min_bound = 4;
+            opt.bound = bound;
+            opt.max_threads = 2;
+            opt.max_vas = 2;
+            opt.max_fresh_pas = 1;
+            opt.time_budget_seconds = budget;
+            const auto suite = synth::synthesize_suite(model, axiom, opt);
+            std::printf("%7zu%c", suite.tests.size(),
+                        suite.complete ? ' ' : '*');
+            std::fflush(stdout);
+            results[axiom].push_back(suite);
+        }
+        std::printf("\n");
+    }
+    std::printf("(*: cell hit its time budget — counts are a lower bound)\n\n");
+
+    // Union of unique ELT programs per bound (the paper's "140 unique ELTs"
+    // headline corresponds to the largest completed bound).
+    std::printf("%-15s", "unique union");
+    std::vector<int> unions;
+    for (int i = 0; i <= max_bound - 4; ++i) {
+        std::set<std::string> keys;
+        for (const auto& axiom : axioms) {
+            for (const auto& test : results[axiom][i].tests) {
+                keys.insert(test.canonical_key);
+            }
+        }
+        unions.push_back(static_cast<int>(keys.size()));
+        std::printf("%8d", unions.back());
+    }
+    std::printf("\n\n");
+
+    bool ok = true;
+    for (const auto& axiom : axioms) {
+        const auto& per_bound = results[axiom];
+        bool monotone = true;
+        for (std::size_t i = 1; i < per_bound.size(); ++i) {
+            monotone = monotone &&
+                       per_bound[i].tests.size() >= per_bound[i - 1].tests.size();
+        }
+        ok = bench::check((axiom + " counts monotone in bound").c_str(),
+                          monotone) && ok;
+    }
+    for (std::size_t i = 0; i < results["sc_per_loc"].size(); ++i) {
+        bool largest = true;
+        for (const auto& axiom : axioms) {
+            largest = largest && results["sc_per_loc"][i].tests.size() >=
+                                     results[axiom][i].tests.size();
+        }
+        if (!largest) {
+            ok = bench::check("sc_per_loc largest at every bound", false);
+            break;
+        }
+        if (i + 1 == results["sc_per_loc"].size()) {
+            ok = bench::check("sc_per_loc largest at every bound", true) && ok;
+        }
+    }
+    ok = bench::check("tlb_causality suite stays small (<= 8)",
+                      results["tlb_causality"].back().tests.size() <= 8) && ok;
+    if (max_bound >= 8) {
+        ok = bench::check("over 100 unique ELTs at the top bound",
+                          unions.back() > 100) && ok;
+    }
+    ok = bench::check("rmw_atomicity minimum bound is 7 (paper: 4..7 range)",
+                      max_bound < 7 ||
+                          (results["rmw_atomicity"][2].tests.empty() &&
+                           !results["rmw_atomicity"][3].tests.empty())) && ok;
+
+    std::printf("\nfig9a overall: %s\n", ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,127 @@
+/// \file
+/// google-benchmark microbenchmarks for the substrates the synthesis
+/// pipeline stands on: the CDCL solver, the relational/boolean layer, the
+/// derivation engine, the canonicalizer and the per-program backends.
+#include <benchmark/benchmark.h>
+
+#include "elt/derive.h"
+#include "elt/fixtures.h"
+#include "mtm/encoding.h"
+#include "mtm/model.h"
+#include "rel/bool_factory.h"
+#include "rel/relation.h"
+#include "sat/solver.h"
+#include "synth/canonical.h"
+#include "synth/exec_enum.h"
+#include "synth/minimality.h"
+
+namespace {
+
+using namespace transform;
+
+/// Builds a pigeonhole instance (n+1 pigeons, n holes) in a fresh solver.
+void
+bm_sat_pigeonhole(benchmark::State& state)
+{
+    const int holes = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        sat::Solver s;
+        std::vector<std::vector<sat::Var>> in(holes + 1,
+                                              std::vector<sat::Var>(holes));
+        for (auto& row : in) {
+            for (auto& v : row) {
+                v = s.new_var();
+            }
+        }
+        for (int p = 0; p <= holes; ++p) {
+            sat::Clause clause;
+            for (int h = 0; h < holes; ++h) {
+                clause.push_back(sat::Lit(in[p][h], false));
+            }
+            s.add_clause(clause);
+        }
+        for (int h = 0; h < holes; ++h) {
+            for (int p1 = 0; p1 <= holes; ++p1) {
+                for (int p2 = p1 + 1; p2 <= holes; ++p2) {
+                    s.add_binary(sat::Lit(in[p1][h], true),
+                                 sat::Lit(in[p2][h], true));
+                }
+            }
+        }
+        benchmark::DoNotOptimize(s.solve());
+    }
+}
+BENCHMARK(bm_sat_pigeonhole)->Arg(5)->Arg(6)->Arg(7);
+
+void
+bm_rel_closure(benchmark::State& state)
+{
+    const int n = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        rel::BoolFactory f;
+        sat::Solver s;
+        const rel::RelExpr r = rel::RelExpr::free(&f, &s, n);
+        benchmark::DoNotOptimize(r.closure(&f));
+    }
+}
+BENCHMARK(bm_rel_closure)->Arg(6)->Arg(10)->Arg(14);
+
+void
+bm_derive_fig2c(benchmark::State& state)
+{
+    const elt::Execution e = elt::fixtures::fig2c_sb_elt_aliased();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(elt::derive(e));
+    }
+}
+BENCHMARK(bm_derive_fig2c);
+
+void
+bm_canonical_key(benchmark::State& state)
+{
+    const elt::Program p = elt::fixtures::fig2c_sb_elt_aliased().program;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(synth::canonical_key(p));
+    }
+}
+BENCHMARK(bm_canonical_key);
+
+void
+bm_exec_enum_dirtybit3(benchmark::State& state)
+{
+    const elt::Program p = elt::fixtures::fig10b_dirtybit3().program;
+    for (auto _ : state) {
+        int count = 0;
+        synth::for_each_execution(p, true, [&](const elt::Execution&) {
+            ++count;
+            return true;
+        });
+        benchmark::DoNotOptimize(count);
+    }
+}
+BENCHMARK(bm_exec_enum_dirtybit3);
+
+void
+bm_sat_backend_dirtybit3(benchmark::State& state)
+{
+    const elt::Program p = elt::fixtures::fig10b_dirtybit3().program;
+    const mtm::Model model = mtm::x86t_elt();
+    for (auto _ : state) {
+        mtm::ProgramEncoding encoding(p, &model);
+        benchmark::DoNotOptimize(encoding.enumerate().size());
+    }
+}
+BENCHMARK(bm_sat_backend_dirtybit3);
+
+void
+bm_judge_ptwalk2(benchmark::State& state)
+{
+    const elt::Execution e = elt::fixtures::fig10a_ptwalk2();
+    const mtm::Model model = mtm::x86t_elt();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(synth::judge(model, e));
+    }
+}
+BENCHMARK(bm_judge_ptwalk2);
+
+}  // namespace

@@ -1,0 +1,59 @@
+/// \file
+/// Reproduces the section VI-B comparison against the hand-written
+/// COATCheck ELT suite (reconstructed — see DESIGN.md): of 40 tests, 9 use
+/// unsupported IPI kinds, 9 fail the spanning criteria, and the 22 relevant
+/// tests split into 7 category-1 ELTs (synthesized verbatim; several are
+/// executions of the same program, so they match fewer synthesized
+/// programs) and 15 category-2 ELTs (supersets reducible to minimal,
+/// synthesizable ELTs).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "compare/compare.h"
+#include "mtm/model.h"
+
+int
+main()
+{
+    using namespace transform;
+    bench::banner("vi_b_comparison", "section VI-B",
+                  "40 tests -> 9 unsupported-IPI + 9 not-spanning + "
+                  "7 verbatim + 15 reducible; verbatim tests match fewer "
+                  "distinct synthesized programs");
+
+    const mtm::Model model = mtm::x86t_elt();
+    const auto report = compare::compare_suite(model, compare::coatcheck_suite());
+
+    std::printf("\n%-18s %s\n", "test", "category");
+    for (const auto& t : report.tests) {
+        std::printf("%-18s %s", t.name.c_str(),
+                    compare::category_name(t.category));
+        if (!t.removed.empty()) {
+            std::printf("  (reduced by removing %zu instruction%s)",
+                        t.removed.size(), t.removed.size() == 1 ? "" : "s");
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\nsummary (paper in parentheses):\n");
+    std::printf("  total              %zu (40)\n", report.tests.size());
+    std::printf("  unsupported IPI    %d (9)\n", report.unsupported_ipi);
+    std::printf("  not spanning       %d (9)\n", report.not_spanning);
+    std::printf("  relevant           %d (22)\n", report.relevant);
+    std::printf("  category 1         %d (7)\n", report.verbatim);
+    std::printf("  category 2         %d (15)\n", report.reducible);
+    std::printf("  matched programs   %d (4)\n", report.matched_programs);
+
+    bool ok = true;
+    ok = bench::check("40 tests", report.tests.size() == 40) && ok;
+    ok = bench::check("9 unsupported IPI", report.unsupported_ipi == 9) && ok;
+    ok = bench::check("9 not spanning", report.not_spanning == 9) && ok;
+    ok = bench::check("22 relevant", report.relevant == 22) && ok;
+    ok = bench::check("7 category-1 (verbatim)", report.verbatim == 7) && ok;
+    ok = bench::check("15 category-2 (reducible)", report.reducible == 15) && ok;
+    ok = bench::check("verbatim ELTs collapse onto fewer programs",
+                      report.matched_programs < report.verbatim) && ok;
+
+    std::printf("\nvi_b_comparison overall: %s\n", ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+}

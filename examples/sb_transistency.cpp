@@ -1,0 +1,58 @@
+/// \file
+/// The paper's running example (Fig. 2): how address translation turns the
+/// permitted store-buffering (sb) litmus test into a forbidden one.
+///
+/// Walks through three views of the same user-level program:
+///  (a) the MCM view — plain x86-TSO, permitted;
+///  (b) the ELT view with distinct physical frames — still permitted;
+///  (c) the ELT view where a PTE write aliases both VAs to one frame —
+///      a coherence violation, forbidden.
+#include <cstdio>
+
+#include "elt/derive.h"
+#include "elt/fixtures.h"
+#include "elt/printer.h"
+#include "mtm/model.h"
+
+namespace {
+
+void
+show(const char* title, const transform::elt::Execution& execution,
+     const transform::mtm::Model& model)
+{
+    using namespace transform;
+    std::printf("=== %s ===\n", title);
+    const elt::DerivedRelations derived =
+        elt::derive(execution, model.derive_options());
+    std::printf("%s", elt::execution_to_string(execution, derived).c_str());
+    const auto violated = model.violated_axioms(execution);
+    if (violated.empty()) {
+        std::printf("verdict under %s: PERMITTED\n\n", model.name().c_str());
+    } else {
+        std::printf("verdict under %s: FORBIDDEN (", model.name().c_str());
+        for (const auto& axiom : violated) {
+            std::printf(" %s", axiom.c_str());
+        }
+        std::printf(" )\n\n");
+    }
+}
+
+}  // namespace
+
+int
+main()
+{
+    using namespace transform;
+    show("Fig. 2a — sb, consistency view",
+         elt::fixtures::fig2a_sb_mcm(), mtm::x86tso());
+    show("Fig. 2b — sb as an ELT, x and y in distinct frames",
+         elt::fixtures::fig2b_sb_elt(), mtm::x86t_elt());
+    show("Fig. 2c — sb as an ELT, WPTE aliases y onto x's frame",
+         elt::fixtures::fig2c_sb_elt_aliased(), mtm::x86t_elt());
+    std::printf(
+        "Takeaway: the legality of an execution cannot be judged from the\n"
+        "user-level instructions alone — the transistency events (page\n"
+        "walks, dirty-bit updates, PTE writes, INVLPGs) carry the aliasing\n"
+        "information that flips (a)'s verdict in (c).\n");
+    return 0;
+}

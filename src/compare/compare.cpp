@@ -1,0 +1,169 @@
+#include "compare/compare.h"
+
+#include <set>
+
+#include "elt/derive.h"
+#include "mtm/relax.h"
+#include "synth/canonical.h"
+#include "synth/exec_enum.h"
+#include "synth/minimality.h"
+#include "util/logging.h"
+#include "util/permutations.h"
+
+namespace transform::compare {
+
+using elt::EventId;
+using elt::Execution;
+using elt::Program;
+
+const char*
+category_name(Category category)
+{
+    switch (category) {
+    case Category::kUnsupportedIpi: return "unsupported-ipi";
+    case Category::kVerbatim: return "category-1 (verbatim)";
+    case Category::kReducible: return "category-2 (reducible)";
+    case Category::kNotSpanning: return "not-spanning";
+    }
+    return "?";
+}
+
+namespace {
+
+/// True when the program admits an interesting, minimal forbidden execution
+/// under the model — i.e. TransForm would synthesize this exact program.
+bool
+synthesizable_verbatim(const mtm::Model& model, const Program& program)
+{
+    bool found = false;
+    synth::for_each_execution(program, model.vm_aware(),
+                              [&](const Execution& execution) {
+                                  const synth::MinimalityVerdict verdict =
+                                      synth::judge(model, execution);
+                                  if (verdict.interesting && verdict.minimal) {
+                                      found = true;
+                                      return false;
+                                  }
+                                  return true;
+                              });
+    return found;
+}
+
+/// The removable instructions of a program: the seeds the category-2 search
+/// deletes subsets of (ghosts and remap INVLPGs follow automatically).
+std::vector<EventId>
+removable_instructions(const Program& program)
+{
+    std::vector<EventId> out;
+    for (EventId id = 0; id < program.num_events(); ++id) {
+        const elt::Event& e = program.event(id);
+        switch (e.kind) {
+        case elt::EventKind::kRead:
+        case elt::EventKind::kWrite:
+        case elt::EventKind::kWpte:
+        case elt::EventKind::kMfence:
+            out.push_back(id);
+            break;
+        case elt::EventKind::kInvlpg:
+            if (e.remap_src == elt::kNone) {
+                out.push_back(id);
+            }
+            break;
+        case elt::EventKind::kInvlpgAll:
+            out.push_back(id);
+            break;
+        default:
+            break;
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+TestComparison
+classify(const mtm::Model& model, const HandwrittenElt& test)
+{
+    TestComparison out;
+    out.name = test.name;
+    if (test.uses_unsupported_ipi) {
+        out.category = Category::kUnsupportedIpi;
+        return out;
+    }
+    const Program& program = test.execution.program;
+    TF_ASSERT(program.validate(model.vm_aware()).empty());
+
+    if (synthesizable_verbatim(model, program)) {
+        out.category = Category::kVerbatim;
+        out.matched_key = synth::canonical_key(program);
+        return out;
+    }
+
+    // Category-2 search: remove instruction subsets, smallest first, until
+    // a reduction is synthesizable verbatim.
+    const std::vector<EventId> removable = removable_instructions(program);
+    bool found = false;
+    util::for_each_subset_by_size(
+        static_cast<int>(removable.size()),
+        [&](const std::vector<int>& subset) {
+            if (static_cast<int>(subset.size()) ==
+                static_cast<int>(removable.size())) {
+                return true;  // removing everything is not a reduction
+            }
+            std::vector<EventId> seeds;
+            seeds.reserve(subset.size());
+            for (const int index : subset) {
+                seeds.push_back(removable[index]);
+            }
+            const Execution reduced =
+                mtm::remove_events(test.execution, seeds, model.vm_aware());
+            if (reduced.program.num_events() == 0 ||
+                !reduced.program.validate(model.vm_aware()).empty()) {
+                return true;
+            }
+            if (synthesizable_verbatim(model, reduced.program)) {
+                out.category = Category::kReducible;
+                out.matched_key = synth::canonical_key(reduced.program);
+                out.removed = seeds;
+                found = true;
+                return false;
+            }
+            return true;
+        });
+    if (!found) {
+        out.category = Category::kNotSpanning;
+    }
+    return out;
+}
+
+ComparisonReport
+compare_suite(const mtm::Model& model, const std::vector<HandwrittenElt>& suite)
+{
+    ComparisonReport report;
+    std::set<std::string> verbatim_keys;
+    for (const HandwrittenElt& test : suite) {
+        TestComparison comparison = classify(model, test);
+        switch (comparison.category) {
+        case Category::kUnsupportedIpi:
+            ++report.unsupported_ipi;
+            break;
+        case Category::kVerbatim:
+            ++report.relevant;
+            ++report.verbatim;
+            verbatim_keys.insert(comparison.matched_key);
+            break;
+        case Category::kReducible:
+            ++report.relevant;
+            ++report.reducible;
+            break;
+        case Category::kNotSpanning:
+            ++report.not_spanning;
+            break;
+        }
+        report.tests.push_back(std::move(comparison));
+    }
+    report.matched_programs = static_cast<int>(verbatim_keys.size());
+    return report;
+}
+
+}  // namespace transform::compare

@@ -1,0 +1,65 @@
+/// \file
+/// The automated comparison tool of section VI-B: classifies hand-written
+/// ELTs against what TransForm would synthesize.
+///
+/// Categories (paper terminology):
+///  - unsupported-IPI: the test uses interrupt kinds TransForm does not
+///    model; excluded before comparison;
+///  - category 1: the test is synthesized verbatim — its program admits an
+///    interesting, minimal forbidden execution;
+///  - category 2: not minimal as written, but removing some subset of its
+///    instructions exposes a minimal ELT that TransForm synthesizes;
+///  - not-spanning: neither the test nor any reduction meets the
+///    spanning-set criteria.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "compare/coatcheck_suite.h"
+#include "mtm/model.h"
+
+namespace transform::compare {
+
+/// Classification of one hand-written test.
+enum class Category {
+    kUnsupportedIpi,
+    kVerbatim,      ///< category 1
+    kReducible,     ///< category 2
+    kNotSpanning,
+};
+
+/// Human-readable label.
+const char* category_name(Category category);
+
+/// Per-test outcome.
+struct TestComparison {
+    std::string name;
+    Category category = Category::kNotSpanning;
+    /// Canonical key of the matched/reduced synthesizable program (empty
+    /// for unsupported-IPI / not-spanning).
+    std::string matched_key;
+    /// For category 2: the instructions removed by the reduction.
+    std::vector<elt::EventId> removed;
+};
+
+/// Whole-suite report (the numbers of section VI-B).
+struct ComparisonReport {
+    std::vector<TestComparison> tests;
+    int unsupported_ipi = 0;
+    int relevant = 0;        ///< tests entering the comparison
+    int verbatim = 0;        ///< category 1 count
+    int reducible = 0;       ///< category 2 count
+    int not_spanning = 0;
+    int matched_programs = 0;  ///< distinct synthesized programs matched by
+                               ///< category-1 tests
+};
+
+/// Classifies one hand-written test under \p model.
+TestComparison classify(const mtm::Model& model, const HandwrittenElt& test);
+
+/// Runs the full comparison over a hand-written suite.
+ComparisonReport compare_suite(const mtm::Model& model,
+                               const std::vector<HandwrittenElt>& suite);
+
+}  // namespace transform::compare

@@ -1,0 +1,689 @@
+#include "elt/derive.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/logging.h"
+
+namespace transform::elt {
+
+Execution
+Execution::empty_for(Program program)
+{
+    Execution e;
+    const int n = program.num_events();
+    e.program = std::move(program);
+    e.rf_src.assign(n, kNone);
+    e.co_pos.assign(n, kNone);
+    e.ptw_src.assign(n, kNone);
+    e.co_pa_pos.assign(n, kNone);
+    return e;
+}
+
+namespace {
+
+/// Resolves physical addresses and mapping provenance through the
+/// rf_ptw / PTE-read chains. Cyclic value dependencies (a walk reading a
+/// dirty-bit write whose parent's translation depends on that walk) are
+/// rejected.
+class Resolver {
+  public:
+    Resolver(const Execution& exec, std::vector<std::string>* problems)
+        : exec_(exec), problems_(problems)
+    {
+        const int n = exec.program.num_events();
+        state_.assign(n, kUnvisited);
+        pa_.assign(n, kNone);
+        prov_.assign(n, kNone);
+    }
+
+    /// Resolved PA for a data access, Rptw (mapping value), or Wdb (value
+    /// written); kNone on failure.
+    PaId pa_of(EventId id)
+    {
+        resolve(id);
+        return pa_[id];
+    }
+
+    /// The Wpte that originated the mapping used/propagated by \p id, or
+    /// kNone for the initial mapping.
+    EventId provenance_of(EventId id)
+    {
+        resolve(id);
+        return prov_[id];
+    }
+
+  private:
+    enum State { kUnvisited, kInProgress, kDone };
+
+    void fail(EventId id, const std::string& reason)
+    {
+        problems_->push_back("event " + std::to_string(id) +
+                             ": unresolvable translation (" + reason + ")");
+        pa_[id] = kNone;
+        prov_[id] = kNone;
+    }
+
+    void resolve(EventId id)
+    {
+        if (state_[id] == kDone) {
+            return;
+        }
+        if (state_[id] == kInProgress) {
+            // Caller detects the cycle via kNone; flag it once.
+            fail(id, "cyclic value dependency");
+            state_[id] = kDone;
+            return;
+        }
+        state_[id] = kInProgress;
+        const Event& e = exec_.program.event(id);
+        switch (e.kind) {
+        case EventKind::kRead:
+        case EventKind::kWrite: {
+            const EventId walk = exec_.ptw_src[id];
+            if (walk == kNone) {
+                fail(id, "data access without a translation source");
+                break;
+            }
+            resolve(walk);
+            pa_[id] = pa_[walk];
+            prov_[id] = prov_[walk];
+            break;
+        }
+        case EventKind::kRptw:
+        case EventKind::kRdb: {
+            const EventId src = exec_.rf_src[id];
+            if (src == kNone) {
+                pa_[id] = e.va;  // initial mapping: VA i -> PA i
+                prov_[id] = kNone;
+                break;
+            }
+            const Event& w = exec_.program.event(src);
+            if (w.kind == EventKind::kWpte) {
+                pa_[id] = w.map_pa;
+                prov_[id] = src;
+            } else if (w.kind == EventKind::kWdb) {
+                resolve(src);
+                pa_[id] = pa_[src];
+                prov_[id] = prov_[src];
+            } else {
+                fail(id, "PTE read sourced by a non-PTE write");
+            }
+            break;
+        }
+        case EventKind::kWdb: {
+            // A dirty-bit update sets a status bit only: it preserves the
+            // mapping already in the PTE, i.e. the value left by its
+            // immediate coherence predecessor at this PTE location (the
+            // initial mapping when it is coherence-first). Matches the
+            // values shown in Figs. 2b, 6d and 10b of the paper.
+            if (exec_.co_pos[id] == kNone) {
+                fail(id, "dirty-bit write without a coherence position");
+                break;
+            }
+            EventId pred = kNone;
+            int best = -1;
+            for (EventId w = 0; w < exec_.program.num_events(); ++w) {
+                const Event& we = exec_.program.event(w);
+                if (w != id && is_pte_access(we.kind) &&
+                    is_write_like(we.kind) && we.va == e.va &&
+                    exec_.co_pos[w] != kNone &&
+                    exec_.co_pos[w] < exec_.co_pos[id] &&
+                    exec_.co_pos[w] > best) {
+                    best = exec_.co_pos[w];
+                    pred = w;
+                }
+            }
+            if (pred == kNone) {
+                pa_[id] = e.va;  // initial mapping
+                prov_[id] = kNone;
+            } else if (exec_.program.event(pred).kind == EventKind::kWpte) {
+                pa_[id] = exec_.program.event(pred).map_pa;
+                prov_[id] = pred;
+            } else {
+                resolve(pred);
+                pa_[id] = pa_[pred];
+                prov_[id] = prov_[pred];
+            }
+            break;
+        }
+        case EventKind::kWpte:
+            pa_[id] = e.map_pa;
+            prov_[id] = id;
+            break;
+        default:
+            fail(id, "event kind has no resolvable address");
+            break;
+        }
+        if (state_[id] != kDone) {
+            state_[id] = kDone;
+        }
+    }
+
+    const Execution& exec_;
+    std::vector<std::string>* problems_;
+    std::vector<int> state_;
+    std::vector<PaId> pa_;
+    std::vector<EventId> prov_;
+};
+
+/// Coherence-class key: data writes/reads resolve to ("data", PA); PTE
+/// accessors to ("pte", VA). first == kNone marks "no class".
+struct ClassKey {
+    int tag;  // 0 = data (by PA), 1 = pte (by VA), -1 = none
+    int index;
+    bool operator==(const ClassKey&) const = default;
+    auto operator<=>(const ClassKey&) const = default;
+};
+
+}  // namespace
+
+bool
+has_cycle(int num_nodes, const std::vector<const EdgeSet*>& edge_sets)
+{
+    std::vector<std::vector<int>> adjacency(num_nodes);
+    for (const EdgeSet* edges : edge_sets) {
+        for (const auto& [from, to] : *edges) {
+            adjacency[from].push_back(to);
+        }
+    }
+    // Iterative DFS with colors: 0 = white, 1 = grey, 2 = black.
+    std::vector<int> color(num_nodes, 0);
+    std::vector<std::pair<int, std::size_t>> stack;
+    for (int start = 0; start < num_nodes; ++start) {
+        if (color[start] != 0) {
+            continue;
+        }
+        stack.clear();
+        stack.emplace_back(start, 0);
+        color[start] = 1;
+        while (!stack.empty()) {
+            auto& [node, next] = stack.back();
+            if (next < adjacency[node].size()) {
+                const int successor = adjacency[node][next++];
+                if (color[successor] == 1) {
+                    return true;
+                }
+                if (color[successor] == 0) {
+                    color[successor] = 1;
+                    stack.emplace_back(successor, 0);
+                }
+            } else {
+                color[node] = 2;
+                stack.pop_back();
+            }
+        }
+    }
+    return false;
+}
+
+ResolutionResult
+resolve_addresses(const Execution& exec, const DeriveOptions& options)
+{
+    ResolutionResult out;
+    const Program& p = exec.program;
+    const int n = p.num_events();
+    out.resolved_pa.assign(n, kNone);
+    out.provenance.assign(n, kNone);
+    std::vector<std::string> problems;
+    if (options.vm_enabled) {
+        Resolver resolver(exec, &problems);
+        for (EventId id = 0; id < n; ++id) {
+            if (is_memory(p.event(id).kind)) {
+                out.resolved_pa[id] = resolver.pa_of(id);
+                out.provenance[id] = resolver.provenance_of(id);
+            }
+        }
+    } else {
+        for (EventId id = 0; id < n; ++id) {
+            if (is_data_access(p.event(id).kind)) {
+                out.resolved_pa[id] = p.event(id).va;
+            }
+        }
+    }
+    out.ok = problems.empty();
+    return out;
+}
+
+DerivedRelations
+derive(const Execution& exec, const DeriveOptions& options)
+{
+    DerivedRelations out;
+    const Program& p = exec.program;
+    const int n = p.num_events();
+
+    out.problems = p.validate(options.vm_enabled);
+
+    auto witness_sizes_ok = static_cast<int>(exec.rf_src.size()) == n &&
+                            static_cast<int>(exec.co_pos.size()) == n &&
+                            static_cast<int>(exec.ptw_src.size()) == n &&
+                            static_cast<int>(exec.co_pa_pos.size()) == n;
+    if (!witness_sizes_ok) {
+        out.problems.push_back("witness vectors sized differently from program");
+        out.well_formed = false;
+        return out;
+    }
+
+    // ------------------------------------------------------------------
+    // Resolve addresses.
+    // ------------------------------------------------------------------
+    out.resolved_pa.assign(n, kNone);
+    out.provenance.assign(n, kNone);
+    if (options.vm_enabled) {
+        Resolver resolver(exec, &out.problems);
+        for (EventId id = 0; id < n; ++id) {
+            if (is_memory(p.event(id).kind)) {
+                out.resolved_pa[id] = resolver.pa_of(id);
+                out.provenance[id] = resolver.provenance_of(id);
+            }
+        }
+    } else {
+        for (EventId id = 0; id < n; ++id) {
+            const Event& e = p.event(id);
+            if (is_data_access(e.kind)) {
+                out.resolved_pa[id] = e.va;  // VAs are the locations
+            } else if (is_memory(e.kind) || is_ghost(e.kind) ||
+                       is_support(e.kind)) {
+                if (!is_data_access(e.kind) && e.kind != EventKind::kMfence) {
+                    out.problems.push_back(
+                        "event " + std::to_string(id) +
+                        ": VM events present with VM modelling disabled");
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Well-formedness of the witnesses (placement rules).
+    // ------------------------------------------------------------------
+    auto class_of = [&](EventId id) -> ClassKey {
+        const Event& e = p.event(id);
+        if (is_data_access(e.kind)) {
+            return {0, out.resolved_pa[id]};
+        }
+        if (is_pte_access(e.kind)) {
+            return {1, e.va};
+        }
+        return {-1, kNone};
+    };
+
+    for (EventId id = 0; id < n; ++id) {
+        const Event& e = p.event(id);
+        const std::string tag = "event " + std::to_string(id);
+
+        // Field applicability.
+        if (!is_read_like(e.kind) && exec.rf_src[id] != kNone) {
+            out.problems.push_back(tag + ": rf source on a non-read");
+        }
+        if (!is_write_like(e.kind) && exec.co_pos[id] != kNone) {
+            out.problems.push_back(tag + ": co position on a non-write");
+        }
+        if (!is_data_access(e.kind) && exec.ptw_src[id] != kNone) {
+            out.problems.push_back(tag + ": translation source on a non-data event");
+        }
+        if (e.kind != EventKind::kWpte && exec.co_pa_pos[id] != kNone) {
+            out.problems.push_back(tag + ": co_pa position on a non-Wpte");
+        }
+        if (is_write_like(e.kind) && exec.co_pos[id] == kNone) {
+            out.problems.push_back(tag + ": write without a co position");
+        }
+        if (e.kind == EventKind::kWpte && exec.co_pa_pos[id] == kNone) {
+            out.problems.push_back(tag + ": Wpte without a co_pa position");
+        }
+
+        // Translation sourcing (vm mode only).
+        if (options.vm_enabled && is_data_access(e.kind)) {
+            const EventId walk = exec.ptw_src[id];
+            if (walk == kNone) {
+                out.problems.push_back(tag + ": data access without a PT walk");
+            } else {
+                const Event& w = p.event(walk);
+                if (w.kind != EventKind::kRptw) {
+                    out.problems.push_back(tag + ": translation source is not a walk");
+                } else {
+                    if (w.thread != e.thread) {
+                        out.problems.push_back(tag + ": walk on another core");
+                    }
+                    if (w.va != e.va) {
+                        out.problems.push_back(tag + ": walk for another VA");
+                    }
+                    const EventId walker = w.parent;
+                    if (walker != id && !p.precedes(walker, id)) {
+                        out.problems.push_back(
+                            tag + ": uses a TLB entry loaded later in program order");
+                    }
+                    // No Invlpg for this VA may separate the walk from the use.
+                    for (EventId other = 0; other < n; ++other) {
+                        const Event& i = p.event(other);
+                        const bool evicts =
+                            (i.kind == EventKind::kInvlpg && i.va == e.va) ||
+                            i.kind == EventKind::kInvlpgAll;
+                        if (evicts && i.thread == e.thread &&
+                            p.precedes(walker, other) &&
+                            p.precedes(other, id)) {
+                            out.problems.push_back(
+                                tag + ": TLB entry used across an INVLPG");
+                        }
+                    }
+                }
+            }
+        }
+
+        // The walk's parent must itself use the walk (it missed).
+        if (options.vm_enabled && e.kind == EventKind::kRptw) {
+            if (exec.ptw_src[e.parent] != id) {
+                out.problems.push_back(
+                    tag + ": walk's invoking access does not read its TLB entry");
+            }
+        }
+
+        // rf source typing.
+        if (exec.rf_src[id] != kNone) {
+            const EventId src = exec.rf_src[id];
+            const Event& w = p.event(src);
+            if (src == id || !is_write_like(w.kind)) {
+                out.problems.push_back(tag + ": bad rf source");
+            } else if (is_data_access(e.kind)) {
+                if (!is_data_access(w.kind)) {
+                    out.problems.push_back(tag + ": data read sourced by PTE write");
+                } else if (options.vm_enabled &&
+                           (out.resolved_pa[id] == kNone ||
+                            out.resolved_pa[id] != out.resolved_pa[src])) {
+                    out.problems.push_back(tag + ": rf across different PAs");
+                } else if (!options.vm_enabled && e.va != w.va) {
+                    out.problems.push_back(tag + ": rf across different VAs");
+                }
+            } else if (is_pte_access(e.kind)) {
+                if (!is_pte_access(w.kind) || w.va != e.va) {
+                    out.problems.push_back(tag + ": PTE read sourced off-location");
+                }
+            }
+        }
+
+        // Spurious invalidation usefulness rule (full flushes affect
+        // any VA, so any later same-core access justifies them).
+        if ((e.kind == EventKind::kInvlpg && e.remap_src == kNone) ||
+            e.kind == EventKind::kInvlpgAll) {
+            bool useful = false;
+            for (EventId other = 0; other < n; ++other) {
+                const Event& o = p.event(other);
+                if (is_data_access(o.kind) && o.thread == e.thread &&
+                    (e.kind == EventKind::kInvlpgAll || o.va == e.va) &&
+                    p.precedes(id, other)) {
+                    useful = true;
+                    break;
+                }
+            }
+            if (!useful) {
+                out.problems.push_back(tag + ": spurious INVLPG with no later "
+                                       "same-VA access on its core");
+            }
+        }
+    }
+
+    // Coherence positions form a permutation within each class.
+    {
+        std::map<ClassKey, std::vector<int>> positions;
+        for (EventId id = 0; id < n; ++id) {
+            if (is_write_like(p.event(id).kind) && exec.co_pos[id] != kNone) {
+                positions[class_of(id)].push_back(exec.co_pos[id]);
+            }
+        }
+        for (auto& [key, list] : positions) {
+            std::sort(list.begin(), list.end());
+            for (int i = 0; i < static_cast<int>(list.size()); ++i) {
+                if (list[i] != i) {
+                    out.problems.push_back("co positions are not a permutation "
+                                           "within a coherence class");
+                    break;
+                }
+            }
+        }
+    }
+    {
+        std::map<int, std::vector<int>> positions;  // keyed by target PA
+        for (EventId id = 0; id < n; ++id) {
+            if (p.event(id).kind == EventKind::kWpte &&
+                exec.co_pa_pos[id] != kNone) {
+                positions[p.event(id).map_pa].push_back(exec.co_pa_pos[id]);
+            }
+        }
+        for (auto& [key, list] : positions) {
+            std::sort(list.begin(), list.end());
+            for (int i = 0; i < static_cast<int>(list.size()); ++i) {
+                if (list[i] != i) {
+                    out.problems.push_back("co_pa positions are not a "
+                                           "permutation within a PA class");
+                    break;
+                }
+            }
+        }
+    }
+    // co and co_pa must agree where both order the same pair of Wptes.
+    for (EventId a = 0; a < n; ++a) {
+        for (EventId b = 0; b < n; ++b) {
+            const Event& ea = p.event(a);
+            const Event& eb = p.event(b);
+            if (a != b && ea.kind == EventKind::kWpte &&
+                eb.kind == EventKind::kWpte && ea.va == eb.va &&
+                ea.map_pa == eb.map_pa && exec.co_pos[a] != kNone &&
+                exec.co_pos[b] != kNone) {
+                if ((exec.co_pos[a] < exec.co_pos[b]) !=
+                    (exec.co_pa_pos[a] < exec.co_pa_pos[b])) {
+                    out.problems.push_back("co and co_pa disagree on Wpte order");
+                }
+            }
+        }
+    }
+
+    // rmw pairs must act on one physical location.
+    if (options.vm_enabled) {
+        for (const auto& [r, w] : p.rmw_pairs()) {
+            if (out.resolved_pa[r] != out.resolved_pa[w]) {
+                out.problems.push_back("rmw endpoints resolve to different PAs");
+            }
+        }
+    }
+
+    out.well_formed = out.problems.empty();
+    if (!out.well_formed) {
+        return out;
+    }
+
+    // ------------------------------------------------------------------
+    // Derived relations.
+    // ------------------------------------------------------------------
+
+    // po: all ordered same-thread pairs of non-ghost events (transitive).
+    for (int t = 0; t < p.num_threads(); ++t) {
+        const auto& seq = p.thread(t);
+        for (std::size_t i = 0; i < seq.size(); ++i) {
+            for (std::size_t j = i + 1; j < seq.size(); ++j) {
+                out.po.emplace_back(seq[i], seq[j]);
+            }
+        }
+    }
+
+    // Extended-order pairs over memory events, used by po_loc / ppo / fence.
+    auto ext_precedes = [&](EventId a, EventId b) { return p.precedes(a, b); };
+
+    for (EventId a = 0; a < n; ++a) {
+        for (EventId b = 0; b < n; ++b) {
+            if (a == b || !is_memory(p.event(a).kind) ||
+                !is_memory(p.event(b).kind)) {
+                continue;
+            }
+            if (!ext_precedes(a, b)) {
+                continue;
+            }
+            // po_loc: same coherence class.
+            if (class_of(a) == class_of(b) && class_of(a).tag != -1) {
+                out.po_loc.emplace_back(a, b);
+            }
+            // ppo (TSO): everything but write -> read.
+            if (!(is_write_like(p.event(a).kind) &&
+                  is_read_like(p.event(b).kind))) {
+                out.ppo.emplace_back(a, b);
+            }
+            // fence: an MFENCE strictly between the two events.
+            for (EventId f = 0; f < n; ++f) {
+                if (p.event(f).kind == EventKind::kMfence &&
+                    ext_precedes(a, f) && ext_precedes(f, b)) {
+                    out.fence.emplace_back(a, b);
+                    break;
+                }
+            }
+        }
+    }
+
+    // rf / rfe.
+    for (EventId r = 0; r < n; ++r) {
+        const EventId src = exec.rf_src[r];
+        if (src == kNone) {
+            continue;
+        }
+        out.rf.emplace_back(src, r);
+        if (p.event(src).thread != p.event(r).thread) {
+            out.rfe.emplace_back(src, r);
+        }
+    }
+
+    // co (transitive within each class) and fr.
+    {
+        std::map<ClassKey, std::vector<EventId>> classes;
+        for (EventId id = 0; id < n; ++id) {
+            if (is_write_like(p.event(id).kind)) {
+                classes[class_of(id)].push_back(id);
+            }
+        }
+        for (auto& [key, members] : classes) {
+            std::sort(members.begin(), members.end(),
+                      [&](EventId a, EventId b) {
+                          return exec.co_pos[a] < exec.co_pos[b];
+                      });
+            for (std::size_t i = 0; i < members.size(); ++i) {
+                for (std::size_t j = i + 1; j < members.size(); ++j) {
+                    out.co.emplace_back(members[i], members[j]);
+                }
+            }
+        }
+        for (EventId r = 0; r < n; ++r) {
+            if (!is_read_like(p.event(r).kind)) {
+                continue;
+            }
+            const ClassKey key = class_of(r);
+            const auto it = classes.find(key);
+            if (it == classes.end()) {
+                continue;
+            }
+            const EventId src = exec.rf_src[r];
+            const int src_pos = src == kNone ? -1 : exec.co_pos[src];
+            for (const EventId w : it->second) {
+                if (w != src && exec.co_pos[w] > src_pos) {
+                    out.fr.emplace_back(r, w);
+                }
+            }
+        }
+    }
+
+    // rmw.
+    for (const auto& pair : p.rmw_pairs()) {
+        out.rmw.push_back(pair);
+    }
+
+    // ghost / remap.
+    for (EventId id = 0; id < n; ++id) {
+        const Event& e = p.event(id);
+        if (is_ghost(e.kind)) {
+            out.ghost.emplace_back(e.parent, id);
+        }
+        if (e.kind == EventKind::kInvlpg && e.remap_src != kNone) {
+            out.remap.emplace_back(e.remap_src, id);
+        }
+    }
+
+    if (!options.vm_enabled) {
+        return out;
+    }
+
+    // rf_ptw and ptw_source.
+    for (EventId e = 0; e < n; ++e) {
+        const EventId walk = exec.ptw_src[e];
+        if (walk == kNone) {
+            continue;
+        }
+        out.rf_ptw.emplace_back(walk, e);
+        const EventId walker = p.event(walk).parent;
+        if (walker != e) {
+            out.ptw_source.emplace_back(walker, e);
+        }
+    }
+
+    // rf_pa.
+    for (EventId e = 0; e < n; ++e) {
+        if (is_data_access(p.event(e).kind) && out.provenance[e] != kNone) {
+            out.rf_pa.emplace_back(out.provenance[e], e);
+        }
+    }
+
+    // co_pa (transitive per target-PA class).
+    {
+        std::map<int, std::vector<EventId>> classes;
+        for (EventId id = 0; id < n; ++id) {
+            if (p.event(id).kind == EventKind::kWpte) {
+                classes[p.event(id).map_pa].push_back(id);
+            }
+        }
+        for (auto& [pa, members] : classes) {
+            std::sort(members.begin(), members.end(),
+                      [&](EventId a, EventId b) {
+                          return exec.co_pa_pos[a] < exec.co_pa_pos[b];
+                      });
+            for (std::size_t i = 0; i < members.size(); ++i) {
+                for (std::size_t j = i + 1; j < members.size(); ++j) {
+                    out.co_pa.emplace_back(members[i], members[j]);
+                }
+            }
+        }
+        // fr_pa: provenance's co_pa successors (initial mapping precedes all
+        // alias creations for its PA).
+        for (EventId e = 0; e < n; ++e) {
+            if (!is_data_access(p.event(e).kind)) {
+                continue;
+            }
+            const EventId prov = out.provenance[e];
+            const int pa = out.resolved_pa[e];
+            const auto it = classes.find(pa);
+            if (it == classes.end()) {
+                continue;
+            }
+            const int prov_pos = prov == kNone ? -1 : exec.co_pa_pos[prov];
+            for (const EventId w : it->second) {
+                if (w != prov && exec.co_pa_pos[w] > prov_pos) {
+                    out.fr_pa.emplace_back(e, w);
+                }
+            }
+        }
+    }
+
+    // fr_va: later Wptes remapping the accessed VA (in PTE-location
+    // coherence order relative to the provenance write).
+    for (EventId e = 0; e < n; ++e) {
+        if (!is_data_access(p.event(e).kind)) {
+            continue;
+        }
+        const EventId prov = out.provenance[e];
+        const int prov_pos = prov == kNone ? -1 : exec.co_pos[prov];
+        for (EventId w = 0; w < n; ++w) {
+            if (p.event(w).kind == EventKind::kWpte &&
+                p.event(w).va == p.event(e).va && w != prov &&
+                exec.co_pos[w] > prov_pos) {
+                out.fr_va.emplace_back(e, w);
+            }
+        }
+    }
+
+    return out;
+}
+
+}  // namespace transform::elt

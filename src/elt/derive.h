@@ -1,0 +1,85 @@
+/// \file
+/// Derivation of the full Table-I relation set from a candidate execution,
+/// plus well-formedness checking (the paper's "placement rules", section IV-A).
+///
+/// Derivation performs address-translation value resolution: each data
+/// access's physical address is resolved through the TLB entry it reads
+/// (rf_ptw), whose mapping value comes from what the page-table walk read
+/// (a Wpte's new mapping, a Wdb's preserved mapping, or the initial
+/// mapping). Dirty-bit writes preserve their parent's resolved mapping, so
+/// resolution is a fixpoint over a dependency graph; cyclic value
+/// dependencies render the execution ill-formed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "elt/execution.h"
+
+namespace transform::elt {
+
+/// Every relation of Table I (plus the auxiliary ones the x86t_elt axioms
+/// need), derived from one candidate execution.
+struct DerivedRelations {
+    bool well_formed = false;
+    std::vector<std::string> problems;  ///< non-empty iff !well_formed
+
+    /// Per data access: resolved physical address (kNone if unresolvable).
+    std::vector<PaId> resolved_pa;
+
+    /// Per data access: the Wpte that provided its mapping, or kNone when
+    /// the initial mapping was used.
+    std::vector<EventId> provenance;
+
+    // Baseline MCM relations.
+    EdgeSet po;       ///< same-thread sequencing of non-ghost events
+    EdgeSet po_loc;   ///< extended-order pairs at the same coherence class
+    EdgeSet rf;       ///< write -> read, data (same PA) and PTE locations
+    EdgeSet co;       ///< coherence order per class
+    EdgeSet fr;       ///< read -> co-successors of its source
+    EdgeSet rfe;      ///< rf restricted to cross-thread pairs
+    EdgeSet ppo;      ///< TSO preserved program order (po minus W->R)
+    EdgeSet fence;    ///< pairs ordered by an intervening MFENCE
+    EdgeSet rmw;      ///< declared rmw dependencies
+
+    // Transistency relations (Table I).
+    EdgeSet ghost;       ///< user event -> invoked ghost
+    EdgeSet rf_ptw;      ///< page-table walk -> users of its TLB entry
+    EdgeSet rf_pa;       ///< Wpte -> accesses using its mapping
+    EdgeSet co_pa;       ///< alias-creation order per PA
+    EdgeSet fr_pa;       ///< access -> co_pa-successors of its mapping source
+    EdgeSet fr_va;       ///< access -> later Wptes remapping its VA
+    EdgeSet remap;       ///< Wpte -> the Invlpgs it invokes
+    EdgeSet ptw_source;  ///< walk's parent -> other users of the walk
+};
+
+/// Options controlling derivation (the MCM-only baseline of prior work runs
+/// with VM modelling disabled; see synth::Options::enable_vm).
+struct DeriveOptions {
+    /// When false, data accesses need no translation (ptw_src is ignored and
+    /// VAs are treated as distinct physical locations) — the classic MCM
+    /// setting used for the x86-TSO baseline comparison.
+    bool vm_enabled = true;
+};
+
+/// Derives all relations and runs the well-formedness checks.
+DerivedRelations derive(const Execution& execution,
+                        const DeriveOptions& options = {});
+
+/// Address resolution alone (no witness validation): per-event resolved PA
+/// and mapping provenance. Needed by the relaxation engine, which must
+/// recompute coherence classes after removing events and before coherence
+/// witnesses are rebuilt.
+struct ResolutionResult {
+    bool ok = false;
+    std::vector<PaId> resolved_pa;      ///< kNone where not applicable/failed
+    std::vector<EventId> provenance;    ///< kNone = initial mapping
+};
+ResolutionResult resolve_addresses(const Execution& execution,
+                                   const DeriveOptions& options = {});
+
+/// True when the directed graph over \p num_nodes nodes with the union of
+/// the given edge sets contains a cycle.
+bool has_cycle(int num_nodes, const std::vector<const EdgeSet*>& edge_sets);
+
+}  // namespace transform::elt

@@ -1,0 +1,46 @@
+/// \file
+/// Candidate executions: a Program plus communication witnesses. Adding the
+/// com relations (rf, co and the transistency variants) to a program pins
+/// down one dynamic execution whose outcome the memory model judges.
+#pragma once
+
+#include <vector>
+
+#include "elt/event.h"
+#include "elt/program.h"
+
+namespace transform::elt {
+
+/// Witness relations completing a Program into a candidate execution.
+///
+/// All fields are indexed by EventId and use kNone where the field does not
+/// apply to the event kind:
+///  - rf_src[r]: for read-like events (Read, Rptw, Rdb), the write-like
+///    event sourcing the value, or kNone when the event reads the initial
+///    state (data value 0 / the initial VA->PA mapping).
+///  - co_pos[w]: for write-like events, the position of the write in the
+///    coherence order of its coherence class (data writes are classed by
+///    the *physical address* they resolve to; PTE writes by the PTE
+///    location they write). Positions are 0-based and contiguous per class.
+///  - ptw_src[e]: for data accesses (Read, Write), the Rptw whose TLB entry
+///    supplies e's address translation (rf_ptw in Table I).
+///  - co_pa_pos[p]: for Wpte events, the position of the alias creation in
+///    co_pa's total order over Wptes targeting the same PA.
+struct Execution {
+    Program program;
+    std::vector<EventId> rf_src;
+    std::vector<int> co_pos;
+    std::vector<EventId> ptw_src;
+    std::vector<int> co_pa_pos;
+
+    /// Builds an execution with all witness fields cleared to kNone.
+    static Execution empty_for(Program program);
+};
+
+/// A directed edge between events.
+using Edge = std::pair<EventId, EventId>;
+
+/// An edge list; small enough at litmus-test scale that vectors beat sets.
+using EdgeSet = std::vector<Edge>;
+
+}  // namespace transform::elt

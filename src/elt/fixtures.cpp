@@ -1,0 +1,334 @@
+#include "elt/fixtures.h"
+
+#include "util/logging.h"
+
+namespace transform::elt::fixtures {
+
+namespace {
+constexpr VaId kX = 0;
+constexpr VaId kY = 1;
+constexpr VaId kU = 2;
+constexpr PaId kPaA = 0;  // initial frame of x
+constexpr PaId kPaB = 1;  // initial frame of y
+constexpr PaId kPaC = 2;
+}  // namespace
+
+Execution
+fig2a_sb_mcm()
+{
+    ProgramBuilder b;
+    b.thread();
+    const EventId w0 = b.W(kX);
+    const EventId r1 = b.R(kY);
+    b.thread();
+    const EventId w2 = b.W(kY);
+    const EventId r3 = b.R(kX);
+    Execution e = Execution::empty_for(b.build());
+    e.rf_src[r1] = w2;  // R1 y reads W2
+    e.rf_src[r3] = w0;  // R3 x reads W0
+    e.co_pos[w0] = 0;
+    e.co_pos[w2] = 0;
+    return e;
+}
+
+Execution
+sb_both_reads_zero_mcm()
+{
+    ProgramBuilder b;
+    b.thread();
+    const EventId w0 = b.W(kX);
+    b.R(kY);  // reads 0 (initial state)
+    b.thread();
+    const EventId w2 = b.W(kY);
+    b.R(kX);  // reads 0 (initial state)
+    Execution e = Execution::empty_for(b.build());
+    e.co_pos[w0] = 0;
+    e.co_pos[w2] = 0;
+    return e;
+}
+
+Execution
+fig2b_sb_elt()
+{
+    ProgramBuilder b;
+    b.thread();
+    const EventId w0 = b.W(kX);
+    const EventId wdb0 = b.wdb(w0);
+    const EventId rptw0 = b.rptw(w0);
+    const EventId r1 = b.R(kY);
+    const EventId rptw1 = b.rptw(r1);
+    b.thread();
+    const EventId w2 = b.W(kY);
+    const EventId wdb2 = b.wdb(w2);
+    const EventId rptw2 = b.rptw(w2);
+    const EventId r3 = b.R(kX);
+    const EventId rptw3 = b.rptw(r3);
+    Execution e = Execution::empty_for(b.build());
+    // Translations: each access walks for itself.
+    e.ptw_src[w0] = rptw0;
+    e.ptw_src[r1] = rptw1;
+    e.ptw_src[w2] = rptw2;
+    e.ptw_src[r3] = rptw3;
+    // Walks read the dirty-bit write of their own store where one exists
+    // (matching the rf edges between Wdb and Rptw in the figure), otherwise
+    // the initial mapping.
+    e.rf_src[rptw0] = wdb0;
+    e.rf_src[rptw2] = wdb2;
+    e.rf_src[rptw1] = kNone;
+    e.rf_src[rptw3] = wdb0;  // C1's walk of z observes C0's dirty-bit update
+    // Data: both reads observe the other core's write (as in Fig. 2a).
+    e.rf_src[r1] = w2;
+    e.rf_src[r3] = w0;
+    // Coherence: one data write per PA; PTE locations z and v each hold one
+    // dirty-bit write.
+    e.co_pos[w0] = 0;
+    e.co_pos[w2] = 0;
+    e.co_pos[wdb0] = 0;
+    e.co_pos[wdb2] = 0;
+    return e;
+}
+
+Execution
+fig2c_sb_elt_aliased()
+{
+    ProgramBuilder b;
+    b.thread();  // C0
+    const EventId w0 = b.W(kX);
+    const EventId wdb0 = b.wdb(w0);
+    const EventId rptw0 = b.rptw(w0);
+    b.thread();  // C1 (built next so remap targets can reference the Wpte)
+    const EventId wpte3 = b.wpte(kY, kPaA);  // alias y -> PA a
+    const EventId inv1 = b.invlpg_for(wpte3, /*core=*/0);
+    const EventId inv4 = b.invlpg_for(wpte3, /*core=*/1);
+    (void)inv1;
+    (void)inv4;
+    const EventId w5 = b.W(kY);
+    const EventId wdb5 = b.wdb(w5);
+    const EventId rptw5 = b.rptw(w5);
+    const EventId r6 = b.R(kX);
+    const EventId rptw6 = b.rptw(r6);
+    // Back on C0, after the INVLPG: the read of y.
+    Program prog = b.build();
+    // The builder appends in po order per thread; C0's R2 must follow the
+    // INVLPG, so add it directly.
+    Event r2{EventKind::kRead, 0, kY, kNone, kNone, kNone};
+    const EventId r2_id = prog.add_event(r2);
+    Event rptw2{EventKind::kRptw, 0, kY, kNone, r2_id, kNone};
+    const EventId rptw2_id = prog.add_ghost(rptw2);
+
+    Execution e = Execution::empty_for(std::move(prog));
+    e.ptw_src[w0] = rptw0;
+    e.ptw_src[w5] = rptw5;
+    e.ptw_src[r6] = rptw6;
+    e.ptw_src[r2_id] = rptw2_id;
+    // x's walks read the initial mapping (x -> a stays put); y's walks read
+    // the remap (y -> a).
+    e.rf_src[rptw0] = wdb0;
+    e.rf_src[rptw6] = wdb0;
+    e.rf_src[rptw5] = wpte3;
+    e.rf_src[rptw2_id] = wpte3;
+    // Data (all on PA a now): R2 y observes W5; R6 x observes W0.
+    e.rf_src[r2_id] = w5;
+    e.rf_src[r6] = w0;
+    // Coherence at PA a: W0 then W5. PTE z: Wdb0. PTE v: WPTE3 then Wdb5.
+    e.co_pos[w0] = 0;
+    e.co_pos[w5] = 1;
+    e.co_pos[wdb0] = 0;
+    e.co_pos[wpte3] = 0;
+    e.co_pos[wdb5] = 1;
+    e.co_pa_pos[wpte3] = 0;
+    return e;
+}
+
+Execution
+fig4_remap_chain()
+{
+    ProgramBuilder b;
+    b.thread();
+    const EventId r0 = b.R(kX);
+    const EventId rptw0 = b.rptw(r0);
+    const EventId r1 = b.R(kY);
+    const EventId rptw1 = b.rptw(r1);
+    const EventId wpte2 = b.wpte(kY, kPaC);
+    b.invlpg_for(wpte2);
+    const EventId r4 = b.R(kY);
+    const EventId rptw4 = b.rptw(r4);
+    const EventId wpte5 = b.wpte(kX, kPaC);
+    b.invlpg_for(wpte5);
+    const EventId r7 = b.R(kX);
+    const EventId rptw7 = b.rptw(r7);
+    Execution e = Execution::empty_for(b.build());
+    e.ptw_src[r0] = rptw0;
+    e.ptw_src[r1] = rptw1;
+    e.ptw_src[r4] = rptw4;
+    e.ptw_src[r7] = rptw7;
+    e.rf_src[rptw0] = kNone;   // initial x -> a
+    e.rf_src[rptw1] = kNone;   // initial y -> b
+    e.rf_src[rptw4] = wpte2;   // y -> c
+    e.rf_src[rptw7] = wpte5;   // x -> c
+    e.co_pos[wpte2] = 0;       // PTE v
+    e.co_pos[wpte5] = 0;       // PTE z
+    e.co_pa_pos[wpte2] = 0;    // aliases of PA c, creation order
+    e.co_pa_pos[wpte5] = 1;
+    return e;
+}
+
+Execution
+fig5a_shared_walk()
+{
+    ProgramBuilder b;
+    b.thread();
+    const EventId r0 = b.R(kX);
+    const EventId rptw0 = b.rptw(r0);
+    const EventId r1 = b.R(kX);
+    Execution e = Execution::empty_for(b.build());
+    e.ptw_src[r0] = rptw0;
+    e.ptw_src[r1] = rptw0;  // TLB hit: shares the entry
+    return e;
+}
+
+Execution
+fig5b_invlpg_forces_walk()
+{
+    ProgramBuilder b;
+    b.thread();
+    const EventId r0 = b.R(kX);
+    const EventId rptw0 = b.rptw(r0);
+    b.invlpg(kX);  // spurious eviction
+    const EventId r2 = b.R(kX);
+    const EventId rptw2 = b.rptw(r2);
+    Execution e = Execution::empty_for(b.build());
+    e.ptw_src[r0] = rptw0;
+    e.ptw_src[r2] = rptw2;  // must re-walk after the eviction
+    return e;
+}
+
+Execution
+fig6_remap_disambiguation()
+{
+    ProgramBuilder b;
+    b.thread();  // C0
+    const EventId r0 = b.R(kX);
+    const EventId rptw0 = b.rptw(r0);
+    const EventId wpte1 = b.wpte(kX, kPaB);
+    const EventId inv2 = b.invlpg_for(wpte1, /*core=*/0);
+    (void)inv2;
+    const EventId w3 = b.W(kX);
+    const EventId wdb3 = b.wdb(w3);
+    const EventId rptw3 = b.rptw(w3);
+    b.thread();  // C1
+    const EventId w4 = b.W(kX);
+    const EventId wdb4 = b.wdb(w4);
+    const EventId rptw4 = b.rptw(w4);
+    const EventId inv5 = b.invlpg_for(wpte1, /*core=*/1);
+    (void)inv5;
+    const EventId r6 = b.R(kX);
+    const EventId rptw6 = b.rptw(r6);
+    Execution e = Execution::empty_for(b.build());
+    e.ptw_src[r0] = rptw0;
+    e.ptw_src[w3] = rptw3;
+    e.ptw_src[w4] = rptw4;
+    e.ptw_src[r6] = rptw6;
+    // R0 and W4 use the initial mapping (x -> a); W3 and R6 use the remap
+    // (x -> b).
+    e.rf_src[rptw0] = kNone;
+    e.rf_src[rptw4] = wdb4;  // initial mapping via W4's own dirty-bit write
+    e.rf_src[rptw3] = wdb3;  // the fresh mapping, via W3's own dirty-bit
+                             // write (which preserves WPTE1's value)
+    e.rf_src[rptw6] = wpte1;
+    // Data: R0 reads initial 0 at PA a; R6 reads W3 (both on PA b).
+    e.rf_src[r0] = kNone;
+    e.rf_src[r6] = w3;
+    // Coherence. PA a: W4. PA b: W3. PTE z: WPTE1 vs Wdb4 (old mapping) vs
+    // Wdb3 (new mapping): Wdb4 first, then WPTE1, then Wdb3.
+    e.co_pos[w4] = 0;
+    e.co_pos[w3] = 0;
+    e.co_pos[wdb4] = 0;
+    e.co_pos[wpte1] = 1;
+    e.co_pos[wdb3] = 2;
+    e.co_pa_pos[wpte1] = 0;
+    return e;
+}
+
+Execution
+fig8_non_minimal_mcm()
+{
+    ProgramBuilder b;
+    b.thread();
+    const EventId w0 = b.W(kX);
+    const EventId w1 = b.W(kY);
+    b.thread();
+    const EventId r2 = b.R(kY);
+    b.R(kX);  // reads 0: the sb-style stale read
+    b.thread();
+    const EventId w4 = b.W(kU);
+    Execution e = Execution::empty_for(b.build());
+    e.rf_src[r2] = w1;
+    e.co_pos[w0] = 0;
+    e.co_pos[w1] = 0;
+    e.co_pos[w4] = 0;
+    return e;
+}
+
+Execution
+fig10a_ptwalk2()
+{
+    ProgramBuilder b;
+    b.thread();
+    const EventId wpte0 = b.wpte(kX, kPaB);
+    b.invlpg_for(wpte0);
+    const EventId r2 = b.R(kX);
+    const EventId rptw2 = b.rptw(r2);
+    Execution e = Execution::empty_for(b.build());
+    e.ptw_src[r2] = rptw2;
+    e.rf_src[rptw2] = kNone;  // stale: reads the initial mapping x -> a
+    e.co_pos[wpte0] = 0;
+    e.co_pa_pos[wpte0] = 0;
+    return e;
+}
+
+Execution
+fig10b_dirtybit3()
+{
+    ProgramBuilder b;
+    b.thread();
+    const EventId wpte0 = b.wpte(kX, kPaB);
+    b.invlpg_for(wpte0);
+    const EventId r2 = b.R(kX);
+    const EventId rptw2 = b.rptw(r2);
+    const EventId w3 = b.W(kX);
+    const EventId wdb3 = b.wdb(w3);
+    const EventId rptw3 = b.rptw(w3);
+    Execution e = Execution::empty_for(b.build());
+    e.ptw_src[r2] = rptw2;
+    e.ptw_src[w3] = rptw3;
+    e.rf_src[rptw2] = wpte0;  // fresh mapping x -> b
+    e.rf_src[rptw3] = wdb3;
+    e.rf_src[r2] = kNone;     // reads 0 at PA b
+    e.co_pos[wpte0] = 0;
+    e.co_pos[wdb3] = 1;
+    e.co_pos[w3] = 0;
+    e.co_pa_pos[wpte0] = 0;
+    return e;
+}
+
+Execution
+fig11_new_elt()
+{
+    ProgramBuilder b;
+    b.thread();  // C0
+    const EventId wpte0 = b.wpte(kX, kPaB);
+    b.invlpg_for(wpte0, /*core=*/0);
+    b.thread();  // C1
+    b.invlpg_for(wpte0, /*core=*/1);
+    const EventId r3 = b.R(kX);
+    const EventId rptw3 = b.rptw(r3);
+    Execution e = Execution::empty_for(b.build());
+    e.ptw_src[r3] = rptw3;
+    e.rf_src[rptw3] = kNone;  // stale: initial mapping x -> a
+    e.co_pos[wpte0] = 0;
+    e.co_pa_pos[wpte0] = 0;
+    return e;
+}
+
+}  // namespace transform::elt::fixtures

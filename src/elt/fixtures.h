@@ -1,0 +1,66 @@
+/// \file
+/// The paper's worked examples as reusable fixtures. Each function returns a
+/// complete candidate execution (program + witnesses) reproducing the
+/// corresponding figure of the TransForm paper; the expected verdict under
+/// x86-TSO / x86t_elt is noted per fixture and asserted by the test suite
+/// and the figure benches.
+#pragma once
+
+#include "elt/execution.h"
+
+namespace transform::elt::fixtures {
+
+/// Fig. 2a — the store-buffering (sb) litmus test, MCM view (no VM events).
+/// Both reads observe the other core's write: sequentially consistent,
+/// PERMITTED under x86-TSO. Evaluate with DeriveOptions{.vm_enabled=false}.
+Execution fig2a_sb_mcm();
+
+/// Fig. 2a variant — the classic forbidden sb outcome (both reads return
+/// the initial value). PERMITTED under x86-TSO (the store buffer reorders
+/// W->R); FORBIDDEN under sequential consistency. MCM view.
+Execution sb_both_reads_zero_mcm();
+
+/// Fig. 2b — sb expanded to an ELT (walks + dirty-bit updates), distinct
+/// PAs. PERMITTED under x86t_elt.
+Execution fig2b_sb_elt();
+
+/// Fig. 2c — sb expanded to an ELT where a PTE write aliases VAs x and y to
+/// the same PA: coherence violation, FORBIDDEN (sc_per_loc).
+Execution fig2c_sb_elt_aliased();
+
+/// Fig. 4 — single-core test exercising every pa/va edge: two remaps ending
+/// with x and y aliased to PA c. PERMITTED.
+Execution fig4_remap_chain();
+
+/// Fig. 5a — two reads sharing one TLB entry loaded by a single walk.
+/// PERMITTED.
+Execution fig5a_shared_walk();
+
+/// Fig. 5b — a spurious INVLPG between the reads forces a second walk.
+/// PERMITTED.
+Execution fig5b_invlpg_forces_walk();
+
+/// Fig. 6c/6d — the remap test whose MCM view leaves R's source ambiguous;
+/// the ELT view resolves it. PERMITTED.
+Execution fig6_remap_disambiguation();
+
+/// Fig. 8 — three-core MCM execution with an sb cycle plus an unrelated
+/// write; FORBIDDEN but NOT minimal (removing the extra write keeps it
+/// forbidden). MCM view.
+Execution fig8_non_minimal_mcm();
+
+/// Fig. 10a — the ptwalk2 ELT from the COATCheck suite: a read uses a stale
+/// translation after a remap + INVLPG. FORBIDDEN (violates sc_per_loc and
+/// invlpg). Four events — the smallest ELT TransForm synthesizes.
+Execution fig10a_ptwalk2();
+
+/// Fig. 10b — the dirtybit3 ELT: same prefix as ptwalk2 but the read uses
+/// the fresh translation, followed by a write. PERMITTED (and reducible —
+/// dropping the trailing write yields a minimal synthesizable ELT).
+Execution fig10b_dirtybit3();
+
+/// Fig. 11 — a newly synthesized ELT: the remap's INVLPG lands on another
+/// core whose read still uses the stale translation. FORBIDDEN (invlpg).
+Execution fig11_new_elt();
+
+}  // namespace transform::elt::fixtures

@@ -1,0 +1,54 @@
+/// \file
+/// A human-readable litmus-style text format for ELT programs, alongside
+/// the XML of serialize.h (which also carries execution witnesses). The
+/// text format is what the command-line synthesis tool emits and what users
+/// write by hand:
+///
+///     elt ptwalk2
+///     thread P0
+///       WPTE x -> b as p0
+///       INVLPG x for p0
+///       R x miss
+///
+/// Grammar (one instruction per line; '#' starts a comment):
+///   R <va> [miss|hit] [rmw]      user-facing load; `miss` (default) walks
+///                                the page table, `hit` reuses a TLB entry;
+///                                `rmw` pairs it with the next instruction
+///                                (a same-VA W) as a read-modify-write
+///   W <va> [miss|hit] [rdb]      user-facing store (always carries a Wdb
+///                                ghost; `rdb` adds the dirty-bit read of
+///                                the RMW-dirty-bit ablation)
+///   MFENCE                       fence
+///   WPTE <va> -> <pa> [as <id>]  PTE write installing va -> pa
+///   INVLPG <va> [for <id>]       TLB invalidation; `for` names the WPTE
+///                                that remap-invoked it, else spurious
+///
+/// VAs use the paper's names (x y u w, then x1 y1 ...); PAs likewise
+/// (a b c ...). Ghost instructions are implied by miss/hit and are not
+/// written out.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "elt/program.h"
+
+namespace transform::elt {
+
+/// Renders a program in the litmus text format (round-trips with
+/// parse_litmus).
+std::string program_to_litmus(const Program& program,
+                              const std::string& name = "elt");
+
+/// Result of parsing: the program plus the test's name.
+struct ParsedLitmus {
+    std::string name;
+    Program program;
+};
+
+/// Parses the litmus text format. On failure returns std::nullopt and, when
+/// \p error is non-null, stores a line-numbered diagnostic.
+std::optional<ParsedLitmus> parse_litmus(const std::string& text,
+                                         std::string* error = nullptr);
+
+}  // namespace transform::elt

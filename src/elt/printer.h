@@ -1,0 +1,29 @@
+/// \file
+/// Human-readable rendering of programs and executions: the paper's tabular
+/// litmus-test layout (one column per core, ghosts indented under their
+/// invoking instruction), relation dumps, and Graphviz DOT output.
+#pragma once
+
+#include <string>
+
+#include "elt/derive.h"
+#include "elt/execution.h"
+
+namespace transform::elt {
+
+/// Renders a program as a table, one column per core, in program order;
+/// ghost instructions appear indented below their parent.
+std::string program_to_string(const Program& program);
+
+/// Renders an execution: the program table followed by each non-empty
+/// derived relation as an edge list. \p derived must come from derive() on
+/// the same execution.
+std::string execution_to_string(const Execution& execution,
+                                const DerivedRelations& derived);
+
+/// Graphviz DOT rendering of an execution's derived relations.
+std::string execution_to_dot(const Execution& execution,
+                             const DerivedRelations& derived,
+                             const std::string& graph_name = "elt");
+
+}  // namespace transform::elt

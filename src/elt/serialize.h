@@ -1,0 +1,26 @@
+/// \file
+/// XML serialization of ELT programs and executions, standing in for the
+/// Alloy XML instances the paper's pipeline post-processes (section IV-C).
+/// The emitter and parser round-trip exactly.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "elt/execution.h"
+
+namespace transform::elt {
+
+/// Emits a program (no witnesses) as XML.
+std::string program_to_xml(const Program& program,
+                           const std::string& name = "elt");
+
+/// Emits a full candidate execution (program + witnesses) as XML.
+std::string execution_to_xml(const Execution& execution,
+                             const std::string& name = "elt");
+
+/// Parses XML produced by the emitters above. Returns std::nullopt on
+/// malformed input. Missing witness sections yield empty witnesses.
+std::optional<Execution> execution_from_xml(const std::string& xml);
+
+}  // namespace transform::elt

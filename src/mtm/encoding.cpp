@@ -1,0 +1,861 @@
+#include "mtm/encoding.h"
+
+#include <algorithm>
+#include <map>
+
+#include "rel/bool_factory.h"
+#include "rel/constraints.h"
+#include "rel/relation.h"
+#include "sat/solver.h"
+#include "util/logging.h"
+
+namespace transform::mtm {
+
+using elt::Event;
+using elt::EventId;
+using elt::EventKind;
+using elt::Execution;
+using elt::kNone;
+using elt::Program;
+using rel::BoolFactory;
+using rel::ExprId;
+using rel::RelExpr;
+
+/// Per-query encoding state: the factory, the solver, the witness choice
+/// variables, and the derived-relation circuits.
+struct ProgramEncoding::Build {
+    explicit Build(const Program& program, bool vm)
+        : p(program), n(program.num_events()), vm_enabled(vm)
+    {
+        build_choices();
+        build_address_resolution();
+        build_coherence();
+        build_derived();
+        build_placement_constraints();
+    }
+
+    // ------------------------------------------------------------------
+    // Inputs.
+    // ------------------------------------------------------------------
+    const Program& p;
+    const int n;
+    const bool vm_enabled;
+
+    BoolFactory factory;
+    sat::Solver solver;
+
+    // ------------------------------------------------------------------
+    // Choice variables.
+    // ------------------------------------------------------------------
+    // rf_choice[r]: map write-candidate -> ExprId; init_choice[r] for the
+    // initial state.
+    std::vector<std::map<EventId, ExprId>> rf_choice;
+    std::vector<ExprId> init_choice;
+    // ptw_choice[e]: map walk -> ExprId (data accesses only).
+    std::vector<std::map<EventId, ExprId>> ptw_choice;
+    // pa[e][k]: one-hot resolved physical address (memory events only).
+    std::vector<std::vector<ExprId>> pa;
+    // prov[e]: map Wpte -> ExprId, plus prov_init[e] (data accesses, walks,
+    // dirty-bit writes).
+    std::vector<std::map<EventId, ExprId>> prov;
+    std::vector<ExprId> prov_init;
+
+    // Coherence order over write-like events; alias-creation order over
+    // Wptes.
+    RelExpr co;
+    RelExpr co_pa;
+
+    // ------------------------------------------------------------------
+    // Derived circuits.
+    // ------------------------------------------------------------------
+    RelExpr rf, fr, po_loc, rfe, rf_ptw_rel, ptw_source, rf_pa, fr_pa, fr_va;
+    RelExpr po_const, remap_const, ppo_const, fence_const;
+
+    int num_pas = 0;
+
+    ExprId
+    var()
+    {
+        return factory.mk_var(solver.new_var());
+    }
+
+    ExprId
+    pa_equal(EventId a, EventId b)
+    {
+        // One-hot equality: some PA selected by both.
+        ExprId acc = factory.mk_const(false);
+        for (int k = 0; k < num_pas; ++k) {
+            acc = factory.mk_or(acc, factory.mk_and(pa[a][k], pa[b][k]));
+        }
+        return acc;
+    }
+
+    /// Asserts guard -> pa[a] == pa[b] (one-hot implications both ways).
+    void
+    link_pa(ExprId guard, EventId a, EventId b)
+    {
+        for (int k = 0; k < num_pas; ++k) {
+            factory.assert_true(
+                factory.mk_implies(factory.mk_and(guard, pa[a][k]), pa[b][k]),
+                &solver);
+            factory.assert_true(
+                factory.mk_implies(factory.mk_and(guard, pa[b][k]), pa[a][k]),
+                &solver);
+        }
+    }
+
+    /// Asserts guard -> prov[a] == prov[b].
+    void
+    link_prov(ExprId guard, EventId a, EventId b)
+    {
+        factory.assert_true(
+            factory.mk_implies(factory.mk_and(guard, prov_init[a]),
+                               prov_init[b]),
+            &solver);
+        factory.assert_true(
+            factory.mk_implies(factory.mk_and(guard, prov_init[b]),
+                               prov_init[a]),
+            &solver);
+        for (auto& [w, flag] : prov[a]) {
+            const auto it = prov[b].find(w);
+            const ExprId other =
+                it == prov[b].end() ? rel::kFalseExpr : it->second;
+            factory.assert_true(
+                factory.mk_implies(factory.mk_and(guard, flag), other),
+                &solver);
+        }
+        for (auto& [w, flag] : prov[b]) {
+            const auto it = prov[a].find(w);
+            const ExprId other =
+                it == prov[a].end() ? rel::kFalseExpr : it->second;
+            factory.assert_true(
+                factory.mk_implies(factory.mk_and(guard, flag), other),
+                &solver);
+        }
+    }
+
+    ExprId
+    same_class(EventId a, EventId b)
+    {
+        const Event& ea = p.event(a);
+        const Event& eb = p.event(b);
+        if (elt::is_data_access(ea.kind) && elt::is_data_access(eb.kind)) {
+            if (!vm_enabled) {
+                return factory.mk_const(ea.va == eb.va);
+            }
+            return pa_equal(a, b);
+        }
+        if (elt::is_pte_access(ea.kind) && elt::is_pte_access(eb.kind)) {
+            return factory.mk_const(ea.va == eb.va);
+        }
+        return factory.mk_const(false);
+    }
+
+    void
+    build_choices()
+    {
+        num_pas = std::max(p.num_pas(), 1);
+        rf_choice.resize(n);
+        init_choice.assign(n, rel::kFalseExpr);
+        ptw_choice.resize(n);
+        pa.assign(n, {});
+        prov.resize(n);
+        prov_init.assign(n, rel::kFalseExpr);
+
+        for (EventId r = 0; r < n; ++r) {
+            const Event& e = p.event(r);
+            if (!elt::is_read_like(e.kind)) {
+                continue;
+            }
+            std::vector<ExprId> options;
+            init_choice[r] = var();
+            options.push_back(init_choice[r]);
+            for (EventId w = 0; w < n; ++w) {
+                if (w == r) {
+                    continue;
+                }
+                const Event& we = p.event(w);
+                // Data rf candidates: any data write under VM (the dynamic
+                // same-PA constraint gates it); same-VA writes in MCM mode
+                // (VAs are the locations).
+                const bool data_pair = elt::is_data_access(e.kind) &&
+                                       we.kind == EventKind::kWrite &&
+                                       (vm_enabled || we.va == e.va);
+                const bool pte_pair = elt::is_pte_access(e.kind) &&
+                                      elt::is_pte_access(we.kind) &&
+                                      elt::is_write_like(we.kind) &&
+                                      we.va == e.va;
+                if (data_pair || pte_pair) {
+                    rf_choice[r][w] = var();
+                    options.push_back(rf_choice[r][w]);
+                }
+            }
+            factory.assert_true(factory.mk_exactly_one(options), &solver);
+        }
+
+        if (!vm_enabled) {
+            return;
+        }
+        for (EventId e = 0; e < n; ++e) {
+            if (!elt::is_data_access(p.event(e).kind)) {
+                continue;
+            }
+            std::vector<ExprId> options;
+            for (EventId w = 0; w < n; ++w) {
+                const Event& we = p.event(w);
+                if (we.kind != EventKind::kRptw || we.thread != p.event(e).thread ||
+                    we.va != p.event(e).va) {
+                    continue;
+                }
+                const EventId walker = we.parent;
+                if (walker != e && !p.precedes(walker, e)) {
+                    continue;
+                }
+                // No same-VA INVLPG between the walk and the use.
+                bool blocked = false;
+                for (EventId i = 0; i < n; ++i) {
+                    const Event& inv = p.event(i);
+                    const bool evicts =
+                        (inv.kind == EventKind::kInvlpg && inv.va == we.va) ||
+                        inv.kind == EventKind::kInvlpgAll;
+                    if (evicts && inv.thread == we.thread &&
+                        p.precedes(walker, i) && p.precedes(i, e)) {
+                        blocked = true;
+                        break;
+                    }
+                }
+                if (!blocked) {
+                    ptw_choice[e][w] = var();
+                    options.push_back(ptw_choice[e][w]);
+                }
+            }
+            factory.assert_true(factory.mk_exactly_one(options), &solver);
+            // An access that invoked its own walk must use it.
+            const EventId own = p.rptw_of(e);
+            if (own != kNone) {
+                const auto it = ptw_choice[e].find(own);
+                TF_ASSERT(it != ptw_choice[e].end());
+                factory.assert_true(it->second, &solver);
+            }
+        }
+    }
+
+    void
+    build_address_resolution()
+    {
+        if (!vm_enabled) {
+            return;
+        }
+        // One-hot pa and provenance vectors for memory events.
+        for (EventId e = 0; e < n; ++e) {
+            const Event& ev = p.event(e);
+            if (!elt::is_memory(ev.kind)) {
+                continue;
+            }
+            if (ev.kind == EventKind::kWpte) {
+                // Constant: the mapping it installs.
+                pa[e].assign(num_pas, rel::kFalseExpr);
+                pa[e][ev.map_pa] = rel::kTrueExpr;
+                continue;
+            }
+            pa[e].reserve(num_pas);
+            for (int k = 0; k < num_pas; ++k) {
+                pa[e].push_back(var());
+            }
+            factory.assert_true(factory.mk_exactly_one(pa[e]), &solver);
+            prov_init[e] = var();
+            std::vector<ExprId> options{prov_init[e]};
+            for (EventId w = 0; w < n; ++w) {
+                if (p.event(w).kind == EventKind::kWpte &&
+                    p.event(w).va == ev.va) {
+                    prov[e][w] = var();
+                    options.push_back(prov[e][w]);
+                }
+            }
+            factory.assert_true(factory.mk_exactly_one(options), &solver);
+        }
+
+        for (EventId e = 0; e < n; ++e) {
+            const Event& ev = p.event(e);
+            switch (ev.kind) {
+            case EventKind::kRead:
+            case EventKind::kWrite:
+                for (auto& [walk, guard] : ptw_choice[e]) {
+                    link_pa(guard, e, walk);
+                    link_prov(guard, e, walk);
+                }
+                break;
+            case EventKind::kRptw:
+            case EventKind::kRdb: {
+                // Initial mapping: VA i -> PA i.
+                factory.assert_true(
+                    factory.mk_implies(init_choice[e], pa[e][ev.va]), &solver);
+                factory.assert_true(
+                    factory.mk_implies(init_choice[e], prov_init[e]), &solver);
+                for (auto& [w, guard] : rf_choice[e]) {
+                    const Event& we = p.event(w);
+                    if (we.kind == EventKind::kWpte) {
+                        factory.assert_true(
+                            factory.mk_implies(guard, pa[e][we.map_pa]),
+                            &solver);
+                        factory.assert_true(
+                            factory.mk_implies(guard, prov[e].at(w)), &solver);
+                    } else {  // Wdb: mapping propagates through
+                        link_pa(guard, e, w);
+                        link_prov(guard, e, w);
+                    }
+                }
+                break;
+            }
+            case EventKind::kWdb:
+                // A dirty-bit update preserves the mapping its immediate
+                // coherence predecessor left at this PTE location (initial
+                // mapping when coherence-first). Because co is a strict
+                // total order per location, values always ground out in a
+                // Wpte or the initial state — no cyclic dependencies can
+                // arise. Constraints are built in build_coherence(), once
+                // the co variables exist.
+                break;
+            default:
+                break;
+            }
+        }
+
+        // A data read may only be sourced by a same-PA write.
+        for (EventId r = 0; r < n; ++r) {
+            if (!elt::is_data_access(p.event(r).kind)) {
+                continue;
+            }
+            for (auto& [w, guard] : rf_choice[r]) {
+                factory.assert_true(factory.mk_implies(guard, pa_equal(r, w)),
+                                    &solver);
+            }
+        }
+    }
+
+    void
+    build_coherence()
+    {
+        co = RelExpr::empty(&factory, n);
+        co_pa = RelExpr::empty(&factory, n);
+        std::vector<EventId> writes;
+        for (EventId w = 0; w < n; ++w) {
+            if (elt::is_write_like(p.event(w).kind)) {
+                writes.push_back(w);
+            }
+        }
+        for (const EventId a : writes) {
+            for (const EventId b : writes) {
+                if (a != b) {
+                    co.set(a, b, var());
+                }
+            }
+        }
+        for (const EventId a : writes) {
+            for (const EventId b : writes) {
+                if (a == b) {
+                    continue;
+                }
+                const ExprId cls = same_class(a, b);
+                factory.assert_true(factory.mk_implies(co.at(a, b), cls),
+                                    &solver);
+                if (a < b) {
+                    factory.assert_true(
+                        factory.mk_implies(
+                            cls, factory.mk_xor(co.at(a, b), co.at(b, a))),
+                        &solver);
+                }
+                for (const EventId c : writes) {
+                    if (c != a && c != b) {
+                        factory.assert_true(
+                            factory.mk_implies(
+                                factory.mk_and(co.at(a, b), co.at(b, c)),
+                                co.at(a, c)),
+                            &solver);
+                    }
+                }
+            }
+        }
+        if (!vm_enabled) {
+            return;
+        }
+        // Dirty-bit value semantics: a Wdb takes the mapping value of its
+        // immediate coherence predecessor at its PTE location (the initial
+        // mapping when coherence-first). co is total per location, so the
+        // values always ground out in a Wpte or the initial state.
+        for (EventId d = 0; d < n; ++d) {
+            if (p.event(d).kind != EventKind::kWdb) {
+                continue;
+            }
+            const int va = p.event(d).va;
+            std::vector<EventId> peers;
+            for (EventId w = 0; w < n; ++w) {
+                if (w != d && elt::is_pte_access(p.event(w).kind) &&
+                    elt::is_write_like(p.event(w).kind) &&
+                    p.event(w).va == va) {
+                    peers.push_back(w);
+                }
+            }
+            ExprId is_first = rel::kTrueExpr;
+            for (const EventId w : peers) {
+                is_first = factory.mk_and(is_first, factory.mk_not(co.at(w, d)));
+            }
+            factory.assert_true(factory.mk_implies(is_first, pa[d][va]),
+                                &solver);
+            factory.assert_true(factory.mk_implies(is_first, prov_init[d]),
+                                &solver);
+            for (const EventId w : peers) {
+                ExprId immediate = co.at(w, d);
+                for (const EventId between : peers) {
+                    if (between != w) {
+                        immediate = factory.mk_and(
+                            immediate,
+                            factory.mk_not(factory.mk_and(
+                                co.at(w, between), co.at(between, d))));
+                    }
+                }
+                if (p.event(w).kind == EventKind::kWpte) {
+                    factory.assert_true(
+                        factory.mk_implies(immediate, pa[d][p.event(w).map_pa]),
+                        &solver);
+                    factory.assert_true(
+                        factory.mk_implies(immediate, prov[d].at(w)), &solver);
+                } else {
+                    link_pa(immediate, d, w);
+                    link_prov(immediate, d, w);
+                }
+            }
+        }
+        // co_pa: strict total order per (static) target-PA class of Wptes,
+        // consistent with co where both orders apply.
+        std::vector<EventId> wptes;
+        for (EventId w = 0; w < n; ++w) {
+            if (p.event(w).kind == EventKind::kWpte) {
+                wptes.push_back(w);
+            }
+        }
+        for (const EventId a : wptes) {
+            for (const EventId b : wptes) {
+                if (a == b || p.event(a).map_pa != p.event(b).map_pa) {
+                    continue;
+                }
+                co_pa.set(a, b, var());
+            }
+        }
+        for (const EventId a : wptes) {
+            for (const EventId b : wptes) {
+                if (a == b || p.event(a).map_pa != p.event(b).map_pa) {
+                    continue;
+                }
+                if (a < b) {
+                    factory.assert_true(
+                        factory.mk_xor(co_pa.at(a, b), co_pa.at(b, a)),
+                        &solver);
+                }
+                for (const EventId c : wptes) {
+                    if (c != a && c != b &&
+                        p.event(c).map_pa == p.event(a).map_pa) {
+                        factory.assert_true(
+                            factory.mk_implies(
+                                factory.mk_and(co_pa.at(a, b), co_pa.at(b, c)),
+                                co_pa.at(a, c)),
+                            &solver);
+                    }
+                }
+                if (p.event(a).va == p.event(b).va) {
+                    factory.assert_true(
+                        factory.mk_iff(co.at(a, b), co_pa.at(a, b)), &solver);
+                }
+            }
+        }
+    }
+
+    void
+    build_derived()
+    {
+        rf = RelExpr::empty(&factory, n);
+        for (EventId r = 0; r < n; ++r) {
+            for (auto& [w, guard] : rf_choice[r]) {
+                rf.set(w, r, factory.mk_or(rf.at(w, r), guard));
+            }
+        }
+        rfe = RelExpr::empty(&factory, n);
+        for (EventId r = 0; r < n; ++r) {
+            for (auto& [w, guard] : rf_choice[r]) {
+                if (p.event(w).thread != p.event(r).thread) {
+                    rfe.set(w, r, factory.mk_or(rfe.at(w, r), guard));
+                }
+            }
+        }
+        // fr(r, w') = exists w: rf(w, r) & co(w, w')  |  init(r) & class(r, w').
+        fr = RelExpr::empty(&factory, n);
+        for (EventId r = 0; r < n; ++r) {
+            if (!elt::is_read_like(p.event(r).kind)) {
+                continue;
+            }
+            for (EventId w2 = 0; w2 < n; ++w2) {
+                if (!elt::is_write_like(p.event(w2).kind)) {
+                    continue;
+                }
+                ExprId acc = factory.mk_and(init_choice[r], same_class(r, w2));
+                for (auto& [w, guard] : rf_choice[r]) {
+                    if (w != w2) {
+                        acc = factory.mk_or(acc,
+                                            factory.mk_and(guard, co.at(w, w2)));
+                    }
+                }
+                fr.set(r, w2, acc);
+            }
+        }
+        // po_loc over extended order.
+        po_loc = RelExpr::empty(&factory, n);
+        for (EventId a = 0; a < n; ++a) {
+            for (EventId b = 0; b < n; ++b) {
+                if (a != b && elt::is_memory(p.event(a).kind) &&
+                    elt::is_memory(p.event(b).kind) && p.precedes(a, b)) {
+                    po_loc.set(a, b, same_class(a, b));
+                }
+            }
+        }
+        // Constants: po (transitive), remap, ppo, fence, rmw.
+        po_const = RelExpr::empty(&factory, n);
+        for (int t = 0; t < p.num_threads(); ++t) {
+            const auto& seq = p.thread(t);
+            for (std::size_t i = 0; i < seq.size(); ++i) {
+                for (std::size_t j = i + 1; j < seq.size(); ++j) {
+                    po_const.set(seq[i], seq[j], rel::kTrueExpr);
+                }
+            }
+        }
+        remap_const = RelExpr::empty(&factory, n);
+        for (EventId i = 0; i < n; ++i) {
+            const Event& e = p.event(i);
+            if (e.kind == EventKind::kInvlpg && e.remap_src != kNone) {
+                remap_const.set(e.remap_src, i, rel::kTrueExpr);
+            }
+        }
+        ppo_const = RelExpr::empty(&factory, n);
+        fence_const = RelExpr::empty(&factory, n);
+        for (EventId a = 0; a < n; ++a) {
+            for (EventId b = 0; b < n; ++b) {
+                if (a == b || !elt::is_memory(p.event(a).kind) ||
+                    !elt::is_memory(p.event(b).kind) || !p.precedes(a, b)) {
+                    continue;
+                }
+                if (!(elt::is_write_like(p.event(a).kind) &&
+                      elt::is_read_like(p.event(b).kind))) {
+                    ppo_const.set(a, b, rel::kTrueExpr);
+                }
+                for (EventId f = 0; f < n; ++f) {
+                    if (p.event(f).kind == EventKind::kMfence &&
+                        p.precedes(a, f) && p.precedes(f, b)) {
+                        fence_const.set(a, b, rel::kTrueExpr);
+                        break;
+                    }
+                }
+            }
+        }
+        if (!vm_enabled) {
+            rf_ptw_rel = RelExpr::empty(&factory, n);
+            ptw_source = RelExpr::empty(&factory, n);
+            rf_pa = RelExpr::empty(&factory, n);
+            fr_pa = RelExpr::empty(&factory, n);
+            fr_va = RelExpr::empty(&factory, n);
+            return;
+        }
+
+        rf_ptw_rel = RelExpr::empty(&factory, n);
+        ptw_source = RelExpr::empty(&factory, n);
+        for (EventId e = 0; e < n; ++e) {
+            for (auto& [walk, guard] : ptw_choice[e]) {
+                rf_ptw_rel.set(walk, e,
+                               factory.mk_or(rf_ptw_rel.at(walk, e), guard));
+                const EventId walker = p.event(walk).parent;
+                if (walker != e) {
+                    ptw_source.set(walker, e,
+                                   factory.mk_or(ptw_source.at(walker, e),
+                                                 guard));
+                }
+            }
+        }
+        rf_pa = RelExpr::empty(&factory, n);
+        fr_va = RelExpr::empty(&factory, n);
+        fr_pa = RelExpr::empty(&factory, n);
+        for (EventId e = 0; e < n; ++e) {
+            if (!elt::is_data_access(p.event(e).kind)) {
+                continue;
+            }
+            for (auto& [wpte, flag] : prov[e]) {
+                rf_pa.set(wpte, e, flag);
+            }
+            // fr_va: later Wptes (in PTE-location coherence) remapping e's VA.
+            for (EventId w2 = 0; w2 < n; ++w2) {
+                const Event& we2 = p.event(w2);
+                if (we2.kind != EventKind::kWpte || we2.va != p.event(e).va) {
+                    continue;
+                }
+                ExprId acc = prov_init[e];
+                for (auto& [wpte, flag] : prov[e]) {
+                    if (wpte != w2) {
+                        acc = factory.mk_or(
+                            acc, factory.mk_and(flag, co.at(wpte, w2)));
+                    }
+                }
+                fr_va.set(e, w2, acc);
+            }
+            // fr_pa: co_pa-successors of the provenance (initial mapping
+            // precedes every alias creation for its PA).
+            for (EventId w2 = 0; w2 < n; ++w2) {
+                const Event& we2 = p.event(w2);
+                if (we2.kind != EventKind::kWpte) {
+                    continue;
+                }
+                ExprId acc = factory.mk_and(prov_init[e],
+                                            pa[e].empty()
+                                                ? rel::kFalseExpr
+                                                : pa[e][we2.map_pa]);
+                for (auto& [wpte, flag] : prov[e]) {
+                    if (wpte != w2 &&
+                        p.event(wpte).map_pa == we2.map_pa) {
+                        acc = factory.mk_or(
+                            acc, factory.mk_and(flag, co_pa.at(wpte, w2)));
+                    }
+                }
+                fr_pa.set(e, w2, acc);
+            }
+        }
+    }
+
+    void
+    build_placement_constraints()
+    {
+        // Everything structural is static (checked by Program::validate());
+        // the dynamic placement rules were asserted inline above.
+    }
+
+    /// Circuit stating that the given axiom HOLDS.
+    ExprId
+    axiom_circuit(AxiomTag tag)
+    {
+        switch (tag) {
+        case AxiomTag::kScPerLoc:
+            return rel::acyclic_union(&factory, {&rf, &co, &fr, &po_loc});
+        case AxiomTag::kRmwAtomicity: {
+            ExprId acc = rel::kTrueExpr;
+            for (const auto& [r, w] : p.rmw_pairs()) {
+                for (EventId mid = 0; mid < n; ++mid) {
+                    acc = factory.mk_and(
+                        acc, factory.mk_not(factory.mk_and(fr.at(r, mid),
+                                                           co.at(mid, w))));
+                }
+            }
+            return acc;
+        }
+        case AxiomTag::kCausalityTso:
+            return rel::acyclic_union(&factory,
+                                      {&rfe, &co, &fr, &ppo_const, &fence_const});
+        case AxiomTag::kCausalitySc: {
+            // Full program order preserved: use po over memory events
+            // (extended), i.e. ppo plus the write->read pairs TSO drops.
+            RelExpr full = ppo_const;
+            for (EventId a = 0; a < n; ++a) {
+                for (EventId b = 0; b < n; ++b) {
+                    if (a != b && elt::is_memory(p.event(a).kind) &&
+                        elt::is_memory(p.event(b).kind) && p.precedes(a, b)) {
+                        full.set(a, b, rel::kTrueExpr);
+                    }
+                }
+            }
+            return rel::acyclic_union(&factory,
+                                      {&rfe, &co, &fr, &full, &fence_const});
+        }
+        case AxiomTag::kInvlpg:
+            return rel::acyclic_union(&factory,
+                                      {&fr_va, &po_const, &remap_const});
+        case AxiomTag::kTlbCausality:
+            return rel::acyclic_union(&factory, {&ptw_source, &rf, &co, &fr});
+        }
+        TF_PANIC("unknown axiom tag");
+    }
+
+};
+
+ProgramEncoding::ProgramEncoding(Program program, const Model* model)
+    : program_(std::move(program)), model_(model)
+{
+    TF_ASSERT(model_ != nullptr);
+    TF_ASSERT(program_.validate(model_->vm_aware()).empty());
+}
+
+namespace {
+
+/// Extracts a concrete Execution from a satisfying model of the encoding.
+Execution
+extract(const ProgramEncoding::Build& b, const Program& program)
+{
+    Execution out = Execution::empty_for(program);
+    auto lit_true = [&](ExprId e) {
+        return b.factory.evaluate(e, [&](sat::Var v) {
+            return b.solver.model_value(v) == sat::LBool::kTrue;
+        });
+    };
+    const int n = program.num_events();
+    for (EventId r = 0; r < n; ++r) {
+        for (const auto& [w, guard] : b.rf_choice[r]) {
+            if (lit_true(guard)) {
+                out.rf_src[r] = w;
+            }
+        }
+        for (const auto& [walk, guard] : b.ptw_choice[r]) {
+            if (lit_true(guard)) {
+                out.ptw_src[r] = walk;
+            }
+        }
+    }
+    // co positions: count predecessors within each class.
+    for (EventId w = 0; w < n; ++w) {
+        if (!elt::is_write_like(program.event(w).kind)) {
+            continue;
+        }
+        int predecessors = 0;
+        for (EventId w2 = 0; w2 < n; ++w2) {
+            if (w2 != w && elt::is_write_like(program.event(w2).kind) &&
+                lit_true(b.co.at(w2, w))) {
+                ++predecessors;
+            }
+        }
+        out.co_pos[w] = predecessors;
+    }
+    for (EventId w = 0; w < n; ++w) {
+        if (program.event(w).kind != EventKind::kWpte) {
+            continue;
+        }
+        int predecessors = 0;
+        for (EventId w2 = 0; w2 < n; ++w2) {
+            if (w2 != w && program.event(w2).kind == EventKind::kWpte &&
+                program.event(w2).map_pa == program.event(w).map_pa &&
+                lit_true(b.co_pa.at(w2, w))) {
+                ++predecessors;
+            }
+        }
+        out.co_pa_pos[w] = predecessors;
+    }
+    return out;
+}
+
+/// Collects every solver variable used by the witness choices — the
+/// projection set for AllSAT enumeration and blocking.
+std::vector<sat::Lit>
+blocking_clause(ProgramEncoding::Build& b)
+{
+    std::vector<sat::Lit> clause;
+    auto block = [&](ExprId e) {
+        // Choice expressions are single variables created via var(); compile
+        // is a lookup returning the underlying literal.
+        const sat::Lit l = b.factory.compile(e, &b.solver);
+        const bool value = b.solver.model_literal_true(l);
+        clause.push_back(value ? ~l : l);
+    };
+    const int n = b.n;
+    for (EventId r = 0; r < n; ++r) {
+        for (const auto& [w, guard] : b.rf_choice[r]) {
+            (void)w;
+            block(guard);
+        }
+        if (elt::is_read_like(b.p.event(r).kind)) {
+            block(b.init_choice[r]);
+        }
+        for (const auto& [walk, guard] : b.ptw_choice[r]) {
+            (void)walk;
+            block(guard);
+        }
+    }
+    for (EventId a = 0; a < n; ++a) {
+        for (EventId c = 0; c < n; ++c) {
+            if (a != c && b.co.at(a, c) != rel::kFalseExpr) {
+                block(b.co.at(a, c));
+            }
+            if (a != c && b.co_pa.at(a, c) != rel::kFalseExpr) {
+                block(b.co_pa.at(a, c));
+            }
+        }
+    }
+    return clause;
+}
+
+}  // namespace
+
+bool
+ProgramEncoding::exists_violating(const std::string& axiom_name)
+{
+    return find_violating(axiom_name).has_value();
+}
+
+std::optional<Execution>
+ProgramEncoding::find_violating(const std::string& axiom_name)
+{
+    const Axiom* axiom = model_->axiom(axiom_name);
+    TF_ASSERT(axiom != nullptr);
+    Build b(program_, model_->vm_aware());
+    b.factory.assert_true(b.factory.mk_not(b.axiom_circuit(axiom->tag)),
+                          &b.solver);
+    stats_.variables = b.solver.num_vars();
+    stats_.circuit_nodes = static_cast<int>(b.factory.num_nodes());
+    if (b.solver.solve() != sat::SolveResult::kSat) {
+        return std::nullopt;
+    }
+    return extract(b, program_);
+}
+
+bool
+ProgramEncoding::exists_permitted()
+{
+    Build b(program_, model_->vm_aware());
+    for (const Axiom& axiom : model_->axioms()) {
+        b.factory.assert_true(b.axiom_circuit(axiom.tag), &b.solver);
+    }
+    stats_.variables = b.solver.num_vars();
+    stats_.circuit_nodes = static_cast<int>(b.factory.num_nodes());
+    return b.solver.solve() == sat::SolveResult::kSat;
+}
+
+bool
+ProgramEncoding::exists_execution()
+{
+    Build b(program_, model_->vm_aware());
+    stats_.variables = b.solver.num_vars();
+    stats_.circuit_nodes = static_cast<int>(b.factory.num_nodes());
+    return b.solver.solve() == sat::SolveResult::kSat;
+}
+
+std::vector<Execution>
+ProgramEncoding::enumerate(const std::string& violating_axiom,
+                           int max_executions)
+{
+    Build b(program_, model_->vm_aware());
+    if (!violating_axiom.empty()) {
+        const Axiom* axiom = model_->axiom(violating_axiom);
+        TF_ASSERT(axiom != nullptr);
+        b.factory.assert_true(b.factory.mk_not(b.axiom_circuit(axiom->tag)),
+                              &b.solver);
+    }
+    stats_.variables = b.solver.num_vars();
+    stats_.circuit_nodes = static_cast<int>(b.factory.num_nodes());
+    std::vector<Execution> out;
+    stats_.models = 0;
+    while (b.solver.solve() == sat::SolveResult::kSat) {
+        out.push_back(extract(b, program_));
+        ++stats_.models;
+        if (max_executions > 0 &&
+            static_cast<int>(out.size()) >= max_executions) {
+            break;
+        }
+        sat::Clause clause = blocking_clause(b);
+        if (clause.empty() || !b.solver.add_clause(std::move(clause))) {
+            break;
+        }
+    }
+    return out;
+}
+
+}  // namespace transform::mtm

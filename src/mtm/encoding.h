@@ -1,0 +1,72 @@
+/// \file
+/// The SAT-based execution-space backend: a relational (Kodkod-style)
+/// encoding of all well-formed candidate executions of a fixed ELT program,
+/// mirroring how the paper's Alloy pipeline turns MTM questions into SAT.
+///
+/// Given a program, the encoding introduces choice variables for the
+/// communication witnesses (rf sources, translation sources, coherence
+/// orders, alias-creation orders), constrains them by the placement rules of
+/// section IV-A, builds the Table-I relations as boolean circuits, and
+/// expresses each axiom of the model symbolically. Queries:
+///  - does some execution violate a given axiom? (forbidden outcome exists)
+///  - does some execution satisfy the whole transistency predicate?
+///  - enumerate every execution (optionally filtered), used both by the
+///    synthesis engine's SAT backend and to cross-check the explicit
+///    enumerator (they must agree — see tests/integration).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "elt/execution.h"
+#include "mtm/model.h"
+
+namespace transform::mtm {
+
+/// Statistics from one encoded query.
+struct EncodingStats {
+    int variables = 0;
+    int circuit_nodes = 0;
+    std::uint64_t models = 0;
+};
+
+/// Relational encoding of one program's execution space under a model.
+class ProgramEncoding {
+  public:
+    /// The program must pass Program::validate(); the model selects both the
+    /// axiom set and VM-awareness.
+    ProgramEncoding(elt::Program program, const Model* model);
+
+    /// True when some well-formed execution violates \p axiom_name.
+    bool exists_violating(const std::string& axiom_name);
+
+    /// True when some well-formed execution satisfies every axiom.
+    bool exists_permitted();
+
+    /// True when the program admits any well-formed execution at all.
+    bool exists_execution();
+
+    /// Returns a witness execution violating \p axiom_name, if any.
+    std::optional<elt::Execution> find_violating(const std::string& axiom_name);
+
+    /// Enumerates every well-formed execution; when \p violating_axiom is
+    /// non-empty only executions violating that axiom are produced.
+    /// \p max_executions <= 0 means unlimited.
+    std::vector<elt::Execution> enumerate(const std::string& violating_axiom = "",
+                                          int max_executions = -1);
+
+    /// Stats from the most recent query.
+    const EncodingStats& stats() const { return stats_; }
+
+    /// Per-query encoding state (defined in encoding.cpp; public so the
+    /// extraction helpers there can reach it, but not part of the API).
+    struct Build;
+
+  private:
+    elt::Program program_;
+    const Model* model_;
+    EncodingStats stats_;
+};
+
+}  // namespace transform::mtm

@@ -1,0 +1,101 @@
+/// \file
+/// Memory transistency models as conjunctions of named axioms, and their
+/// evaluation on candidate executions.
+///
+/// A model's *transistency predicate* is the conjunction of its axioms; an
+/// execution is PERMITTED when every axiom holds and FORBIDDEN otherwise
+/// (section II-A / V-A of the paper). The predefined models are:
+///  - x86tso():   sc_per_loc, rmw_atomicity, causality — the x86-TSO MCM;
+///  - x86t_elt(): x86-TSO plus the transistency axioms invlpg and
+///                tlb_causality — the paper's estimated x86 MTM;
+///  - sc_t_elt(): a sequentially-consistent MTM (ppo = full po), provided
+///                as the "define your own MTM" example.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "elt/derive.h"
+#include "elt/execution.h"
+
+namespace transform::mtm {
+
+/// Identifies an axiom's symbolic form for the SAT encoding backend (the
+/// concrete evaluator lives in the `holds` closure; the relational encoder
+/// must rebuild the same condition as a circuit).
+enum class AxiomTag {
+    kScPerLoc,
+    kRmwAtomicity,
+    kCausalityTso,
+    kCausalitySc,
+    kInvlpg,
+    kTlbCausality,
+};
+
+/// One axiom of a transistency (or consistency) predicate.
+struct Axiom {
+    std::string name;
+    std::string description;
+    AxiomTag tag;
+    /// True when the axiom HOLDS on the given derived relations.
+    std::function<bool(const elt::Program&, const elt::DerivedRelations&)> holds;
+};
+
+/// A memory (transistency) model: a named conjunction of axioms.
+class Model {
+  public:
+    Model(std::string name, bool vm_aware, std::vector<Axiom> axioms)
+        : name_(std::move(name)), vm_aware_(vm_aware),
+          axioms_(std::move(axioms))
+    {
+    }
+
+    const std::string& name() const { return name_; }
+
+    /// True for MTMs (VM events modelled); false for plain MCMs.
+    bool vm_aware() const { return vm_aware_; }
+
+    const std::vector<Axiom>& axioms() const { return axioms_; }
+
+    /// Finds an axiom by name (nullptr if absent).
+    const Axiom* axiom(const std::string& name) const;
+
+    /// Derivation options matching this model's VM-awareness.
+    elt::DeriveOptions derive_options() const { return {vm_aware_}; }
+
+    /// Names of the axioms the execution violates (empty => permitted).
+    /// The execution must be well-formed (derive it first and check).
+    std::vector<std::string> violated_axioms(
+        const elt::Program& program, const elt::DerivedRelations& d) const;
+
+    /// Convenience: derives and judges in one step. Ill-formed executions
+    /// are reported as a violation of the pseudo-axiom "well_formed".
+    std::vector<std::string> violated_axioms(const elt::Execution& e) const;
+
+    /// True when every axiom holds (the transistency predicate).
+    bool permits(const elt::Execution& e) const
+    {
+        return violated_axioms(e).empty();
+    }
+
+  private:
+    std::string name_;
+    bool vm_aware_;
+    std::vector<Axiom> axioms_;
+};
+
+/// The x86-TSO consistency model (sc_per_loc, rmw_atomicity, causality).
+Model x86tso();
+
+/// The paper's estimated x86 MTM: x86-TSO plus invlpg and tlb_causality.
+Model x86t_elt();
+
+/// A sequentially-consistent MTM (full ppo) with the transistency axioms —
+/// the paper's vocabulary applied to a different base MCM.
+Model sc_t_elt();
+
+/// Names of the five x86t_elt axioms in the paper's order.
+std::vector<std::string> x86t_elt_axiom_names();
+
+}  // namespace transform::mtm

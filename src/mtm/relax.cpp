@@ -1,0 +1,368 @@
+#include "mtm/relax.h"
+
+#include <algorithm>
+#include <map>
+
+#include "elt/derive.h"
+#include "util/logging.h"
+
+namespace transform::mtm {
+
+using elt::Event;
+using elt::EventId;
+using elt::EventKind;
+using elt::Execution;
+using elt::kNone;
+using elt::Program;
+
+std::string
+Relaxation::describe(const Program& program) const
+{
+    switch (kind) {
+    case Kind::kRemoveUserEvent:
+        return "remove " + elt::event_to_string(target, program.event(target)) +
+               " (+ghosts)";
+    case Kind::kRemoveWpte:
+        return "remove " + elt::event_to_string(target, program.event(target)) +
+               " (+INVLPGs)";
+    case Kind::kRemoveSpuriousInvlpg:
+        return "remove spurious " +
+               elt::event_to_string(target, program.event(target));
+    case Kind::kRemoveMfence:
+        return "remove " + elt::event_to_string(target, program.event(target));
+    case Kind::kDropRmw:
+        return "drop rmw dependency #" + std::to_string(target);
+    }
+    return "?";
+}
+
+std::vector<Relaxation>
+applicable_relaxations(const Program& program)
+{
+    std::vector<Relaxation> out;
+    for (EventId id = 0; id < program.num_events(); ++id) {
+        const Event& e = program.event(id);
+        switch (e.kind) {
+        case EventKind::kRead:
+        case EventKind::kWrite:
+            out.push_back({Relaxation::Kind::kRemoveUserEvent, id});
+            break;
+        case EventKind::kWpte:
+            out.push_back({Relaxation::Kind::kRemoveWpte, id});
+            break;
+        case EventKind::kInvlpg:
+            if (e.remap_src == kNone) {
+                out.push_back({Relaxation::Kind::kRemoveSpuriousInvlpg, id});
+            }
+            break;
+        case EventKind::kInvlpgAll:
+            out.push_back({Relaxation::Kind::kRemoveSpuriousInvlpg, id});
+            break;
+        case EventKind::kMfence:
+            out.push_back({Relaxation::Kind::kRemoveMfence, id});
+            break;
+        default:
+            break;  // ghosts are never removable in isolation
+        }
+    }
+    for (int i = 0; i < static_cast<int>(program.rmw_pairs().size()); ++i) {
+        out.push_back({Relaxation::Kind::kDropRmw, i});
+    }
+    return out;
+}
+
+namespace {
+
+/// Computes the closure of a removal request: ghosts follow their parents,
+/// remap Invlpgs follow their Wpte, and spurious Invlpgs whose justifying
+/// later same-VA access disappears are cascaded away. Walks whose TLB entry
+/// still has surviving users are spared (re-parented later).
+std::vector<bool>
+removal_closure(const Execution& exec, const std::vector<EventId>& seeds)
+{
+    const Program& p = exec.program;
+    const int n = p.num_events();
+    std::vector<bool> removed(n, false);
+    for (const EventId id : seeds) {
+        removed[id] = true;
+    }
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (EventId id = 0; id < n; ++id) {
+            if (removed[id]) {
+                continue;
+            }
+            const Event& e = p.event(id);
+            // Ghosts follow their parents — except a walk some surviving
+            // access still reads through.
+            if (elt::is_ghost(e.kind) && removed[e.parent]) {
+                bool keep = false;
+                if (e.kind == EventKind::kRptw) {
+                    for (EventId user = 0; user < n; ++user) {
+                        if (!removed[user] && exec.ptw_src[user] == id) {
+                            keep = true;
+                            break;
+                        }
+                    }
+                }
+                if (!keep) {
+                    removed[id] = true;
+                    changed = true;
+                }
+            }
+            // Remap Invlpgs follow their Wpte.
+            if (e.kind == EventKind::kInvlpg && e.remap_src != kNone &&
+                removed[e.remap_src]) {
+                removed[id] = true;
+                changed = true;
+            }
+            // Spurious invalidations must keep a later (same-VA for
+            // targeted INVLPG, any for a full flush) access on their core.
+            if ((e.kind == EventKind::kInvlpg && e.remap_src == kNone) ||
+                e.kind == EventKind::kInvlpgAll) {
+                bool useful = false;
+                for (EventId other = 0; other < n; ++other) {
+                    const Event& o = p.event(other);
+                    if (!removed[other] && elt::is_data_access(o.kind) &&
+                        o.thread == e.thread &&
+                        (e.kind == EventKind::kInvlpgAll || o.va == e.va) &&
+                        p.precedes(id, other)) {
+                        useful = true;
+                        break;
+                    }
+                }
+                if (!useful) {
+                    removed[id] = true;
+                    changed = true;
+                }
+            }
+        }
+    }
+    return removed;
+}
+
+/// Rebuilds the program and witnesses over the surviving events.
+Execution
+rebuild(const Execution& exec, const std::vector<bool>& removed,
+        int dropped_rmw_index, bool vm_enabled)
+{
+    const Program& old = exec.program;
+    const int n = old.num_events();
+
+    // Survivor walks that lost their parent get re-parented to their
+    // earliest surviving user.
+    std::vector<EventId> new_parent(n, kNone);
+    for (EventId id = 0; id < n; ++id) {
+        const Event& e = old.event(id);
+        if (elt::is_ghost(e.kind)) {
+            new_parent[id] = e.parent;
+        }
+        if (e.kind == EventKind::kRptw && !removed[id] && removed[e.parent]) {
+            EventId earliest = kNone;
+            for (EventId user = 0; user < n; ++user) {
+                if (removed[user] || exec.ptw_src[user] != id) {
+                    continue;
+                }
+                if (earliest == kNone || old.precedes(user, earliest)) {
+                    earliest = user;
+                }
+            }
+            TF_ASSERT(earliest != kNone);
+            new_parent[id] = earliest;
+        }
+    }
+
+    // Build the new program: non-ghosts first (per-thread po order), then
+    // ghosts (which need their parents to exist).
+    Program fresh;
+    for (int t = 0; t < old.num_threads(); ++t) {
+        fresh.add_thread();
+    }
+    std::vector<EventId> remap_id(n, kNone);
+    for (int t = 0; t < old.num_threads(); ++t) {
+        for (const EventId id : old.thread(t)) {
+            if (removed[id]) {
+                continue;
+            }
+            Event e = old.event(id);
+            remap_id[id] = fresh.add_event(e);  // remap_src fixed below
+        }
+    }
+    for (EventId id = 0; id < n; ++id) {
+        const Event& e = old.event(id);
+        if (removed[id] || !elt::is_ghost(e.kind)) {
+            continue;
+        }
+        Event copy = e;
+        copy.parent = remap_id[new_parent[id]];
+        TF_ASSERT(copy.parent != kNone);
+        remap_id[id] = fresh.add_ghost(copy);
+    }
+    Execution out = Execution::empty_for(std::move(fresh));
+    // Translate remap_src in the copied events.
+    {
+        Program& np = out.program;
+        for (EventId id = 0; id < n; ++id) {
+            if (removed[id]) {
+                continue;
+            }
+            const Event& e = old.event(id);
+            if (e.kind == EventKind::kInvlpg && e.remap_src != kNone) {
+                const EventId nid = remap_id[id];
+                Event patched = np.event(nid);
+                patched.remap_src = remap_id[e.remap_src];
+                TF_ASSERT(patched.remap_src != kNone);
+                np.replace_event(nid, patched);
+            }
+        }
+        // rmw pairs: keep pairs with both endpoints alive, except the
+        // explicitly dropped one.
+        for (int i = 0; i < static_cast<int>(old.rmw_pairs().size()); ++i) {
+            if (i == dropped_rmw_index) {
+                continue;
+            }
+            const auto& [r, w] = old.rmw_pairs()[i];
+            if (!removed[r] && !removed[w]) {
+                np.add_rmw(remap_id[r], remap_id[w]);
+            }
+        }
+    }
+
+    // Witnesses: translate, dropping references to removed events.
+    for (EventId id = 0; id < n; ++id) {
+        if (removed[id]) {
+            continue;
+        }
+        const EventId nid = remap_id[id];
+        const EventId rf = exec.rf_src[id];
+        out.rf_src[nid] = (rf != kNone && !removed[rf]) ? remap_id[rf] : kNone;
+        const EventId walk = exec.ptw_src[id];
+        out.ptw_src[nid] =
+            (walk != kNone && !removed[walk]) ? remap_id[walk] : kNone;
+    }
+
+    // Old coherence positions, translated to the new ids (used to preserve
+    // relative order when classes are re-compacted).
+    std::vector<int> old_pos(out.program.num_events(), kNone);
+    for (EventId id = 0; id < n; ++id) {
+        if (!removed[id] && remap_id[id] != kNone) {
+            old_pos[remap_id[id]] = exec.co_pos[id];
+        }
+    }
+    auto compact = [&](std::vector<EventId>& members) {
+        std::sort(members.begin(), members.end(), [&](EventId a, EventId b) {
+            if (old_pos[a] != old_pos[b]) {
+                return old_pos[a] < old_pos[b];
+            }
+            return a < b;
+        });
+        for (int i = 0; i < static_cast<int>(members.size()); ++i) {
+            out.co_pos[members[i]] = i;
+        }
+    };
+
+    // PTE-location coherence first: its classes are static (per VA) and
+    // dirty-bit value resolution depends on it.
+    {
+        std::map<int, std::vector<EventId>> classes;
+        for (EventId nid = 0; nid < out.program.num_events(); ++nid) {
+            const Event& e = out.program.event(nid);
+            if (elt::is_pte_access(e.kind) && elt::is_write_like(e.kind)) {
+                classes[e.va].push_back(nid);
+            }
+        }
+        for (auto& [va, members] : classes) {
+            compact(members);
+        }
+    }
+
+    // Re-resolve addresses on the new program, then drop rf edges between
+    // data accesses that no longer share a physical address (with VM off,
+    // resolution degenerates to the VA and the check to same-VA).
+    const elt::ResolutionResult resolution =
+        elt::resolve_addresses(out, {vm_enabled});
+    for (EventId nid = 0; nid < out.program.num_events(); ++nid) {
+        const Event& e = out.program.event(nid);
+        const EventId src = out.rf_src[nid];
+        if (elt::is_data_access(e.kind) && src != kNone &&
+            resolution.resolved_pa[nid] != resolution.resolved_pa[src]) {
+            out.rf_src[nid] = kNone;
+        }
+    }
+
+    // Data coherence: classes keyed by the new resolved PAs; relative order
+    // preserved (ties between writes merged from different old classes
+    // break by old position, then by new id).
+    {
+        std::map<int, std::vector<EventId>> classes;
+        for (EventId nid = 0; nid < out.program.num_events(); ++nid) {
+            const Event& e = out.program.event(nid);
+            if (elt::is_data_access(e.kind) && elt::is_write_like(e.kind)) {
+                classes[resolution.resolved_pa[nid]].push_back(nid);
+            }
+        }
+        for (auto& [pa, members] : classes) {
+            compact(members);
+        }
+    }
+    // co_pa: same treatment over surviving Wptes per target PA.
+    {
+        std::map<int, std::vector<EventId>> classes;
+        std::vector<int> old_pos(out.program.num_events(), kNone);
+        for (EventId id = 0; id < n; ++id) {
+            if (!removed[id] && remap_id[id] != kNone) {
+                old_pos[remap_id[id]] = exec.co_pa_pos[id];
+            }
+        }
+        for (EventId nid = 0; nid < out.program.num_events(); ++nid) {
+            const Event& e = out.program.event(nid);
+            if (e.kind == EventKind::kWpte) {
+                classes[e.map_pa].push_back(nid);
+            }
+        }
+        for (auto& [pa, members] : classes) {
+            std::sort(members.begin(), members.end(),
+                      [&](EventId a, EventId b) {
+                          if (old_pos[a] != old_pos[b]) {
+                              return old_pos[a] < old_pos[b];
+                          }
+                          return a < b;
+                      });
+            for (int i = 0; i < static_cast<int>(members.size()); ++i) {
+                out.co_pa_pos[members[i]] = i;
+            }
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+Execution
+remove_events(const Execution& execution, const std::vector<EventId>& to_remove,
+              bool vm_enabled)
+{
+    const std::vector<bool> removed = removal_closure(execution, to_remove);
+    return rebuild(execution, removed, /*dropped_rmw_index=*/-1, vm_enabled);
+}
+
+Execution
+apply_relaxation(const Execution& execution, const Relaxation& relaxation,
+                 bool vm_enabled)
+{
+    switch (relaxation.kind) {
+    case Relaxation::Kind::kRemoveUserEvent:
+    case Relaxation::Kind::kRemoveWpte:
+    case Relaxation::Kind::kRemoveSpuriousInvlpg:
+    case Relaxation::Kind::kRemoveMfence:
+        return remove_events(execution, {relaxation.target}, vm_enabled);
+    case Relaxation::Kind::kDropRmw: {
+        const std::vector<bool> removed(execution.program.num_events(), false);
+        return rebuild(execution, removed, relaxation.target, vm_enabled);
+    }
+    }
+    TF_PANIC("unreachable relaxation kind");
+}
+
+}  // namespace transform::mtm

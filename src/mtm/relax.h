@@ -1,0 +1,61 @@
+/// \file
+/// The paper's restricted relaxations (section IV-B): the minimality
+/// criterion requires a forbidden candidate execution to become permitted
+/// under *every* isolated relaxation.
+///
+/// A relaxation removes one "removal group" — an event together with the
+/// events that cannot legally outlive it:
+///  - a user-facing MemoryEvent goes together with its ghost instructions
+///    (a page-table walk whose TLB entry sources other accesses is
+///    re-parented to the earliest surviving user instead of vanishing);
+///  - a Wpte goes together with the Invlpgs it remap-invoked;
+///  - a spurious Invlpg or an Mfence is removed in isolation;
+///  - an rmw dependency may be dropped without removing events.
+///
+/// After removal, witnesses are restricted and repaired deterministically:
+/// reads sourced by a removed write fall back to the initial state,
+/// coherence positions are re-compacted preserving order, and rf edges
+/// invalidated by changed address resolution are dropped.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "elt/execution.h"
+
+namespace transform::mtm {
+
+/// One applicable relaxation of an execution.
+struct Relaxation {
+    enum class Kind {
+        kRemoveUserEvent,    ///< user Read/Write + its ghosts
+        kRemoveWpte,         ///< Wpte + its remap Invlpgs
+        kRemoveSpuriousInvlpg,
+        kRemoveMfence,
+        kDropRmw,            ///< drop one rmw dependency
+    };
+    Kind kind;
+    /// Event removed (or the rmw pair index for kDropRmw).
+    int target;
+    std::string describe(const elt::Program& program) const;
+};
+
+/// Enumerates every relaxation applicable to the execution's program.
+std::vector<Relaxation> applicable_relaxations(const elt::Program& program);
+
+/// Applies one relaxation, producing the relaxed execution (with witnesses
+/// restricted and repaired as described above). \p vm_enabled must match
+/// the model's VM-awareness (MCM executions carry no translations).
+elt::Execution apply_relaxation(const elt::Execution& execution,
+                                const Relaxation& relaxation,
+                                bool vm_enabled = true);
+
+/// Removes an arbitrary set of *user/support* events (with their dependent
+/// ghosts and Invlpgs pulled in automatically) — used by the comparison
+/// tool's category-2 reduction search. Events are identified by id in the
+/// original program. Returns the reduced execution.
+elt::Execution remove_events(const elt::Execution& execution,
+                             const std::vector<elt::EventId>& to_remove,
+                             bool vm_enabled = true);
+
+}  // namespace transform::mtm

@@ -1,0 +1,32 @@
+/// \file
+/// Higher-level constraint builders used by the SAT synthesis backend.
+///
+/// The closure-based RelExpr::acyclic is quadratic in circuit size; for the
+/// axioms that only need "some union of relations is acyclic" as a
+/// *requirement* (not as a violated target), an auxiliary rank ordering is
+/// cheaper. Both styles are provided; tests check they agree.
+#pragma once
+
+#include <vector>
+
+#include "rel/bool_factory.h"
+#include "rel/relation.h"
+
+namespace transform::rel {
+
+/// Asserts acyclicity of \p r by introducing a fresh strict total "rank"
+/// order O over the universe and requiring r to be a subset of O. (A finite
+/// digraph is acyclic iff it embeds in a strict total order.)
+void assert_acyclic_with_order(BoolFactory* f, sat::Solver* solver,
+                               const RelExpr& r);
+
+/// Returns a formula stating that the union of the given relations is
+/// acyclic (closure-based, usable under negation to *violate* an axiom).
+ExprId acyclic_union(BoolFactory* f, const std::vector<const RelExpr*>& parts);
+
+/// Returns the union of the given relations (empty list yields the empty
+/// relation over \p universe_size).
+RelExpr union_all(BoolFactory* f, int universe_size,
+                  const std::vector<const RelExpr*>& parts);
+
+}  // namespace transform::rel

@@ -1,0 +1,96 @@
+#include "sat/dimacs.h"
+
+#include <sstream>
+
+#include "sat/solver.h"
+
+namespace transform::sat {
+
+bool
+parse_dimacs(std::istream& in, CnfFormula* out)
+{
+    out->num_vars = 0;
+    out->clauses.clear();
+    std::string token;
+    bool saw_header = false;
+    Clause current;
+    while (in >> token) {
+        if (token == "c") {
+            std::string rest;
+            std::getline(in, rest);
+            continue;
+        }
+        if (token == "p") {
+            std::string kind;
+            int clause_count = 0;
+            if (!(in >> kind >> out->num_vars >> clause_count) || kind != "cnf") {
+                return false;
+            }
+            saw_header = true;
+            continue;
+        }
+        int value = 0;
+        try {
+            value = std::stoi(token);
+        } catch (...) {
+            return false;
+        }
+        if (!saw_header) {
+            return false;
+        }
+        if (value == 0) {
+            out->clauses.push_back(current);
+            current.clear();
+        } else {
+            const int var = std::abs(value) - 1;
+            if (var >= out->num_vars) {
+                return false;
+            }
+            current.push_back(Lit(var, value < 0));
+        }
+    }
+    return saw_header && current.empty();
+}
+
+bool
+parse_dimacs_string(const std::string& text, CnfFormula* out)
+{
+    std::istringstream in(text);
+    return parse_dimacs(in, out);
+}
+
+std::string
+to_dimacs(const CnfFormula& formula)
+{
+    std::ostringstream out;
+    out << "p cnf " << formula.num_vars << " " << formula.clauses.size() << "\n";
+    for (const Clause& clause : formula.clauses) {
+        for (const Lit l : clause) {
+            out << (l.negated() ? -(l.var() + 1) : (l.var() + 1)) << " ";
+        }
+        out << "0\n";
+    }
+    return out.str();
+}
+
+bool
+load_into_solver(const CnfFormula& formula, Solver* solver)
+{
+    const int base = solver->num_vars();
+    for (int i = 0; i < formula.num_vars; ++i) {
+        solver->new_var();
+    }
+    for (const Clause& clause : formula.clauses) {
+        Clause shifted;
+        shifted.reserve(clause.size());
+        for (const Lit l : clause) {
+            shifted.push_back(Lit(base + l.var(), l.negated()));
+        }
+        if (!solver->add_clause(std::move(shifted))) {
+            return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace transform::sat

@@ -1,0 +1,37 @@
+/// \file
+/// DIMACS CNF import/export, provided so formulas produced by the relational
+/// compiler can be inspected with external tools and so the test suite can
+/// exercise the solver on stock CNF instances.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sat/types.h"
+
+namespace transform::sat {
+
+class Solver;
+
+/// A CNF formula in portable form.
+struct CnfFormula {
+    int num_vars = 0;
+    std::vector<Clause> clauses;
+};
+
+/// Parses DIMACS text ("p cnf V C" header, clauses terminated by 0).
+/// Returns false on malformed input.
+bool parse_dimacs(std::istream& in, CnfFormula* out);
+
+/// Parses DIMACS from a string.
+bool parse_dimacs_string(const std::string& text, CnfFormula* out);
+
+/// Renders a formula in DIMACS format.
+std::string to_dimacs(const CnfFormula& formula);
+
+/// Loads a formula into a fresh region of \p solver (variables are created
+/// as needed). Returns false if the formula is trivially unsatisfiable.
+bool load_into_solver(const CnfFormula& formula, Solver* solver);
+
+}  // namespace transform::sat

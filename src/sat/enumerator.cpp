@@ -1,0 +1,47 @@
+#include "sat/enumerator.h"
+
+namespace transform::sat {
+
+EnumerationStats
+enumerate_models(Solver* solver, const std::vector<Var>& projection,
+                 const std::function<bool(const std::vector<bool>&)>& visit,
+                 std::int64_t max_models)
+{
+    EnumerationStats stats;
+    std::vector<bool> values(projection.size());
+    while (true) {
+        if (max_models > 0 &&
+            stats.models >= static_cast<std::uint64_t>(max_models)) {
+            return stats;
+        }
+        const SolveResult result = solver->solve();
+        if (result == SolveResult::kUnsat) {
+            stats.exhausted = true;
+            return stats;
+        }
+        if (result == SolveResult::kUnknown) {
+            return stats;
+        }
+        for (std::size_t i = 0; i < projection.size(); ++i) {
+            values[i] = solver->model_value(projection[i]) == LBool::kTrue;
+        }
+        ++stats.models;
+        if (!visit(values)) {
+            return stats;
+        }
+        // Block this projected model: at least one projection variable must
+        // differ in the next model.
+        Clause blocking;
+        blocking.reserve(projection.size());
+        for (std::size_t i = 0; i < projection.size(); ++i) {
+            blocking.push_back(Lit(projection[i], values[i]));
+        }
+        ++stats.blocked_clauses;
+        if (!solver->add_clause(std::move(blocking))) {
+            stats.exhausted = true;
+            return stats;
+        }
+    }
+}
+
+}  // namespace transform::sat

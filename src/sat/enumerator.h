@@ -1,0 +1,36 @@
+/// \file
+/// AllSAT model enumeration over a projection set.
+///
+/// The synthesis engine's SAT backend enumerates every candidate execution
+/// of a bounded ELT universe. Each model is projected onto the variables
+/// that define the execution (the "shape" variables); a blocking clause over
+/// the projection excludes the model and the solver is re-run. This mirrors
+/// how the paper's Alloy/Kodkod pipeline enumerates instances.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sat/solver.h"
+#include "sat/types.h"
+
+namespace transform::sat {
+
+/// Statistics from an enumeration run.
+struct EnumerationStats {
+    std::uint64_t models = 0;
+    std::uint64_t blocked_clauses = 0;
+    bool exhausted = false;  ///< true when the space was fully enumerated
+};
+
+/// Enumerates satisfying assignments of \p solver projected onto
+/// \p projection. For each model, \p visit receives the projected values
+/// (true/false per projection variable, positionally). \p visit may return
+/// false to stop early. \p max_models <= 0 means unlimited.
+EnumerationStats enumerate_models(
+    Solver* solver, const std::vector<Var>& projection,
+    const std::function<bool(const std::vector<bool>&)>& visit,
+    std::int64_t max_models = -1);
+
+}  // namespace transform::sat

@@ -1,0 +1,633 @@
+#include "sat/solver.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace transform::sat {
+
+namespace {
+constexpr double kVarDecay = 0.95;
+constexpr double kClauseDecay = 0.999;
+constexpr double kRescaleLimit = 1e100;
+constexpr int kRestartBase = 100;
+}  // namespace
+
+Solver::Solver() = default;
+
+Var
+Solver::new_var()
+{
+    const Var v = static_cast<Var>(assigns_.size());
+    assigns_.push_back(LBool::kUndef);
+    model_.push_back(LBool::kUndef);
+    saved_phase_.push_back(false);
+    reason_.push_back(-1);
+    level_.push_back(0);
+    activity_.push_back(0.0);
+    heap_position_.push_back(-1);
+    seen_.push_back(false);
+    watches_.emplace_back();
+    watches_.emplace_back();
+    heap_insert(v);
+    return v;
+}
+
+LBool
+Solver::value(Var v) const
+{
+    return assigns_[v];
+}
+
+LBool
+Solver::value(Lit l) const
+{
+    const LBool v = assigns_[l.var()];
+    if (v == LBool::kUndef) {
+        return LBool::kUndef;
+    }
+    const bool truth = (v == LBool::kTrue) != l.negated();
+    return truth ? LBool::kTrue : LBool::kFalse;
+}
+
+bool
+Solver::add_clause(Clause clause)
+{
+    if (!ok_) {
+        return false;
+    }
+    TF_ASSERT(decision_level() == 0);
+    // Simplify: sort, drop duplicates, detect tautologies, drop literals
+    // already false at the root level, detect already-satisfied clauses.
+    std::sort(clause.begin(), clause.end());
+    Clause simplified;
+    Lit previous = kUndefLit;
+    for (Lit l : clause) {
+        TF_ASSERT(l.var() >= 0 && l.var() < num_vars());
+        if (value(l) == LBool::kTrue || l == ~previous) {
+            return true;  // satisfied or tautology
+        }
+        if (value(l) == LBool::kFalse || l == previous) {
+            continue;  // falsified at root or duplicate
+        }
+        simplified.push_back(l);
+        previous = l;
+    }
+    if (simplified.empty()) {
+        ok_ = false;
+        return false;
+    }
+    if (simplified.size() == 1) {
+        enqueue(simplified[0], -1);
+        if (propagate() != -1) {
+            ok_ = false;
+            return false;
+        }
+        return true;
+    }
+    clauses_.push_back({std::move(simplified), /*learned=*/false, 0.0, false});
+    attach_clause(static_cast<int>(clauses_.size()) - 1);
+    return true;
+}
+
+void
+Solver::attach_clause(int clause_index)
+{
+    const InternalClause& c = clauses_[clause_index];
+    TF_ASSERT(c.lits.size() >= 2);
+    watches_[(~c.lits[0]).code()].push_back({clause_index, c.lits[1]});
+    watches_[(~c.lits[1]).code()].push_back({clause_index, c.lits[0]});
+}
+
+void
+Solver::enqueue(Lit l, int reason_clause)
+{
+    TF_ASSERT(value(l) == LBool::kUndef);
+    assigns_[l.var()] = l.negated() ? LBool::kFalse : LBool::kTrue;
+    reason_[l.var()] = reason_clause;
+    level_[l.var()] = decision_level();
+    trail_.push_back(l);
+}
+
+int
+Solver::propagate()
+{
+    while (propagation_head_ < static_cast<int>(trail_.size())) {
+        const Lit p = trail_[propagation_head_++];
+        ++stats_.propagations;
+        auto& ws = watches_[p.code()];
+        std::size_t insert = 0;
+        std::size_t read = 0;
+        while (read < ws.size()) {
+            const Watcher w = ws[read];
+            if (value(w.blocker) == LBool::kTrue) {
+                ws[insert++] = ws[read++];
+                continue;
+            }
+            InternalClause& c = clauses_[w.clause_index];
+            const Lit false_lit = ~p;
+            if (c.lits[0] == false_lit) {
+                std::swap(c.lits[0], c.lits[1]);
+            }
+            TF_ASSERT(c.lits[1] == false_lit);
+            ++read;
+            const Lit first = c.lits[0];
+            if (first != w.blocker && value(first) == LBool::kTrue) {
+                ws[insert++] = {w.clause_index, first};
+                continue;
+            }
+            bool found_watch = false;
+            for (std::size_t k = 2; k < c.lits.size(); ++k) {
+                if (value(c.lits[k]) != LBool::kFalse) {
+                    std::swap(c.lits[1], c.lits[k]);
+                    watches_[(~c.lits[1]).code()].push_back({w.clause_index, first});
+                    found_watch = true;
+                    break;
+                }
+            }
+            if (found_watch) {
+                continue;  // moved to another watch list
+            }
+            // Clause is unit or conflicting.
+            ws[insert++] = {w.clause_index, first};
+            if (value(first) == LBool::kFalse) {
+                // Conflict: keep the remaining watchers and bail out.
+                while (read < ws.size()) {
+                    ws[insert++] = ws[read++];
+                }
+                ws.resize(insert);
+                propagation_head_ = static_cast<int>(trail_.size());
+                return w.clause_index;
+            }
+            enqueue(first, w.clause_index);
+        }
+        ws.resize(insert);
+    }
+    return -1;
+}
+
+void
+Solver::cancel_until(int target_level)
+{
+    if (decision_level() <= target_level) {
+        return;
+    }
+    const int boundary = trail_limits_[target_level];
+    for (int i = static_cast<int>(trail_.size()) - 1; i >= boundary; --i) {
+        const Var v = trail_[i].var();
+        saved_phase_[v] = !trail_[i].negated();
+        assigns_[v] = LBool::kUndef;
+        reason_[v] = -1;
+        if (!heap_contains(v)) {
+            heap_insert(v);
+        }
+    }
+    trail_.resize(boundary);
+    trail_limits_.resize(target_level);
+    propagation_head_ = static_cast<int>(trail_.size());
+}
+
+void
+Solver::analyze(int conflict_index, Clause& learned, int& backtrack_level)
+{
+    learned.clear();
+    learned.push_back(kUndefLit);  // placeholder for the asserting literal
+    Lit p = kUndefLit;
+    int path_count = 0;
+    int index = static_cast<int>(trail_.size()) - 1;
+
+    int current = conflict_index;
+    do {
+        TF_ASSERT(current != -1);
+        InternalClause& c = clauses_[current];
+        if (c.learned) {
+            bump_clause(current);
+        }
+        for (const Lit q : c.lits) {
+            if (p != kUndefLit && q.var() == p.var()) {
+                continue;
+            }
+            if (!seen_[q.var()] && level_[q.var()] > 0) {
+                seen_[q.var()] = true;
+                bump_var(q.var());
+                if (level_[q.var()] >= decision_level()) {
+                    ++path_count;
+                } else {
+                    learned.push_back(q);
+                }
+            }
+        }
+        // Select the next trail literal to expand.
+        while (!seen_[trail_[index].var()]) {
+            --index;
+        }
+        p = trail_[index];
+        --index;
+        current = reason_[p.var()];
+        seen_[p.var()] = false;
+        --path_count;
+    } while (path_count > 0);
+    learned[0] = ~p;
+
+    // Conflict-clause minimization: drop literals implied by the rest.
+    analyze_to_clear_.assign(learned.begin(), learned.end());
+    std::uint32_t abstract_levels = 0;
+    for (std::size_t i = 1; i < learned.size(); ++i) {
+        abstract_levels |= 1u << (level_[learned[i].var()] & 31);
+    }
+    std::size_t keep = 1;
+    for (std::size_t i = 1; i < learned.size(); ++i) {
+        const Lit l = learned[i];
+        if (reason_[l.var()] == -1 || !literal_redundant(l, abstract_levels)) {
+            learned[keep++] = l;
+        }
+    }
+    learned.resize(keep);
+    for (const Lit l : analyze_to_clear_) {
+        if (l != kUndefLit) {
+            seen_[l.var()] = false;
+        }
+    }
+    analyze_to_clear_.clear();
+
+    // Compute the backtrack level (second-highest decision level).
+    if (learned.size() == 1) {
+        backtrack_level = 0;
+    } else {
+        std::size_t max_index = 1;
+        for (std::size_t i = 2; i < learned.size(); ++i) {
+            if (level_[learned[i].var()] > level_[learned[max_index].var()]) {
+                max_index = i;
+            }
+        }
+        std::swap(learned[1], learned[max_index]);
+        backtrack_level = level_[learned[1].var()];
+    }
+}
+
+bool
+Solver::literal_redundant(Lit l, std::uint32_t abstract_levels)
+{
+    analyze_stack_.clear();
+    analyze_stack_.push_back(l);
+    const std::size_t top = analyze_to_clear_.size();
+    while (!analyze_stack_.empty()) {
+        const Lit current = analyze_stack_.back();
+        analyze_stack_.pop_back();
+        TF_ASSERT(reason_[current.var()] != -1);
+        const InternalClause& c = clauses_[reason_[current.var()]];
+        for (const Lit q : c.lits) {
+            if (q.var() == current.var()) {
+                continue;
+            }
+            if (seen_[q.var()] || level_[q.var()] == 0) {
+                continue;
+            }
+            const bool in_levels =
+                (abstract_levels & (1u << (level_[q.var()] & 31))) != 0;
+            if (reason_[q.var()] != -1 && in_levels) {
+                seen_[q.var()] = true;
+                analyze_stack_.push_back(q);
+                analyze_to_clear_.push_back(q);
+            } else {
+                for (std::size_t j = top; j < analyze_to_clear_.size(); ++j) {
+                    seen_[analyze_to_clear_[j].var()] = false;
+                }
+                analyze_to_clear_.resize(top);
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+void
+Solver::analyze_final(int /*conflict_index*/)
+{
+    // conflict_assumptions_ has been primed with the falsified assumption by
+    // the caller; walk the implication graph back to decisions.
+    if (decision_level() == 0 || conflict_assumptions_.empty()) {
+        return;
+    }
+    const Lit falsified = conflict_assumptions_[0];
+    seen_[falsified.var()] = true;
+    for (int i = static_cast<int>(trail_.size()) - 1;
+         i >= trail_limits_[0]; --i) {
+        const Var x = trail_[i].var();
+        if (!seen_[x]) {
+            continue;
+        }
+        if (reason_[x] == -1) {
+            conflict_assumptions_.push_back(~trail_[i]);
+        } else {
+            for (const Lit q : clauses_[reason_[x]].lits) {
+                if (q.var() != x && level_[q.var()] > 0) {
+                    seen_[q.var()] = true;
+                }
+            }
+        }
+        seen_[x] = false;
+    }
+    seen_[falsified.var()] = false;
+}
+
+void
+Solver::bump_var(Var v)
+{
+    activity_[v] += var_activity_increment_;
+    if (activity_[v] > kRescaleLimit) {
+        for (double& a : activity_) {
+            a *= 1e-100;
+        }
+        var_activity_increment_ *= 1e-100;
+    }
+    if (heap_contains(v)) {
+        heap_percolate_up(heap_position_[v]);
+    }
+}
+
+void
+Solver::decay_var_activity()
+{
+    var_activity_increment_ /= kVarDecay;
+}
+
+void
+Solver::bump_clause(int clause_index)
+{
+    InternalClause& c = clauses_[clause_index];
+    c.activity += clause_activity_increment_;
+    if (c.activity > kRescaleLimit) {
+        for (InternalClause& other : clauses_) {
+            other.activity *= 1e-100;
+        }
+        clause_activity_increment_ *= 1e-100;
+    }
+}
+
+void
+Solver::decay_clause_activity()
+{
+    clause_activity_increment_ /= kClauseDecay;
+}
+
+bool
+Solver::heap_contains(Var v) const
+{
+    return heap_position_[v] >= 0;
+}
+
+void
+Solver::heap_insert(Var v)
+{
+    heap_position_[v] = static_cast<int>(order_heap_.size());
+    order_heap_.push_back(v);
+    heap_percolate_up(heap_position_[v]);
+}
+
+void
+Solver::heap_percolate_up(int position)
+{
+    const Var v = order_heap_[position];
+    while (position > 0) {
+        const int parent = (position - 1) / 2;
+        if (activity_[order_heap_[parent]] >= activity_[v]) {
+            break;
+        }
+        order_heap_[position] = order_heap_[parent];
+        heap_position_[order_heap_[position]] = position;
+        position = parent;
+    }
+    order_heap_[position] = v;
+    heap_position_[v] = position;
+}
+
+void
+Solver::heap_percolate_down(int position)
+{
+    const Var v = order_heap_[position];
+    const int size = static_cast<int>(order_heap_.size());
+    while (true) {
+        int child = 2 * position + 1;
+        if (child >= size) {
+            break;
+        }
+        if (child + 1 < size &&
+            activity_[order_heap_[child + 1]] > activity_[order_heap_[child]]) {
+            ++child;
+        }
+        if (activity_[order_heap_[child]] <= activity_[v]) {
+            break;
+        }
+        order_heap_[position] = order_heap_[child];
+        heap_position_[order_heap_[position]] = position;
+        position = child;
+    }
+    order_heap_[position] = v;
+    heap_position_[v] = position;
+}
+
+Var
+Solver::heap_pop()
+{
+    if (order_heap_.empty()) {
+        return kUndefVar;
+    }
+    const Var top = order_heap_[0];
+    heap_position_[top] = -1;
+    const Var last = order_heap_.back();
+    order_heap_.pop_back();
+    if (!order_heap_.empty()) {
+        order_heap_[0] = last;
+        heap_position_[last] = 0;
+        heap_percolate_down(0);
+    }
+    return top;
+}
+
+Lit
+Solver::pick_branch_literal()
+{
+    while (true) {
+        const Var v = heap_pop();
+        if (v == kUndefVar) {
+            return kUndefLit;
+        }
+        if (assigns_[v] == LBool::kUndef) {
+            ++stats_.decisions;
+            return Lit(v, !saved_phase_[v]);
+        }
+    }
+}
+
+void
+Solver::reduce_db()
+{
+    // Fast path: nothing to do until the learned database outgrows the cap.
+    const std::int64_t live_learned =
+        static_cast<std::int64_t>(stats_.learned_clauses) -
+        static_cast<std::int64_t>(stats_.deleted_clauses);
+    if (live_learned < max_learned_) {
+        return;
+    }
+    std::vector<int> learned_indices;
+    for (int i = 0; i < static_cast<int>(clauses_.size()); ++i) {
+        const InternalClause& c = clauses_[i];
+        if (c.learned && !c.deleted && c.lits.size() > 2) {
+            const bool is_reason = reason_[c.lits[0].var()] == i &&
+                                   assigns_[c.lits[0].var()] != LBool::kUndef;
+            if (!is_reason) {
+                learned_indices.push_back(i);
+            }
+        }
+    }
+    if (static_cast<int>(learned_indices.size()) < max_learned_) {
+        return;
+    }
+    std::sort(learned_indices.begin(), learned_indices.end(), [this](int a, int b) {
+        return clauses_[a].activity < clauses_[b].activity;
+    });
+    const std::size_t to_delete = learned_indices.size() / 2;
+    for (std::size_t i = 0; i < to_delete; ++i) {
+        clauses_[learned_indices[i]].deleted = true;
+        clauses_[learned_indices[i]].lits.clear();
+        clauses_[learned_indices[i]].lits.shrink_to_fit();
+        ++stats_.deleted_clauses;
+    }
+    // Rebuild the watch lists from scratch (simple and safe).
+    for (auto& list : watches_) {
+        list.clear();
+    }
+    for (int i = 0; i < static_cast<int>(clauses_.size()); ++i) {
+        if (!clauses_[i].deleted) {
+            attach_clause(i);
+        }
+    }
+    max_learned_ = static_cast<int>(max_learned_ * 1.2);
+}
+
+double
+Solver::luby(double base, int index)
+{
+    // Finds the Luby sequence value for the given index (1-based reluctant
+    // doubling sequence: 1 1 2 1 1 2 4 ...).
+    int size = 1;
+    int sequence = 0;
+    while (size < index + 1) {
+        ++sequence;
+        size = 2 * size + 1;
+    }
+    while (size - 1 != index) {
+        size = (size - 1) / 2;
+        --sequence;
+        index = index % size;
+    }
+    return std::pow(base, sequence);
+}
+
+SolveResult
+Solver::solve(const std::vector<Lit>& assumptions, std::int64_t conflict_budget)
+{
+    conflict_assumptions_.clear();
+    if (!ok_) {
+        return SolveResult::kUnsat;
+    }
+    cancel_until(0);
+    const std::uint64_t conflict_start = stats_.conflicts;
+    std::uint64_t restart_conflicts =
+        static_cast<std::uint64_t>(luby(2.0, static_cast<int>(stats_.restarts)) *
+                                   kRestartBase);
+    std::uint64_t conflicts_since_restart = 0;
+    Clause learned;
+
+    while (true) {
+        const int conflict = propagate();
+        if (conflict != -1) {
+            ++stats_.conflicts;
+            ++conflicts_since_restart;
+            if (decision_level() == 0) {
+                ok_ = false;
+                return SolveResult::kUnsat;
+            }
+            int backtrack_level = 0;
+            analyze(conflict, learned, backtrack_level);
+            cancel_until(backtrack_level);
+            if (learned.size() == 1) {
+                enqueue(learned[0], -1);
+            } else {
+                clauses_.push_back({learned, /*learned=*/true, 0.0, false});
+                const int index = static_cast<int>(clauses_.size()) - 1;
+                attach_clause(index);
+                bump_clause(index);
+                enqueue(learned[0], index);
+                ++stats_.learned_clauses;
+            }
+            decay_var_activity();
+            decay_clause_activity();
+            if (conflict_budget >= 0 &&
+                stats_.conflicts - conflict_start >
+                    static_cast<std::uint64_t>(conflict_budget)) {
+                cancel_until(0);
+                return SolveResult::kUnknown;
+            }
+            continue;
+        }
+
+        if (conflicts_since_restart >= restart_conflicts) {
+            ++stats_.restarts;
+            conflicts_since_restart = 0;
+            restart_conflicts = static_cast<std::uint64_t>(
+                luby(2.0, static_cast<int>(stats_.restarts)) * kRestartBase);
+            cancel_until(0);
+            continue;
+        }
+        reduce_db();
+
+        // Establish pending assumptions, then branch.
+        Lit next = kUndefLit;
+        while (decision_level() < static_cast<int>(assumptions.size())) {
+            const Lit a = assumptions[decision_level()];
+            if (value(a) == LBool::kTrue) {
+                trail_limits_.push_back(static_cast<int>(trail_.size()));
+            } else if (value(a) == LBool::kFalse) {
+                conflict_assumptions_.clear();
+                conflict_assumptions_.push_back(~a);
+                analyze_final(-1);
+                cancel_until(0);
+                return SolveResult::kUnsat;
+            } else {
+                next = a;
+                break;
+            }
+        }
+        if (next == kUndefLit) {
+            next = pick_branch_literal();
+        }
+        if (next == kUndefLit) {
+            model_ = assigns_;
+            cancel_until(0);
+            return SolveResult::kSat;
+        }
+        trail_limits_.push_back(static_cast<int>(trail_.size()));
+        enqueue(next, -1);
+    }
+}
+
+LBool
+Solver::model_value(Var v) const
+{
+    return model_[v];
+}
+
+bool
+Solver::model_literal_true(Lit l) const
+{
+    const LBool v = model_[l.var()];
+    if (v == LBool::kUndef) {
+        return false;
+    }
+    return (v == LBool::kTrue) != l.negated();
+}
+
+}  // namespace transform::sat

@@ -1,0 +1,148 @@
+/// \file
+/// A conflict-driven clause-learning (CDCL) SAT solver.
+///
+/// This is the stand-in for MiniSat in the paper's Alloy/Kodkod/MiniSat
+/// pipeline (see DESIGN.md, substitutions). Features: two-watched-literal
+/// propagation, first-UIP clause learning with recursive minimization, VSIDS
+/// branching with phase saving, Luby restarts, learned-clause database
+/// reduction, and solving under assumptions (used by the AllSAT enumerator
+/// and the relational layer's incremental queries).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sat/types.h"
+
+namespace transform::sat {
+
+/// Result of a solve call.
+enum class SolveResult { kSat, kUnsat, kUnknown };
+
+/// Aggregate statistics, exposed for the substrate micro-benchmarks.
+struct SolverStats {
+    std::uint64_t decisions = 0;
+    std::uint64_t propagations = 0;
+    std::uint64_t conflicts = 0;
+    std::uint64_t restarts = 0;
+    std::uint64_t learned_clauses = 0;
+    std::uint64_t deleted_clauses = 0;
+};
+
+/// CDCL SAT solver over clauses added incrementally.
+class Solver {
+  public:
+    Solver();
+
+    /// Creates a fresh variable and returns it.
+    Var new_var();
+
+    /// Number of variables created so far.
+    int num_vars() const { return static_cast<int>(assigns_.size()); }
+
+    /// Adds a clause; returns false if the formula is already trivially
+    /// unsatisfiable (empty clause after simplification).
+    bool add_clause(Clause clause);
+
+    /// Convenience overloads for short clauses.
+    bool add_unit(Lit a) { return add_clause({a}); }
+    bool add_binary(Lit a, Lit b) { return add_clause({a, b}); }
+    bool add_ternary(Lit a, Lit b, Lit c) { return add_clause({a, b, c}); }
+
+    /// Solves the current formula under optional \p assumptions.
+    /// \p conflict_budget bounds the search (<0 means unlimited).
+    SolveResult solve(const std::vector<Lit>& assumptions = {},
+                      std::int64_t conflict_budget = -1);
+
+    /// Value of \p v in the most recent satisfying model.
+    LBool model_value(Var v) const;
+
+    /// Value of \p l in the most recent satisfying model.
+    bool model_literal_true(Lit l) const;
+
+    /// After an UNSAT answer under assumptions, the subset of assumptions
+    /// (negated) that formed the final conflict.
+    const std::vector<Lit>& unsat_core() const { return conflict_assumptions_; }
+
+    /// Solver statistics accumulated over the lifetime of this instance.
+    const SolverStats& stats() const { return stats_; }
+
+    /// True if the formula was proven unsatisfiable without assumptions.
+    bool proven_unsat() const { return ok_ == false; }
+
+  private:
+    struct Watcher {
+        int clause_index;
+        Lit blocker;
+    };
+
+    struct InternalClause {
+        Clause lits;
+        bool learned = false;
+        double activity = 0.0;
+        bool deleted = false;
+    };
+
+    // Assignment/trail machinery.
+    LBool value(Lit l) const;
+    LBool value(Var v) const;
+    void enqueue(Lit l, int reason_clause);
+    int propagate();  // returns conflicting clause index or -1
+    void attach_clause(int clause_index);
+    void cancel_until(int level);
+    int decision_level() const { return static_cast<int>(trail_limits_.size()); }
+
+    // Conflict analysis.
+    void analyze(int conflict_index, Clause& learned, int& backtrack_level);
+    bool literal_redundant(Lit l, std::uint32_t abstract_levels);
+    void analyze_final(int conflict_index);
+
+    // Branching heuristics.
+    void bump_var(Var v);
+    void decay_var_activity();
+    void bump_clause(int clause_index);
+    void decay_clause_activity();
+    Lit pick_branch_literal();
+    void heap_insert(Var v);
+    Var heap_pop();
+    void heap_percolate_up(int position);
+    void heap_percolate_down(int position);
+    bool heap_contains(Var v) const;
+
+    // Learned-clause database management.
+    void reduce_db();
+
+    // Restart schedule.
+    static double luby(double base, int index);
+
+    bool ok_ = true;
+    std::vector<InternalClause> clauses_;
+    std::vector<std::vector<Watcher>> watches_;  // indexed by literal code
+    std::vector<LBool> assigns_;
+    std::vector<LBool> model_;
+    std::vector<bool> saved_phase_;
+    std::vector<int> reason_;  // clause index or -1, per var
+    std::vector<int> level_;   // decision level per var
+    std::vector<Lit> trail_;
+    std::vector<int> trail_limits_;
+    int propagation_head_ = 0;
+
+    // VSIDS.
+    std::vector<double> activity_;
+    double var_activity_increment_ = 1.0;
+    double clause_activity_increment_ = 1.0;
+    std::vector<Var> order_heap_;
+    std::vector<int> heap_position_;  // per var, -1 when absent
+
+    // Scratch buffers for analyze().
+    std::vector<bool> seen_;
+    std::vector<Lit> analyze_stack_;
+    std::vector<Lit> analyze_to_clear_;
+
+    std::vector<Lit> conflict_assumptions_;
+    SolverStats stats_;
+    int max_learned_ = 4096;
+};
+
+}  // namespace transform::sat

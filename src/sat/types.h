@@ -1,0 +1,75 @@
+/// \file
+/// Core propositional types shared by the CDCL solver and the relational
+/// compiler: variables, literals, and the three-valued assignment.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace transform::sat {
+
+/// A propositional variable, numbered from 0.
+using Var = int;
+
+/// Sentinel for "no variable".
+inline constexpr Var kUndefVar = -1;
+
+/// A literal encodes (variable, sign) as 2*var + (negated ? 1 : 0).
+///
+/// Value semantics only; the encoding matches MiniSat so watch lists can be
+/// indexed directly by literal.
+class Lit {
+  public:
+    /// Constructs the undefined literal.
+    constexpr Lit() : code_(-2) {}
+
+    /// Constructs a literal over \p var; \p negated selects the sign.
+    constexpr Lit(Var var, bool negated) : code_(2 * var + (negated ? 1 : 0)) {}
+
+    /// The underlying variable.
+    constexpr Var var() const { return code_ >> 1; }
+
+    /// True for the negative phase.
+    constexpr bool negated() const { return (code_ & 1) != 0; }
+
+    /// Integer encoding, usable as an array index.
+    constexpr int code() const { return code_; }
+
+    /// Builds a literal from its integer encoding.
+    static constexpr Lit from_code(int code)
+    {
+        Lit l;
+        l.code_ = code;
+        return l;
+    }
+
+    /// Logical negation.
+    constexpr Lit operator~() const { return from_code(code_ ^ 1); }
+
+    constexpr bool operator==(const Lit& other) const = default;
+    constexpr auto operator<=>(const Lit& other) const = default;
+
+  private:
+    int code_;
+};
+
+/// Sentinel literal.
+inline constexpr Lit kUndefLit{};
+
+/// Three-valued truth assignment.
+enum class LBool : std::int8_t { kFalse = 0, kTrue = 1, kUndef = 2 };
+
+/// Negation over the three-valued domain (undef stays undef).
+inline LBool negate(LBool value)
+{
+    switch (value) {
+    case LBool::kFalse: return LBool::kTrue;
+    case LBool::kTrue: return LBool::kFalse;
+    default: return LBool::kUndef;
+    }
+}
+
+/// A clause is a disjunction of literals.
+using Clause = std::vector<Lit>;
+
+}  // namespace transform::sat

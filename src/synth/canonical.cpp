@@ -1,0 +1,174 @@
+#include "synth/canonical.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/permutations.h"
+
+namespace transform::synth {
+
+using elt::Event;
+using elt::EventId;
+using elt::EventKind;
+using elt::kNone;
+using elt::Program;
+
+namespace {
+
+/// Address renaming built per thread-order candidate: VAs are numbered by
+/// first use; PAs that are initial frames of *used* VAs inherit the VA's
+/// number; every other PA (frames of unused VAs behave exactly like fresh
+/// frames) is numbered by first use starting after the used VAs.
+class Renamer {
+  public:
+    explicit Renamer(int original_num_vas) : original_num_vas_(original_num_vas) {}
+
+    int va(int original)
+    {
+        const auto it = va_map_.find(original);
+        if (it != va_map_.end()) {
+            return it->second;
+        }
+        const int fresh = static_cast<int>(va_map_.size());
+        va_map_.emplace(original, fresh);
+        return fresh;
+    }
+
+    /// PA renaming is resolved lazily, after the VA walk: call only once
+    /// every event has been visited for VAs (two-pass usage below).
+    int pa(int original)
+    {
+        // Initial frame of a used VA?
+        if (original < original_num_vas_) {
+            const auto it = va_map_.find(original);
+            if (it != va_map_.end()) {
+                return it->second;
+            }
+        }
+        const auto it = pa_map_.find(original);
+        if (it != pa_map_.end()) {
+            return it->second;
+        }
+        const int fresh =
+            static_cast<int>(va_map_.size() + pa_map_.size());
+        pa_map_.emplace(original, fresh);
+        return fresh;
+    }
+
+  private:
+    int original_num_vas_;
+    std::map<int, int> va_map_;
+    std::map<int, int> pa_map_;
+};
+
+char
+kind_code(EventKind k)
+{
+    switch (k) {
+    case EventKind::kRead: return 'R';
+    case EventKind::kWrite: return 'W';
+    case EventKind::kMfence: return 'F';
+    case EventKind::kWpte: return 'P';
+    case EventKind::kInvlpg: return 'I';
+    case EventKind::kInvlpgAll: return 'A';
+    case EventKind::kRptw: return 'w';
+    case EventKind::kWdb: return 'd';
+    case EventKind::kRdb: return 'r';
+    }
+    return '?';
+}
+
+}  // namespace
+
+std::string
+serialize_with_thread_order(const Program& p, const std::vector<int>& order)
+{
+    TF_ASSERT(static_cast<int>(order.size()) == p.num_threads());
+    Renamer renamer(p.num_vas());
+
+    // Stable label for a non-ghost event: (renamed thread index, position).
+    std::map<EventId, std::pair<int, int>> label;
+    for (int new_t = 0; new_t < static_cast<int>(order.size()); ++new_t) {
+        const auto& seq = p.thread(order[new_t]);
+        for (int pos = 0; pos < static_cast<int>(seq.size()); ++pos) {
+            label[seq[pos]] = {new_t, pos};
+        }
+    }
+
+    // First pass: assign VA numbers in traversal order (ghosts share their
+    // parent's VA, so visiting non-ghosts suffices; ghosts never introduce
+    // fresh VAs).
+    for (const int t : order) {
+        for (const EventId id : p.thread(t)) {
+            if (p.event(id).va != kNone) {
+                renamer.va(p.event(id).va);
+            }
+        }
+    }
+
+    std::ostringstream out;
+    out << p.num_threads() << '|';
+    for (const int t : order) {
+        for (const EventId id : p.thread(t)) {
+            const Event& e = p.event(id);
+            out << kind_code(e.kind);
+            if (e.va != kNone) {
+                out << renamer.va(e.va);
+            }
+            if (e.kind == EventKind::kWpte) {
+                out << '>' << renamer.pa(e.map_pa);
+            }
+            if (e.kind == EventKind::kInvlpg) {
+                if (e.remap_src == kNone) {
+                    out << "s";
+                } else {
+                    const auto& [lt, lp] = label.at(e.remap_src);
+                    out << "m" << lt << '.' << lp;
+                }
+            }
+            // Ghost markers, in fixed subposition order.
+            const EventId rdb = p.rdb_of(id);
+            const EventId wdb = p.wdb_of(id);
+            const EventId rptw = p.rptw_of(id);
+            if (rdb != kNone) {
+                out << "+rdb";
+            }
+            if (wdb != kNone) {
+                out << "+db";
+            }
+            if (rptw != kNone) {
+                out << "+ptw";
+            }
+            // rmw membership (the Read carries the mark).
+            for (const auto& [r, w] : p.rmw_pairs()) {
+                if (r == id) {
+                    out << "+rmw";
+                }
+                (void)w;
+            }
+            out << ';';
+        }
+        out << '/';
+    }
+    return out.str();
+}
+
+std::string
+canonical_key(const Program& p)
+{
+    std::string best;
+    util::for_each_permutation(
+        p.num_threads(), [&](const std::vector<int>& order) {
+            std::string candidate = serialize_with_thread_order(p, order);
+            if (best.empty() || candidate < best) {
+                best = std::move(candidate);
+            }
+            return true;
+        });
+    return best;
+}
+
+}  // namespace transform::synth

@@ -1,0 +1,28 @@
+/// \file
+/// Canonical program keys: the deduplication engine of the synthesis
+/// pipeline (section IV-C). Two ELT programs are the same test iff they
+/// differ only by thread permutation, renaming of virtual addresses, or
+/// renaming of physical addresses (respecting the fixed initial VA i -> PA i
+/// mapping). The canonical key is the lexicographically smallest
+/// serialization over all such symmetries; executions of one program share
+/// the key, so deduplicating on it collapses executions into unique ELT
+/// programs exactly as the paper's dedup stage does.
+#pragma once
+
+#include <string>
+
+#include "elt/program.h"
+
+namespace transform::synth {
+
+/// Returns the canonical key for \p program. Programs are isomorphic
+/// (thread/VA/PA symmetry) iff their keys are equal.
+std::string canonical_key(const elt::Program& program);
+
+/// Serializes the program with threads taken in the given order and
+/// addresses renamed by first use — one candidate string considered by
+/// canonical_key, exposed for tests.
+std::string serialize_with_thread_order(const elt::Program& program,
+                                        const std::vector<int>& thread_order);
+
+}  // namespace transform::synth

@@ -1,0 +1,201 @@
+#include "synth/engine.h"
+
+#include <algorithm>
+#include <set>
+#include <thread>
+
+#include "elt/derive.h"
+#include "mtm/encoding.h"
+#include "synth/canonical.h"
+#include "synth/exec_enum.h"
+#include "synth/minimality.h"
+#include "synth/skeleton.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace transform::synth {
+
+using elt::Execution;
+using elt::Program;
+
+namespace {
+
+/// Static per-axiom pruning flags: structural features a violation of the
+/// axiom necessarily requires. Sound (never prunes a violating program) and
+/// a large win for the rarer axioms.
+void
+set_axiom_requirements(const std::string& axiom, SkeletonOptions* skeleton)
+{
+    if (axiom == "invlpg") {
+        // fr_va and remap edges both start/end at a PTE write.
+        skeleton->require_wpte = true;
+    } else if (axiom == "rmw_atomicity") {
+        skeleton->require_rmw = true;
+    } else if (axiom == "tlb_causality") {
+        // ptw_source needs a walk with a second user: a TLB hit.
+        skeleton->require_shared_walk = true;
+    }
+}
+
+}  // namespace
+
+SuiteResult
+synthesize_suite(const mtm::Model& model, const std::string& axiom_name,
+                 const SynthesisOptions& options)
+{
+    TF_ASSERT(model.axiom(axiom_name) != nullptr);
+    SuiteResult result;
+    result.axiom = axiom_name;
+    util::Stopwatch watch;
+    util::Deadline deadline(options.time_budget_seconds);
+
+    std::set<std::string> seen_keys;
+    bool timed_out = false;
+
+    for (int size = options.min_bound;
+         size <= options.bound && !timed_out; ++size) {
+        SkeletonOptions skeleton;
+        skeleton.num_events = size;
+        skeleton.max_threads = options.max_threads;
+        skeleton.max_vas = options.max_vas;
+        skeleton.max_fresh_pas = options.max_fresh_pas;
+        skeleton.vm_enabled = model.vm_aware();
+        skeleton.allow_rmw = options.allow_rmw;
+        skeleton.allow_fences = options.allow_fences;
+        skeleton.allow_full_flush = options.allow_full_flush;
+        skeleton.dirty_bit_as_rmw = options.dirty_bit_as_rmw;
+        set_axiom_requirements(axiom_name, &skeleton);
+
+        for_each_skeleton(skeleton, [&](const Program& program) {
+            if (deadline.expired()) {
+                timed_out = true;
+                return false;
+            }
+            ++result.programs_considered;
+            if (options.dedup) {
+                // Skip programs already judged (same canonical form) —
+                // isomorphic programs always receive the same verdict.
+                const std::string key = canonical_key(program);
+                if (!seen_keys.insert(key).second) {
+                    ++result.duplicates_rejected;
+                    return true;
+                }
+            }
+
+            // Find a violating, interesting, minimal execution of this
+            // program (any one witness suffices: minimality and dedup are
+            // program-level once a forbidden witness exists).
+            bool accepted = false;
+            std::vector<std::string> witness_violated;
+            Execution witness = Execution::empty_for(program);
+
+            auto consider = [&](const Execution& execution) {
+                ++result.executions_considered;
+                if (deadline.expired()) {
+                    timed_out = true;
+                    return false;
+                }
+                const elt::DerivedRelations derived =
+                    elt::derive(execution, model.derive_options());
+                if (!derived.well_formed) {
+                    return true;
+                }
+                const std::vector<std::string> violated =
+                    model.violated_axioms(program, derived);
+                if (std::find(violated.begin(), violated.end(), axiom_name) ==
+                    violated.end()) {
+                    return true;
+                }
+                if (!contains_write(program)) {
+                    return true;
+                }
+                if (options.require_minimal) {
+                    const MinimalityVerdict verdict = judge(model, execution);
+                    if (!verdict.minimal) {
+                        return true;
+                    }
+                }
+                accepted = true;
+                witness = execution;
+                witness_violated = violated;
+                return false;  // stop at the first qualifying witness
+            };
+
+            if (options.backend == Backend::kEnumerative) {
+                for_each_execution(program, model.vm_aware(), consider);
+            } else {
+                mtm::ProgramEncoding encoding(program, &model);
+                for (const Execution& execution :
+                     encoding.enumerate(axiom_name)) {
+                    if (!consider(execution)) {
+                        break;
+                    }
+                }
+            }
+            if (timed_out) {
+                return false;
+            }
+            if (accepted) {
+                SynthesizedTest test;
+                test.witness = witness;
+                test.canonical_key = canonical_key(program);
+                test.size = program.num_events();
+                test.violated = witness_violated;
+                result.tests.push_back(std::move(test));
+            }
+            return true;
+        });
+    }
+
+    result.seconds = watch.elapsed_seconds();
+    result.complete = !timed_out;
+    return result;
+}
+
+std::vector<SuiteResult>
+synthesize_all(const mtm::Model& model, const SynthesisOptions& options)
+{
+    std::vector<SuiteResult> out;
+    for (const mtm::Axiom& axiom : model.axioms()) {
+        out.push_back(synthesize_suite(model, axiom.name, options));
+    }
+    return out;
+}
+
+std::vector<SuiteResult>
+synthesize_all_parallel(const mtm::Model& model,
+                        const SynthesisOptions& options)
+{
+    const std::size_t count = model.axioms().size();
+    std::vector<SuiteResult> out(count);
+    std::vector<std::thread> workers;
+    workers.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        workers.emplace_back([&model, &options, &out, i] {
+            // Each worker builds its own Model copy: the axiom closures are
+            // stateless, but keeping workers fully independent costs nothing
+            // and avoids reasoning about shared access.
+            const mtm::Model local(model.name(), model.vm_aware(),
+                                   model.axioms());
+            out[i] = synthesize_suite(local, local.axioms()[i].name, options);
+        });
+    }
+    for (std::thread& worker : workers) {
+        worker.join();
+    }
+    return out;
+}
+
+int
+unique_test_count(const std::vector<SuiteResult>& suites)
+{
+    std::set<std::string> keys;
+    for (const SuiteResult& suite : suites) {
+        for (const SynthesizedTest& test : suite.tests) {
+            keys.insert(test.canonical_key);
+        }
+    }
+    return static_cast<int>(keys.size());
+}
+
+}  // namespace transform::synth

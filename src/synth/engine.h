@@ -1,0 +1,84 @@
+/// \file
+/// The synthesis engine (section IV): given an MTM and a target axiom,
+/// enumerate candidate executions up to an instruction bound, keep the
+/// interesting + minimal ones, and deduplicate them into a suite of unique
+/// ELT programs. Two backends produce the same suites: the explicit
+/// enumerator (default, fast) and the SAT/relational backend mirroring the
+/// paper's Alloy pipeline (used for cross-checking and per-program queries).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "elt/execution.h"
+#include "mtm/model.h"
+
+namespace transform::synth {
+
+/// Which execution-space backend drives the per-program search.
+enum class Backend {
+    kEnumerative,  ///< explicit backtracking (synth/exec_enum.h)
+    kSat,          ///< relational SAT encoding (mtm/encoding.h)
+};
+
+/// Synthesis knobs.
+struct SynthesisOptions {
+    int min_bound = 2;         ///< smallest event count to try
+    int bound = 5;             ///< largest event count (inclusive)
+    int max_threads = 2;
+    int max_vas = 2;
+    int max_fresh_pas = 1;
+    bool allow_rmw = true;
+    bool allow_fences = true;
+    bool allow_full_flush = false;   ///< extension: INVLPGALL events
+    bool dirty_bit_as_rmw = false;   ///< section III-A2 ablation
+    bool require_minimal = true;     ///< spanning-set minimality pruning
+    bool dedup = true;               ///< canonical-program deduplication
+    double time_budget_seconds = 0;  ///< 0 = unlimited (paper used one week)
+    Backend backend = Backend::kEnumerative;
+};
+
+/// One synthesized ELT.
+struct SynthesizedTest {
+    elt::Execution witness;             ///< a forbidden execution of the test
+    std::string canonical_key;
+    int size = 0;                       ///< event count (instruction bound)
+    std::vector<std::string> violated;  ///< axioms the witness violates
+};
+
+/// A per-axiom suite.
+struct SuiteResult {
+    std::string axiom;
+    std::vector<SynthesizedTest> tests;
+    std::uint64_t programs_considered = 0;
+    std::uint64_t executions_considered = 0;
+    std::uint64_t duplicates_rejected = 0;
+    double seconds = 0.0;
+    bool complete = false;  ///< false when the time budget expired
+};
+
+/// Synthesizes the suite of unique, minimal, interesting ELT programs whose
+/// executions can violate \p axiom_name, over all sizes in
+/// [min_bound, bound].
+SuiteResult synthesize_suite(const mtm::Model& model,
+                             const std::string& axiom_name,
+                             const SynthesisOptions& options);
+
+/// Runs per-axiom synthesis for every axiom of the model and returns the
+/// suites in axiom order (the paper's five per-axiom suites for x86t_elt).
+std::vector<SuiteResult> synthesize_all(const mtm::Model& model,
+                                        const SynthesisOptions& options);
+
+/// As synthesize_all, but runs the per-axiom suites concurrently (they are
+/// independent searches). Results are identical to the serial driver —
+/// asserted by the test suite — and arrive in the same axiom order.
+std::vector<SuiteResult> synthesize_all_parallel(
+    const mtm::Model& model, const SynthesisOptions& options);
+
+/// Counts the unique ELT programs across suites (tests violating several
+/// axioms appear in several suites but count once).
+int unique_test_count(const std::vector<SuiteResult>& suites);
+
+}  // namespace transform::synth

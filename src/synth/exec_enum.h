@@ -1,0 +1,31 @@
+/// \file
+/// Explicit enumeration of all well-formed candidate executions of a fixed
+/// ELT program — the fast counterpart of the SAT backend in
+/// mtm/encoding.h. Both backends enumerate the same space (asserted by the
+/// integration tests); this one backtracks directly over witness choices:
+/// translation sources, PTE-read sources, data-read sources, coherence
+/// permutations and alias-creation permutations.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "elt/execution.h"
+
+namespace transform::synth {
+
+/// Statistics from one enumeration.
+struct ExecEnumStats {
+    std::uint64_t executions = 0;   ///< well-formed executions visited
+    std::uint64_t rejected = 0;     ///< partial assignments pruned
+};
+
+/// Enumerates every well-formed execution of \p program. \p vm_enabled
+/// selects the MTM vocabulary (translations required) or the plain-MCM
+/// setting. \p visit may return false to stop early; the function returns
+/// false in that case.
+bool for_each_execution(const elt::Program& program, bool vm_enabled,
+                        const std::function<bool(const elt::Execution&)>& visit,
+                        ExecEnumStats* stats = nullptr);
+
+}  // namespace transform::synth

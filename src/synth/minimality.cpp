@@ -1,0 +1,58 @@
+#include "synth/minimality.h"
+
+#include "elt/derive.h"
+#include "mtm/relax.h"
+#include "util/logging.h"
+
+namespace transform::synth {
+
+bool
+contains_write(const elt::Program& program)
+{
+    for (elt::EventId id = 0; id < program.num_events(); ++id) {
+        if (elt::is_write_like(program.event(id).kind)) {
+            return true;
+        }
+    }
+    return false;
+}
+
+MinimalityVerdict
+judge(const mtm::Model& model, const elt::Execution& execution)
+{
+    MinimalityVerdict verdict;
+    const elt::DerivedRelations derived =
+        elt::derive(execution, model.derive_options());
+    if (!derived.well_formed) {
+        return verdict;  // not even a candidate
+    }
+    verdict.violated = model.violated_axioms(execution.program, derived);
+    verdict.interesting =
+        contains_write(execution.program) && !verdict.violated.empty();
+    if (!verdict.interesting) {
+        return verdict;
+    }
+    // Minimality: every isolated relaxation must be permitted.
+    for (const mtm::Relaxation& relaxation :
+         mtm::applicable_relaxations(execution.program)) {
+        const elt::Execution relaxed =
+            mtm::apply_relaxation(execution, relaxation, model.vm_aware());
+        if (relaxed.program.num_events() == 0) {
+            continue;  // the relaxation emptied the test: trivially permitted
+        }
+        const std::vector<std::string> violated =
+            model.violated_axioms(relaxed);
+        const bool still_forbidden =
+            !violated.empty() && violated != std::vector<std::string>{
+                                     "well_formed"};
+        if (still_forbidden) {
+            verdict.blocking_relaxation =
+                relaxation.describe(execution.program);
+            return verdict;  // minimal stays false
+        }
+    }
+    verdict.minimal = true;
+    return verdict;
+}
+
+}  // namespace transform::synth

@@ -1,0 +1,36 @@
+/// \file
+/// The spanning-set criteria of section IV-B: a synthesized candidate
+/// execution enters the suite iff it is *interesting* (contains a write and
+/// has a forbidden outcome) and *minimal* (every isolated relaxation of the
+/// test makes the outcome permitted).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "elt/execution.h"
+#include "mtm/model.h"
+
+namespace transform::synth {
+
+/// Result of judging one candidate.
+struct MinimalityVerdict {
+    bool interesting = false;
+    bool minimal = false;
+    std::vector<std::string> violated;  ///< axioms the candidate violates
+    /// For non-minimal candidates: description of a relaxation that stays
+    /// forbidden (diagnostic).
+    std::string blocking_relaxation;
+};
+
+/// True when the execution contains at least one write-like event (the
+/// paper's first vector-space criterion).
+bool contains_write(const elt::Program& program);
+
+/// Judges a candidate execution against \p model: computes the violated
+/// axioms, the interesting criterion, and minimality under the restricted
+/// relaxations of mtm/relax.h.
+MinimalityVerdict judge(const mtm::Model& model,
+                        const elt::Execution& execution);
+
+}  // namespace transform::synth

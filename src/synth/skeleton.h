@@ -1,0 +1,50 @@
+/// \file
+/// Bounded enumeration of ELT program skeletons.
+///
+/// The paper's synthesis bound counts *every* event, ghost instructions
+/// included (ptwalk2 = 4 events). Enumeration proceeds per thread over
+/// weighted instruction slots:
+///   - Read  (TLB miss: R + Rptw = 2 events | hit: R = 1 event)
+///   - Write (miss: W + Wdb + Rptw = 3 | hit: W + Wdb = 2; with the
+///     dirty-bit-as-RMW ablation each Write also carries an Rdb)
+///   - MFENCE (1)
+///   - WPTE (1; later linked to exactly one INVLPG per core)
+///   - INVLPG (1; linked to a WPTE or spurious)
+/// followed by remap linking, canonical VA assignment, WPTE target-PA
+/// assignment and optional rmw marking. In MCM mode (vm_enabled = false)
+/// only plain Reads/Writes/fences exist with weight 1, reproducing the
+/// prior-work litmus synthesis setting used as our baseline.
+#pragma once
+
+#include <functional>
+
+#include "elt/program.h"
+
+namespace transform::synth {
+
+/// Knobs for skeleton generation.
+struct SkeletonOptions {
+    int num_events = 4;       ///< exact total event count
+    int max_threads = 2;      ///< cores to consider
+    int max_vas = 2;          ///< distinct data VAs
+    int max_fresh_pas = 1;    ///< extra PAs beyond the initial frames
+    bool vm_enabled = true;   ///< MTM (true) or plain MCM (false) vocabulary
+    bool allow_rmw = true;    ///< generate rmw-marked adjacent pairs
+    bool allow_fences = true; ///< generate MFENCE slots
+    bool allow_full_flush = false;  ///< extension: INVLPGALL (full TLB flush)
+    bool dirty_bit_as_rmw = false;  ///< ablation: Writes carry Rdb + Wdb
+
+    // Static per-axiom requirements (soundness-preserving pruning): a
+    // violation of the target axiom structurally requires these features.
+    bool require_wpte = false;   ///< invlpg axiom needs a PTE write
+    bool require_rmw = false;    ///< rmw_atomicity needs an rmw pair
+    bool require_shared_walk = false;  ///< tlb_causality needs a TLB hit
+};
+
+/// Invokes \p visit for every valid program skeleton with exactly
+/// `num_events` events. \p visit returns false to stop early; the function
+/// returns false in that case.
+bool for_each_skeleton(const SkeletonOptions& options,
+                       const std::function<bool(const elt::Program&)>& visit);
+
+}  // namespace transform::synth

@@ -1,0 +1,30 @@
+/// \file
+/// Hash combination helpers for the deduplication engine's canonical keys.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace transform::util {
+
+/// Mixes \p value into \p seed (boost::hash_combine recipe, 64-bit variant).
+inline void hash_combine(std::size_t& seed, std::size_t value)
+{
+    seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+}
+
+/// Hashes any range of hashable elements into one value.
+template <typename Range>
+std::size_t hash_range(const Range& range)
+{
+    std::size_t seed = 0;
+    for (const auto& element : range) {
+        hash_combine(seed, std::hash<std::decay_t<decltype(element)>>{}(element));
+    }
+    return seed;
+}
+
+}  // namespace transform::util

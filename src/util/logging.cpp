@@ -1,0 +1,46 @@
+#include "util/logging.h"
+
+#include <cstdio>
+
+namespace transform::util {
+
+namespace {
+LogLevel g_threshold = LogLevel::kInfo;
+
+const char* level_name(LogLevel level)
+{
+    switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    }
+    return "?";
+}
+}  // namespace
+
+LogLevel log_threshold() { return g_threshold; }
+
+void set_log_threshold(LogLevel level) { g_threshold = level; }
+
+void log(LogLevel level, const std::string& message)
+{
+    if (static_cast<int>(level) < static_cast<int>(g_threshold)) {
+        return;
+    }
+    std::fprintf(stderr, "[transform %s] %s\n", level_name(level), message.c_str());
+}
+
+void panic_impl(const char* file, int line, const std::string& message)
+{
+    std::fprintf(stderr, "[transform PANIC] %s:%d: %s\n", file, line, message.c_str());
+    std::abort();
+}
+
+void fatal_impl(const char* file, int line, const std::string& message)
+{
+    std::fprintf(stderr, "[transform FATAL] %s:%d: %s\n", file, line, message.c_str());
+    std::exit(1);
+}
+
+}  // namespace transform::util

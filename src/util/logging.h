@@ -1,0 +1,62 @@
+/// \file
+/// Minimal logging and invariant-checking helpers used across the library.
+///
+/// Follows the gem5 panic()/fatal() distinction: TF_PANIC signals an
+/// internal invariant violation (a library bug), TF_FATAL signals a user
+/// error (bad input, impossible configuration).
+#pragma once
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace transform::util {
+
+/// Severity for log() messages.
+enum class LogLevel { kDebug, kInfo, kWarn, kError };
+
+/// Global minimum level below which log() calls are dropped.
+LogLevel log_threshold();
+
+/// Sets the global minimum log level (e.g. to silence benches).
+void set_log_threshold(LogLevel level);
+
+/// Writes a single log line to stderr if \p level passes the threshold.
+void log(LogLevel level, const std::string& message);
+
+/// Formats and terminates on an internal invariant violation.
+[[noreturn]] void panic_impl(const char* file, int line, const std::string& message);
+
+/// Formats and terminates on an unrecoverable user error.
+[[noreturn]] void fatal_impl(const char* file, int line, const std::string& message);
+
+}  // namespace transform::util
+
+#define TF_PANIC(msg)                                                        \
+    ::transform::util::panic_impl(__FILE__, __LINE__,                       \
+                                  (std::ostringstream() << msg).str())
+
+#define TF_FATAL(msg)                                                        \
+    ::transform::util::fatal_impl(__FILE__, __LINE__,                       \
+                                  (std::ostringstream() << msg).str())
+
+/// Checks an internal invariant; compiled in all build types because the
+/// synthesis engine relies on these checks in its own tests.
+#define TF_ASSERT(cond)                                                      \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            TF_PANIC("assertion failed: " #cond);                            \
+        }                                                                    \
+    } while (false)
+
+#define TF_LOG_INFO(msg)                                                     \
+    ::transform::util::log(::transform::util::LogLevel::kInfo,              \
+                           (std::ostringstream() << msg).str())
+
+#define TF_LOG_WARN(msg)                                                     \
+    ::transform::util::log(::transform::util::LogLevel::kWarn,              \
+                           (std::ostringstream() << msg).str())
+
+#define TF_LOG_DEBUG(msg)                                                    \
+    ::transform::util::log(::transform::util::LogLevel::kDebug,             \
+                           (std::ostringstream() << msg).str())

@@ -1,0 +1,85 @@
+/// \file
+/// Enumeration helpers for the synthesis engine: permutations (symmetry
+/// canonicalization), compositions (splitting an instruction budget across
+/// threads), and subsets (category-2 minimization in the comparison tool).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <numeric>
+#include <vector>
+
+namespace transform::util {
+
+/// Calls \p visit for every permutation of {0,..,n-1}. \p visit may return
+/// false to stop early; for_each_permutation returns false in that case.
+inline bool
+for_each_permutation(int n, const std::function<bool(const std::vector<int>&)>& visit)
+{
+    std::vector<int> perm(n);
+    std::iota(perm.begin(), perm.end(), 0);
+    do {
+        if (!visit(perm)) {
+            return false;
+        }
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    return true;
+}
+
+/// Calls \p visit for every way to write \p total = c_0 + ... + c_{k-1} with
+/// each c_i >= 1, for every k in [1, max_parts]. Order of parts matters for
+/// the enumerator (threads are later canonicalized), but to cut symmetry we
+/// only emit non-increasing compositions (partitions); thread-order symmetry
+/// is restored by the canonicalizer.
+inline void
+for_each_partition(int total, int max_parts,
+                   const std::function<void(const std::vector<int>&)>& visit)
+{
+    std::vector<int> parts;
+    // Recursive lambda: extend `parts` with values <= last part.
+    std::function<void(int, int)> recurse = [&](int remaining, int max_value) {
+        if (remaining == 0) {
+            if (!parts.empty()) {
+                visit(parts);
+            }
+            return;
+        }
+        if (static_cast<int>(parts.size()) == max_parts) {
+            return;
+        }
+        for (int next = std::min(remaining, max_value); next >= 1; --next) {
+            parts.push_back(next);
+            recurse(remaining - next, next);
+            parts.pop_back();
+        }
+    };
+    recurse(total, total);
+}
+
+/// Calls \p visit for every non-empty subset of {0,..,n-1}, smallest
+/// cardinality first (useful for finding minimal reductions). \p visit may
+/// return false to stop the enumeration.
+inline bool
+for_each_subset_by_size(int n, const std::function<bool(const std::vector<int>&)>& visit)
+{
+    for (int size = 1; size <= n; ++size) {
+        std::vector<int> mask(n, 0);
+        std::fill(mask.begin(), mask.begin() + size, 1);
+        // Enumerate combinations via prev_permutation on the 1/0 mask.
+        do {
+            std::vector<int> subset;
+            for (int i = 0; i < n; ++i) {
+                if (mask[i]) {
+                    subset.push_back(i);
+                }
+            }
+            if (!visit(subset)) {
+                return false;
+            }
+        } while (std::prev_permutation(mask.begin(), mask.end()));
+    }
+    return true;
+}
+
+}  // namespace transform::util

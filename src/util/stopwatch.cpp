@@ -1,0 +1,38 @@
+#include "util/stopwatch.h"
+
+#include <limits>
+
+namespace transform::util {
+
+Stopwatch::Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+void Stopwatch::restart() { start_ = std::chrono::steady_clock::now(); }
+
+double Stopwatch::elapsed_seconds() const
+{
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now - start_).count();
+}
+
+double Stopwatch::elapsed_ms() const { return elapsed_seconds() * 1000.0; }
+
+Deadline::Deadline(double budget_seconds) : budget_seconds_(budget_seconds) {}
+
+bool Deadline::expired() const
+{
+    if (budget_seconds_ <= 0.0) {
+        return false;
+    }
+    return watch_.elapsed_seconds() >= budget_seconds_;
+}
+
+double Deadline::remaining_seconds() const
+{
+    if (budget_seconds_ <= 0.0) {
+        return std::numeric_limits<double>::infinity();
+    }
+    const double left = budget_seconds_ - watch_.elapsed_seconds();
+    return left > 0.0 ? left : 0.0;
+}
+
+}  // namespace transform::util

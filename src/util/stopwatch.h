@@ -1,0 +1,47 @@
+/// \file
+/// Wall-clock stopwatch used by the synthesis engine for time budgets and by
+/// the benchmark harness for the Fig-9b runtime series.
+#pragma once
+
+#include <chrono>
+
+namespace transform::util {
+
+/// A restartable wall-clock stopwatch.
+class Stopwatch {
+  public:
+    /// Starts timing on construction.
+    Stopwatch();
+
+    /// Restarts the stopwatch from zero.
+    void restart();
+
+    /// Elapsed time since construction/restart, in seconds.
+    double elapsed_seconds() const;
+
+    /// Elapsed time since construction/restart, in milliseconds.
+    double elapsed_ms() const;
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+/// A soft deadline: answers "is there budget left?". A non-positive budget
+/// means "unlimited".
+class Deadline {
+  public:
+    /// Creates a deadline \p budget_seconds from now (<= 0 means unlimited).
+    explicit Deadline(double budget_seconds);
+
+    /// True when the budget has been exhausted.
+    bool expired() const;
+
+    /// Seconds remaining (infinity when unlimited).
+    double remaining_seconds() const;
+
+  private:
+    Stopwatch watch_;
+    double budget_seconds_;
+};
+
+}  // namespace transform::util

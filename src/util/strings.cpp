@@ -1,0 +1,78 @@
+#include "util/strings.h"
+
+#include <cctype>
+
+namespace transform::util {
+
+std::string join(const std::vector<std::string>& parts, const std::string& sep)
+{
+    std::string out;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i > 0) {
+            out += sep;
+        }
+        out += parts[i];
+    }
+    return out;
+}
+
+std::vector<std::string> split(const std::string& text, char sep)
+{
+    std::vector<std::string> out;
+    std::string current;
+    for (char c : text) {
+        if (c == sep) {
+            out.push_back(current);
+            current.clear();
+        } else {
+            current.push_back(c);
+        }
+    }
+    out.push_back(current);
+    return out;
+}
+
+std::string trim(const std::string& text)
+{
+    std::size_t begin = 0;
+    std::size_t end = text.size();
+    while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) {
+        ++begin;
+    }
+    while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+        --end;
+    }
+    return text.substr(begin, end - begin);
+}
+
+bool starts_with(const std::string& text, const std::string& prefix)
+{
+    return text.size() >= prefix.size() && text.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::string xml_escape(const std::string& text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+        case '<': out += "&lt;"; break;
+        case '>': out += "&gt;"; break;
+        case '&': out += "&amp;"; break;
+        case '"': out += "&quot;"; break;
+        case '\'': out += "&apos;"; break;
+        default: out.push_back(c);
+        }
+    }
+    return out;
+}
+
+std::string pad_right(const std::string& text, std::size_t width)
+{
+    if (text.size() >= width) {
+        return text;
+    }
+    return text + std::string(width - text.size(), ' ');
+}
+
+}  // namespace transform::util

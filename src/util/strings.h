@@ -1,0 +1,28 @@
+/// \file
+/// Small string helpers shared by the pretty printers and serializers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace transform::util {
+
+/// Joins \p parts with \p sep ("a", "b" -> "a,b").
+std::string join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// Splits \p text on the single character \p sep; keeps empty fields.
+std::vector<std::string> split(const std::string& text, char sep);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string trim(const std::string& text);
+
+/// True when \p text starts with \p prefix.
+bool starts_with(const std::string& text, const std::string& prefix);
+
+/// Escapes the five XML special characters.
+std::string xml_escape(const std::string& text);
+
+/// Pads \p text with spaces on the right to at least \p width columns.
+std::string pad_right(const std::string& text, std::size_t width);
+
+}  // namespace transform::util

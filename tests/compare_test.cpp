@@ -1,0 +1,112 @@
+/// \file
+/// Tests for the section VI-B comparison tool on the reconstructed
+/// hand-written suite.
+#include <gtest/gtest.h>
+
+#include "compare/compare.h"
+#include "elt/derive.h"
+#include "mtm/model.h"
+
+namespace transform::compare {
+namespace {
+
+TEST(CoatcheckSuite, HasFortyTests)
+{
+    const auto suite = coatcheck_suite();
+    EXPECT_EQ(suite.size(), 40u);
+    int ipi = 0;
+    for (const HandwrittenElt& t : suite) {
+        if (t.uses_unsupported_ipi) {
+            ++ipi;
+        } else {
+            EXPECT_TRUE(t.execution.program.validate().empty()) << t.name;
+        }
+    }
+    EXPECT_EQ(ipi, 9);
+}
+
+TEST(CoatcheckSuite, NonIpiTestsAreWellFormedExecutions)
+{
+    const mtm::Model model = mtm::x86t_elt();
+    for (const HandwrittenElt& t : coatcheck_suite()) {
+        if (t.uses_unsupported_ipi) {
+            continue;
+        }
+        const auto d = elt::derive(t.execution, model.derive_options());
+        EXPECT_TRUE(d.well_formed)
+            << t.name << ": " << (d.problems.empty() ? "" : d.problems[0]);
+    }
+}
+
+TEST(Classify, Ptwalk2IsVerbatim)
+{
+    const mtm::Model model = mtm::x86t_elt();
+    const auto suite = coatcheck_suite();
+    const auto comparison = classify(model, suite[0]);  // ptwalk2
+    EXPECT_EQ(comparison.category, Category::kVerbatim);
+    EXPECT_FALSE(comparison.matched_key.empty());
+}
+
+TEST(Classify, Dirtybit3IsReducible)
+{
+    const mtm::Model model = mtm::x86t_elt();
+    for (const HandwrittenElt& t : coatcheck_suite()) {
+        if (t.name != "dirtybit3") {
+            continue;
+        }
+        const auto comparison = classify(model, t);
+        EXPECT_EQ(comparison.category, Category::kReducible);
+        EXPECT_FALSE(comparison.removed.empty());
+    }
+}
+
+TEST(Classify, ReadOnlyTestIsNotSpanning)
+{
+    const mtm::Model model = mtm::x86t_elt();
+    for (const HandwrittenElt& t : coatcheck_suite()) {
+        if (t.name != "sanity-ro1") {
+            continue;
+        }
+        const auto comparison = classify(model, t);
+        EXPECT_EQ(comparison.category, Category::kNotSpanning);
+    }
+}
+
+TEST(Classify, IpiTestsAreFiltered)
+{
+    const mtm::Model model = mtm::x86t_elt();
+    for (const HandwrittenElt& t : coatcheck_suite()) {
+        if (!t.uses_unsupported_ipi) {
+            continue;
+        }
+        EXPECT_EQ(classify(model, t).category, Category::kUnsupportedIpi);
+    }
+}
+
+TEST(CompareSuite, ReproducesSectionViBComposition)
+{
+    const mtm::Model model = mtm::x86t_elt();
+    const ComparisonReport report = compare_suite(model, coatcheck_suite());
+    // Paper: 40 tests; 9 unsupported IPIs; 9 not spanning; 22 relevant of
+    // which 7 category-1 (matching 4 synthesized programs) and 15
+    // category-2.
+    EXPECT_EQ(report.tests.size(), 40u);
+    EXPECT_EQ(report.unsupported_ipi, 9);
+    EXPECT_EQ(report.not_spanning, 9);
+    EXPECT_EQ(report.relevant, 22);
+    EXPECT_EQ(report.verbatim, 7);
+    EXPECT_EQ(report.reducible, 15);
+    EXPECT_LE(report.matched_programs, report.verbatim);
+    EXPECT_GT(report.matched_programs, 0);
+}
+
+TEST(CategoryName, AllNamed)
+{
+    EXPECT_STRNE(category_name(Category::kUnsupportedIpi), "?");
+    EXPECT_STRNE(category_name(Category::kVerbatim), "?");
+    EXPECT_STRNE(category_name(Category::kReducible), "?");
+    EXPECT_STRNE(category_name(Category::kNotSpanning), "?");
+}
+
+}  // namespace
+}  // namespace transform::compare

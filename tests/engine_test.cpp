@@ -1,0 +1,192 @@
+/// \file
+/// Tests for the synthesis engine: per-axiom suites at small bounds.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "elt/fixtures.h"
+#include "synth/canonical.h"
+#include "synth/engine.h"
+#include "synth/minimality.h"
+
+namespace transform::synth {
+namespace {
+
+SynthesisOptions
+small_options(int min_bound, int bound)
+{
+    SynthesisOptions opt;
+    opt.min_bound = min_bound;
+    opt.bound = bound;
+    opt.max_threads = 2;
+    opt.max_vas = 2;
+    opt.max_fresh_pas = 1;
+    return opt;
+}
+
+TEST(Engine, InvlpgSuiteAtBound4ContainsPtwalk2)
+{
+    const mtm::Model model = mtm::x86t_elt();
+    const SuiteResult suite =
+        synthesize_suite(model, "invlpg", small_options(4, 4));
+    EXPECT_TRUE(suite.complete);
+    ASSERT_FALSE(suite.tests.empty());
+    const std::string ptwalk2_key =
+        canonical_key(elt::fixtures::fig10a_ptwalk2().program);
+    bool found = false;
+    for (const SynthesizedTest& t : suite.tests) {
+        found = found || t.canonical_key == ptwalk2_key;
+    }
+    EXPECT_TRUE(found) << "ptwalk2 must be synthesized at bound 4";
+}
+
+TEST(Engine, ScPerLocSuiteAtBound4NonEmpty)
+{
+    const mtm::Model model = mtm::x86t_elt();
+    const SuiteResult suite =
+        synthesize_suite(model, "sc_per_loc", small_options(4, 4));
+    EXPECT_GT(suite.tests.size(), 0u);
+}
+
+TEST(Engine, AllSynthesizedTestsAreMinimalAndUnique)
+{
+    const mtm::Model model = mtm::x86t_elt();
+    const SuiteResult suite =
+        synthesize_suite(model, "sc_per_loc", small_options(4, 5));
+    std::set<std::string> keys;
+    for (const SynthesizedTest& t : suite.tests) {
+        EXPECT_TRUE(keys.insert(t.canonical_key).second)
+            << "duplicate canonical key in suite";
+        const MinimalityVerdict verdict = judge(model, t.witness);
+        EXPECT_TRUE(verdict.interesting);
+        EXPECT_TRUE(verdict.minimal);
+        // The witness really violates the target axiom.
+        bool violates_target = false;
+        for (const std::string& axiom : t.violated) {
+            violates_target = violates_target || axiom == "sc_per_loc";
+        }
+        EXPECT_TRUE(violates_target);
+    }
+}
+
+TEST(Engine, TlbCausalitySuiteAtSmallBound)
+{
+    const mtm::Model model = mtm::x86t_elt();
+    const SuiteResult suite =
+        synthesize_suite(model, "tlb_causality", small_options(4, 5));
+    EXPECT_GT(suite.tests.size(), 0u);
+    for (const SynthesizedTest& t : suite.tests) {
+        bool violates_target = false;
+        for (const std::string& axiom : t.violated) {
+            violates_target = violates_target || axiom == "tlb_causality";
+        }
+        EXPECT_TRUE(violates_target);
+    }
+}
+
+TEST(Engine, RmwAtomicitySuiteNeedsMoreInstructions)
+{
+    const mtm::Model model = mtm::x86t_elt();
+    // At bound 4 no rmw_atomicity test fits (rmw pair + extra write needs
+    // at least 6 events).
+    const SuiteResult small =
+        synthesize_suite(model, "rmw_atomicity", small_options(4, 4));
+    EXPECT_TRUE(small.tests.empty());
+}
+
+TEST(Engine, SuitesAreCumulativeAcrossBounds)
+{
+    const mtm::Model model = mtm::x86t_elt();
+    const SuiteResult at4 =
+        synthesize_suite(model, "invlpg", small_options(4, 4));
+    const SuiteResult at5 =
+        synthesize_suite(model, "invlpg", small_options(4, 5));
+    EXPECT_GE(at5.tests.size(), at4.tests.size());
+    // Every bound-4 test is still present at bound 5.
+    std::set<std::string> keys5;
+    for (const SynthesizedTest& t : at5.tests) {
+        keys5.insert(t.canonical_key);
+    }
+    for (const SynthesizedTest& t : at4.tests) {
+        EXPECT_TRUE(keys5.count(t.canonical_key) > 0);
+    }
+}
+
+TEST(Engine, TimeBudgetMarksIncomplete)
+{
+    const mtm::Model model = mtm::x86t_elt();
+    SynthesisOptions opt = small_options(4, 8);
+    opt.time_budget_seconds = 1e-6;
+    const SuiteResult suite = synthesize_suite(model, "sc_per_loc", opt);
+    EXPECT_FALSE(suite.complete);
+}
+
+TEST(Engine, McmBaselineSynthesizesTsoTests)
+{
+    // MCM-only synthesis (prior-work baseline): sc_per_loc tests exist at
+    // tiny bounds (e.g. W x; R x reading stale).
+    const mtm::Model tso = mtm::x86tso();
+    const SuiteResult suite =
+        synthesize_suite(tso, "sc_per_loc", small_options(2, 3));
+    EXPECT_GT(suite.tests.size(), 0u);
+    for (const SynthesizedTest& t : suite.tests) {
+        for (int id = 0; id < t.witness.program.num_events(); ++id) {
+            EXPECT_FALSE(elt::is_ghost(t.witness.program.event(id).kind));
+        }
+    }
+}
+
+TEST(Engine, ParallelDriverMatchesSerial)
+{
+    const mtm::Model model = mtm::x86t_elt();
+    SynthesisOptions opt = small_options(4, 5);
+    const auto serial = synthesize_all(model, opt);
+    const auto parallel = synthesize_all_parallel(model, opt);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].axiom, parallel[i].axiom);
+        ASSERT_EQ(serial[i].tests.size(), parallel[i].tests.size())
+            << serial[i].axiom;
+        std::set<std::string> serial_keys;
+        std::set<std::string> parallel_keys;
+        for (const auto& t : serial[i].tests) {
+            serial_keys.insert(t.canonical_key);
+        }
+        for (const auto& t : parallel[i].tests) {
+            parallel_keys.insert(t.canonical_key);
+        }
+        EXPECT_EQ(serial_keys, parallel_keys) << serial[i].axiom;
+    }
+    EXPECT_EQ(unique_test_count(serial), unique_test_count(parallel));
+}
+
+TEST(Engine, ThreeCoreSynthesisFindsCrossCoreInvlpgTests)
+{
+    // With three cores a WPTE must invoke three INVLPGs; the smallest
+    // three-core invlpg test is WPTE + 3 INVLPG + R + Rptw = 6 events.
+    const mtm::Model model = mtm::x86t_elt();
+    SynthesisOptions opt = small_options(4, 6);
+    opt.max_threads = 3;
+    const auto suite = synthesize_suite(model, "invlpg", opt);
+    bool found_three_core = false;
+    for (const auto& test : suite.tests) {
+        found_three_core =
+            found_three_core || test.witness.program.num_threads() == 3;
+    }
+    EXPECT_TRUE(found_three_core);
+}
+
+TEST(Engine, UniqueTestCountDedupsAcrossSuites)
+{
+    const mtm::Model model = mtm::x86t_elt();
+    std::vector<SuiteResult> suites;
+    suites.push_back(synthesize_suite(model, "sc_per_loc", small_options(4, 4)));
+    suites.push_back(synthesize_suite(model, "invlpg", small_options(4, 4)));
+    const int unique = unique_test_count(suites);
+    EXPECT_GT(unique, 0);
+    EXPECT_LE(unique, static_cast<int>(suites[0].tests.size() +
+                                       suites[1].tests.size()));
+}
+
+}  // namespace
+}  // namespace transform::synth

@@ -1,0 +1,258 @@
+/// \file
+/// Tests for the full-TLB-flush IPI extension (INVLPGALL — the paper's
+/// section III-B2 names additional IPIs as future work) and for the
+/// RMW-dirty-bit ablation across both execution-space backends.
+#include <gtest/gtest.h>
+
+#include "elt/derive.h"
+#include "elt/litmus.h"
+#include "elt/serialize.h"
+#include "mtm/encoding.h"
+#include "mtm/model.h"
+#include "mtm/relax.h"
+#include "synth/engine.h"
+#include "synth/exec_enum.h"
+#include "synth/skeleton.h"
+
+namespace transform {
+namespace {
+
+using elt::Event;
+using elt::EventId;
+using elt::EventKind;
+using elt::Execution;
+using elt::kNone;
+using elt::Program;
+using elt::ProgramBuilder;
+
+/// R x miss; INVLPGALL; R x miss — the flush forces the second walk.
+Execution
+flush_forces_walk()
+{
+    ProgramBuilder b;
+    b.thread();
+    const EventId r0 = b.R(0);
+    const EventId w0 = b.rptw(r0);
+    b.invlpg_all();
+    const EventId r2 = b.R(0);
+    const EventId w2 = b.rptw(r2);
+    Execution e = Execution::empty_for(b.build());
+    e.ptw_src[r0] = w0;
+    e.ptw_src[r2] = w2;
+    e.rf_src[w0] = kNone;
+    e.rf_src[w2] = kNone;
+    return e;
+}
+
+TEST(FullFlush, ValidatesAndDerives)
+{
+    const Execution e = flush_forces_walk();
+    EXPECT_TRUE(e.program.validate().empty());
+    const auto d = elt::derive(e);
+    EXPECT_TRUE(d.well_formed) << (d.problems.empty() ? "" : d.problems[0]);
+    EXPECT_TRUE(mtm::x86t_elt().permits(e));
+}
+
+TEST(FullFlush, BlocksTlbHitsAcrossIt)
+{
+    // Re-target the second read at the first walk: sharing a TLB entry
+    // across a full flush is ill-formed.
+    Execution e = flush_forces_walk();
+    EventId first_walk = kNone;
+    EventId second_read = kNone;
+    for (EventId id = 0; id < e.program.num_events(); ++id) {
+        if (e.program.event(id).kind == EventKind::kRptw &&
+            first_walk == kNone) {
+            first_walk = id;
+        }
+        if (e.program.event(id).kind == EventKind::kRead &&
+            e.program.position_of(id) == 2) {
+            second_read = id;
+        }
+    }
+    ASSERT_NE(second_read, kNone);
+    e.ptw_src[second_read] = first_walk;
+    EXPECT_FALSE(elt::derive(e).well_formed);
+}
+
+TEST(FullFlush, BlocksHitsForEveryVa)
+{
+    // Unlike a targeted INVLPG x, the flush also evicts y's entry.
+    ProgramBuilder b;
+    b.thread();
+    const EventId r0 = b.R(1);  // R y miss
+    const EventId w0 = b.rptw(r0);
+    b.invlpg_all();
+    const EventId r2 = b.R(1);  // must re-walk even though the flush
+    const EventId w2 = b.rptw(r2);  // names no VA
+    Execution e = Execution::empty_for(b.build());
+    e.ptw_src[r0] = w0;
+    e.ptw_src[r2] = w0;  // illegal hit across the flush
+    e.rf_src[w0] = kNone;
+    e.rf_src[w2] = kNone;
+    EXPECT_FALSE(elt::derive(e).well_formed);
+    e.ptw_src[r2] = w2;
+    EXPECT_TRUE(elt::derive(e).well_formed);
+}
+
+TEST(FullFlush, ValidationRejectsOperands)
+{
+    Program p;
+    p.add_thread();
+    Event flush{EventKind::kInvlpgAll, 0, /*va=*/0, kNone, kNone, kNone};
+    p.add_event(flush);
+    EXPECT_FALSE(p.validate().empty());
+}
+
+TEST(FullFlush, UselessFlushIsIllFormed)
+{
+    // A flush with no later same-core access serves no purpose.
+    ProgramBuilder b;
+    b.thread();
+    const EventId r0 = b.R(0);
+    const EventId w0 = b.rptw(r0);
+    b.invlpg_all();
+    Execution e = Execution::empty_for(b.build());
+    e.ptw_src[r0] = w0;
+    e.rf_src[w0] = kNone;
+    EXPECT_FALSE(elt::derive(e).well_formed);
+}
+
+TEST(FullFlush, RemovableInIsolation)
+{
+    const Execution e = flush_forces_walk();
+    bool found = false;
+    for (const auto& relaxation : mtm::applicable_relaxations(e.program)) {
+        if (relaxation.kind ==
+                mtm::Relaxation::Kind::kRemoveSpuriousInvlpg &&
+            e.program.event(relaxation.target).kind ==
+                EventKind::kInvlpgAll) {
+            found = true;
+            const Execution relaxed = mtm::apply_relaxation(e, relaxation);
+            EXPECT_EQ(relaxed.program.num_events(),
+                      e.program.num_events() - 1);
+            EXPECT_TRUE(elt::derive(relaxed).well_formed);
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(FullFlush, LitmusRoundTrip)
+{
+    const std::string text =
+        "elt flushy\nthread P0\n  R x miss\n  INVLPGALL\n  R x miss\n";
+    std::string error;
+    const auto parsed = elt::parse_litmus(text, &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    EXPECT_EQ(parsed->program.num_events(), 5);
+    const std::string emitted =
+        elt::program_to_litmus(parsed->program, "flushy");
+    EXPECT_NE(emitted.find("INVLPGALL"), std::string::npos);
+    const auto again = elt::parse_litmus(emitted, &error);
+    ASSERT_TRUE(again.has_value()) << error;
+    EXPECT_EQ(again->program.num_events(), parsed->program.num_events());
+}
+
+TEST(FullFlush, XmlRoundTrip)
+{
+    const Execution e = flush_forces_walk();
+    const auto parsed = elt::execution_from_xml(elt::execution_to_xml(e));
+    ASSERT_TRUE(parsed.has_value());
+    bool saw_flush = false;
+    for (EventId id = 0; id < parsed->program.num_events(); ++id) {
+        saw_flush = saw_flush ||
+                    parsed->program.event(id).kind == EventKind::kInvlpgAll;
+    }
+    EXPECT_TRUE(saw_flush);
+}
+
+TEST(FullFlush, BackendsAgreeOnFlushPrograms)
+{
+    const Program program = flush_forces_walk().program;
+    const mtm::Model model = mtm::x86t_elt();
+    int explicit_count = 0;
+    synth::for_each_execution(program, true, [&](const Execution&) {
+        ++explicit_count;
+        return true;
+    });
+    mtm::ProgramEncoding encoding(program, &model);
+    EXPECT_EQ(static_cast<int>(encoding.enumerate().size()), explicit_count);
+}
+
+TEST(FullFlush, SkeletonsGenerateItWhenEnabled)
+{
+    synth::SkeletonOptions opt;
+    opt.num_events = 4;
+    opt.allow_full_flush = true;
+    bool saw_flush = false;
+    synth::for_each_skeleton(opt, [&](const Program& p) {
+        EXPECT_TRUE(p.validate().empty());
+        for (EventId id = 0; id < p.num_events(); ++id) {
+            saw_flush = saw_flush ||
+                        p.event(id).kind == EventKind::kInvlpgAll;
+        }
+        return true;
+    });
+    EXPECT_TRUE(saw_flush);
+
+    // And never without the flag.
+    opt.allow_full_flush = false;
+    synth::for_each_skeleton(opt, [&](const Program& p) {
+        for (EventId id = 0; id < p.num_events(); ++id) {
+            EXPECT_NE(p.event(id).kind, EventKind::kInvlpgAll);
+        }
+        return true;
+    });
+}
+
+TEST(FullFlush, SpuriousInvalidationsNeverSurviveMinimality)
+{
+    // A spurious invalidation (targeted or flush) is removable in
+    // isolation and only *blocks* TLB reuse, so it can never be
+    // load-bearing for a violation: no synthesized minimal test contains
+    // one.
+    const mtm::Model model = mtm::x86t_elt();
+    synth::SynthesisOptions opt;
+    opt.min_bound = 4;
+    opt.bound = 6;
+    opt.allow_full_flush = true;
+    for (const auto& axiom : {"sc_per_loc", "invlpg", "tlb_causality"}) {
+        const auto suite = synth::synthesize_suite(model, axiom, opt);
+        for (const auto& test : suite.tests) {
+            for (EventId id = 0; id < test.witness.program.num_events();
+                 ++id) {
+                const Event& e = test.witness.program.event(id);
+                EXPECT_FALSE(e.kind == EventKind::kInvlpgAll ||
+                             (e.kind == EventKind::kInvlpg &&
+                              e.remap_src == kNone))
+                    << axiom << ": spurious invalidation in minimal test";
+            }
+        }
+    }
+}
+
+TEST(DirtyBitRmw, BackendsAgreeOnRdbPrograms)
+{
+    // The ablation's Rdb ghost must flow through both backends alike.
+    ProgramBuilder b;
+    b.thread();
+    const EventId w = b.W(0);
+    b.rdb(w);
+    b.wdb(w);
+    b.rptw(w);
+    const Program program = b.build();
+    ASSERT_TRUE(program.validate().empty());
+    const mtm::Model model = mtm::x86t_elt();
+    int explicit_count = 0;
+    synth::for_each_execution(program, true, [&](const Execution& e) {
+        EXPECT_TRUE(elt::derive(e).well_formed);
+        ++explicit_count;
+        return true;
+    });
+    mtm::ProgramEncoding encoding(program, &model);
+    EXPECT_EQ(static_cast<int>(encoding.enumerate().size()), explicit_count);
+    EXPECT_GT(explicit_count, 0);
+}
+
+}  // namespace
+}  // namespace transform

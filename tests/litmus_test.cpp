@@ -1,0 +1,167 @@
+/// \file
+/// Tests for the litmus text format: round-trips on fixtures and
+/// synthesized suites, grammar features, and diagnostics on bad input.
+#include <gtest/gtest.h>
+
+#include "elt/fixtures.h"
+#include "elt/litmus.h"
+#include "mtm/model.h"
+#include "synth/canonical.h"
+#include "synth/engine.h"
+
+namespace transform::elt {
+namespace {
+
+void
+expect_round_trip(const Program& program)
+{
+    const std::string text = program_to_litmus(program, "t");
+    std::string error;
+    const auto parsed = parse_litmus(text, &error);
+    ASSERT_TRUE(parsed.has_value()) << error << "\n" << text;
+    // Same canonical program (ids may be renumbered; ghosts reattached).
+    EXPECT_EQ(synth::canonical_key(parsed->program),
+              synth::canonical_key(program))
+        << text;
+}
+
+TEST(Litmus, RoundTripFixtures)
+{
+    expect_round_trip(fixtures::fig2b_sb_elt().program);
+    expect_round_trip(fixtures::fig2c_sb_elt_aliased().program);
+    expect_round_trip(fixtures::fig4_remap_chain().program);
+    expect_round_trip(fixtures::fig5a_shared_walk().program);
+    expect_round_trip(fixtures::fig5b_invlpg_forces_walk().program);
+    expect_round_trip(fixtures::fig6_remap_disambiguation().program);
+    expect_round_trip(fixtures::fig10a_ptwalk2().program);
+    expect_round_trip(fixtures::fig10b_dirtybit3().program);
+    expect_round_trip(fixtures::fig11_new_elt().program);
+}
+
+TEST(Litmus, RoundTripSynthesizedSuite)
+{
+    const mtm::Model model = mtm::x86t_elt();
+    synth::SynthesisOptions opt;
+    opt.min_bound = 4;
+    opt.bound = 5;
+    const auto suite = synth::synthesize_suite(model, "sc_per_loc", opt);
+    ASSERT_FALSE(suite.tests.empty());
+    for (const auto& test : suite.tests) {
+        expect_round_trip(test.witness.program);
+    }
+}
+
+TEST(Litmus, ParsesPtwalk2Source)
+{
+    const std::string text =
+        "# the smallest ELT TransForm synthesizes\n"
+        "elt ptwalk2\n"
+        "thread P0\n"
+        "  WPTE x -> b as p0\n"
+        "  INVLPG x for p0\n"
+        "  R x miss\n";
+    std::string error;
+    const auto parsed = parse_litmus(text, &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    EXPECT_EQ(parsed->name, "ptwalk2");
+    EXPECT_EQ(parsed->program.num_events(), 4);  // + the implied walk
+    EXPECT_EQ(synth::canonical_key(parsed->program),
+              synth::canonical_key(fixtures::fig10a_ptwalk2().program));
+}
+
+TEST(Litmus, DefaultIsMiss)
+{
+    const auto parsed = parse_litmus("elt t\nthread P0\n  R x\n");
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->program.num_events(), 2);  // read + walk
+}
+
+TEST(Litmus, HitHasNoWalk)
+{
+    const auto parsed =
+        parse_litmus("elt t\nthread P0\n  R x miss\n  R x hit\n");
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->program.num_events(), 3);
+    EXPECT_TRUE(parsed->program.validate().empty());
+}
+
+TEST(Litmus, RmwPairing)
+{
+    const auto parsed =
+        parse_litmus("elt t\nthread P0\n  R x miss rmw\n  W x hit\n");
+    ASSERT_TRUE(parsed.has_value());
+    ASSERT_EQ(parsed->program.rmw_pairs().size(), 1u);
+    EXPECT_TRUE(parsed->program.validate().empty());
+}
+
+TEST(Litmus, RdbAblationGhost)
+{
+    const auto parsed = parse_litmus("elt t\nthread P0\n  W x miss rdb\n");
+    ASSERT_TRUE(parsed.has_value());
+    // W + Rdb + Wdb + Rptw.
+    EXPECT_EQ(parsed->program.num_events(), 4);
+}
+
+TEST(Litmus, ExtendedAddressNames)
+{
+    // x1 is VA index 4 (second round of the alphabet).
+    const auto parsed = parse_litmus("elt t\nthread P0\n  R x1 miss\n");
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->program.event(0).va, 4);
+}
+
+TEST(Litmus, Diagnostics)
+{
+    std::string error;
+    EXPECT_FALSE(parse_litmus("", &error).has_value());
+    EXPECT_NE(error.find("elt"), std::string::npos);
+
+    EXPECT_FALSE(parse_litmus("elt t\n  R x\n", &error).has_value());
+    EXPECT_NE(error.find("thread"), std::string::npos);
+
+    EXPECT_FALSE(
+        parse_litmus("elt t\nthread P0\n  R q\n", &error).has_value());
+    EXPECT_NE(error.find("bad VA"), std::string::npos);
+
+    EXPECT_FALSE(
+        parse_litmus("elt t\nthread P0\n  BLURB x\n", &error).has_value());
+    EXPECT_NE(error.find("unknown instruction"), std::string::npos);
+
+    EXPECT_FALSE(parse_litmus("elt t\nthread P0\n  INVLPG x for nope\n",
+                              &error)
+                     .has_value());
+    EXPECT_NE(error.find("unknown WPTE name"), std::string::npos);
+
+    EXPECT_FALSE(parse_litmus("elt t\nthread P0\n  R x rmw\n  R x hit\n",
+                              &error)
+                     .has_value());
+    EXPECT_NE(error.find("rmw"), std::string::npos);
+
+    EXPECT_FALSE(parse_litmus("elt t\nthread P0\n  R x rmw\n", &error)
+                     .has_value());
+    EXPECT_NE(error.find("dangling"), std::string::npos);
+}
+
+TEST(Litmus, CommentsAndBlankLinesIgnored)
+{
+    const std::string text =
+        "\n# header comment\nelt t\n\nthread P0   # core 0\n"
+        "  R x miss  # load\n\n";
+    const auto parsed = parse_litmus(text);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->program.num_events(), 2);
+}
+
+TEST(Litmus, WriterEmitsRemapNames)
+{
+    const std::string text =
+        program_to_litmus(fixtures::fig11_new_elt().program, "fig11");
+    EXPECT_NE(text.find("as p0"), std::string::npos);
+    EXPECT_NE(text.find("for p0"), std::string::npos);
+    // Two threads.
+    EXPECT_NE(text.find("thread P0"), std::string::npos);
+    EXPECT_NE(text.find("thread P1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace transform::elt

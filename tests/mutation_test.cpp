@@ -1,0 +1,133 @@
+/// \file
+/// Failure-injection sweeps: systematically corrupt every witness field of
+/// every fixture and assert the derivation engine never crashes, never
+/// accepts an inconsistent witness as "well-formed unless it truly is", and
+/// that well-formed mutants always produce a judgeable verdict.
+#include <gtest/gtest.h>
+
+#include "elt/derive.h"
+#include "elt/fixtures.h"
+#include "mtm/model.h"
+
+namespace transform {
+namespace {
+
+using elt::EventId;
+using elt::Execution;
+
+struct MutationCase {
+    const char* name;
+    Execution (*make)();
+    bool vm;
+};
+
+const MutationCase kCases[] = {
+    {"fig2b", elt::fixtures::fig2b_sb_elt, true},
+    {"fig2c", elt::fixtures::fig2c_sb_elt_aliased, true},
+    {"fig4", elt::fixtures::fig4_remap_chain, true},
+    {"fig6", elt::fixtures::fig6_remap_disambiguation, true},
+    {"fig10a", elt::fixtures::fig10a_ptwalk2, true},
+    {"fig10b", elt::fixtures::fig10b_dirtybit3, true},
+    {"fig2a", elt::fixtures::fig2a_sb_mcm, false},
+};
+
+class WitnessMutation : public ::testing::TestWithParam<MutationCase> {};
+
+/// Derive the mutant; when it is well-formed the model must judge it
+/// without issue. Returns the number of well-formed mutants seen.
+int
+probe(const Execution& mutant, bool vm)
+{
+    const auto d = elt::derive(mutant, {vm});
+    if (!d.well_formed) {
+        return 0;
+    }
+    const mtm::Model model = vm ? mtm::x86t_elt() : mtm::x86tso();
+    (void)model.violated_axioms(mutant.program, d);
+    return 1;
+}
+
+TEST_P(WitnessMutation, RfFieldSweep)
+{
+    const auto& param = GetParam();
+    const Execution original = param.make();
+    const int n = original.program.num_events();
+    int well_formed = 0;
+    for (EventId r = 0; r < n; ++r) {
+        for (EventId src = -1; src < n; ++src) {
+            Execution mutant = original;
+            mutant.rf_src[r] = src;
+            well_formed += probe(mutant, param.vm);
+        }
+    }
+    EXPECT_GT(well_formed, 0);  // the identity mutation is always included
+}
+
+TEST_P(WitnessMutation, PtwFieldSweep)
+{
+    const auto& param = GetParam();
+    const Execution original = param.make();
+    const int n = original.program.num_events();
+    for (EventId e = 0; e < n; ++e) {
+        for (EventId walk = -1; walk < n; ++walk) {
+            Execution mutant = original;
+            mutant.ptw_src[e] = walk;
+            probe(mutant, param.vm);  // must not crash
+        }
+    }
+    SUCCEED();
+}
+
+TEST_P(WitnessMutation, CoPositionSweep)
+{
+    const auto& param = GetParam();
+    const Execution original = param.make();
+    const int n = original.program.num_events();
+    for (EventId w = 0; w < n; ++w) {
+        for (int pos = -1; pos <= n; ++pos) {
+            Execution mutant = original;
+            mutant.co_pos[w] = pos;
+            probe(mutant, param.vm);
+        }
+    }
+    SUCCEED();
+}
+
+TEST_P(WitnessMutation, CoPaPositionSweep)
+{
+    const auto& param = GetParam();
+    const Execution original = param.make();
+    const int n = original.program.num_events();
+    for (EventId w = 0; w < n; ++w) {
+        for (int pos = -1; pos <= n; ++pos) {
+            Execution mutant = original;
+            mutant.co_pa_pos[w] = pos;
+            probe(mutant, param.vm);
+        }
+    }
+    SUCCEED();
+}
+
+TEST_P(WitnessMutation, SelfReferencesRejected)
+{
+    const auto& param = GetParam();
+    const Execution original = param.make();
+    const int n = original.program.num_events();
+    for (EventId r = 0; r < n; ++r) {
+        if (!elt::is_read_like(original.program.event(r).kind)) {
+            continue;
+        }
+        Execution mutant = original;
+        mutant.rf_src[r] = r;  // an event cannot source itself
+        EXPECT_FALSE(elt::derive(mutant, {param.vm}).well_formed);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fixtures, WitnessMutation,
+                         ::testing::ValuesIn(kCases),
+                         [](const auto& info) {
+                             return std::string(info.param.name);
+                         });
+
+}  // namespace
+}  // namespace transform

@@ -1,0 +1,233 @@
+/// \file
+/// Parameterized property tests: invariants that must hold across every
+/// paper fixture, every synthesized suite, and every generated skeleton.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "elt/derive.h"
+#include "elt/fixtures.h"
+#include "elt/printer.h"
+#include "elt/serialize.h"
+#include "mtm/model.h"
+#include "mtm/relax.h"
+#include "synth/canonical.h"
+#include "synth/engine.h"
+#include "synth/exec_enum.h"
+#include "synth/minimality.h"
+#include "synth/skeleton.h"
+#include "util/permutations.h"
+
+namespace transform {
+namespace {
+
+using elt::Execution;
+
+struct FixtureCase {
+    const char* name;
+    Execution (*make)();
+    bool vm;
+};
+
+const FixtureCase kFixtures[] = {
+    {"fig2a", elt::fixtures::fig2a_sb_mcm, false},
+    {"sb_zero", elt::fixtures::sb_both_reads_zero_mcm, false},
+    {"fig2b", elt::fixtures::fig2b_sb_elt, true},
+    {"fig2c", elt::fixtures::fig2c_sb_elt_aliased, true},
+    {"fig4", elt::fixtures::fig4_remap_chain, true},
+    {"fig5a", elt::fixtures::fig5a_shared_walk, true},
+    {"fig5b", elt::fixtures::fig5b_invlpg_forces_walk, true},
+    {"fig6", elt::fixtures::fig6_remap_disambiguation, true},
+    {"fig8", elt::fixtures::fig8_non_minimal_mcm, false},
+    {"fig10a", elt::fixtures::fig10a_ptwalk2, true},
+    {"fig10b", elt::fixtures::fig10b_dirtybit3, true},
+    {"fig11", elt::fixtures::fig11_new_elt, true},
+};
+
+class FixtureProperty : public ::testing::TestWithParam<FixtureCase> {};
+
+TEST_P(FixtureProperty, WellFormed)
+{
+    const auto& param = GetParam();
+    const Execution e = param.make();
+    const auto d = elt::derive(e, {param.vm});
+    EXPECT_TRUE(d.well_formed)
+        << (d.problems.empty() ? "" : d.problems[0]);
+}
+
+TEST_P(FixtureProperty, XmlRoundTripPreservesVerdict)
+{
+    const auto& param = GetParam();
+    const Execution e = param.make();
+    const mtm::Model model = param.vm ? mtm::x86t_elt() : mtm::x86tso();
+    const auto parsed = elt::execution_from_xml(elt::execution_to_xml(e));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(model.violated_axioms(e), model.violated_axioms(*parsed));
+}
+
+TEST_P(FixtureProperty, CanonicalKeyInvariantUnderThreadOrder)
+{
+    const auto& param = GetParam();
+    const elt::Program p = param.make().program;
+    const std::string key = synth::canonical_key(p);
+    // The key equals the minimum over all thread orders by construction;
+    // every per-order serialization must be >= it.
+    util::for_each_permutation(
+        p.num_threads(), [&](const std::vector<int>& order) {
+            EXPECT_GE(synth::serialize_with_thread_order(p, order), key);
+            return true;
+        });
+}
+
+TEST_P(FixtureProperty, PrinterCoversAllEvents)
+{
+    const auto& param = GetParam();
+    const elt::Program p = param.make().program;
+    const std::string table = elt::program_to_string(p);
+    for (elt::EventId id = 0; id < p.num_events(); ++id) {
+        const std::string rendered = elt::event_to_string(id, p.event(id));
+        EXPECT_NE(table.find(rendered), std::string::npos)
+            << "missing " << rendered;
+    }
+}
+
+TEST_P(FixtureProperty, DotOutputSyntacticallyPlausible)
+{
+    const auto& param = GetParam();
+    const Execution e = param.make();
+    const auto d = elt::derive(e, {param.vm});
+    ASSERT_TRUE(d.well_formed);
+    const std::string dot = elt::execution_to_dot(e, d);
+    EXPECT_NE(dot.find("digraph"), std::string::npos);
+    EXPECT_EQ(std::count(dot.begin(), dot.end(), '{'),
+              std::count(dot.begin(), dot.end(), '}'));
+}
+
+TEST_P(FixtureProperty, RelaxationsPreserveEventCountBudget)
+{
+    const auto& param = GetParam();
+    const Execution e = param.make();
+    for (const auto& relaxation : mtm::applicable_relaxations(e.program)) {
+        const Execution relaxed =
+            mtm::apply_relaxation(e, relaxation, param.vm);
+        EXPECT_LE(relaxed.program.num_events(), e.program.num_events());
+        if (relaxation.kind == mtm::Relaxation::Kind::kDropRmw) {
+            EXPECT_EQ(relaxed.program.num_events(), e.program.num_events());
+        } else {
+            EXPECT_LT(relaxed.program.num_events(), e.program.num_events());
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFixtures, FixtureProperty,
+                         ::testing::ValuesIn(kFixtures),
+                         [](const auto& info) {
+                             return std::string(info.param.name);
+                         });
+
+// ---------------------------------------------------------------------------
+// Per-axiom synthesis invariants.
+// ---------------------------------------------------------------------------
+
+class AxiomSuiteProperty : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AxiomSuiteProperty, SuiteMembersSatisfySpanningCriteria)
+{
+    const std::string axiom = GetParam();
+    const mtm::Model model = mtm::x86t_elt();
+    synth::SynthesisOptions opt;
+    opt.min_bound = 4;
+    opt.bound = axiom == "rmw_atomicity" ? 7 : 5;
+    opt.max_threads = 2;
+    opt.max_vas = 2;
+    const auto suite = synth::synthesize_suite(model, axiom, opt);
+    std::set<std::string> keys;
+    for (const auto& test : suite.tests) {
+        // Unique canonical keys.
+        EXPECT_TRUE(keys.insert(test.canonical_key).second);
+        // Within bound.
+        EXPECT_LE(test.size, opt.bound);
+        EXPECT_GE(test.size, opt.min_bound);
+        // Violates the target axiom.
+        EXPECT_NE(std::find(test.violated.begin(), test.violated.end(), axiom),
+                  test.violated.end());
+        // Witness judged interesting + minimal.
+        const auto verdict = synth::judge(model, test.witness);
+        EXPECT_TRUE(verdict.interesting);
+        EXPECT_TRUE(verdict.minimal) << verdict.blocking_relaxation;
+        // Witness structurally valid and well-formed.
+        EXPECT_TRUE(test.witness.program.validate().empty());
+        EXPECT_TRUE(elt::derive(test.witness).well_formed);
+    }
+}
+
+TEST_P(AxiomSuiteProperty, EveryRelaxationOfEveryMemberIsPermitted)
+{
+    const std::string axiom = GetParam();
+    const mtm::Model model = mtm::x86t_elt();
+    synth::SynthesisOptions opt;
+    opt.min_bound = 4;
+    opt.bound = axiom == "rmw_atomicity" ? 7 : 5;
+    const auto suite = synth::synthesize_suite(model, axiom, opt);
+    for (const auto& test : suite.tests) {
+        for (const auto& relaxation :
+             mtm::applicable_relaxations(test.witness.program)) {
+            const Execution relaxed =
+                mtm::apply_relaxation(test.witness, relaxation);
+            if (relaxed.program.num_events() == 0) {
+                continue;
+            }
+            EXPECT_TRUE(model.violated_axioms(relaxed).empty())
+                << axiom << ": relaxation '"
+                << relaxation.describe(test.witness.program)
+                << "' should be permitted";
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAxioms, AxiomSuiteProperty,
+                         ::testing::ValuesIn(mtm::x86t_elt_axiom_names()),
+                         [](const auto& info) { return info.param; });
+
+// ---------------------------------------------------------------------------
+// Skeleton sweep invariants.
+// ---------------------------------------------------------------------------
+
+class SkeletonSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SkeletonSweep, GeneratedProgramsValidateAndAdmitExecutions)
+{
+    synth::SkeletonOptions opt;
+    opt.num_events = GetParam();
+    opt.max_threads = 2;
+    opt.max_vas = 2;
+    int programs = 0;
+    int with_executions = 0;
+    synth::for_each_skeleton(opt, [&](const elt::Program& p) {
+        EXPECT_TRUE(p.validate().empty());
+        EXPECT_EQ(p.num_events(), GetParam());
+        bool any = false;
+        synth::for_each_execution(p, true, [&](const Execution& e) {
+            const auto d = elt::derive(e);
+            EXPECT_TRUE(d.well_formed)
+                << (d.problems.empty() ? "" : d.problems[0]);
+            any = true;
+            return false;
+        });
+        ++programs;
+        with_executions += any ? 1 : 0;
+        return programs < 400;  // sample cap keeps the sweep fast
+    });
+    EXPECT_GT(programs, 0);
+    // Every generated skeleton admits at least one well-formed execution
+    // (the placement rules guarantee translation sources exist).
+    EXPECT_EQ(with_executions, programs);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, SkeletonSweep, ::testing::Values(3, 4, 5, 6),
+                         [](const auto& info) {
+                             return "bound" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace transform

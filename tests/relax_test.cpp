@@ -1,0 +1,197 @@
+/// \file
+/// Unit tests for the relaxation engine (section IV-B removal groups).
+#include <gtest/gtest.h>
+
+#include "elt/derive.h"
+#include "elt/fixtures.h"
+#include "mtm/model.h"
+#include "mtm/relax.h"
+
+namespace transform::mtm {
+namespace {
+
+using elt::EventId;
+using elt::EventKind;
+using elt::Execution;
+using elt::kNone;
+
+TEST(Relax, ApplicableRelaxationCounts)
+{
+    // ptwalk2: WPTE0, INVLPG1 (remap-invoked), R2, Rptw3.
+    const Execution e = elt::fixtures::fig10a_ptwalk2();
+    const auto relaxations = applicable_relaxations(e.program);
+    // Removable: WPTE0 (with its INVLPG), R2 (with its walk). The
+    // remap-invoked INVLPG and the ghost walk are not separately removable.
+    EXPECT_EQ(relaxations.size(), 2u);
+}
+
+TEST(Relax, SpuriousInvlpgIsRemovableAlone)
+{
+    const Execution e = elt::fixtures::fig5b_invlpg_forces_walk();
+    const auto relaxations = applicable_relaxations(e.program);
+    // R0, INVLPG1 (spurious), R2 are each removable.
+    EXPECT_EQ(relaxations.size(), 3u);
+    bool has_spurious = false;
+    for (const auto& r : relaxations) {
+        has_spurious = has_spurious ||
+                       r.kind == Relaxation::Kind::kRemoveSpuriousInvlpg;
+    }
+    EXPECT_TRUE(has_spurious);
+}
+
+TEST(Relax, RemoveWpteRemovesItsInvlpgs)
+{
+    const Execution e = elt::fixtures::fig11_new_elt();
+    // Find the Wpte relaxation.
+    for (const auto& r : applicable_relaxations(e.program)) {
+        if (r.kind != Relaxation::Kind::kRemoveWpte) {
+            continue;
+        }
+        const Execution relaxed = apply_relaxation(e, r);
+        // WPTE0 + INVLPG1 + INVLPG2 gone: R3 and its walk remain.
+        EXPECT_EQ(relaxed.program.num_events(), 2);
+        EXPECT_TRUE(relaxed.program.validate().empty());
+        const auto d = elt::derive(relaxed);
+        EXPECT_TRUE(d.well_formed);
+        EXPECT_TRUE(x86t_elt().permits(relaxed));
+    }
+}
+
+TEST(Relax, RemoveUserEventRemovesGhosts)
+{
+    const Execution e = elt::fixtures::fig10a_ptwalk2();
+    for (const auto& r : applicable_relaxations(e.program)) {
+        if (r.kind != Relaxation::Kind::kRemoveUserEvent) {
+            continue;
+        }
+        const Execution relaxed = apply_relaxation(e, r);
+        // R2 and Rptw3 both go; WPTE0 + INVLPG1 remain.
+        EXPECT_EQ(relaxed.program.num_events(), 2);
+        EXPECT_TRUE(elt::derive(relaxed).well_formed);
+    }
+}
+
+TEST(Relax, WalkReparentsToSurvivingUser)
+{
+    // Fig 5a: R0 (with walk) and R1 (hit). Removing R0 must keep the walk,
+    // re-parented to R1.
+    const Execution e = elt::fixtures::fig5a_shared_walk();
+    const auto relaxations = applicable_relaxations(e.program);
+    for (const auto& r : relaxations) {
+        if (r.kind != Relaxation::Kind::kRemoveUserEvent || r.target != 0) {
+            continue;
+        }
+        const Execution relaxed = apply_relaxation(e, r);
+        EXPECT_EQ(relaxed.program.num_events(), 2);  // R1 + the walk
+        int walks = 0;
+        for (EventId id = 0; id < relaxed.program.num_events(); ++id) {
+            if (relaxed.program.event(id).kind == EventKind::kRptw) {
+                ++walks;
+                EXPECT_NE(relaxed.program.event(id).parent, kNone);
+            }
+        }
+        EXPECT_EQ(walks, 1);
+        EXPECT_TRUE(elt::derive(relaxed).well_formed);
+    }
+}
+
+TEST(Relax, ReadSourcedByRemovedWriteFallsBackToInit)
+{
+    const Execution e = elt::fixtures::fig2a_sb_mcm();
+    // Remove W2 (the write R1 reads from).
+    const Execution relaxed = remove_events(e, {2});
+    EXPECT_EQ(relaxed.program.num_events(), 3);
+    for (EventId id = 0; id < relaxed.program.num_events(); ++id) {
+        if (relaxed.program.event(id).kind == EventKind::kRead &&
+            relaxed.program.event(id).va == 1) {
+            EXPECT_EQ(relaxed.rf_src[id], kNone);
+        }
+    }
+    EXPECT_TRUE(elt::derive(relaxed, {false}).well_formed);
+}
+
+TEST(Relax, DropRmwKeepsEvents)
+{
+    elt::ProgramBuilder b;
+    b.thread();
+    const EventId r = b.R(0);
+    const EventId rptw = b.rptw(r);
+    const EventId w = b.W(0);
+    const EventId wdb = b.wdb(w);
+    b.rmw(r, w);
+    Execution e = Execution::empty_for(b.build());
+    e.ptw_src[r] = rptw;
+    e.ptw_src[w] = rptw;
+    e.rf_src[rptw] = kNone;
+    e.rf_src[r] = kNone;
+    e.co_pos[w] = 0;
+    e.co_pos[wdb] = 0;
+    ASSERT_TRUE(elt::derive(e).well_formed);
+
+    for (const auto& relax : applicable_relaxations(e.program)) {
+        if (relax.kind != Relaxation::Kind::kDropRmw) {
+            continue;
+        }
+        const Execution relaxed = apply_relaxation(e, relax);
+        EXPECT_EQ(relaxed.program.num_events(), e.program.num_events());
+        EXPECT_TRUE(relaxed.program.rmw_pairs().empty());
+        EXPECT_TRUE(elt::derive(relaxed).well_formed);
+    }
+}
+
+TEST(Relax, AllRelaxationsOfFixturesStayWellFormed)
+{
+    const std::vector<Execution> fixtures = {
+        elt::fixtures::fig2b_sb_elt(),
+        elt::fixtures::fig2c_sb_elt_aliased(),
+        elt::fixtures::fig4_remap_chain(),
+        elt::fixtures::fig6_remap_disambiguation(),
+        elt::fixtures::fig10a_ptwalk2(),
+        elt::fixtures::fig10b_dirtybit3(),
+        elt::fixtures::fig11_new_elt(),
+    };
+    for (const Execution& e : fixtures) {
+        for (const auto& relax : applicable_relaxations(e.program)) {
+            const Execution relaxed = apply_relaxation(e, relax);
+            if (relaxed.program.num_events() == 0) {
+                continue;
+            }
+            const auto d = elt::derive(relaxed);
+            EXPECT_TRUE(d.well_formed)
+                << relax.describe(e.program) << ": "
+                << (d.problems.empty() ? "" : d.problems[0]);
+        }
+    }
+}
+
+TEST(Relax, CascadeRemovesDanglingSpuriousInvlpg)
+{
+    // fig5b: R0, INVLPG1 (spurious), R2. Removing R2 leaves the INVLPG with
+    // no later same-VA access; the cascade must delete it too.
+    const Execution e = elt::fixtures::fig5b_invlpg_forces_walk();
+    elt::EventId r2 = kNone;
+    for (EventId id = 0; id < e.program.num_events(); ++id) {
+        if (e.program.event(id).kind == EventKind::kRead &&
+            e.program.position_of(id) == 2) {
+            r2 = id;
+        }
+    }
+    ASSERT_NE(r2, kNone);
+    const Execution relaxed = remove_events(e, {r2});
+    for (EventId id = 0; id < relaxed.program.num_events(); ++id) {
+        EXPECT_NE(relaxed.program.event(id).kind, EventKind::kInvlpg);
+    }
+    EXPECT_TRUE(elt::derive(relaxed).well_formed);
+}
+
+TEST(Relax, DescribeMentionsTarget)
+{
+    const Execution e = elt::fixtures::fig10a_ptwalk2();
+    const auto relaxations = applicable_relaxations(e.program);
+    for (const auto& r : relaxations) {
+        EXPECT_FALSE(r.describe(e.program).empty());
+    }
+}
+
+}  // namespace
+}  // namespace transform::mtm

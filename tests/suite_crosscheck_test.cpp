@@ -1,0 +1,114 @@
+/// \file
+/// Cross-checks on the reconstructed hand-written suite: for a sample of
+/// its programs, the SAT/relational backend and the explicit evaluator must
+/// agree axiom-by-axiom on whether a violating execution exists, and the
+/// comparison tool's category assignments must be reproducible from
+/// first principles.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "compare/compare.h"
+#include "elt/derive.h"
+#include "mtm/encoding.h"
+#include "mtm/model.h"
+#include "synth/exec_enum.h"
+#include "synth/minimality.h"
+
+namespace transform {
+namespace {
+
+using compare::HandwrittenElt;
+
+/// Programs small enough for exhaustive SAT enumeration in a unit test.
+std::vector<HandwrittenElt>
+small_suite_sample()
+{
+    std::vector<HandwrittenElt> out;
+    for (const HandwrittenElt& test : compare::coatcheck_suite()) {
+        if (!test.uses_unsupported_ipi &&
+            test.execution.program.num_events() <= 7) {
+            out.push_back(test);
+        }
+    }
+    return out;
+}
+
+TEST(SuiteCrossCheck, BackendsAgreePerAxiom)
+{
+    const mtm::Model model = mtm::x86t_elt();
+    int checked = 0;
+    for (const HandwrittenElt& test : small_suite_sample()) {
+        mtm::ProgramEncoding encoding(test.execution.program, &model);
+        for (const auto& axiom : model.axioms()) {
+            bool explicit_violation = false;
+            synth::for_each_execution(
+                test.execution.program, true, [&](const elt::Execution& e) {
+                    const auto violated = model.violated_axioms(e);
+                    explicit_violation =
+                        std::find(violated.begin(), violated.end(),
+                                  axiom.name) != violated.end();
+                    return !explicit_violation;
+                });
+            EXPECT_EQ(explicit_violation, encoding.exists_violating(axiom.name))
+                << test.name << " / " << axiom.name;
+        }
+        ++checked;
+    }
+    EXPECT_GE(checked, 8);
+}
+
+TEST(SuiteCrossCheck, FixtureWitnessVerdictMatchesEnumeratedSpace)
+{
+    // The witness outcome stored with each hand-written test must appear in
+    // the enumerated execution space of its program.
+    const mtm::Model model = mtm::x86t_elt();
+    for (const HandwrittenElt& test : small_suite_sample()) {
+        const auto witness_verdict = model.violated_axioms(test.execution);
+        bool found_matching = false;
+        synth::for_each_execution(
+            test.execution.program, true, [&](const elt::Execution& e) {
+                found_matching = model.violated_axioms(e) == witness_verdict;
+                return !found_matching;
+            });
+        EXPECT_TRUE(found_matching) << test.name;
+    }
+}
+
+TEST(SuiteCrossCheck, VerbatimCategoryImpliesMinimalWitnessExists)
+{
+    const mtm::Model model = mtm::x86t_elt();
+    for (const HandwrittenElt& test : small_suite_sample()) {
+        const auto comparison = compare::classify(model, test);
+        bool any_minimal = false;
+        synth::for_each_execution(
+            test.execution.program, true, [&](const elt::Execution& e) {
+                const auto verdict = synth::judge(model, e);
+                any_minimal = verdict.interesting && verdict.minimal;
+                return !any_minimal;
+            });
+        EXPECT_EQ(comparison.category == compare::Category::kVerbatim,
+                  any_minimal)
+            << test.name;
+    }
+}
+
+TEST(SuiteCrossCheck, NotSpanningTestsHaveNoForbiddenReduction)
+{
+    // Spot-check one known not-spanning test end to end: the lone store
+    // admits no forbidden execution at all.
+    const mtm::Model model = mtm::x86t_elt();
+    for (const HandwrittenElt& test : compare::coatcheck_suite()) {
+        if (test.name != "sanity-w1") {
+            continue;
+        }
+        synth::for_each_execution(
+            test.execution.program, true, [&](const elt::Execution& e) {
+                EXPECT_TRUE(model.violated_axioms(e).empty());
+                return true;
+            });
+    }
+}
+
+}  // namespace
+}  // namespace transform

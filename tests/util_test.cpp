@@ -1,0 +1,167 @@
+/// \file
+/// Unit tests for the util substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/hash.h"
+#include "util/permutations.h"
+#include "util/stopwatch.h"
+#include "util/strings.h"
+
+namespace transform::util {
+namespace {
+
+TEST(Strings, JoinBasics)
+{
+    EXPECT_EQ(join({}, ","), "");
+    EXPECT_EQ(join({"a"}, ","), "a");
+    EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(Strings, SplitKeepsEmptyFields)
+{
+    const auto parts = split("a,,b", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[1], "");
+    EXPECT_EQ(parts[2], "b");
+}
+
+TEST(Strings, SplitSingleToken)
+{
+    const auto parts = split("abc", ',');
+    ASSERT_EQ(parts.size(), 1u);
+    EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Strings, Trim)
+{
+    EXPECT_EQ(trim("  x  "), "x");
+    EXPECT_EQ(trim("\t\n x y \n"), "x y");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, StartsWith)
+{
+    EXPECT_TRUE(starts_with("abcdef", "abc"));
+    EXPECT_TRUE(starts_with("abc", ""));
+    EXPECT_FALSE(starts_with("ab", "abc"));
+}
+
+TEST(Strings, XmlEscape)
+{
+    EXPECT_EQ(xml_escape("a<b>&\"'"), "a&lt;b&gt;&amp;&quot;&apos;");
+    EXPECT_EQ(xml_escape("plain"), "plain");
+}
+
+TEST(Strings, PadRight)
+{
+    EXPECT_EQ(pad_right("ab", 4), "ab  ");
+    EXPECT_EQ(pad_right("abcd", 2), "abcd");
+}
+
+TEST(Permutations, CountsFactorial)
+{
+    int count = 0;
+    for_each_permutation(4, [&](const std::vector<int>&) {
+        ++count;
+        return true;
+    });
+    EXPECT_EQ(count, 24);
+}
+
+TEST(Permutations, EarlyStop)
+{
+    int count = 0;
+    const bool completed = for_each_permutation(4, [&](const std::vector<int>&) {
+        ++count;
+        return count < 5;
+    });
+    EXPECT_FALSE(completed);
+    EXPECT_EQ(count, 5);
+}
+
+TEST(Permutations, PartitionsOfFive)
+{
+    // Partitions of 5 into at most 2 parts: 5, 4+1, 3+2 => 3 of them.
+    int count = 0;
+    for_each_partition(5, 2, [&](const std::vector<int>& parts) {
+        int sum = 0;
+        for (int p : parts) {
+            sum += p;
+        }
+        EXPECT_EQ(sum, 5);
+        ++count;
+    });
+    EXPECT_EQ(count, 3);
+}
+
+TEST(Permutations, SubsetsBySizeVisitsAll)
+{
+    std::set<std::vector<int>> seen;
+    for_each_subset_by_size(3, [&](const std::vector<int>& subset) {
+        seen.insert(subset);
+        return true;
+    });
+    EXPECT_EQ(seen.size(), 7u);  // 2^3 - 1 non-empty subsets
+}
+
+TEST(Permutations, SubsetsSmallestFirst)
+{
+    std::vector<std::size_t> sizes;
+    for_each_subset_by_size(3, [&](const std::vector<int>& subset) {
+        sizes.push_back(subset.size());
+        return true;
+    });
+    EXPECT_TRUE(std::is_sorted(sizes.begin(), sizes.end()));
+}
+
+TEST(Hash, CombineChangesSeed)
+{
+    std::size_t a = 0;
+    hash_combine(a, 1);
+    std::size_t b = 0;
+    hash_combine(b, 2);
+    EXPECT_NE(a, b);
+}
+
+TEST(Hash, RangeOrderSensitive)
+{
+    const std::vector<int> v1{1, 2, 3};
+    const std::vector<int> v2{3, 2, 1};
+    EXPECT_NE(hash_range(v1), hash_range(v2));
+}
+
+TEST(Stopwatch, MeasuresNonNegative)
+{
+    Stopwatch w;
+    EXPECT_GE(w.elapsed_seconds(), 0.0);
+    w.restart();
+    EXPECT_GE(w.elapsed_ms(), 0.0);
+}
+
+TEST(Deadline, UnlimitedNeverExpires)
+{
+    Deadline d(0.0);
+    EXPECT_FALSE(d.expired());
+    EXPECT_TRUE(std::isinf(d.remaining_seconds()));
+}
+
+TEST(Deadline, TinyBudgetExpires)
+{
+    Deadline d(1e-9);
+    // Busy-wait a moment.
+    int sink = 0;
+    for (int i = 0; i < 100000; ++i) {
+        sink += i;
+    }
+    EXPECT_NE(sink, -1);  // keep the loop observable
+    EXPECT_TRUE(d.expired());
+    EXPECT_EQ(d.remaining_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace transform::util

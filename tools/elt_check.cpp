@@ -1,0 +1,150 @@
+/// \file
+/// elt_check — judge ELT files against a transistency model.
+///
+/// Reads a test (litmus text for a program, or XML for a full candidate
+/// execution), derives its relations and reports the verdict. For litmus
+/// input (no witnesses), enumerates the program's execution space and
+/// reports how many outcomes are permitted/forbidden and which axioms can
+/// be violated — i.e. whether the test can expose forbidden behaviour.
+///
+///   elt_check test.litmus
+///   elt_check --model sc_t_elt execution.xml
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "elt/derive.h"
+#include "elt/litmus.h"
+#include "elt/printer.h"
+#include "elt/serialize.h"
+#include "mtm/model.h"
+#include "synth/exec_enum.h"
+#include "synth/minimality.h"
+
+namespace {
+
+using namespace transform;
+
+mtm::Model
+make_model(const std::string& name)
+{
+    if (name == "x86tso") {
+        return mtm::x86tso();
+    }
+    if (name == "sc_t_elt") {
+        return mtm::sc_t_elt();
+    }
+    return mtm::x86t_elt();
+}
+
+int
+check_program(const mtm::Model& model, const elt::Program& program,
+              const std::string& name)
+{
+    std::printf("test %s:\n%s\n", name.c_str(),
+                elt::program_to_string(program).c_str());
+    int permitted = 0;
+    int forbidden = 0;
+    bool any_minimal = false;
+    std::map<std::string, int> by_axiom;
+    synth::for_each_execution(program, model.vm_aware(),
+                              [&](const elt::Execution& e) {
+                                  const auto violated =
+                                      model.violated_axioms(e);
+                                  if (violated.empty()) {
+                                      ++permitted;
+                                  } else {
+                                      ++forbidden;
+                                      for (const auto& a : violated) {
+                                          ++by_axiom[a];
+                                      }
+                                      const auto verdict =
+                                          synth::judge(model, e);
+                                      any_minimal =
+                                          any_minimal || verdict.minimal;
+                                  }
+                                  return true;
+                              });
+    std::printf("under %s: %d permitted, %d forbidden execution(s)\n",
+                model.name().c_str(), permitted, forbidden);
+    for (const auto& [axiom, count] : by_axiom) {
+        std::printf("  %-16s violable (%d execution(s))\n", axiom.c_str(),
+                    count);
+    }
+    if (forbidden > 0) {
+        std::printf("spanning-set status: %s\n",
+                    any_minimal ? "minimal forbidden outcome exists "
+                                  "(TransForm would synthesize this test)"
+                                : "forbidden but reducible (not minimal)");
+    }
+    return 0;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string model_name = "x86t_elt";
+    std::string path;
+    for (int i = 1; i < argc; ++i) {
+        const std::string flag = argv[i];
+        if (flag == "--model" && i + 1 < argc) {
+            model_name = argv[++i];
+        } else {
+            path = flag;
+        }
+    }
+    if (path.empty()) {
+        std::fprintf(stderr, "usage: elt_check [--model NAME] <file>\n");
+        return 2;
+    }
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        return 2;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+    const mtm::Model model = make_model(model_name);
+
+    if (text.find("<elt") != std::string::npos) {
+        const auto execution = elt::execution_from_xml(text);
+        if (!execution) {
+            std::fprintf(stderr, "malformed XML in %s\n", path.c_str());
+            return 2;
+        }
+        const auto derived =
+            elt::derive(*execution, model.derive_options());
+        std::printf("%s",
+                    elt::execution_to_string(*execution, derived).c_str());
+        const auto violated = model.violated_axioms(*execution);
+        if (violated.empty()) {
+            std::printf("verdict under %s: PERMITTED\n", model.name().c_str());
+        } else {
+            std::printf("verdict under %s: FORBIDDEN (", model.name().c_str());
+            for (const auto& axiom : violated) {
+                std::printf(" %s", axiom.c_str());
+            }
+            std::printf(" )\n");
+        }
+        return 0;
+    }
+
+    std::string error;
+    const auto parsed = elt::parse_litmus(text, &error);
+    if (!parsed) {
+        std::fprintf(stderr, "%s: %s\n", path.c_str(), error.c_str());
+        return 2;
+    }
+    const auto problems = parsed->program.validate(model.vm_aware());
+    if (!problems.empty()) {
+        std::fprintf(stderr, "%s: invalid program: %s\n", path.c_str(),
+                     problems[0].c_str());
+        return 2;
+    }
+    return check_program(model, parsed->program, parsed->name);
+}

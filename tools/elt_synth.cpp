@@ -1,0 +1,203 @@
+/// \file
+/// elt_synth — the TransForm synthesis pipeline as a command-line tool.
+///
+/// Synthesizes the per-axiom suite(s) of minimal, interesting, unique ELTs
+/// for a model up to an instruction bound and prints them (or writes one
+/// litmus/XML file per test into an output directory).
+///
+///   elt_synth --axiom invlpg --bound 5
+///   elt_synth --model sc_t_elt --all --bound 6 --out suites/
+///   elt_synth --list-axioms
+///
+/// Flags:
+///   --model NAME      x86t_elt (default) | x86tso | sc_t_elt
+///   --axiom NAME      target axiom (default: every axiom, as --all)
+///   --all             synthesize every per-axiom suite
+///   --bound N         instruction bound, ghosts included (default 5)
+///   --threads N       max cores (default 2)
+///   --vas N           max data VAs (default 2)
+///   --budget SECONDS  time budget per suite (default unlimited)
+///   --backend NAME    enum (default) | sat
+///   --out DIR         write <suite>/<n>.litmus and .xml files
+///   --quiet           summary only (no test listings)
+///   --spec            print the model as an Alloy-style module and exit
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "elt/derive.h"
+#include "elt/litmus.h"
+#include "elt/printer.h"
+#include "elt/serialize.h"
+#include "mtm/model.h"
+#include "mtm/spec_printer.h"
+#include "synth/engine.h"
+
+namespace {
+
+using namespace transform;
+
+struct Args {
+    std::string model = "x86t_elt";
+    std::string axiom;
+    bool all = false;
+    int bound = 5;
+    int threads = 2;
+    int vas = 2;
+    double budget = 0;
+    std::string backend = "enum";
+    std::string out_dir;
+    bool quiet = false;
+    bool list_axioms = false;
+    bool emit_spec = false;
+};
+
+mtm::Model
+make_model(const std::string& name)
+{
+    if (name == "x86tso") {
+        return mtm::x86tso();
+    }
+    if (name == "sc_t_elt") {
+        return mtm::sc_t_elt();
+    }
+    return mtm::x86t_elt();
+}
+
+int
+run_suite(const mtm::Model& model, const std::string& axiom, const Args& args)
+{
+    synth::SynthesisOptions options;
+    options.min_bound = model.vm_aware() ? 4 : 2;
+    options.bound = args.bound;
+    options.max_threads = args.threads;
+    options.max_vas = args.vas;
+    options.time_budget_seconds = args.budget;
+    options.backend = args.backend == "sat" ? synth::Backend::kSat
+                                            : synth::Backend::kEnumerative;
+    const synth::SuiteResult suite =
+        synth::synthesize_suite(model, axiom, options);
+
+    std::printf("[%s / %s] %zu unique minimal ELTs "
+                "(%llu programs, %llu executions, %.2fs%s)\n",
+                model.name().c_str(), axiom.c_str(), suite.tests.size(),
+                static_cast<unsigned long long>(suite.programs_considered),
+                static_cast<unsigned long long>(suite.executions_considered),
+                suite.seconds, suite.complete ? "" : ", budget hit");
+
+    for (std::size_t i = 0; i < suite.tests.size(); ++i) {
+        const auto& test = suite.tests[i];
+        const std::string name =
+            axiom + "_" + std::to_string(i + 1);
+        if (!args.quiet) {
+            std::printf("\n--- %s (%d instructions; violates:", name.c_str(),
+                        test.size);
+            for (const auto& v : test.violated) {
+                std::printf(" %s", v.c_str());
+            }
+            std::printf(") ---\n%s",
+                        elt::program_to_litmus(test.witness.program, name)
+                            .c_str());
+        }
+        if (!args.out_dir.empty()) {
+            namespace fs = std::filesystem;
+            const fs::path dir = fs::path(args.out_dir) / axiom;
+            std::error_code ec;
+            fs::create_directories(dir, ec);
+            if (ec) {
+                std::fprintf(stderr, "cannot create %s: %s\n",
+                             dir.string().c_str(), ec.message().c_str());
+                return 1;
+            }
+            std::ofstream litmus(dir / (name + ".litmus"));
+            litmus << elt::program_to_litmus(test.witness.program, name);
+            std::ofstream xml(dir / (name + ".xml"));
+            xml << elt::execution_to_xml(test.witness, name);
+        }
+    }
+    if (!args.quiet) {
+        std::printf("\n");
+    }
+    return 0;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    Args args;
+    for (int i = 1; i < argc; ++i) {
+        const std::string flag = argv[i];
+        auto value = [&]() -> const char* {
+            return i + 1 < argc ? argv[++i] : "";
+        };
+        if (flag == "--model") {
+            args.model = value();
+        } else if (flag == "--axiom") {
+            args.axiom = value();
+        } else if (flag == "--all") {
+            args.all = true;
+        } else if (flag == "--bound") {
+            args.bound = std::atoi(value());
+        } else if (flag == "--threads") {
+            args.threads = std::atoi(value());
+        } else if (flag == "--vas") {
+            args.vas = std::atoi(value());
+        } else if (flag == "--budget") {
+            args.budget = std::atof(value());
+        } else if (flag == "--backend") {
+            args.backend = value();
+        } else if (flag == "--out") {
+            args.out_dir = value();
+        } else if (flag == "--quiet") {
+            args.quiet = true;
+        } else if (flag == "--list-axioms") {
+            args.list_axioms = true;
+        } else if (flag == "--spec") {
+            args.emit_spec = true;
+        } else {
+            std::fprintf(stderr, "unknown flag '%s' (see the file header "
+                         "for usage)\n", flag.c_str());
+            return 2;
+        }
+    }
+
+    const mtm::Model model = make_model(args.model);
+    if (args.emit_spec) {
+        std::printf("%s", mtm::model_to_alloy(model).c_str());
+        return 0;
+    }
+    if (args.list_axioms) {
+        std::printf("%s axioms:\n", model.name().c_str());
+        for (const auto& axiom : model.axioms()) {
+            std::printf("  %-16s %s\n", axiom.name.c_str(),
+                        axiom.description.c_str());
+        }
+        return 0;
+    }
+
+    std::vector<std::string> axioms;
+    if (!args.axiom.empty()) {
+        if (model.axiom(args.axiom) == nullptr) {
+            std::fprintf(stderr, "model %s has no axiom '%s'\n",
+                         model.name().c_str(), args.axiom.c_str());
+            return 2;
+        }
+        axioms.push_back(args.axiom);
+    } else {
+        for (const auto& axiom : model.axioms()) {
+            axioms.push_back(axiom.name);
+        }
+    }
+    for (const auto& axiom : axioms) {
+        const int rc = run_suite(model, axiom, args);
+        if (rc != 0) {
+            return rc;
+        }
+    }
+    return 0;
+}
