@@ -1,0 +1,90 @@
+/// \file
+/// Parallel-scaling bench for the synthesis runtime: wall time of the full
+/// per-axiom suite sweep at 1/2/4/8 scheduler jobs on the fixture MTMs,
+/// reporting speedup over the sequential (jobs=1) run. The paper's Alloy
+/// pipeline took a week single-threaded at bound 11; the point of the
+/// work-stealing runtime is that added cores translate into wall-clock
+/// speedup while the synthesized suite stays bit-identical.
+///
+/// Knobs: TRANSFORM_SCALING_BOUND (default 6), TRANSFORM_SCALING_MODEL
+/// (x86t_elt | x86tso, default x86t_elt).
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "mtm/model.h"
+#include "synth/engine.h"
+#include "util/stopwatch.h"
+
+int
+main()
+{
+    using namespace transform;
+    const int bound = bench::env_int("TRANSFORM_SCALING_BOUND", 6);
+    const char* model_env = std::getenv("TRANSFORM_SCALING_MODEL");
+    const bool use_tso =
+        model_env != nullptr && std::strcmp(model_env, "x86tso") == 0;
+    const mtm::Model model = use_tso ? mtm::x86tso() : mtm::x86t_elt();
+    const unsigned hw = std::thread::hardware_concurrency();
+
+    bench::banner("parallel_scaling",
+                  "synthesis-loop scaling (TransForm section IV at scale)",
+                  "suite sweep speeds up with scheduler jobs; suites are "
+                  "identical at every job count");
+    std::printf("model %s, bounds %d..%d, %u hardware thread(s)\n\n",
+                model.name().c_str(), model.vm_aware() ? 4 : 2, bound, hw);
+
+    const std::vector<int> job_counts = {1, 2, 4, 8};
+    std::vector<double> seconds;
+    std::vector<int> test_counts;
+    std::printf("%8s %12s %10s %9s %9s %10s\n", "jobs", "wall (s)",
+                "speedup", "tests", "shards", "steals");
+    for (const int jobs : job_counts) {
+        synth::SynthesisOptions opt;
+        opt.min_bound = model.vm_aware() ? 4 : 2;
+        opt.bound = bound;
+        opt.jobs = jobs;
+        util::Stopwatch watch;
+        const auto suites = synth::synthesize_all(model, opt);
+        const double elapsed = watch.elapsed_seconds();
+        seconds.push_back(elapsed);
+        test_counts.push_back(synth::unique_test_count(suites));
+        std::uint64_t steals = 0;
+        std::uint64_t shard_jobs = 0;
+        for (const auto& suite : suites) {
+            steals += suite.scheduler.steals;
+            shard_jobs += suite.scheduler.jobs_run;
+        }
+        std::printf("%8d %12.3f %9.2fx %9d %9llu %10llu\n", jobs, elapsed,
+                    seconds.front() / elapsed, test_counts.back(),
+                    static_cast<unsigned long long>(shard_jobs),
+                    static_cast<unsigned long long>(steals));
+    }
+    std::printf("\n");
+
+    bool ok = true;
+    for (std::size_t i = 1; i < job_counts.size(); ++i) {
+        ok = bench::check(
+                 ("suite identical at jobs=" +
+                  std::to_string(job_counts[i]))
+                     .c_str(),
+                 test_counts[i] == test_counts.front()) &&
+             ok;
+    }
+    // Speedup needs cores to scale onto; the determinism checks above run
+    // everywhere, the throughput check only where 4 workers can actually
+    // run in parallel.
+    const double speedup4 = seconds[0] / seconds[2];
+    if (hw >= 4) {
+        ok = bench::check(">= 2x speedup at 4 jobs", speedup4 >= 2.0) && ok;
+    } else {
+        std::printf("  [SKIP] >= 2x speedup at 4 jobs (needs >= 4 hardware "
+                    "threads, have %u; measured %.2fx)\n",
+                    hw, speedup4);
+    }
+    std::printf("\nparallel_scaling overall: %s\n", ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,182 @@
+#include "sched/scheduler.h"
+
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "util/logging.h"
+
+namespace transform::sched {
+
+void
+SchedulerStats::merge(const SchedulerStats& other)
+{
+    workers = std::max(workers, other.workers);
+    jobs_run += other.jobs_run;
+    steals += other.steals;
+    jobs_stolen += other.jobs_stolen;
+    dedup_hits += other.dedup_hits;
+}
+
+int
+resolve_jobs(int jobs)
+{
+    if (jobs > 0) {
+        return jobs;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+struct WorkStealingPool::Impl {
+    /// One worker's deque. The owner pops from the front (batch order);
+    /// thieves take from the back, so the two ends only contend when the
+    /// deque is nearly empty — and a plain mutex per deque is then cheap,
+    /// because jobs are coarse (each one is a whole skeleton-shard search).
+    struct WorkerQueue {
+        std::mutex mu;
+        std::deque<Job> jobs;
+    };
+
+    explicit Impl(int workers)
+        : queues(static_cast<std::size_t>(workers))
+    {
+    }
+
+    /// Jobs seeded or stolen but not yet finished. Workers exit when this
+    /// reaches zero; transfers between deques leave it unchanged, so a
+    /// momentarily-empty deque during a steal cannot trigger early exit.
+    std::atomic<std::uint64_t> remaining{0};
+    std::atomic<std::uint64_t> jobs_run{0};
+    std::atomic<std::uint64_t> steals{0};
+    std::atomic<std::uint64_t> jobs_stolen{0};
+    std::vector<WorkerQueue> queues;
+
+    bool
+    pop_own(int self, Job* out)
+    {
+        WorkerQueue& q = queues[static_cast<std::size_t>(self)];
+        std::lock_guard<std::mutex> lock(q.mu);
+        if (q.jobs.empty()) {
+            return false;
+        }
+        *out = std::move(q.jobs.front());
+        q.jobs.pop_front();
+        return true;
+    }
+
+    /// Steals the back half of the fullest victim's deque into our own,
+    /// then pops one job from it. Returns false when every deque is empty.
+    bool
+    steal(int self, Job* out)
+    {
+        const std::size_t n = queues.size();
+        for (std::size_t hop = 1; hop < n; ++hop) {
+            const std::size_t victim =
+                (static_cast<std::size_t>(self) + hop) % n;
+            std::deque<Job> loot;
+            {
+                WorkerQueue& q = queues[victim];
+                std::lock_guard<std::mutex> lock(q.mu);
+                const std::size_t take = (q.jobs.size() + 1) / 2;
+                for (std::size_t i = 0; i < take; ++i) {
+                    loot.push_front(std::move(q.jobs.back()));
+                    q.jobs.pop_back();
+                }
+            }
+            if (loot.empty()) {
+                continue;
+            }
+            steals.fetch_add(1, std::memory_order_relaxed);
+            jobs_stolen.fetch_add(loot.size(), std::memory_order_relaxed);
+            *out = std::move(loot.front());
+            loot.pop_front();
+            if (!loot.empty()) {
+                WorkerQueue& mine = queues[static_cast<std::size_t>(self)];
+                std::lock_guard<std::mutex> lock(mine.mu);
+                for (Job& job : loot) {
+                    mine.jobs.push_back(std::move(job));
+                }
+            }
+            return true;
+        }
+        return false;
+    }
+
+    void
+    work(int self)
+    {
+        Job job;
+        // Backoff while out of work: jobs exist but are all in flight (or
+        // mid-transfer) and nothing spawns new ones. A shard's tail can run
+        // for minutes, so idle workers must not burn a core — back off
+        // exponentially to a bounded sleep instead of spinning on yield.
+        std::chrono::microseconds backoff{0};
+        constexpr std::chrono::microseconds kMaxBackoff{2000};
+        while (remaining.load(std::memory_order_acquire) > 0) {
+            if (pop_own(self, &job) || steal(self, &job)) {
+                backoff = std::chrono::microseconds{0};
+                job(self);
+                job = nullptr;
+                jobs_run.fetch_add(1, std::memory_order_relaxed);
+                remaining.fetch_sub(1, std::memory_order_acq_rel);
+            } else if (backoff.count() == 0) {
+                std::this_thread::yield();
+                backoff = std::chrono::microseconds{50};
+            } else {
+                std::this_thread::sleep_for(backoff);
+                backoff = std::min(backoff * 2, kMaxBackoff);
+            }
+        }
+    }
+};
+
+WorkStealingPool::WorkStealingPool(int workers)
+    : impl_(new Impl(resolve_jobs(workers)))
+{
+}
+
+WorkStealingPool::~WorkStealingPool() { delete impl_; }
+
+int
+WorkStealingPool::workers() const
+{
+    return static_cast<int>(impl_->queues.size());
+}
+
+SchedulerStats
+WorkStealingPool::stats() const
+{
+    SchedulerStats stats;
+    stats.workers = workers();
+    stats.jobs_run = impl_->jobs_run.load();
+    stats.steals = impl_->steals.load();
+    stats.jobs_stolen = impl_->jobs_stolen.load();
+    return stats;
+}
+
+void
+WorkStealingPool::run_batch(std::vector<Job> jobs)
+{
+    TF_ASSERT(impl_->remaining.load() == 0);
+    if (jobs.empty()) {
+        return;
+    }
+    const std::size_t n = impl_->queues.size();
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        impl_->queues[i % n].jobs.push_back(std::move(jobs[i]));
+    }
+    impl_->remaining.store(jobs.size(), std::memory_order_release);
+    std::vector<std::jthread> threads;
+    threads.reserve(n);
+    for (std::size_t w = 0; w < n; ++w) {
+        threads.emplace_back(
+            [this, w] { impl_->work(static_cast<int>(w)); });
+    }
+    // std::jthread joins on destruction; run_batch returns once every
+    // worker has observed remaining == 0, i.e. the batch is complete.
+}
+
+}  // namespace transform::sched

@@ -1,0 +1,74 @@
+/// \file
+/// Work-stealing thread-pool scheduler for the parallel synthesis runtime
+/// (see DESIGN.md, "Parallel synthesis runtime").
+///
+/// The synthesis engine shards its search space into coarse, independent
+/// jobs (one per (event-bound, skeleton-prefix) slice) and hands the batch
+/// to a WorkStealingPool. Each worker owns a deque seeded round-robin;
+/// workers drain their own deque front-to-back and, when empty, steal the
+/// back half of a victim's deque. Jobs never spawn jobs, so the pool runs a
+/// batch to completion and the workers (std::jthread) exit on their own.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace transform::sched {
+
+/// Aggregate counters for one scheduled batch (the scheduler analogue of
+/// sat::SolverStats). The pool fills the scheduling fields; the synthesis
+/// engine adds the dedup-index field before surfacing the struct through
+/// SuiteResult and `elt_synth --stats`.
+struct SchedulerStats {
+    int workers = 0;                 ///< worker threads used for the batch
+    std::uint64_t jobs_run = 0;      ///< jobs executed across all workers
+    std::uint64_t steals = 0;        ///< successful steal operations
+    std::uint64_t jobs_stolen = 0;   ///< jobs migrated by those steals
+    std::uint64_t dedup_hits = 0;    ///< duplicate keys seen by the index
+
+    /// Accumulates another batch's counters (per-suite totals in
+    /// synthesize_all; workers takes the maximum).
+    void merge(const SchedulerStats& other);
+};
+
+/// Resolves a user-facing jobs knob: any non-positive value means "one
+/// worker per hardware thread".
+int resolve_jobs(int jobs);
+
+/// A single-shot batch scheduler with per-worker deques and steal-half
+/// balancing. Construct with a worker count, submit one batch with
+/// run_batch(), read stats(). The pool is not reusable across batches —
+/// the synthesis engine builds one per suite, which keeps the lifetime
+/// rules trivial (no idle thread parking, no task-spawn races).
+class WorkStealingPool {
+  public:
+    /// A job receives the index of the worker executing it.
+    using Job = std::function<void(int worker)>;
+
+    /// Creates a pool that will run batches on \p workers threads
+    /// (resolved via resolve_jobs).
+    explicit WorkStealingPool(int workers);
+    ~WorkStealingPool();
+
+    WorkStealingPool(const WorkStealingPool&) = delete;
+    WorkStealingPool& operator=(const WorkStealingPool&) = delete;
+
+    /// Runs \p jobs to completion. Jobs are seeded round-robin across the
+    /// worker deques in batch order; idle workers steal half a victim's
+    /// remaining jobs at a time. Blocks until every job has finished.
+    void run_batch(std::vector<Job> jobs);
+
+    /// Worker count the pool was built with.
+    int workers() const;
+
+    /// Counters for the batches run so far (dedup_hits stays 0 here; the
+    /// caller owns that field).
+    SchedulerStats stats() const;
+
+  private:
+    struct Impl;
+    Impl* impl_;
+};
+
+}  // namespace transform::sched

@@ -1,0 +1,101 @@
+#include "sched/sharded_index.h"
+
+#include <atomic>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace transform::sched {
+
+struct ShardedKeyIndex::Impl {
+    struct Stripe {
+        mutable std::mutex mu;
+        std::unordered_map<std::string, std::uint64_t> min_by_key;
+    };
+
+    explicit Impl(int stripes)
+        : stripes(static_cast<std::size_t>(stripes < 1 ? 1 : stripes))
+    {
+    }
+
+    Stripe&
+    stripe_for(const std::string& key)
+    {
+        return stripes[std::hash<std::string>{}(key) % stripes.size()];
+    }
+
+    const Stripe&
+    stripe_for(const std::string& key) const
+    {
+        return stripes[std::hash<std::string>{}(key) % stripes.size()];
+    }
+
+    std::vector<Stripe> stripes;
+    std::atomic<std::uint64_t> hits{0};
+};
+
+ShardedKeyIndex::ShardedKeyIndex(int stripes)
+    : impl_(std::make_unique<Impl>(stripes))
+{
+}
+
+ShardedKeyIndex::~ShardedKeyIndex() = default;
+
+ShardedKeyIndex::Claim
+ShardedKeyIndex::record(const std::string& key, std::uint64_t ticket)
+{
+    Impl::Stripe& stripe = impl_->stripe_for(key);
+    Claim claim;
+    {
+        std::lock_guard<std::mutex> lock(stripe.mu);
+        auto [it, inserted] = stripe.min_by_key.emplace(key, ticket);
+        claim.inserted = inserted;
+        if (!inserted && ticket < it->second) {
+            it->second = ticket;
+        }
+        claim.is_min = it->second == ticket;
+        claim.min_ticket = it->second;
+    }
+    if (!claim.inserted) {
+        impl_->hits.fetch_add(1, std::memory_order_relaxed);
+    }
+    return claim;
+}
+
+std::uint64_t
+ShardedKeyIndex::min_ticket(const std::string& key) const
+{
+    const Impl::Stripe& stripe = impl_->stripe_for(key);
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    const auto it = stripe.min_by_key.find(key);
+    TF_ASSERT(it != stripe.min_by_key.end());
+    return it->second;
+}
+
+std::uint64_t
+ShardedKeyIndex::hits() const
+{
+    return impl_->hits.load();
+}
+
+std::size_t
+ShardedKeyIndex::size() const
+{
+    std::size_t total = 0;
+    for (const Impl::Stripe& stripe : impl_->stripes) {
+        std::lock_guard<std::mutex> lock(stripe.mu);
+        total += stripe.min_by_key.size();
+    }
+    return total;
+}
+
+int
+ShardedKeyIndex::stripes() const
+{
+    return static_cast<int>(impl_->stripes.size());
+}
+
+}  // namespace transform::sched

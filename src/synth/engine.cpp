@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <set>
 #include <thread>
+#include <utility>
 
 #include "elt/derive.h"
 #include "mtm/encoding.h"
+#include "sched/scheduler.h"
+#include "sched/sharded_index.h"
 #include "synth/canonical.h"
 #include "synth/exec_enum.h"
 #include "synth/minimality.h"
@@ -19,6 +22,17 @@ using elt::Execution;
 using elt::Program;
 
 namespace {
+
+/// Shards per event bound. Fixed (rather than derived from the worker
+/// count) so the shard list — and with it the candidate tickets — is a pure
+/// function of the options: the same suite falls out for every `jobs`.
+constexpr int kShardsPerBound = 32;
+
+/// Ticket stride between shards: ticket = shard_index * stride + position,
+/// so ticket order across all shards equals the sequential enumeration
+/// order (shards concatenate to the full stream; no shard holds 2^40
+/// candidates).
+constexpr std::uint64_t kTicketStride = std::uint64_t{1} << 40;
 
 /// Static per-axiom pruning flags: structural features a violation of the
 /// axiom necessarily requires. Sound (never prunes a violating program) and
@@ -37,6 +51,92 @@ set_axiom_requirements(const std::string& axiom, SkeletonOptions* skeleton)
     }
 }
 
+/// Builds the per-size skeleton options (shared by both drivers).
+SkeletonOptions
+skeleton_options(const mtm::Model& model, const std::string& axiom_name,
+                 const SynthesisOptions& options, int size)
+{
+    SkeletonOptions skeleton;
+    skeleton.num_events = size;
+    skeleton.max_threads = options.max_threads;
+    skeleton.max_vas = options.max_vas;
+    skeleton.max_fresh_pas = options.max_fresh_pas;
+    skeleton.vm_enabled = model.vm_aware();
+    skeleton.allow_rmw = options.allow_rmw;
+    skeleton.allow_fences = options.allow_fences;
+    skeleton.allow_full_flush = options.allow_full_flush;
+    skeleton.dirty_bit_as_rmw = options.dirty_bit_as_rmw;
+    set_axiom_requirements(axiom_name, &skeleton);
+    return skeleton;
+}
+
+/// Searches \p program's execution space for the first violating,
+/// interesting, minimal witness of \p axiom_name (any one witness suffices:
+/// minimality and dedup are program-level once a forbidden witness exists).
+/// Returns true and fills the out-params when one exists.
+bool
+find_witness(const mtm::Model& model, const std::string& axiom_name,
+             const SynthesisOptions& options, const Program& program,
+             const util::Deadline& deadline, Execution* witness,
+             std::vector<std::string>* witness_violated,
+             std::uint64_t* executions_considered, bool* timed_out)
+{
+    bool accepted = false;
+    auto consider = [&](const Execution& execution) {
+        ++*executions_considered;
+        if (deadline.expired()) {
+            *timed_out = true;
+            return false;
+        }
+        const elt::DerivedRelations derived =
+            elt::derive(execution, model.derive_options());
+        if (!derived.well_formed) {
+            return true;
+        }
+        const std::vector<std::string> violated =
+            model.violated_axioms(program, derived);
+        if (std::find(violated.begin(), violated.end(), axiom_name) ==
+            violated.end()) {
+            return true;
+        }
+        if (!contains_write(program)) {
+            return true;
+        }
+        if (options.require_minimal) {
+            const MinimalityVerdict verdict = judge(model, execution);
+            if (!verdict.minimal) {
+                return true;
+            }
+        }
+        accepted = true;
+        *witness = execution;
+        *witness_violated = violated;
+        return false;  // stop at the first qualifying witness
+    };
+
+    if (options.backend == Backend::kEnumerative) {
+        for_each_execution(program, model.vm_aware(), consider);
+    } else {
+        mtm::ProgramEncoding encoding(program, &model);
+        for (const Execution& execution : encoding.enumerate(axiom_name)) {
+            if (!consider(execution)) {
+                break;
+            }
+        }
+    }
+    return accepted;
+}
+
+/// What one shard job hands back to the merge step.
+struct ShardOutput {
+    std::vector<SynthesizedTest> tests;
+    std::vector<std::uint64_t> tickets;  ///< aligned with tests
+    std::uint64_t programs = 0;
+    std::uint64_t executions = 0;
+    std::uint64_t duplicates = 0;
+    bool timed_out = false;
+};
+
 }  // namespace
 
 SuiteResult
@@ -49,104 +149,106 @@ synthesize_suite(const mtm::Model& model, const std::string& axiom_name,
     util::Stopwatch watch;
     util::Deadline deadline(options.time_budget_seconds);
 
-    std::set<std::string> seen_keys;
-    bool timed_out = false;
+    // Partition the search space by (event bound, skeleton prefix).
+    std::vector<SkeletonShard> shards;
+    for (int size = options.min_bound; size <= options.bound; ++size) {
+        const SkeletonOptions skeleton =
+            skeleton_options(model, axiom_name, options, size);
+        for (SkeletonShard& shard :
+             partition_skeletons(skeleton, kShardsPerBound)) {
+            shards.push_back(std::move(shard));
+        }
+    }
 
-    for (int size = options.min_bound;
-         size <= options.bound && !timed_out; ++size) {
-        SkeletonOptions skeleton;
-        skeleton.num_events = size;
-        skeleton.max_threads = options.max_threads;
-        skeleton.max_vas = options.max_vas;
-        skeleton.max_fresh_pas = options.max_fresh_pas;
-        skeleton.vm_enabled = model.vm_aware();
-        skeleton.allow_rmw = options.allow_rmw;
-        skeleton.allow_fences = options.allow_fences;
-        skeleton.allow_full_flush = options.allow_full_flush;
-        skeleton.dirty_bit_as_rmw = options.dirty_bit_as_rmw;
-        set_axiom_requirements(axiom_name, &skeleton);
-
-        for_each_skeleton(skeleton, [&](const Program& program) {
-            if (deadline.expired()) {
-                timed_out = true;
-                return false;
-            }
-            ++result.programs_considered;
-            if (options.dedup) {
-                // Skip programs already judged (same canonical form) —
-                // isomorphic programs always receive the same verdict.
-                const std::string key = canonical_key(program);
-                if (!seen_keys.insert(key).second) {
-                    ++result.duplicates_rejected;
-                    return true;
-                }
-            }
-
-            // Find a violating, interesting, minimal execution of this
-            // program (any one witness suffices: minimality and dedup are
-            // program-level once a forbidden witness exists).
-            bool accepted = false;
-            std::vector<std::string> witness_violated;
-            Execution witness = Execution::empty_for(program);
-
-            auto consider = [&](const Execution& execution) {
-                ++result.executions_considered;
+    sched::ShardedKeyIndex index;
+    std::vector<ShardOutput> outputs(shards.size());
+    sched::WorkStealingPool pool(options.jobs);
+    std::vector<sched::WorkStealingPool::Job> jobs;
+    jobs.reserve(shards.size());
+    for (std::size_t si = 0; si < shards.size(); ++si) {
+        jobs.push_back([&model, &axiom_name, &options, &deadline, &index,
+                        &outputs, &shards, si](int) {
+            ShardOutput& out = outputs[si];
+            // Per-job Model copy: the axiom closures are stateless, but
+            // keeping workers fully independent costs nothing and avoids
+            // reasoning about shared access.
+            const mtm::Model local(model.name(), model.vm_aware(),
+                                   model.axioms());
+            std::uint64_t next_ticket = kTicketStride * si;
+            for_each_skeleton(shards[si], [&](const Program& program) {
                 if (deadline.expired()) {
-                    timed_out = true;
+                    out.timed_out = true;
                     return false;
                 }
-                const elt::DerivedRelations derived =
-                    elt::derive(execution, model.derive_options());
-                if (!derived.well_formed) {
-                    return true;
-                }
-                const std::vector<std::string> violated =
-                    model.violated_axioms(program, derived);
-                if (std::find(violated.begin(), violated.end(), axiom_name) ==
-                    violated.end()) {
-                    return true;
-                }
-                if (!contains_write(program)) {
-                    return true;
-                }
-                if (options.require_minimal) {
-                    const MinimalityVerdict verdict = judge(model, execution);
-                    if (!verdict.minimal) {
+                const std::uint64_t ticket = next_ticket++;
+                ++out.programs;
+                std::string key;
+                if (options.dedup) {
+                    // Claim the key. Only the holder of the minimum ticket
+                    // evaluates: any earlier candidate with this key is
+                    // isomorphic and receives the same verdict, so its
+                    // owner's result (or rejection) stands for ours.
+                    key = canonical_key(program);
+                    if (!index.record(key, ticket).is_min) {
+                        ++out.duplicates;
                         return true;
                     }
                 }
-                accepted = true;
-                witness = execution;
-                witness_violated = violated;
-                return false;  // stop at the first qualifying witness
-            };
-
-            if (options.backend == Backend::kEnumerative) {
-                for_each_execution(program, model.vm_aware(), consider);
-            } else {
-                mtm::ProgramEncoding encoding(program, &model);
-                for (const Execution& execution :
-                     encoding.enumerate(axiom_name)) {
-                    if (!consider(execution)) {
-                        break;
-                    }
+                Execution witness = Execution::empty_for(program);
+                std::vector<std::string> violated;
+                const bool accepted = find_witness(
+                    local, axiom_name, options, program, deadline, &witness,
+                    &violated, &out.executions, &out.timed_out);
+                if (out.timed_out) {
+                    return false;
                 }
-            }
-            if (timed_out) {
-                return false;
-            }
-            if (accepted) {
-                SynthesizedTest test;
-                test.witness = witness;
-                test.canonical_key = canonical_key(program);
-                test.size = program.num_events();
-                test.violated = witness_violated;
-                result.tests.push_back(std::move(test));
-            }
-            return true;
+                if (accepted) {
+                    SynthesizedTest test;
+                    test.witness = witness;
+                    test.canonical_key =
+                        options.dedup ? key : canonical_key(program);
+                    test.size = program.num_events();
+                    test.violated = violated;
+                    out.tests.push_back(std::move(test));
+                    out.tickets.push_back(ticket);
+                }
+                return true;
+            });
         });
     }
+    pool.run_batch(std::move(jobs));
 
+    // Merge. All workers have recorded all their candidates, so the per-key
+    // minimum ticket is now a pure function of the options; keeping exactly
+    // the test whose ticket equals it resolves every cross-shard race
+    // toward the sequential-enumeration-order winner.
+    bool timed_out = false;
+    std::vector<std::pair<SynthesizedTest, std::uint64_t>> merged;
+    for (ShardOutput& out : outputs) {
+        result.programs_considered += out.programs;
+        result.executions_considered += out.executions;
+        result.duplicates_rejected += out.duplicates;
+        timed_out = timed_out || out.timed_out;
+        for (std::size_t i = 0; i < out.tests.size(); ++i) {
+            if (!options.dedup ||
+                index.min_ticket(out.tests[i].canonical_key) ==
+                    out.tickets[i]) {
+                merged.emplace_back(std::move(out.tests[i]), out.tickets[i]);
+            }
+        }
+    }
+    std::sort(merged.begin(), merged.end(),
+              [](const auto& a, const auto& b) {
+                  return std::tie(a.first.canonical_key, a.second) <
+                         std::tie(b.first.canonical_key, b.second);
+              });
+    result.tests.reserve(merged.size());
+    for (auto& [test, ticket] : merged) {
+        result.tests.push_back(std::move(test));
+    }
+
+    result.scheduler = pool.stats();
+    result.scheduler.dedup_hits = index.hits();
     result.seconds = watch.elapsed_seconds();
     result.complete = !timed_out;
     return result;
@@ -168,7 +270,7 @@ synthesize_all_parallel(const mtm::Model& model,
 {
     const std::size_t count = model.axioms().size();
     std::vector<SuiteResult> out(count);
-    std::vector<std::thread> workers;
+    std::vector<std::jthread> workers;
     workers.reserve(count);
     for (std::size_t i = 0; i < count; ++i) {
         workers.emplace_back([&model, &options, &out, i] {
@@ -180,9 +282,7 @@ synthesize_all_parallel(const mtm::Model& model,
             out[i] = synthesize_suite(local, local.axioms()[i].name, options);
         });
     }
-    for (std::thread& worker : workers) {
-        worker.join();
-    }
+    workers.clear();  // jthread joins on destruction
     return out;
 }
 

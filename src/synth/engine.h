@@ -5,6 +5,16 @@
 /// ELT programs. Two backends produce the same suites: the explicit
 /// enumerator (default, fast) and the SAT/relational backend mirroring the
 /// paper's Alloy pipeline (used for cross-checking and per-program queries).
+///
+/// The search runs on the parallel synthesis runtime (src/sched/): the
+/// (event-bound, skeleton-prefix) space is partitioned into independent
+/// shards, a work-stealing pool searches them concurrently, and results are
+/// merged through a sharded canonical-key index. Determinism contract: for
+/// a run that completes within its time budget, the merged suite (tests,
+/// their order, and their witnesses) is identical for every `jobs` value —
+/// the suite is sorted by canonical key and every cross-shard duplicate is
+/// resolved toward the candidate earliest in the sequential enumeration
+/// order (see DESIGN.md, "Parallel synthesis runtime").
 #pragma once
 
 #include <cstdint>
@@ -14,6 +24,7 @@
 
 #include "elt/execution.h"
 #include "mtm/model.h"
+#include "sched/scheduler.h"
 
 namespace transform::synth {
 
@@ -38,6 +49,7 @@ struct SynthesisOptions {
     bool dedup = true;               ///< canonical-program deduplication
     double time_budget_seconds = 0;  ///< 0 = unlimited (paper used one week)
     Backend backend = Backend::kEnumerative;
+    int jobs = 1;  ///< scheduler workers; 0 = one per hardware thread
 };
 
 /// One synthesized ELT.
@@ -51,17 +63,19 @@ struct SynthesizedTest {
 /// A per-axiom suite.
 struct SuiteResult {
     std::string axiom;
-    std::vector<SynthesizedTest> tests;
+    std::vector<SynthesizedTest> tests;  ///< sorted by canonical key
     std::uint64_t programs_considered = 0;
     std::uint64_t executions_considered = 0;
     std::uint64_t duplicates_rejected = 0;
     double seconds = 0.0;
     bool complete = false;  ///< false when the time budget expired
+    sched::SchedulerStats scheduler;  ///< runtime counters for the search
 };
 
 /// Synthesizes the suite of unique, minimal, interesting ELT programs whose
 /// executions can violate \p axiom_name, over all sizes in
-/// [min_bound, bound].
+/// [min_bound, bound]. Runs on options.jobs workers; the resulting suite is
+/// independent of the worker count (see the determinism contract above).
 SuiteResult synthesize_suite(const mtm::Model& model,
                              const std::string& axiom_name,
                              const SynthesisOptions& options);
@@ -72,8 +86,9 @@ std::vector<SuiteResult> synthesize_all(const mtm::Model& model,
                                         const SynthesisOptions& options);
 
 /// As synthesize_all, but runs the per-axiom suites concurrently (they are
-/// independent searches). Results are identical to the serial driver —
-/// asserted by the test suite — and arrive in the same axiom order.
+/// independent searches; each one additionally fans out over options.jobs
+/// shard workers). Results are identical to the serial driver — asserted by
+/// the test suite — and arrive in the same axiom order.
 std::vector<SuiteResult> synthesize_all_parallel(
     const mtm::Model& model, const SynthesisOptions& options);
 

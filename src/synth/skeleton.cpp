@@ -524,14 +524,23 @@ class Linker {
     std::vector<Ref> invlpgs_;
 };
 
+/// Sentinel for "no forced decision" while replaying a shard prefix.
+constexpr int kFreeChoice = -2;
+
 /// Stages 1-2: choose per-thread slot sequences whose weights sum to the
 /// bound, with non-increasing slot signatures across threads (thread
 /// symmetry pruning; full canonicalization happens at dedup time).
+///
+/// A non-empty \p prefix pins the first decisions of the first thread (a
+/// slot ordinal per decision, or kCloseThread), restricting the search to
+/// one SkeletonShard; the visit order within the shard is unchanged, so
+/// shards in partition order concatenate to the full enumeration stream.
 class SlotEnumerator {
   public:
-    SlotEnumerator(const SkeletonOptions& opt,
+    SlotEnumerator(const SkeletonOptions& opt, std::vector<int> prefix,
                    const std::function<bool(const Program&)>& visit)
-        : opt_(opt), visit_(visit), slots_(available_slots(opt))
+        : opt_(opt), prefix_(std::move(prefix)), visit_(visit),
+          slots_(available_slots(opt))
     {
     }
 
@@ -567,8 +576,16 @@ class SlotEnumerator {
     bool
     enumerate_slots(Draft& draft, int remaining, int used_in_thread)
     {
+        // Shard replay: while building the first thread, decisions up to
+        // the prefix length are forced instead of enumerated.
+        const bool constrained =
+            draft.threads.size() == 1 &&
+            draft.threads.back().size() < prefix_.size();
+        const int forced =
+            constrained ? prefix_[draft.threads.back().size()] : kFreeChoice;
         // Option: close this thread (it must be non-empty) and open the next.
-        if (!draft.threads.back().empty()) {
+        if (!draft.threads.back().empty() &&
+            (forced == kFreeChoice || forced == kCloseThread)) {
             // Thread-symmetry pruning: signatures non-increasing.
             const std::size_t k = draft.threads.size();
             if (k < 2 ||
@@ -579,7 +596,14 @@ class SlotEnumerator {
                 }
             }
         }
-        for (const Slot s : slots_) {
+        if (forced == kCloseThread) {
+            return true;
+        }
+        for (std::size_t si = 0; si < slots_.size(); ++si) {
+            if (forced != kFreeChoice && forced != static_cast<int>(si)) {
+                continue;
+            }
+            const Slot s = slots_[si];
             const int w = weight(s, opt_);
             if (w > remaining) {
                 continue;
@@ -609,6 +633,7 @@ class SlotEnumerator {
     }
 
     const SkeletonOptions& opt_;
+    std::vector<int> prefix_;
     const std::function<bool(const Program&)>& visit_;
     std::vector<Slot> slots_;
 };
@@ -619,8 +644,69 @@ bool
 for_each_skeleton(const SkeletonOptions& options,
                   const std::function<bool(const Program&)>& visit)
 {
-    SlotEnumerator enumerator(options, visit);
+    SlotEnumerator enumerator(options, {}, visit);
     return enumerator.run();
+}
+
+bool
+for_each_skeleton(const SkeletonShard& shard,
+                  const std::function<bool(const Program&)>& visit)
+{
+    SlotEnumerator enumerator(shard.options, shard.prefix, visit);
+    return enumerator.run();
+}
+
+std::vector<SkeletonShard>
+partition_skeletons(const SkeletonOptions& options, int target_shards)
+{
+    const std::vector<Slot> slots = available_slots(options);
+    const auto prefix_weight = [&](const std::vector<int>& prefix) {
+        int used = 0;
+        for (const int ordinal : prefix) {
+            if (ordinal != kCloseThread) {
+                used += weight(slots[static_cast<std::size_t>(ordinal)],
+                               options);
+            }
+        }
+        return used;
+    };
+
+    // Depth 1: one shard per feasible opening slot of the first thread, in
+    // the enumerator's slot order.
+    std::vector<SkeletonShard> shards;
+    for (std::size_t si = 0; si < slots.size(); ++si) {
+        if (weight(slots[si], options) <= options.num_events) {
+            shards.push_back({options, {static_cast<int>(si)}});
+        }
+    }
+
+    // Deepen until the target is met. Replacing each shard with its
+    // children in the enumerator's child order (close-thread first, then
+    // slots) preserves the concatenation-equals-full-stream property.
+    for (int depth = 1;
+         depth < 4 && static_cast<int>(shards.size()) < target_shards;
+         ++depth) {
+        std::vector<SkeletonShard> next;
+        next.reserve(shards.size() * (slots.size() + 1));
+        for (SkeletonShard& shard : shards) {
+            if (shard.prefix.back() == kCloseThread) {
+                next.push_back(std::move(shard));  // subtree left thread 0
+                continue;
+            }
+            const int used = prefix_weight(shard.prefix);
+            std::vector<int> child = shard.prefix;
+            child.push_back(kCloseThread);
+            next.push_back({options, child});
+            for (std::size_t si = 0; si < slots.size(); ++si) {
+                if (used + weight(slots[si], options) <= options.num_events) {
+                    child.back() = static_cast<int>(si);
+                    next.push_back({options, child});
+                }
+            }
+        }
+        shards = std::move(next);
+    }
+    return shards;
 }
 
 }  // namespace transform::synth

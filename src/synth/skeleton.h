@@ -47,4 +47,32 @@ struct SkeletonOptions {
 bool for_each_skeleton(const SkeletonOptions& options,
                        const std::function<bool(const elt::Program&)>& visit);
 
+/// In a shard prefix, ends the first thread instead of appending a slot.
+inline constexpr int kCloseThread = -1;
+
+/// A contiguous slice of the skeleton space: every skeleton whose first
+/// thread begins with the given sequence of slot choices (ordinals into the
+/// enumerator's slot vocabulary, or kCloseThread to end the first thread).
+/// Shards are the unit of work of the parallel synthesis runtime: they are
+/// disjoint, they can be searched independently, and visiting the shards of
+/// partition_skeletons() in list order yields exactly the program sequence
+/// of for_each_skeleton(options) — the property the engine's deterministic
+/// merge relies on.
+struct SkeletonShard {
+    SkeletonOptions options;
+    std::vector<int> prefix;
+};
+
+/// Splits the skeleton space of \p options into at least
+/// min(target_shards, available splits) shards by fixing the first one or
+/// more decisions of the first thread. Prefixes that cannot fit in the
+/// event budget are dropped; shards may still turn out empty for deeper
+/// reasons (linking, VA feasibility), which is harmless.
+std::vector<SkeletonShard> partition_skeletons(const SkeletonOptions& options,
+                                               int target_shards);
+
+/// As for_each_skeleton(options, visit), restricted to one shard.
+bool for_each_skeleton(const SkeletonShard& shard,
+                       const std::function<bool(const elt::Program&)>& visit);
+
 }  // namespace transform::synth

@@ -1,11 +1,18 @@
 #include "util/logging.h"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace transform::util {
 
 namespace {
-LogLevel g_threshold = LogLevel::kInfo;
+/// Threshold reads happen on every log() call from every scheduler worker;
+/// an atomic keeps them race-free without a lock.
+std::atomic<LogLevel> g_threshold{LogLevel::kInfo};
+
+/// Serializes writes so concurrent workers cannot interleave log lines.
+std::mutex g_write_mu;
 
 const char* level_name(LogLevel level)
 {
@@ -19,27 +26,40 @@ const char* level_name(LogLevel level)
 }
 }  // namespace
 
-LogLevel log_threshold() { return g_threshold; }
+LogLevel log_threshold() { return g_threshold.load(std::memory_order_relaxed); }
 
-void set_log_threshold(LogLevel level) { g_threshold = level; }
+void set_log_threshold(LogLevel level)
+{
+    g_threshold.store(level, std::memory_order_relaxed);
+}
 
 void log(LogLevel level, const std::string& message)
 {
-    if (static_cast<int>(level) < static_cast<int>(g_threshold)) {
+    if (static_cast<int>(level) <
+        static_cast<int>(g_threshold.load(std::memory_order_relaxed))) {
         return;
     }
+    std::lock_guard<std::mutex> lock(g_write_mu);
     std::fprintf(stderr, "[transform %s] %s\n", level_name(level), message.c_str());
 }
 
 void panic_impl(const char* file, int line, const std::string& message)
 {
-    std::fprintf(stderr, "[transform PANIC] %s:%d: %s\n", file, line, message.c_str());
+    {
+        std::lock_guard<std::mutex> lock(g_write_mu);
+        std::fprintf(stderr, "[transform PANIC] %s:%d: %s\n", file, line,
+                     message.c_str());
+    }
     std::abort();
 }
 
 void fatal_impl(const char* file, int line, const std::string& message)
 {
-    std::fprintf(stderr, "[transform FATAL] %s:%d: %s\n", file, line, message.c_str());
+    {
+        std::lock_guard<std::mutex> lock(g_write_mu);
+        std::fprintf(stderr, "[transform FATAL] %s:%d: %s\n", file, line,
+                     message.c_str());
+    }
     std::exit(1);
 }
 

@@ -4,6 +4,9 @@
 /// Follows the gem5 panic()/fatal() distinction: TF_PANIC signals an
 /// internal invariant violation (a library bug), TF_FATAL signals a user
 /// error (bad input, impossible configuration).
+///
+/// All entry points are thread-safe: the threshold is atomic and writes are
+/// serialized, so concurrent scheduler workers never interleave log lines.
 #pragma once
 
 #include <cstdlib>

@@ -1,0 +1,261 @@
+/// \file
+/// Tests for the parallel synthesis runtime: the work-stealing pool, the
+/// sharded canonical-key index, and the engine-level determinism contract —
+/// a multi-threaded synthesize_suite run yields the exact same canonical
+/// suite (keys, order, witnesses) as jobs=1, on both backends.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "elt/serialize.h"
+#include "mtm/model.h"
+#include "sched/scheduler.h"
+#include "sched/sharded_index.h"
+#include "synth/engine.h"
+
+namespace transform {
+namespace {
+
+TEST(ResolveJobs, ZeroMeansHardwareConcurrency)
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    EXPECT_EQ(sched::resolve_jobs(0), hw == 0 ? 1 : static_cast<int>(hw));
+    EXPECT_EQ(sched::resolve_jobs(1), 1);
+    EXPECT_EQ(sched::resolve_jobs(7), 7);
+    EXPECT_EQ(sched::resolve_jobs(-3), sched::resolve_jobs(0));
+}
+
+TEST(WorkStealingPool, RunsEveryJobExactlyOnce)
+{
+    for (const int workers : {1, 2, 4, 8}) {
+        sched::WorkStealingPool pool(workers);
+        EXPECT_EQ(pool.workers(), workers);
+        constexpr int kJobs = 500;
+        std::vector<std::atomic<int>> runs(kJobs);
+        std::vector<sched::WorkStealingPool::Job> jobs;
+        for (int i = 0; i < kJobs; ++i) {
+            jobs.push_back([&runs, i, workers](int worker) {
+                EXPECT_GE(worker, 0);
+                EXPECT_LT(worker, workers);
+                runs[static_cast<std::size_t>(i)].fetch_add(1);
+            });
+        }
+        pool.run_batch(std::move(jobs));
+        for (int i = 0; i < kJobs; ++i) {
+            EXPECT_EQ(runs[static_cast<std::size_t>(i)].load(), 1) << i;
+        }
+        const sched::SchedulerStats stats = pool.stats();
+        EXPECT_EQ(stats.workers, workers);
+        EXPECT_EQ(stats.jobs_run, static_cast<std::uint64_t>(kJobs));
+        EXPECT_EQ(stats.jobs_stolen >= stats.steals || stats.steals == 0,
+                  true);
+    }
+}
+
+TEST(WorkStealingPool, EmptyBatchIsANoOp)
+{
+    sched::WorkStealingPool pool(4);
+    pool.run_batch({});
+    EXPECT_EQ(pool.stats().jobs_run, 0u);
+}
+
+TEST(WorkStealingPool, UnevenJobsAllComplete)
+{
+    // A few heavy jobs seeded onto one deque force stealing to finish the
+    // batch; completion (not the steal count, which is timing-dependent) is
+    // the contract.
+    sched::WorkStealingPool pool(4);
+    std::atomic<std::uint64_t> total{0};
+    std::vector<sched::WorkStealingPool::Job> jobs;
+    for (int i = 0; i < 64; ++i) {
+        jobs.push_back([&total, i](int) {
+            std::uint64_t spins = (i % 16 == 0) ? 200000 : 100;
+            volatile std::uint64_t sink = 0;
+            for (std::uint64_t s = 0; s < spins; ++s) {
+                sink += s;
+            }
+            total.fetch_add(1);
+        });
+    }
+    pool.run_batch(std::move(jobs));
+    EXPECT_EQ(total.load(), 64u);
+}
+
+TEST(ShardedKeyIndex, RecordKeepsMinimumTicket)
+{
+    sched::ShardedKeyIndex index(8);
+    EXPECT_EQ(index.stripes(), 8);
+
+    auto first = index.record("k", 42);
+    EXPECT_TRUE(first.inserted);
+    EXPECT_TRUE(first.is_min);
+    EXPECT_EQ(first.min_ticket, 42u);
+
+    auto higher = index.record("k", 99);
+    EXPECT_FALSE(higher.inserted);
+    EXPECT_FALSE(higher.is_min);
+    EXPECT_EQ(higher.min_ticket, 42u);
+
+    auto lower = index.record("k", 7);
+    EXPECT_FALSE(lower.inserted);
+    EXPECT_TRUE(lower.is_min);
+    EXPECT_EQ(lower.min_ticket, 7u);
+
+    EXPECT_EQ(index.min_ticket("k"), 7u);
+    EXPECT_EQ(index.hits(), 2u);
+    EXPECT_EQ(index.size(), 1u);
+}
+
+TEST(ShardedKeyIndex, ConcurrentRecordsConvergeToGlobalMinimum)
+{
+    sched::ShardedKeyIndex index(16);
+    constexpr int kKeys = 50;
+    constexpr int kThreads = 8;
+    {
+        std::vector<std::jthread> threads;
+        for (int t = 0; t < kThreads; ++t) {
+            threads.emplace_back([&index, t] {
+                for (int k = 0; k < kKeys; ++k) {
+                    index.record("key" + std::to_string(k),
+                                 static_cast<std::uint64_t>(100 * k + t));
+                }
+            });
+        }
+    }
+    EXPECT_EQ(index.size(), static_cast<std::size_t>(kKeys));
+    EXPECT_EQ(index.hits(),
+              static_cast<std::uint64_t>(kKeys * (kThreads - 1)));
+    for (int k = 0; k < kKeys; ++k) {
+        EXPECT_EQ(index.min_ticket("key" + std::to_string(k)),
+                  static_cast<std::uint64_t>(100 * k));
+    }
+}
+
+synth::SynthesisOptions
+suite_options(int bound, int jobs, synth::Backend backend)
+{
+    synth::SynthesisOptions opt;
+    opt.min_bound = 4;
+    opt.bound = bound;
+    opt.jobs = jobs;
+    opt.backend = backend;
+    return opt;
+}
+
+/// Serializes a suite to the parts the determinism contract covers: keys,
+/// order, witnesses, sizes, violated lists (not counters or timing).
+std::string
+suite_fingerprint(const synth::SuiteResult& suite)
+{
+    std::string fp;
+    for (const synth::SynthesizedTest& test : suite.tests) {
+        fp += test.canonical_key;
+        fp += '|';
+        fp += std::to_string(test.size);
+        for (const std::string& axiom : test.violated) {
+            fp += ',';
+            fp += axiom;
+        }
+        fp += '|';
+        fp += elt::execution_to_xml(test.witness, "w");
+        fp += '\n';
+    }
+    return fp;
+}
+
+TEST(SchedDeterminism, EnumerativeSuiteIdenticalAcrossJobCounts)
+{
+    const mtm::Model model = mtm::x86t_elt();
+    for (const std::string axiom : {"sc_per_loc", "invlpg", "tlb_causality"}) {
+        const synth::SuiteResult reference = synth::synthesize_suite(
+            model, axiom, suite_options(5, 1, synth::Backend::kEnumerative));
+        EXPECT_TRUE(reference.complete);
+        EXPECT_FALSE(reference.tests.empty()) << axiom;
+        for (const int jobs : {2, 4}) {
+            const synth::SuiteResult parallel = synth::synthesize_suite(
+                model, axiom,
+                suite_options(5, jobs, synth::Backend::kEnumerative));
+            EXPECT_EQ(suite_fingerprint(reference),
+                      suite_fingerprint(parallel))
+                << axiom << " with jobs=" << jobs;
+        }
+    }
+}
+
+TEST(SchedDeterminism, SatBackendSuiteIdenticalAcrossJobCounts)
+{
+    const mtm::Model model = mtm::x86t_elt();
+    const synth::SuiteResult reference = synth::synthesize_suite(
+        model, "invlpg", suite_options(4, 1, synth::Backend::kSat));
+    EXPECT_FALSE(reference.tests.empty());
+    const synth::SuiteResult parallel = synth::synthesize_suite(
+        model, "invlpg", suite_options(4, 4, synth::Backend::kSat));
+    EXPECT_EQ(suite_fingerprint(reference), suite_fingerprint(parallel));
+}
+
+TEST(SchedDeterminism, BackendsAgreeUnderParallelism)
+{
+    const mtm::Model model = mtm::x86t_elt();
+    const synth::SuiteResult enumerative = synth::synthesize_suite(
+        model, "invlpg", suite_options(4, 4, synth::Backend::kEnumerative));
+    const synth::SuiteResult sat = synth::synthesize_suite(
+        model, "invlpg", suite_options(4, 4, synth::Backend::kSat));
+    std::set<std::string> enum_keys;
+    std::set<std::string> sat_keys;
+    for (const auto& t : enumerative.tests) {
+        enum_keys.insert(t.canonical_key);
+    }
+    for (const auto& t : sat.tests) {
+        sat_keys.insert(t.canonical_key);
+    }
+    EXPECT_EQ(enum_keys, sat_keys);
+}
+
+TEST(SchedDeterminism, SuiteIsSortedByCanonicalKey)
+{
+    const mtm::Model model = mtm::x86t_elt();
+    const synth::SuiteResult suite = synth::synthesize_suite(
+        model, "sc_per_loc",
+        suite_options(5, 4, synth::Backend::kEnumerative));
+    for (std::size_t i = 1; i < suite.tests.size(); ++i) {
+        EXPECT_LT(suite.tests[i - 1].canonical_key,
+                  suite.tests[i].canonical_key);
+    }
+}
+
+TEST(SchedDeterminism, HardwareConcurrencyJobsProducesSameSuite)
+{
+    const mtm::Model model = mtm::x86t_elt();
+    const synth::SuiteResult reference = synth::synthesize_suite(
+        model, "rmw_atomicity",
+        suite_options(5, 1, synth::Backend::kEnumerative));
+    const synth::SuiteResult parallel = synth::synthesize_suite(
+        model, "rmw_atomicity",
+        suite_options(5, 0, synth::Backend::kEnumerative));
+    EXPECT_EQ(suite_fingerprint(reference), suite_fingerprint(parallel));
+    EXPECT_EQ(parallel.scheduler.workers, sched::resolve_jobs(0));
+}
+
+TEST(SchedStats, CountersAreFilledAndJobsIndependent)
+{
+    const mtm::Model model = mtm::x86t_elt();
+    const synth::SuiteResult one = synth::synthesize_suite(
+        model, "invlpg", suite_options(5, 1, synth::Backend::kEnumerative));
+    const synth::SuiteResult four = synth::synthesize_suite(
+        model, "invlpg", suite_options(5, 4, synth::Backend::kEnumerative));
+    EXPECT_EQ(one.scheduler.workers, 1);
+    EXPECT_EQ(four.scheduler.workers, 4);
+    EXPECT_GT(one.scheduler.jobs_run, 0u);
+    EXPECT_EQ(one.scheduler.jobs_run, four.scheduler.jobs_run)
+        << "the shard list must not depend on the worker count";
+    // Candidate enumeration is shard-local, so the programs counter is a
+    // pure function of the options.
+    EXPECT_EQ(one.programs_considered, four.programs_considered);
+}
+
+}  // namespace
+}  // namespace transform

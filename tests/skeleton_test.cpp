@@ -5,6 +5,7 @@
 #include <set>
 
 #include "elt/derive.h"
+#include "elt/printer.h"
 #include "synth/canonical.h"
 #include "synth/skeleton.h"
 
@@ -179,6 +180,51 @@ TEST(Skeleton, CountsGrowWithBound)
     SkeletonOptions opt5;
     opt5.num_events = 5;
     EXPECT_GT(count_skeletons(opt5), count_skeletons(opt4));
+}
+
+/// The contract the parallel synthesis runtime depends on: searching the
+/// shards of partition_skeletons in list order visits exactly the program
+/// sequence of the unsharded enumeration.
+TEST(Skeleton, ShardsConcatenateToFullEnumeration)
+{
+    for (const bool vm : {true, false}) {
+        for (const int target : {1, 8, 64, 1000}) {
+            SkeletonOptions opt;
+            opt.num_events = vm ? 5 : 4;
+            opt.vm_enabled = vm;
+            std::vector<std::string> full;
+            for_each_skeleton(opt, [&](const Program& p) {
+                full.push_back(elt::program_to_string(p));
+                return true;
+            });
+            std::vector<std::string> sharded;
+            const auto shards = partition_skeletons(opt, target);
+            EXPECT_GE(static_cast<int>(shards.size()), std::min(target, 2));
+            for (const SkeletonShard& shard : shards) {
+                for_each_skeleton(shard, [&](const Program& p) {
+                    sharded.push_back(elt::program_to_string(p));
+                    return true;
+                });
+            }
+            EXPECT_EQ(full, sharded)
+                << "vm=" << vm << " target=" << target;
+        }
+    }
+}
+
+TEST(Skeleton, ShardVisitStopsEarly)
+{
+    SkeletonOptions opt;
+    opt.num_events = 4;
+    const auto shards = partition_skeletons(opt, 8);
+    ASSERT_FALSE(shards.empty());
+    int count = 0;
+    const bool completed = for_each_skeleton(shards[0], [&](const Program&) {
+        ++count;
+        return false;
+    });
+    EXPECT_FALSE(completed);
+    EXPECT_EQ(count, 1);
 }
 
 TEST(Skeleton, DirtyBitAsRmwAblationAddsRdb)

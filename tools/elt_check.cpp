@@ -1,25 +1,33 @@
 /// \file
 /// elt_check — judge ELT files against a transistency model.
 ///
-/// Reads a test (litmus text for a program, or XML for a full candidate
-/// execution), derives its relations and reports the verdict. For litmus
+/// Reads tests (litmus text for a program, or XML for a full candidate
+/// execution), derives their relations and reports the verdict. For litmus
 /// input (no witnesses), enumerates the program's execution space and
 /// reports how many outcomes are permitted/forbidden and which axioms can
 /// be violated — i.e. whether the test can expose forbidden behaviour.
 ///
 ///   elt_check test.litmus
 ///   elt_check --model sc_t_elt execution.xml
+///   elt_check --jobs 0 suites/invlpg/*.litmus
+///
+/// Several files are checked concurrently on the work-stealing scheduler
+/// (--jobs N workers; 0 = one per hardware thread); reports are buffered
+/// and printed in input order, so the output does not depend on --jobs.
+#include <cstdarg>
 #include <cstdio>
 #include <fstream>
 #include <map>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "elt/derive.h"
 #include "elt/litmus.h"
 #include "elt/printer.h"
 #include "elt/serialize.h"
 #include "mtm/model.h"
+#include "sched/scheduler.h"
 #include "synth/exec_enum.h"
 #include "synth/minimality.h"
 
@@ -39,12 +47,28 @@ make_model(const std::string& name)
     return mtm::x86t_elt();
 }
 
+/// printf-style append to a report buffer (reports are built off-thread and
+/// printed in input order once every file is checked). For short formatted
+/// lines only — unbounded strings (program/execution dumps) must be
+/// appended with `*out +=` to avoid the buffer limit.
+__attribute__((format(printf, 2, 3))) void
+appendf(std::string* out, const char* fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    char buffer[4096];
+    std::vsnprintf(buffer, sizeof buffer, fmt, args);
+    va_end(args);
+    *out += buffer;
+}
+
 int
 check_program(const mtm::Model& model, const elt::Program& program,
-              const std::string& name)
+              const std::string& name, std::string* out)
 {
-    std::printf("test %s:\n%s\n", name.c_str(),
-                elt::program_to_string(program).c_str());
+    appendf(out, "test %s:\n", name.c_str());
+    *out += elt::program_to_string(program);
+    *out += '\n';
     int permitted = 0;
     int forbidden = 0;
     bool any_minimal = false;
@@ -67,43 +91,30 @@ check_program(const mtm::Model& model, const elt::Program& program,
                                   }
                                   return true;
                               });
-    std::printf("under %s: %d permitted, %d forbidden execution(s)\n",
-                model.name().c_str(), permitted, forbidden);
+    appendf(out, "under %s: %d permitted, %d forbidden execution(s)\n",
+            model.name().c_str(), permitted, forbidden);
     for (const auto& [axiom, count] : by_axiom) {
-        std::printf("  %-16s violable (%d execution(s))\n", axiom.c_str(),
-                    count);
+        appendf(out, "  %-16s violable (%d execution(s))\n", axiom.c_str(),
+                count);
     }
     if (forbidden > 0) {
-        std::printf("spanning-set status: %s\n",
-                    any_minimal ? "minimal forbidden outcome exists "
-                                  "(TransForm would synthesize this test)"
-                                : "forbidden but reducible (not minimal)");
+        appendf(out, "spanning-set status: %s\n",
+                any_minimal ? "minimal forbidden outcome exists "
+                              "(TransForm would synthesize this test)"
+                            : "forbidden but reducible (not minimal)");
     }
     return 0;
 }
 
-}  // namespace
-
+/// Checks one file end-to-end. Normal output goes to \p out, error lines to
+/// \p err; returns the process exit code contribution.
 int
-main(int argc, char** argv)
+check_file(const std::string& model_name, const std::string& path,
+           std::string* out, std::string* err)
 {
-    std::string model_name = "x86t_elt";
-    std::string path;
-    for (int i = 1; i < argc; ++i) {
-        const std::string flag = argv[i];
-        if (flag == "--model" && i + 1 < argc) {
-            model_name = argv[++i];
-        } else {
-            path = flag;
-        }
-    }
-    if (path.empty()) {
-        std::fprintf(stderr, "usage: elt_check [--model NAME] <file>\n");
-        return 2;
-    }
     std::ifstream in(path);
     if (!in) {
-        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        appendf(err, "cannot open %s\n", path.c_str());
         return 2;
     }
     std::stringstream buffer;
@@ -114,22 +125,23 @@ main(int argc, char** argv)
     if (text.find("<elt") != std::string::npos) {
         const auto execution = elt::execution_from_xml(text);
         if (!execution) {
-            std::fprintf(stderr, "malformed XML in %s\n", path.c_str());
+            appendf(err, "malformed XML in %s\n", path.c_str());
             return 2;
         }
         const auto derived =
             elt::derive(*execution, model.derive_options());
-        std::printf("%s",
-                    elt::execution_to_string(*execution, derived).c_str());
+        *out += elt::execution_to_string(*execution, derived);
         const auto violated = model.violated_axioms(*execution);
         if (violated.empty()) {
-            std::printf("verdict under %s: PERMITTED\n", model.name().c_str());
+            appendf(out, "verdict under %s: PERMITTED\n",
+                    model.name().c_str());
         } else {
-            std::printf("verdict under %s: FORBIDDEN (", model.name().c_str());
+            appendf(out, "verdict under %s: FORBIDDEN (",
+                    model.name().c_str());
             for (const auto& axiom : violated) {
-                std::printf(" %s", axiom.c_str());
+                appendf(out, " %s", axiom.c_str());
             }
-            std::printf(" )\n");
+            appendf(out, " )\n");
         }
         return 0;
     }
@@ -137,14 +149,67 @@ main(int argc, char** argv)
     std::string error;
     const auto parsed = elt::parse_litmus(text, &error);
     if (!parsed) {
-        std::fprintf(stderr, "%s: %s\n", path.c_str(), error.c_str());
+        appendf(err, "%s: %s\n", path.c_str(), error.c_str());
         return 2;
     }
     const auto problems = parsed->program.validate(model.vm_aware());
     if (!problems.empty()) {
-        std::fprintf(stderr, "%s: invalid program: %s\n", path.c_str(),
-                     problems[0].c_str());
+        appendf(err, "%s: invalid program: %s\n", path.c_str(),
+                problems[0].c_str());
         return 2;
     }
-    return check_program(model, parsed->program, parsed->name);
+    return check_program(model, parsed->program, parsed->name, out);
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string model_name = "x86t_elt";
+    int jobs = 1;
+    std::vector<std::string> paths;
+    for (int i = 1; i < argc; ++i) {
+        const std::string flag = argv[i];
+        if (flag == "--model" && i + 1 < argc) {
+            model_name = argv[++i];
+        } else if (flag == "--jobs" && i + 1 < argc) {
+            jobs = std::atoi(argv[++i]);
+        } else {
+            paths.push_back(flag);
+        }
+    }
+    if (paths.empty()) {
+        std::fprintf(stderr,
+                     "usage: elt_check [--model NAME] [--jobs N] <file>...\n");
+        return 2;
+    }
+
+    struct Report {
+        int rc = 0;
+        std::string out;
+        std::string err;
+    };
+    std::vector<Report> reports(paths.size());
+    sched::WorkStealingPool pool(jobs);
+    std::vector<sched::WorkStealingPool::Job> batch;
+    batch.reserve(paths.size());
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+        batch.push_back([&model_name, &paths, &reports, i](int) {
+            reports[i].rc = check_file(model_name, paths[i],
+                                       &reports[i].out, &reports[i].err);
+        });
+    }
+    pool.run_batch(std::move(batch));
+
+    int rc = 0;
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+        if (i > 0 && paths.size() > 1) {
+            std::printf("\n");
+        }
+        std::fputs(reports[i].out.c_str(), stdout);
+        std::fputs(reports[i].err.c_str(), stderr);
+        rc = std::max(rc, reports[i].rc);
+    }
+    return rc;
 }

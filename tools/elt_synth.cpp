@@ -18,9 +18,15 @@
 ///   --vas N           max data VAs (default 2)
 ///   --budget SECONDS  time budget per suite (default unlimited)
 ///   --backend NAME    enum (default) | sat
+///   --jobs N          scheduler workers (0 = one per hardware thread)
+///   --stats           print scheduler counters (jobs, steals, dedup hits)
 ///   --out DIR         write <suite>/<n>.litmus and .xml files
 ///   --quiet           summary only (no test listings)
 ///   --spec            print the model as an Alloy-style module and exit
+///
+/// Suite content (test listings, --out files) goes to stdout/disk; summary
+/// and stats diagnostics go to stderr. Within a time budget the suite is
+/// deterministic, so stdout is byte-identical for every --jobs value.
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -34,6 +40,7 @@
 #include "elt/serialize.h"
 #include "mtm/model.h"
 #include "mtm/spec_printer.h"
+#include "sched/scheduler.h"
 #include "synth/engine.h"
 
 namespace {
@@ -49,6 +56,8 @@ struct Args {
     int vas = 2;
     double budget = 0;
     std::string backend = "enum";
+    int jobs = 1;
+    bool stats = false;
     std::string out_dir;
     bool quiet = false;
     bool list_axioms = false;
@@ -78,15 +87,28 @@ run_suite(const mtm::Model& model, const std::string& axiom, const Args& args)
     options.time_budget_seconds = args.budget;
     options.backend = args.backend == "sat" ? synth::Backend::kSat
                                             : synth::Backend::kEnumerative;
+    options.jobs = args.jobs;
     const synth::SuiteResult suite =
         synth::synthesize_suite(model, axiom, options);
 
-    std::printf("[%s / %s] %zu unique minimal ELTs "
-                "(%llu programs, %llu executions, %.2fs%s)\n",
-                model.name().c_str(), axiom.c_str(), suite.tests.size(),
-                static_cast<unsigned long long>(suite.programs_considered),
-                static_cast<unsigned long long>(suite.executions_considered),
-                suite.seconds, suite.complete ? "" : ", budget hit");
+    std::fprintf(stderr,
+                 "[%s / %s] %zu unique minimal ELTs "
+                 "(%llu programs, %llu executions, %.2fs%s)\n",
+                 model.name().c_str(), axiom.c_str(), suite.tests.size(),
+                 static_cast<unsigned long long>(suite.programs_considered),
+                 static_cast<unsigned long long>(suite.executions_considered),
+                 suite.seconds, suite.complete ? "" : ", budget hit");
+    if (args.stats) {
+        const sched::SchedulerStats& s = suite.scheduler;
+        std::fprintf(stderr,
+                     "[%s / %s] scheduler: %d workers, %llu jobs, "
+                     "%llu steals (%llu jobs moved), %llu dedup hits\n",
+                     model.name().c_str(), axiom.c_str(), s.workers,
+                     static_cast<unsigned long long>(s.jobs_run),
+                     static_cast<unsigned long long>(s.steals),
+                     static_cast<unsigned long long>(s.jobs_stolen),
+                     static_cast<unsigned long long>(s.dedup_hits));
+    }
 
     for (std::size_t i = 0; i < suite.tests.size(); ++i) {
         const auto& test = suite.tests[i];
@@ -151,6 +173,10 @@ main(int argc, char** argv)
             args.budget = std::atof(value());
         } else if (flag == "--backend") {
             args.backend = value();
+        } else if (flag == "--jobs") {
+            args.jobs = std::atoi(value());
+        } else if (flag == "--stats") {
+            args.stats = true;
         } else if (flag == "--out") {
             args.out_dir = value();
         } else if (flag == "--quiet") {
