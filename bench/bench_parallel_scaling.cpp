@@ -1,10 +1,13 @@
 /// \file
-/// Parallel-scaling bench for the synthesis runtime: wall time of the full
-/// per-axiom suite sweep at 1/2/4/8 scheduler jobs on the fixture MTMs,
-/// reporting speedup over the sequential (jobs=1) run. The paper's Alloy
-/// pipeline took a week single-threaded at bound 11; the point of the
-/// work-stealing runtime is that added cores translate into wall-clock
-/// speedup while the synthesized suite stays bit-identical.
+/// Parallel-scaling bench for the v2 synthesis runtime: wall time of the
+/// full per-axiom suite sweep at 1/2/4/8 scheduler jobs on the fixture
+/// MTMs, reporting speedup over the sequential (jobs=1) run. The sweep
+/// goes through synthesize_all_parallel, so every axiom's shards share ONE
+/// work-stealing pool (Chase-Lev deques + adaptive shard re-splitting) —
+/// the paper's Alloy pipeline took a week single-threaded at bound 11; the
+/// point of the runtime is that added cores translate into wall-clock
+/// speedup while the synthesized suite stays bit-identical, at every job
+/// count and at every shard granularity.
 ///
 /// Knobs: TRANSFORM_SCALING_BOUND (default 6), TRANSFORM_SCALING_MODEL
 /// (x86t_elt | x86tso, default x86t_elt).
@@ -32,36 +35,39 @@ main()
 
     bench::banner("parallel_scaling",
                   "synthesis-loop scaling (TransForm section IV at scale)",
-                  "suite sweep speeds up with scheduler jobs; suites are "
-                  "identical at every job count");
+                  "one shared pool sweeps all axioms; suites are identical "
+                  "at every job count and shard depth");
     std::printf("model %s, bounds %d..%d, %u hardware thread(s)\n\n",
                 model.name().c_str(), model.vm_aware() ? 4 : 2, bound, hw);
 
     const std::vector<int> job_counts = {1, 2, 4, 8};
     std::vector<double> seconds;
     std::vector<int> test_counts;
-    std::printf("%8s %12s %10s %9s %9s %10s\n", "jobs", "wall (s)",
-                "speedup", "tests", "shards", "steals");
+    std::printf("%8s %12s %10s %9s %9s %10s %10s\n", "jobs", "wall (s)",
+                "speedup", "tests", "shards", "steals", "re-splits");
     for (const int jobs : job_counts) {
         synth::SynthesisOptions opt;
         opt.min_bound = model.vm_aware() ? 4 : 2;
         opt.bound = bound;
         opt.jobs = jobs;
         util::Stopwatch watch;
-        const auto suites = synth::synthesize_all(model, opt);
+        const auto suites = synth::synthesize_all_parallel(model, opt);
         const double elapsed = watch.elapsed_seconds();
         seconds.push_back(elapsed);
         test_counts.push_back(synth::unique_test_count(suites));
         std::uint64_t steals = 0;
         std::uint64_t shard_jobs = 0;
+        std::uint64_t resplits = 0;
         for (const auto& suite : suites) {
             steals += suite.scheduler.steals;
             shard_jobs += suite.scheduler.jobs_run;
+            resplits += suite.scheduler.resplits;
         }
-        std::printf("%8d %12.3f %9.2fx %9d %9llu %10llu\n", jobs, elapsed,
-                    seconds.front() / elapsed, test_counts.back(),
+        std::printf("%8d %12.3f %9.2fx %9d %9llu %10llu %10llu\n", jobs,
+                    elapsed, seconds.front() / elapsed, test_counts.back(),
                     static_cast<unsigned long long>(shard_jobs),
-                    static_cast<unsigned long long>(steals));
+                    static_cast<unsigned long long>(steals),
+                    static_cast<unsigned long long>(resplits));
     }
     std::printf("\n");
 
@@ -74,6 +80,24 @@ main()
                  test_counts[i] == test_counts.front()) &&
              ok;
     }
+
+    // Shard-granularity sweep: the adaptive default must agree with every
+    // fixed prefix depth (same serial driver, same suite).
+    for (const int depth : {1, 2, 3}) {
+        synth::SynthesisOptions opt;
+        opt.min_bound = model.vm_aware() ? 4 : 2;
+        opt.bound = bound;
+        opt.jobs = 4;
+        opt.shard_depth = depth;
+        const auto suites = synth::synthesize_all_parallel(model, opt);
+        ok = bench::check(("suite identical at shard depth " +
+                           std::to_string(depth))
+                              .c_str(),
+                          synth::unique_test_count(suites) ==
+                              test_counts.front()) &&
+             ok;
+    }
+
     // Speedup needs cores to scale onto; the determinism checks above run
     // everywhere, the throughput check only where 4 workers can actually
     // run in parallel.

@@ -2,10 +2,12 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <deque>
 #include <mutex>
 #include <thread>
 
+#include "sched/chase_lev.h"
 #include "util/logging.h"
 
 namespace transform::sched {
@@ -16,7 +18,7 @@ SchedulerStats::merge(const SchedulerStats& other)
     workers = std::max(workers, other.workers);
     jobs_run += other.jobs_run;
     steals += other.steals;
-    jobs_stolen += other.jobs_stolen;
+    resplits += other.resplits;
     dedup_hits += other.dedup_hits;
 }
 
@@ -30,120 +32,316 @@ resolve_jobs(int jobs)
     return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
-struct WorkStealingPool::Impl {
-    /// One worker's deque. The owner pops from the front (batch order);
-    /// thieves take from the back, so the two ends only contend when the
-    /// deque is nearly empty — and a plain mutex per deque is then cheap,
-    /// because jobs are coarse (each one is a whole skeleton-shard search).
-    struct WorkerQueue {
-        std::mutex mu;
-        std::deque<Job> jobs;
-    };
-
-    explicit Impl(int workers)
-        : queues(static_cast<std::size_t>(workers))
-    {
-    }
-
-    /// Jobs seeded or stolen but not yet finished. Workers exit when this
-    /// reaches zero; transfers between deques leave it unchanged, so a
-    /// momentarily-empty deque during a steal cannot trigger early exit.
-    std::atomic<std::uint64_t> remaining{0};
+/// A wait-able set of jobs with per-group counters. `pending` counts
+/// submitted-but-unfinished jobs; a job's spawns increment it before the
+/// job's own decrement, so `pending == 0` is only observable once the whole
+/// spawn tree has finished.
+class WorkStealingPool::JobGroup {
+  public:
+    std::atomic<std::uint64_t> pending{0};
     std::atomic<std::uint64_t> jobs_run{0};
     std::atomic<std::uint64_t> steals{0};
-    std::atomic<std::uint64_t> jobs_stolen{0};
-    std::vector<WorkerQueue> queues;
 
-    bool
-    pop_own(int self, Job* out)
+    /// Marks one job finished; wakes waiters on the last one. The notify
+    /// runs under the mutex so a waiter cannot check the predicate between
+    /// the decrement and the notify and then sleep forever.
+    void
+    finish_one()
     {
-        WorkerQueue& q = queues[static_cast<std::size_t>(self)];
-        std::lock_guard<std::mutex> lock(q.mu);
-        if (q.jobs.empty()) {
-            return false;
+        if (pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            std::lock_guard<std::mutex> lock(mu_);
+            cv_.notify_all();
         }
-        *out = std::move(q.jobs.front());
-        q.jobs.pop_front();
+    }
+
+    void
+    wait()
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] {
+            return pending.load(std::memory_order_acquire) == 0;
+        });
+    }
+
+  private:
+    std::mutex mu_;
+    std::condition_variable cv_;
+};
+
+namespace {
+
+/// One unit of work in flight: the closure plus the group it belongs to
+/// (shared ownership so the group outlives the caller's handle if needed).
+struct JobRecord {
+    WorkStealingPool::Job fn;
+    std::shared_ptr<WorkStealingPool::JobGroup> group;
+};
+
+/// How many injected jobs a worker moves onto its own deque per injection
+/// lock acquisition (the rest stay injectable for other workers).
+constexpr int kInjectChunk = 8;
+
+/// How long a worker parks between re-polls while jobs are still in flight
+/// somewhere (they may spawn children through the lock-free owner-push
+/// path, whose wakeup can race the park decision). Shard jobs run for
+/// milliseconds to minutes, so a 2 ms re-poll is noise — and once the pool
+/// has no pending work at all, workers park indefinitely instead (zero
+/// steady-state wakeups on an idle pool).
+constexpr std::chrono::milliseconds kParkInterval{2};
+
+}  // namespace
+
+struct WorkStealingPool::Impl {
+    explicit Impl(int workers)
+    {
+        deques.reserve(static_cast<std::size_t>(workers));
+        for (int w = 0; w < workers; ++w) {
+            deques.push_back(std::make_unique<ChaseLevDeque<JobRecord*>>());
+        }
+        threads.reserve(static_cast<std::size_t>(workers));
+        for (int w = 0; w < workers; ++w) {
+            threads.emplace_back([this, w] { work(w); });
+        }
+    }
+
+    void
+    shutdown()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            stop = true;
+        }
+        cv.notify_all();
+        threads.clear();  // std::jthread joins on destruction
+        // Reclaim records the contract says should not exist (groups must
+        // be waited before destruction) — belt and braces, not a leak.
+        JobRecord* rec = nullptr;
+        for (auto& deque : deques) {
+            while (deque->pop(&rec)) {
+                delete rec;
+            }
+        }
+        for (JobRecord* injected : inject) {
+            delete injected;
+        }
+        inject.clear();
+    }
+
+    /// Enqueues one record: lock-free onto the calling worker's own deque
+    /// when submitting from inside a job on this pool, else through the
+    /// injection queue.
+    void submit_record(JobRecord* rec);
+
+    /// The worker loop: own deque, then injection queue, then stealing;
+    /// parks on the condition variable when all three come up empty.
+    void work(int self);
+
+    /// Pulls from the injection queue, moving a chunk onto \p self's deque.
+    bool
+    take_injected(int self, JobRecord** out)
+    {
+        int moved = 0;
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            if (inject.empty()) {
+                return false;
+            }
+            *out = inject.front();
+            inject.pop_front();
+            while (!inject.empty() && moved < kInjectChunk) {
+                deques[static_cast<std::size_t>(self)]->push(inject.front());
+                inject.pop_front();
+                ++moved;
+            }
+        }
+        if (moved > 0 && sleepers.load(std::memory_order_relaxed) > 0) {
+            cv.notify_all();
+        }
         return true;
     }
 
-    /// Steals the back half of the fullest victim's deque into our own,
-    /// then pops one job from it. Returns false when every deque is empty.
+    /// One round over the other workers' deques, stealing a single job
+    /// (Chase-Lev steals are one-at-a-time; shard jobs are coarse enough
+    /// that steal-half batching no longer pays for its complexity).
     bool
-    steal(int self, Job* out)
+    try_steal(int self, JobRecord** out)
     {
-        const std::size_t n = queues.size();
-        for (std::size_t hop = 1; hop < n; ++hop) {
-            const std::size_t victim =
-                (static_cast<std::size_t>(self) + hop) % n;
-            std::deque<Job> loot;
-            {
-                WorkerQueue& q = queues[victim];
-                std::lock_guard<std::mutex> lock(q.mu);
-                const std::size_t take = (q.jobs.size() + 1) / 2;
-                for (std::size_t i = 0; i < take; ++i) {
-                    loot.push_front(std::move(q.jobs.back()));
-                    q.jobs.pop_back();
-                }
+        const int n = static_cast<int>(deques.size());
+        for (int hop = 1; hop < n; ++hop) {
+            const int victim = (self + hop) % n;
+            if (deques[static_cast<std::size_t>(victim)]->steal(out)) {
+                steals_total.fetch_add(1, std::memory_order_relaxed);
+                (*out)->group->steals.fetch_add(1,
+                                                std::memory_order_relaxed);
+                return true;
             }
-            if (loot.empty()) {
-                continue;
-            }
-            steals.fetch_add(1, std::memory_order_relaxed);
-            jobs_stolen.fetch_add(loot.size(), std::memory_order_relaxed);
-            *out = std::move(loot.front());
-            loot.pop_front();
-            if (!loot.empty()) {
-                WorkerQueue& mine = queues[static_cast<std::size_t>(self)];
-                std::lock_guard<std::mutex> lock(mine.mu);
-                for (Job& job : loot) {
-                    mine.jobs.push_back(std::move(job));
-                }
-            }
-            return true;
         }
         return false;
     }
 
     void
-    work(int self)
+    execute(JobRecord* rec, int self)
     {
-        Job job;
-        // Backoff while out of work: jobs exist but are all in flight (or
-        // mid-transfer) and nothing spawns new ones. A shard's tail can run
-        // for minutes, so idle workers must not burn a core — back off
-        // exponentially to a bounded sleep instead of spinning on yield.
-        std::chrono::microseconds backoff{0};
-        constexpr std::chrono::microseconds kMaxBackoff{2000};
-        while (remaining.load(std::memory_order_acquire) > 0) {
-            if (pop_own(self, &job) || steal(self, &job)) {
-                backoff = std::chrono::microseconds{0};
-                job(self);
-                job = nullptr;
-                jobs_run.fetch_add(1, std::memory_order_relaxed);
-                remaining.fetch_sub(1, std::memory_order_acq_rel);
-            } else if (backoff.count() == 0) {
-                std::this_thread::yield();
-                backoff = std::chrono::microseconds{50};
-            } else {
-                std::this_thread::sleep_for(backoff);
-                backoff = std::min(backoff * 2, kMaxBackoff);
-            }
+        rec->fn(self);
+        const std::shared_ptr<JobGroup> group = std::move(rec->group);
+        delete rec;
+        jobs_total.fetch_add(1, std::memory_order_relaxed);
+        group->jobs_run.fetch_add(1, std::memory_order_relaxed);
+        group->finish_one();
+        pending_total.fetch_sub(1, std::memory_order_seq_cst);
+    }
+
+    std::vector<std::unique_ptr<ChaseLevDeque<JobRecord*>>> deques;
+    std::mutex mu;                  ///< guards inject + stop
+    std::condition_variable cv;
+    std::deque<JobRecord*> inject;
+    bool stop = false;
+    std::atomic<int> sleepers{0};
+    /// Submitted-but-unfinished jobs across all groups. seq_cst against
+    /// `sleepers` (a Dekker pair): a parking worker either observes
+    /// pending work (and takes the bounded timed wait) or the submitter
+    /// observes the sleeper (and delivers a mutex-ordered notify) — so the
+    /// indefinite park can never miss a submission.
+    std::atomic<std::uint64_t> pending_total{0};
+    std::atomic<std::uint64_t> jobs_total{0};
+    std::atomic<std::uint64_t> steals_total{0};
+    std::vector<std::jthread> threads;  ///< last: joined before the rest dies
+
+    /// Identify the pool and worker index of the current thread, so
+    /// submit() can route a job spawned from inside a running job straight
+    /// onto the spawning worker's own deque (an owner push — the lock-free
+    /// path).
+    static thread_local Impl* tls_impl;
+    static thread_local int tls_worker;
+};
+
+thread_local WorkStealingPool::Impl* WorkStealingPool::Impl::tls_impl =
+    nullptr;
+thread_local int WorkStealingPool::Impl::tls_worker = -1;
+
+void
+WorkStealingPool::Impl::submit_record(JobRecord* rec)
+{
+    rec->group->pending.fetch_add(1, std::memory_order_relaxed);
+    pending_total.fetch_add(1, std::memory_order_seq_cst);
+    if (tls_impl == this && tls_worker >= 0) {
+        deques[static_cast<std::size_t>(tls_worker)]->push(rec);
+        if (sleepers.load(std::memory_order_seq_cst) > 0) {
+            // Empty critical section before the notify: a worker that
+            // already chose the indefinite park holds `mu` until it is
+            // actually waiting, so passing through the mutex guarantees
+            // the notify cannot fall into its decide-then-wait window.
+            { std::lock_guard<std::mutex> lock(mu); }
+            cv.notify_all();
+        }
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        inject.push_back(rec);
+    }
+    cv.notify_all();
+}
+
+void
+WorkStealingPool::Impl::work(int self)
+{
+    tls_impl = this;
+    tls_worker = self;
+    JobRecord* rec = nullptr;
+    for (;;) {
+        if (deques[static_cast<std::size_t>(self)]->pop(&rec) ||
+            take_injected(self, &rec) || try_steal(self, &rec)) {
+            execute(rec, self);
+            continue;
+        }
+        std::unique_lock<std::mutex> lock(mu);
+        if (stop) {
+            break;
+        }
+        if (!inject.empty()) {
+            continue;  // raced a submit; take it through the normal path
+        }
+        sleepers.fetch_add(1, std::memory_order_seq_cst);
+        if (pending_total.load(std::memory_order_seq_cst) > 0) {
+            // Jobs are in flight and may spawn onto a deque at any moment
+            // through the lock-free path: bounded park, then re-poll.
+            cv.wait_for(lock, kParkInterval);
+        } else {
+            // Nothing pending anywhere: park until a submission (or
+            // shutdown) notifies. The Dekker pairing on sleepers /
+            // pending_total makes this race-free — see their declarations.
+            cv.wait(lock);
+        }
+        sleepers.fetch_sub(1, std::memory_order_relaxed);
+        if (stop) {
+            break;
         }
     }
-};
+}
 
 WorkStealingPool::WorkStealingPool(int workers)
     : impl_(new Impl(resolve_jobs(workers)))
 {
 }
 
-WorkStealingPool::~WorkStealingPool() { delete impl_; }
+WorkStealingPool::~WorkStealingPool()
+{
+    impl_->shutdown();
+    delete impl_;
+}
+
+WorkStealingPool::GroupHandle
+WorkStealingPool::make_group()
+{
+    return std::make_shared<JobGroup>();
+}
+
+void
+WorkStealingPool::submit(const GroupHandle& group, Job job)
+{
+    TF_ASSERT(group != nullptr);
+    impl_->submit_record(new JobRecord{std::move(job), group});
+}
+
+void
+WorkStealingPool::submit(const GroupHandle& group, std::vector<Job> jobs)
+{
+    TF_ASSERT(group != nullptr);
+    if (jobs.empty()) {
+        return;
+    }
+    // Count first, then publish the whole batch under one lock acquisition.
+    group->pending.fetch_add(jobs.size(), std::memory_order_relaxed);
+    impl_->pending_total.fetch_add(jobs.size(), std::memory_order_seq_cst);
+    {
+        std::lock_guard<std::mutex> lock(impl_->mu);
+        for (Job& job : jobs) {
+            impl_->inject.push_back(new JobRecord{std::move(job), group});
+        }
+    }
+    impl_->cv.notify_all();
+}
+
+void
+WorkStealingPool::wait(const GroupHandle& group)
+{
+    TF_ASSERT(group != nullptr);
+    group->wait();
+}
+
+void
+WorkStealingPool::run_batch(std::vector<Job> jobs)
+{
+    const GroupHandle group = make_group();
+    submit(group, std::move(jobs));
+    wait(group);
+}
 
 int
 WorkStealingPool::workers() const
 {
-    return static_cast<int>(impl_->queues.size());
+    return static_cast<int>(impl_->deques.size());
 }
 
 SchedulerStats
@@ -151,32 +349,20 @@ WorkStealingPool::stats() const
 {
     SchedulerStats stats;
     stats.workers = workers();
-    stats.jobs_run = impl_->jobs_run.load();
-    stats.steals = impl_->steals.load();
-    stats.jobs_stolen = impl_->jobs_stolen.load();
+    stats.jobs_run = impl_->jobs_total.load(std::memory_order_relaxed);
+    stats.steals = impl_->steals_total.load(std::memory_order_relaxed);
     return stats;
 }
 
-void
-WorkStealingPool::run_batch(std::vector<Job> jobs)
+SchedulerStats
+WorkStealingPool::group_stats(const GroupHandle& group) const
 {
-    TF_ASSERT(impl_->remaining.load() == 0);
-    if (jobs.empty()) {
-        return;
-    }
-    const std::size_t n = impl_->queues.size();
-    for (std::size_t i = 0; i < jobs.size(); ++i) {
-        impl_->queues[i % n].jobs.push_back(std::move(jobs[i]));
-    }
-    impl_->remaining.store(jobs.size(), std::memory_order_release);
-    std::vector<std::jthread> threads;
-    threads.reserve(n);
-    for (std::size_t w = 0; w < n; ++w) {
-        threads.emplace_back(
-            [this, w] { impl_->work(static_cast<int>(w)); });
-    }
-    // std::jthread joins on destruction; run_batch returns once every
-    // worker has observed remaining == 0, i.e. the batch is complete.
+    TF_ASSERT(group != nullptr);
+    SchedulerStats stats;
+    stats.workers = workers();
+    stats.jobs_run = group->jobs_run.load(std::memory_order_relaxed);
+    stats.steals = group->steals.load(std::memory_order_relaxed);
+    return stats;
 }
 
 }  // namespace transform::sched

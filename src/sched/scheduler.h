@@ -1,34 +1,40 @@
 /// \file
-/// Work-stealing thread-pool scheduler for the parallel synthesis runtime
-/// (see DESIGN.md, "Parallel synthesis runtime").
+/// The v2 work-stealing scheduler of the parallel synthesis runtime (see
+/// docs/scheduler.md and DESIGN.md, "Parallel synthesis runtime").
 ///
-/// The synthesis engine shards its search space into coarse, independent
-/// jobs (one per (event-bound, skeleton-prefix) slice) and hands the batch
-/// to a WorkStealingPool. Each worker owns a deque seeded round-robin;
-/// workers drain their own deque front-to-back and, when empty, steal the
-/// back half of a victim's deque. Jobs never spawn jobs, so the pool runs a
-/// batch to completion and the workers (std::jthread) exit on their own.
+/// v1 was a single-shot batch object: one mutex-guarded deque per worker,
+/// threads spawned per batch, destroyed at the end, and no way to submit
+/// work while a batch ran. v2 is a *persistent shared pool*: worker threads
+/// start once, park when idle, and serve any number of concurrent *job
+/// groups*. Each worker owns a lock-free Chase-Lev deque (owner pops LIFO,
+/// thieves steal FIFO); external submitters go through a small injection
+/// queue, and a running job may spawn follow-up jobs into the same group —
+/// the mechanism behind adaptive shard re-splitting in the synthesis
+/// engine, and the reason `synthesize_all_parallel` can feed every axiom's
+/// shards to one pool instead of spinning up per-axiom thread groups.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 namespace transform::sched {
 
-/// Aggregate counters for one scheduled batch (the scheduler analogue of
-/// sat::SolverStats). The pool fills the scheduling fields; the synthesis
-/// engine adds the dedup-index field before surfacing the struct through
-/// SuiteResult and `elt_synth --stats`.
+/// Aggregate counters for a job group or a pool lifetime (the scheduler
+/// analogue of sat::SolverStats). The pool fills the scheduling fields; the
+/// synthesis engine adds `resplits` and `dedup_hits` before surfacing the
+/// struct through SuiteResult and `elt_synth --stats`.
 struct SchedulerStats {
-    int workers = 0;                 ///< worker threads used for the batch
-    std::uint64_t jobs_run = 0;      ///< jobs executed across all workers
-    std::uint64_t steals = 0;        ///< successful steal operations
-    std::uint64_t jobs_stolen = 0;   ///< jobs migrated by those steals
+    int workers = 0;                 ///< worker threads in the pool
+    std::uint64_t jobs_run = 0;      ///< jobs executed
+    std::uint64_t steals = 0;        ///< jobs migrated by stealing
+                                     ///  (Chase-Lev steals take one job)
+    std::uint64_t resplits = 0;      ///< adaptive shard re-splits (engine)
     std::uint64_t dedup_hits = 0;    ///< duplicate keys seen by the index
 
-    /// Accumulates another batch's counters (per-suite totals in
-    /// synthesize_all; workers takes the maximum).
+    /// Accumulates another group's counters (per-suite totals in
+    /// synthesize_all; `workers` takes the maximum).
     void merge(const SchedulerStats& other);
 };
 
@@ -36,35 +42,82 @@ struct SchedulerStats {
 /// worker per hardware thread".
 int resolve_jobs(int jobs);
 
-/// A single-shot batch scheduler with per-worker deques and steal-half
-/// balancing. Construct with a worker count, submit one batch with
-/// run_batch(), read stats(). The pool is not reusable across batches —
-/// the synthesis engine builds one per suite, which keeps the lifetime
-/// rules trivial (no idle thread parking, no task-spawn races).
+/// A persistent work-stealing thread pool shared by every search in the
+/// process that holds a reference to it.
+///
+/// Work is organized in *job groups*: a group is a wait-able set of jobs
+/// (one synthesis suite submits one group; `synthesize_all_parallel`
+/// submits one group per axiom to a single pool). Groups are independent —
+/// jobs of different groups interleave freely on the same workers — and
+/// each group carries its own counters so a suite's stats stay attributable
+/// even on a shared pool.
+///
+/// Thread-safety contract: make_group/submit/wait/stats are safe from any
+/// thread, including from inside a running job (self-submission is how
+/// adaptive re-splitting spawns child shards). The destructor joins the
+/// workers; every group must be wait()ed before the pool is destroyed.
 class WorkStealingPool {
   public:
-    /// A job receives the index of the worker executing it.
+    /// A job receives the index of the worker executing it (in
+    /// [0, workers())); useful for worker-local accumulation.
     using Job = std::function<void(int worker)>;
 
-    /// Creates a pool that will run batches on \p workers threads
-    /// (resolved via resolve_jobs).
+    /// A wait-able set of jobs. Opaque: created by make_group(), passed
+    /// back to submit()/wait()/group_stats().
+    class JobGroup;
+
+    /// Shared ownership so the engine can capture the handle in job
+    /// closures that outlive the submitting scope.
+    using GroupHandle = std::shared_ptr<JobGroup>;
+
+    /// Starts \p workers persistent worker threads (resolved via
+    /// resolve_jobs; 0 = one per hardware thread).
     explicit WorkStealingPool(int workers);
+
+    /// Joins the workers. Undefined if a group still has pending jobs —
+    /// wait() for every submitted group first.
     ~WorkStealingPool();
 
     WorkStealingPool(const WorkStealingPool&) = delete;
     WorkStealingPool& operator=(const WorkStealingPool&) = delete;
 
-    /// Runs \p jobs to completion. Jobs are seeded round-robin across the
-    /// worker deques in batch order; idle workers steal half a victim's
-    /// remaining jobs at a time. Blocks until every job has finished.
+    /// Creates an empty job group. Thread-safe.
+    GroupHandle make_group();
+
+    /// Submits one job to \p group. Thread-safe. When called from inside a
+    /// job running on this pool, the new job is pushed onto the calling
+    /// worker's own deque (lock-free; idle workers steal it); otherwise it
+    /// goes through the injection queue. May be called concurrently with
+    /// wait() on the same group only from inside one of the group's jobs
+    /// (a job's spawns are counted before the job completes, so the group
+    /// cannot be observed complete early).
+    void submit(const GroupHandle& group, Job job);
+
+    /// Submits a batch of jobs to \p group in one injection-queue
+    /// operation. Thread-safe; same semantics as the single-job overload.
+    void submit(const GroupHandle& group, std::vector<Job> jobs);
+
+    /// Blocks until every job submitted to \p group — including jobs
+    /// spawned by the group's own jobs — has finished. Thread-safe; must
+    /// not be called from inside a job (a worker waiting on its own pool
+    /// can deadlock). Returns immediately for a group with no jobs.
+    void wait(const GroupHandle& group);
+
+    /// Convenience for one-shot callers (elt_check, tests):
+    /// make_group() + submit() + wait().
     void run_batch(std::vector<Job> jobs);
 
     /// Worker count the pool was built with.
     int workers() const;
 
-    /// Counters for the batches run so far (dedup_hits stays 0 here; the
-    /// caller owns that field).
+    /// Pool-lifetime counters across all groups. Thread-safe; counters are
+    /// monotonic but only settled for groups that have been wait()ed.
     SchedulerStats stats() const;
+
+    /// Counters attributed to one group (`resplits`/`dedup_hits` stay 0
+    /// here; the engine owns those fields). Thread-safe; settled once
+    /// wait(group) has returned.
+    SchedulerStats group_stats(const GroupHandle& group) const;
 
   private:
     struct Impl;

@@ -22,6 +22,13 @@
 namespace transform::sched {
 
 /// A mutex-striped hash map from canonical key to minimum ticket.
+///
+/// Thread-safety contract: record() may be called from any number of
+/// scheduler workers concurrently (each call locks only its key's stripe).
+/// The read-side accessors (min_ticket, hits, size) are themselves
+/// thread-safe but return settled values only after every writer has
+/// finished — the engine reads them in its merge step, after
+/// WorkStealingPool::wait() on the suite's job group.
 class ShardedKeyIndex {
   public:
     /// Outcome of one record() call.

@@ -1,8 +1,10 @@
 #include "synth/engine.h"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
+#include <mutex>
 #include <set>
-#include <thread>
 #include <utility>
 
 #include "elt/derive.h"
@@ -23,16 +25,33 @@ using elt::Program;
 
 namespace {
 
-/// Shards per event bound. Fixed (rather than derived from the worker
-/// count) so the shard list — and with it the candidate tickets — is a pure
-/// function of the options: the same suite falls out for every `jobs`.
-constexpr int kShardsPerBound = 32;
-
-/// Ticket stride between shards: ticket = shard_index * stride + position,
-/// so ticket order across all shards equals the sequential enumeration
-/// order (shards concatenate to the full stream; no shard holds 2^40
-/// candidates).
+/// Ticket stride between top-level shards: ticket = base + position, so
+/// ticket order across all shards equals the sequential enumeration order
+/// (shards concatenate to the full stream; no shard holds 2^40 candidates).
 constexpr std::uint64_t kTicketStride = std::uint64_t{1} << 40;
+
+/// When a shard is re-split, each child receives a sub-range of the
+/// parent's ticket space: child i gets [base + i * child_stride,
+/// base + (i+1) * child_stride) where child_stride is the parent's stride
+/// divided by the child count rounded up to a power of two (a split
+/// produces at most #slots + 1 <= 10 children, so usually 2^4 sub-ranges).
+/// Ticket order over (child index, position) still equals enumeration
+/// order.
+constexpr std::uint64_t
+child_stride_for(std::uint64_t parent_stride, std::size_t children)
+{
+    int shift = 0;
+    while ((std::size_t{1} << shift) < children) {
+        ++shift;
+    }
+    return parent_stride >> shift;
+}
+
+/// Re-splitting stops once the child stride would drop below 2^22 tickets
+/// (after five to six 10-way levels) — a leaf must still be able to number
+/// every candidate it holds without bleeding into its sibling's range; the
+/// engine asserts that bound per ticket.
+constexpr std::uint64_t kMinLeafStride = std::uint64_t{1} << 22;
 
 /// Static per-axiom pruning flags: structural features a violation of the
 /// axiom necessarily requires. Sound (never prunes a violating program) and
@@ -127,15 +146,256 @@ find_witness(const mtm::Model& model, const std::string& axiom_name,
     return accepted;
 }
 
-/// What one shard job hands back to the merge step.
-struct ShardOutput {
-    std::vector<SynthesizedTest> tests;
-    std::vector<std::uint64_t> tickets;  ///< aligned with tests
+/// One unit of search: a skeleton shard plus the ticket sub-range its
+/// candidates are numbered from. Re-splitting replaces a task with child
+/// tasks over sub-ranges of the same ticket space.
+struct ShardTask {
+    SkeletonShard shard;
+    std::uint64_t ticket_base = 0;
+    std::uint64_t ticket_stride = 0;
+};
+
+/// All in-flight state of one suite synthesis: the job closures reference
+/// it, so it outlives the group (launch_suite ... pool.wait ...
+/// finish_suite). One SuiteRun maps to one sched job group; several
+/// SuiteRuns can share one pool (synthesize_all_parallel).
+struct SuiteRun {
+    SuiteRun(const mtm::Model& source, std::string axiom_name,
+             const SynthesisOptions& opts)
+        : model(source.name(), source.vm_aware(), source.axioms()),
+          axiom(std::move(axiom_name)), options(opts),
+          deadline(opts.time_budget_seconds)
+    {
+    }
+
+    /// The per-suite time budget starts ticking when the suite's FIRST
+    /// shard job actually runs, not at submission: on a shared pool
+    /// (synthesize_all_parallel) a later axiom's jobs queue behind earlier
+    /// axioms', and charging that queue wait against the budget would
+    /// starve late suites that v1's per-axiom threads served immediately.
+    /// (Once running, the budget is still wall time and may overlap other
+    /// suites' shards — the budget bounds latency, not dedicated compute.)
+    const util::Deadline&
+    armed_deadline()
+    {
+        std::call_once(deadline_armed, [this] {
+            deadline = util::Deadline(options.time_budget_seconds);
+        });
+        return deadline;
+    }
+
+    const mtm::Model model;  ///< private copy; jobs re-copy per shard
+    const std::string axiom;
+    const SynthesisOptions options;
+    util::Stopwatch watch;
+    std::once_flag deadline_armed;
+    util::Deadline deadline;  ///< access via armed_deadline() from jobs
+    sched::ShardedKeyIndex index;
+    sched::WorkStealingPool::GroupHandle group;
+
+    std::atomic<std::uint64_t> programs{0};
+    std::atomic<std::uint64_t> executions{0};
+    std::atomic<std::uint64_t> duplicates{0};
+    std::atomic<std::uint64_t> resplits{0};
+    std::atomic<bool> timed_out{false};
+
+    std::mutex mu;  ///< guards merged (one lock per finished shard)
+    std::vector<std::pair<SynthesizedTest, std::uint64_t>> merged;
+
+    /// Builds the job for a ShardTask; recursive through re-splitting, so
+    /// it lives here rather than on the launch_suite stack.
+    std::function<sched::WorkStealingPool::Job(ShardTask)> make_job;
+};
+
+/// Runs the actual search of one leaf shard and splices its results into
+/// the run. Candidates are numbered base + position; the ticket range must
+/// stay inside the task's stride so sibling ranges never overlap —
+/// kMinLeafStride (4M candidates per deepest leaf) makes exhaustion
+/// unreachable in practice, and hitting it fails loudly with a workaround
+/// rather than corrupting the deterministic merge.
+void
+search_shard(SuiteRun* run, const ShardTask& task)
+{
+    // Per-job Model copy: the axiom closures are stateless, but keeping
+    // workers fully independent costs nothing and avoids reasoning about
+    // shared access.
+    const mtm::Model local(run->model.name(), run->model.vm_aware(),
+                           run->model.axioms());
+    const SynthesisOptions& options = run->options;
+    const util::Deadline& deadline = run->armed_deadline();
+    std::vector<std::pair<SynthesizedTest, std::uint64_t>> tests;
     std::uint64_t programs = 0;
     std::uint64_t executions = 0;
     std::uint64_t duplicates = 0;
     bool timed_out = false;
-};
+    std::uint64_t next_ticket = task.ticket_base;
+    for_each_skeleton(task.shard, [&](const Program& program) {
+        if (deadline.expired()) {
+            timed_out = true;
+            return false;
+        }
+        const std::uint64_t ticket = next_ticket++;
+        if (ticket - task.ticket_base >= task.ticket_stride) {
+            TF_FATAL("shard ticket range exhausted ("
+                     << task.ticket_stride << " candidates in one "
+                     << "unsplittable shard); rerun with --shard-depth N "
+                     << "(fixed sharding) or a larger bound split");
+        }
+        ++programs;
+        std::string key;
+        if (options.dedup) {
+            // Claim the key. Only the holder of the minimum ticket
+            // evaluates: any earlier candidate with this key is isomorphic
+            // and receives the same verdict, so its owner's result (or
+            // rejection) stands for ours.
+            key = canonical_key(program);
+            if (!run->index.record(key, ticket).is_min) {
+                ++duplicates;
+                return true;
+            }
+        }
+        Execution witness = Execution::empty_for(program);
+        std::vector<std::string> violated;
+        const bool accepted =
+            find_witness(local, run->axiom, options, program, deadline,
+                         &witness, &violated, &executions, &timed_out);
+        if (timed_out) {
+            return false;
+        }
+        if (accepted) {
+            SynthesizedTest test;
+            test.witness = witness;
+            test.canonical_key =
+                options.dedup ? key : canonical_key(program);
+            test.size = program.num_events();
+            test.violated = violated;
+            tests.emplace_back(std::move(test), ticket);
+        }
+        return true;
+    });
+    run->programs.fetch_add(programs, std::memory_order_relaxed);
+    run->executions.fetch_add(executions, std::memory_order_relaxed);
+    run->duplicates.fetch_add(duplicates, std::memory_order_relaxed);
+    if (timed_out) {
+        run->timed_out.store(true, std::memory_order_relaxed);
+    }
+    if (!tests.empty()) {
+        std::lock_guard<std::mutex> lock(run->mu);
+        for (auto& entry : tests) {
+            run->merged.push_back(std::move(entry));
+        }
+    }
+}
+
+/// Builds a SuiteRun for \p axiom_name and submits its initial shard tasks
+/// to \p pool as one job group. The caller must pool.wait(run->group) and
+/// then finish_suite().
+std::unique_ptr<SuiteRun>
+launch_suite(sched::WorkStealingPool& pool, const mtm::Model& model,
+             const std::string& axiom_name, const SynthesisOptions& options)
+{
+    TF_ASSERT(model.axiom(axiom_name) != nullptr);
+    auto run = std::make_unique<SuiteRun>(model, axiom_name, options);
+    run->group = pool.make_group();
+    SuiteRun* raw = run.get();
+    sched::WorkStealingPool* pool_ptr = &pool;
+
+    run->make_job = [raw, pool_ptr](ShardTask task)
+        -> sched::WorkStealingPool::Job {
+        return [raw, pool_ptr, task = std::move(task)](int) {
+            const SynthesisOptions& options = raw->options;
+            // Adaptive re-split: when this shard is splittable (checked
+            // first — split_shard is cheap, the probe is not), probe its
+            // candidate count (a pure function of the shard — see
+            // count_skeletons) and trade this job for its children when the
+            // shard is too heavy. Children are pushed onto this worker's
+            // own deque, where idle workers steal them.
+            if (options.shard_depth == 0 &&
+                task.ticket_stride >= kMinLeafStride * 2 &&
+                !raw->armed_deadline().expired()) {
+                const std::vector<SkeletonShard> children =
+                    split_shard(task.shard);
+                const std::uint64_t child_stride = children.empty()
+                    ? 0
+                    : child_stride_for(task.ticket_stride, children.size());
+                if (!children.empty() && child_stride >= kMinLeafStride &&
+                    count_skeletons(task.shard,
+                                    options.resplit_threshold + 1) >
+                        options.resplit_threshold) {
+                    raw->resplits.fetch_add(1, std::memory_order_relaxed);
+                    for (std::size_t i = 0; i < children.size(); ++i) {
+                        pool_ptr->submit(
+                            raw->group,
+                            raw->make_job({children[i],
+                                           task.ticket_base + i * child_stride,
+                                           child_stride}));
+                    }
+                    return;
+                }
+            }
+            search_shard(raw, task);
+        };
+    };
+
+    // Partition the search space by (event bound, skeleton prefix):
+    // adaptive mode starts from the coarse depth-1 split, fixed mode goes
+    // straight to the requested depth.
+    std::vector<sched::WorkStealingPool::Job> jobs;
+    std::uint64_t shard_index = 0;
+    for (int size = options.min_bound; size <= options.bound; ++size) {
+        const SkeletonOptions skeleton =
+            skeleton_options(run->model, axiom_name, options, size);
+        const std::vector<SkeletonShard> shards =
+            partition_skeletons_at_depth(skeleton,
+                                         std::max(options.shard_depth, 1));
+        for (const SkeletonShard& shard : shards) {
+            jobs.push_back(run->make_job(
+                {shard, kTicketStride * shard_index, kTicketStride}));
+            ++shard_index;
+        }
+    }
+    pool.submit(run->group, std::move(jobs));
+    return run;
+}
+
+/// Merges a completed SuiteRun (its group must have been waited) into the
+/// final SuiteResult. All workers have recorded all their candidates, so
+/// the per-key minimum ticket is now a pure function of the options;
+/// keeping exactly the test whose ticket equals it resolves every
+/// cross-shard race toward the sequential-enumeration-order winner.
+SuiteResult
+finish_suite(sched::WorkStealingPool& pool, SuiteRun& run)
+{
+    SuiteResult result;
+    result.axiom = run.axiom;
+    result.programs_considered = run.programs.load();
+    result.executions_considered = run.executions.load();
+    result.duplicates_rejected = run.duplicates.load();
+
+    std::vector<std::pair<SynthesizedTest, std::uint64_t>> kept;
+    kept.reserve(run.merged.size());
+    for (auto& [test, ticket] : run.merged) {
+        if (!run.options.dedup ||
+            run.index.min_ticket(test.canonical_key) == ticket) {
+            kept.emplace_back(std::move(test), ticket);
+        }
+    }
+    std::sort(kept.begin(), kept.end(), [](const auto& a, const auto& b) {
+        return std::tie(a.first.canonical_key, a.second) <
+               std::tie(b.first.canonical_key, b.second);
+    });
+    result.tests.reserve(kept.size());
+    for (auto& [test, ticket] : kept) {
+        result.tests.push_back(std::move(test));
+    }
+
+    result.scheduler = pool.group_stats(run.group);
+    result.scheduler.resplits = run.resplits.load();
+    result.scheduler.dedup_hits = run.index.hits();
+    result.seconds = run.watch.elapsed_seconds();
+    result.complete = !run.timed_out.load();
+    return result;
+}
 
 }  // namespace
 
@@ -143,115 +403,11 @@ SuiteResult
 synthesize_suite(const mtm::Model& model, const std::string& axiom_name,
                  const SynthesisOptions& options)
 {
-    TF_ASSERT(model.axiom(axiom_name) != nullptr);
-    SuiteResult result;
-    result.axiom = axiom_name;
-    util::Stopwatch watch;
-    util::Deadline deadline(options.time_budget_seconds);
-
-    // Partition the search space by (event bound, skeleton prefix).
-    std::vector<SkeletonShard> shards;
-    for (int size = options.min_bound; size <= options.bound; ++size) {
-        const SkeletonOptions skeleton =
-            skeleton_options(model, axiom_name, options, size);
-        for (SkeletonShard& shard :
-             partition_skeletons(skeleton, kShardsPerBound)) {
-            shards.push_back(std::move(shard));
-        }
-    }
-
-    sched::ShardedKeyIndex index;
-    std::vector<ShardOutput> outputs(shards.size());
     sched::WorkStealingPool pool(options.jobs);
-    std::vector<sched::WorkStealingPool::Job> jobs;
-    jobs.reserve(shards.size());
-    for (std::size_t si = 0; si < shards.size(); ++si) {
-        jobs.push_back([&model, &axiom_name, &options, &deadline, &index,
-                        &outputs, &shards, si](int) {
-            ShardOutput& out = outputs[si];
-            // Per-job Model copy: the axiom closures are stateless, but
-            // keeping workers fully independent costs nothing and avoids
-            // reasoning about shared access.
-            const mtm::Model local(model.name(), model.vm_aware(),
-                                   model.axioms());
-            std::uint64_t next_ticket = kTicketStride * si;
-            for_each_skeleton(shards[si], [&](const Program& program) {
-                if (deadline.expired()) {
-                    out.timed_out = true;
-                    return false;
-                }
-                const std::uint64_t ticket = next_ticket++;
-                ++out.programs;
-                std::string key;
-                if (options.dedup) {
-                    // Claim the key. Only the holder of the minimum ticket
-                    // evaluates: any earlier candidate with this key is
-                    // isomorphic and receives the same verdict, so its
-                    // owner's result (or rejection) stands for ours.
-                    key = canonical_key(program);
-                    if (!index.record(key, ticket).is_min) {
-                        ++out.duplicates;
-                        return true;
-                    }
-                }
-                Execution witness = Execution::empty_for(program);
-                std::vector<std::string> violated;
-                const bool accepted = find_witness(
-                    local, axiom_name, options, program, deadline, &witness,
-                    &violated, &out.executions, &out.timed_out);
-                if (out.timed_out) {
-                    return false;
-                }
-                if (accepted) {
-                    SynthesizedTest test;
-                    test.witness = witness;
-                    test.canonical_key =
-                        options.dedup ? key : canonical_key(program);
-                    test.size = program.num_events();
-                    test.violated = violated;
-                    out.tests.push_back(std::move(test));
-                    out.tickets.push_back(ticket);
-                }
-                return true;
-            });
-        });
-    }
-    pool.run_batch(std::move(jobs));
-
-    // Merge. All workers have recorded all their candidates, so the per-key
-    // minimum ticket is now a pure function of the options; keeping exactly
-    // the test whose ticket equals it resolves every cross-shard race
-    // toward the sequential-enumeration-order winner.
-    bool timed_out = false;
-    std::vector<std::pair<SynthesizedTest, std::uint64_t>> merged;
-    for (ShardOutput& out : outputs) {
-        result.programs_considered += out.programs;
-        result.executions_considered += out.executions;
-        result.duplicates_rejected += out.duplicates;
-        timed_out = timed_out || out.timed_out;
-        for (std::size_t i = 0; i < out.tests.size(); ++i) {
-            if (!options.dedup ||
-                index.min_ticket(out.tests[i].canonical_key) ==
-                    out.tickets[i]) {
-                merged.emplace_back(std::move(out.tests[i]), out.tickets[i]);
-            }
-        }
-    }
-    std::sort(merged.begin(), merged.end(),
-              [](const auto& a, const auto& b) {
-                  return std::tie(a.first.canonical_key, a.second) <
-                         std::tie(b.first.canonical_key, b.second);
-              });
-    result.tests.reserve(merged.size());
-    for (auto& [test, ticket] : merged) {
-        result.tests.push_back(std::move(test));
-    }
-
-    result.scheduler = pool.stats();
-    result.scheduler.dedup_hits = index.hits();
-    result.seconds = watch.elapsed_seconds();
-    result.complete = !timed_out;
-    return result;
+    const std::unique_ptr<SuiteRun> run =
+        launch_suite(pool, model, axiom_name, options);
+    pool.wait(run->group);
+    return finish_suite(pool, *run);
 }
 
 std::vector<SuiteResult>
@@ -268,21 +424,24 @@ std::vector<SuiteResult>
 synthesize_all_parallel(const mtm::Model& model,
                         const SynthesisOptions& options)
 {
-    const std::size_t count = model.axioms().size();
-    std::vector<SuiteResult> out(count);
-    std::vector<std::jthread> workers;
-    workers.reserve(count);
-    for (std::size_t i = 0; i < count; ++i) {
-        workers.emplace_back([&model, &options, &out, i] {
-            // Each worker builds its own Model copy: the axiom closures are
-            // stateless, but keeping workers fully independent costs nothing
-            // and avoids reasoning about shared access.
-            const mtm::Model local(model.name(), model.vm_aware(),
-                                   model.axioms());
-            out[i] = synthesize_suite(local, local.axioms()[i].name, options);
-        });
+    // One shared pool; one job group per axiom. Shards of every axiom
+    // interleave on the same options.jobs workers, so the pool stays busy
+    // until the very last suite drains (v1 instead pinned a thread group
+    // per axiom, leaving cores idle once the cheap axioms finished).
+    sched::WorkStealingPool pool(options.jobs);
+    std::vector<std::unique_ptr<SuiteRun>> runs;
+    runs.reserve(model.axioms().size());
+    for (const mtm::Axiom& axiom : model.axioms()) {
+        runs.push_back(launch_suite(pool, model, axiom.name, options));
     }
-    workers.clear();  // jthread joins on destruction
+    std::vector<SuiteResult> out;
+    out.reserve(runs.size());
+    for (const std::unique_ptr<SuiteRun>& run : runs) {
+        pool.wait(run->group);
+    }
+    for (const std::unique_ptr<SuiteRun>& run : runs) {
+        out.push_back(finish_suite(pool, *run));
+    }
     return out;
 }
 

@@ -6,15 +6,22 @@
 /// enumerator (default, fast) and the SAT/relational backend mirroring the
 /// paper's Alloy pipeline (used for cross-checking and per-program queries).
 ///
-/// The search runs on the parallel synthesis runtime (src/sched/): the
+/// The search runs on the parallel synthesis runtime (src/sched/, v2): the
 /// (event-bound, skeleton-prefix) space is partitioned into independent
-/// shards, a work-stealing pool searches them concurrently, and results are
-/// merged through a sharded canonical-key index. Determinism contract: for
-/// a run that completes within its time budget, the merged suite (tests,
-/// their order, and their witnesses) is identical for every `jobs` value —
-/// the suite is sorted by canonical key and every cross-shard duplicate is
-/// resolved toward the candidate earliest in the sequential enumeration
-/// order (see DESIGN.md, "Parallel synthesis runtime").
+/// shards, one persistent work-stealing pool searches them concurrently
+/// (Chase-Lev deques; `synthesize_all_parallel` submits every axiom's
+/// shards to the same pool as separate job groups), and results are merged
+/// through a sharded canonical-key index. Shard depth is adaptive by
+/// default: the engine starts from a coarse split and re-splits any shard
+/// whose observed candidate count exceeds a threshold, submitting the
+/// children back to the pool (see docs/scheduler.md).
+///
+/// Determinism contract: for a run that completes within its time budget,
+/// the merged suite (tests, their order, and their witnesses) is identical
+/// for every `jobs` value and every shard-depth setting — the suite is
+/// sorted by canonical key and every cross-shard duplicate is resolved
+/// toward the candidate earliest in the sequential enumeration order (see
+/// DESIGN.md, "Parallel synthesis runtime").
 #pragma once
 
 #include <cstdint>
@@ -50,6 +57,18 @@ struct SynthesisOptions {
     double time_budget_seconds = 0;  ///< 0 = unlimited (paper used one week)
     Backend backend = Backend::kEnumerative;
     int jobs = 1;  ///< scheduler workers; 0 = one per hardware thread
+
+    /// Shard granularity: 0 (default) = adaptive — start from a depth-1
+    /// prefix split and re-split shards whose candidate count exceeds
+    /// resplit_threshold; N >= 1 = fixed prefix depth N, no re-splitting.
+    /// The synthesized suite is identical for every setting.
+    int shard_depth = 0;
+
+    /// Adaptive mode only: a shard holding more than this many candidate
+    /// programs is split instead of searched. The probe is a deterministic
+    /// count, so the re-split tree — and with it jobs_run/resplits — is a
+    /// pure function of the options, not of scheduling.
+    std::uint64_t resplit_threshold = 4096;
 };
 
 /// One synthesized ELT.
@@ -74,8 +93,10 @@ struct SuiteResult {
 
 /// Synthesizes the suite of unique, minimal, interesting ELT programs whose
 /// executions can violate \p axiom_name, over all sizes in
-/// [min_bound, bound]. Runs on options.jobs workers; the resulting suite is
-/// independent of the worker count (see the determinism contract above).
+/// [min_bound, bound]. Builds a private options.jobs-worker pool for the
+/// run; the resulting suite is independent of the worker count and the
+/// shard depth (see the determinism contract above). Thread-safe for
+/// concurrent calls with distinct models.
 SuiteResult synthesize_suite(const mtm::Model& model,
                              const std::string& axiom_name,
                              const SynthesisOptions& options);
@@ -85,10 +106,11 @@ SuiteResult synthesize_suite(const mtm::Model& model,
 std::vector<SuiteResult> synthesize_all(const mtm::Model& model,
                                         const SynthesisOptions& options);
 
-/// As synthesize_all, but runs the per-axiom suites concurrently (they are
-/// independent searches; each one additionally fans out over options.jobs
-/// shard workers). Results are identical to the serial driver — asserted by
-/// the test suite — and arrive in the same axiom order.
+/// As synthesize_all, but submits every axiom's shards to ONE shared
+/// work-stealing pool of options.jobs workers (one job group per axiom; no
+/// per-axiom thread groups), so late-finishing axioms inherit the workers
+/// of early-finishing ones. Results are identical to the serial driver —
+/// asserted by the test suite — and arrive in the same axiom order.
 std::vector<SuiteResult> synthesize_all_parallel(
     const mtm::Model& model, const SynthesisOptions& options);
 

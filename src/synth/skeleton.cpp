@@ -657,56 +657,96 @@ for_each_skeleton(const SkeletonShard& shard,
 }
 
 std::vector<SkeletonShard>
-partition_skeletons(const SkeletonOptions& options, int target_shards)
+split_shard(const SkeletonShard& shard)
 {
-    const std::vector<Slot> slots = available_slots(options);
-    const auto prefix_weight = [&](const std::vector<int>& prefix) {
-        int used = 0;
-        for (const int ordinal : prefix) {
-            if (ordinal != kCloseThread) {
-                used += weight(slots[static_cast<std::size_t>(ordinal)],
-                               options);
-            }
-        }
-        return used;
-    };
-
-    // Depth 1: one shard per feasible opening slot of the first thread, in
-    // the enumerator's slot order.
-    std::vector<SkeletonShard> shards;
-    for (std::size_t si = 0; si < slots.size(); ++si) {
-        if (weight(slots[si], options) <= options.num_events) {
-            shards.push_back({options, {static_cast<int>(si)}});
+    std::vector<SkeletonShard> children;
+    if (!shard.prefix.empty() && shard.prefix.back() == kCloseThread) {
+        return children;  // subtree already left thread 0: not splittable
+    }
+    const std::vector<Slot> slots = available_slots(shard.options);
+    int used = 0;
+    for (const int ordinal : shard.prefix) {
+        if (ordinal != kCloseThread) {
+            used += weight(slots[static_cast<std::size_t>(ordinal)],
+                           shard.options);
         }
     }
+    // Enumerator child order: close-thread first (only once the thread is
+    // non-empty), then each slot that still fits the event budget.
+    std::vector<int> child = shard.prefix;
+    child.push_back(kCloseThread);
+    if (!shard.prefix.empty()) {
+        children.push_back({shard.options, child});
+    }
+    for (std::size_t si = 0; si < slots.size(); ++si) {
+        if (used + weight(slots[si], shard.options) <=
+            shard.options.num_events) {
+            child.back() = static_cast<int>(si);
+            children.push_back({shard.options, child});
+        }
+    }
+    return children;
+}
 
-    // Deepen until the target is met. Replacing each shard with its
-    // children in the enumerator's child order (close-thread first, then
-    // slots) preserves the concatenation-equals-full-stream property.
+namespace {
+
+/// Replaces every splittable shard with its children, in place.
+void
+deepen_once(std::vector<SkeletonShard>* shards)
+{
+    std::vector<SkeletonShard> next;
+    next.reserve(shards->size() * 2);
+    for (SkeletonShard& shard : *shards) {
+        std::vector<SkeletonShard> children = split_shard(shard);
+        if (children.empty()) {
+            next.push_back(std::move(shard));
+        } else {
+            for (SkeletonShard& c : children) {
+                next.push_back(std::move(c));
+            }
+        }
+    }
+    *shards = std::move(next);
+}
+
+}  // namespace
+
+std::vector<SkeletonShard>
+partition_skeletons_at_depth(const SkeletonOptions& options, int depth)
+{
+    TF_ASSERT(depth >= 1);
+    std::vector<SkeletonShard> shards = split_shard({options, {}});
+    for (int d = 1; d < depth; ++d) {
+        deepen_once(&shards);
+    }
+    return shards;
+}
+
+std::vector<SkeletonShard>
+partition_skeletons(const SkeletonOptions& options, int target_shards)
+{
+    // Depth 1: one shard per feasible opening slot of the first thread;
+    // deepen until the target is met. Replacing each shard with its
+    // children in the enumerator's child order preserves the
+    // concatenation-equals-full-stream property.
+    std::vector<SkeletonShard> shards = split_shard({options, {}});
     for (int depth = 1;
          depth < 4 && static_cast<int>(shards.size()) < target_shards;
          ++depth) {
-        std::vector<SkeletonShard> next;
-        next.reserve(shards.size() * (slots.size() + 1));
-        for (SkeletonShard& shard : shards) {
-            if (shard.prefix.back() == kCloseThread) {
-                next.push_back(std::move(shard));  // subtree left thread 0
-                continue;
-            }
-            const int used = prefix_weight(shard.prefix);
-            std::vector<int> child = shard.prefix;
-            child.push_back(kCloseThread);
-            next.push_back({options, child});
-            for (std::size_t si = 0; si < slots.size(); ++si) {
-                if (used + weight(slots[si], options) <= options.num_events) {
-                    child.back() = static_cast<int>(si);
-                    next.push_back({options, child});
-                }
-            }
-        }
-        shards = std::move(next);
+        deepen_once(&shards);
     }
     return shards;
+}
+
+std::uint64_t
+count_skeletons(const SkeletonShard& shard, std::uint64_t limit)
+{
+    std::uint64_t count = 0;
+    for_each_skeleton(shard, [&](const Program&) {
+        ++count;
+        return count < limit;
+    });
+    return count;
 }
 
 }  // namespace transform::synth

@@ -16,6 +16,7 @@
 /// prior-work litmus synthesis setting used as our baseline.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 
 #include "elt/program.h"
@@ -70,6 +71,30 @@ struct SkeletonShard {
 /// reasons (linking, VA feasibility), which is harmless.
 std::vector<SkeletonShard> partition_skeletons(const SkeletonOptions& options,
                                                int target_shards);
+
+/// Splits the skeleton space of \p options to exactly \p depth fixed
+/// decisions (shards whose subtree leaves the first thread earlier stay
+/// shallower). depth must be >= 1. Shards in list order concatenate to the
+/// full enumeration stream, as with partition_skeletons.
+std::vector<SkeletonShard> partition_skeletons_at_depth(
+    const SkeletonOptions& options, int depth);
+
+/// Splits \p shard one decision deeper: returns its children in the
+/// enumerator's child order (close-thread first — absent for an empty
+/// prefix, a thread must be non-empty before closing — then each feasible
+/// slot). Visiting the children in list order replays the parent's program
+/// stream exactly, which is what lets the engine's adaptive re-splitting
+/// preserve the deterministic-suite contract. Returns an empty vector when
+/// the shard cannot be deepened (its prefix already closed the first
+/// thread).
+std::vector<SkeletonShard> split_shard(const SkeletonShard& shard);
+
+/// Counts the programs in \p shard, stopping early at \p limit. The count
+/// is a pure function of the shard (no scheduling dependence) — the
+/// engine's adaptive re-splitting uses `count_skeletons(shard, T + 1) > T`
+/// as its deterministic cost probe.
+std::uint64_t count_skeletons(const SkeletonShard& shard,
+                              std::uint64_t limit);
 
 /// As for_each_skeleton(options, visit), restricted to one shard.
 bool for_each_skeleton(const SkeletonShard& shard,

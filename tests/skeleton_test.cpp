@@ -212,6 +212,75 @@ TEST(Skeleton, ShardsConcatenateToFullEnumeration)
     }
 }
 
+/// The contract adaptive re-splitting depends on: a shard's children, in
+/// list order, replay exactly the parent's program stream.
+TEST(Skeleton, SplitShardChildrenConcatenateToParent)
+{
+    SkeletonOptions opt;
+    opt.num_events = 5;
+    for (const SkeletonShard& parent : partition_skeletons_at_depth(opt, 1)) {
+        std::vector<std::string> parent_stream;
+        for_each_skeleton(parent, [&](const Program& p) {
+            parent_stream.push_back(elt::program_to_string(p));
+            return true;
+        });
+        std::vector<std::string> child_stream;
+        const auto children = split_shard(parent);
+        ASSERT_FALSE(children.empty());
+        for (const SkeletonShard& child : children) {
+            EXPECT_EQ(child.prefix.size(), parent.prefix.size() + 1);
+            for_each_skeleton(child, [&](const Program& p) {
+                child_stream.push_back(elt::program_to_string(p));
+                return true;
+            });
+        }
+        EXPECT_EQ(parent_stream, child_stream);
+    }
+}
+
+TEST(Skeleton, SplitShardRefusesClosedPrefix)
+{
+    SkeletonOptions opt;
+    opt.num_events = 4;
+    SkeletonShard closed{opt, {0, kCloseThread}};
+    EXPECT_TRUE(split_shard(closed).empty());
+}
+
+TEST(Skeleton, FixedDepthPartitionCoversFullEnumeration)
+{
+    SkeletonOptions opt;
+    opt.num_events = 5;
+    std::vector<std::string> full;
+    for_each_skeleton(opt, [&](const Program& p) {
+        full.push_back(elt::program_to_string(p));
+        return true;
+    });
+    for (const int depth : {1, 2, 3, 4}) {
+        std::vector<std::string> sharded;
+        for (const SkeletonShard& shard :
+             partition_skeletons_at_depth(opt, depth)) {
+            EXPECT_LE(shard.prefix.size(), static_cast<std::size_t>(depth));
+            for_each_skeleton(shard, [&](const Program& p) {
+                sharded.push_back(elt::program_to_string(p));
+                return true;
+            });
+        }
+        EXPECT_EQ(full, sharded) << "depth=" << depth;
+    }
+}
+
+TEST(Skeleton, CountSkeletonsProbeStopsAtLimit)
+{
+    SkeletonOptions opt;
+    opt.num_events = 5;
+    const SkeletonShard whole{opt, {}};
+    const std::uint64_t total =
+        count_skeletons(whole, std::uint64_t{1} << 32);
+    EXPECT_GT(total, 10u);
+    EXPECT_EQ(count_skeletons(whole, 10), 10u);
+    EXPECT_EQ(count_skeletons(whole, total + 100), total);
+}
+
 TEST(Skeleton, ShardVisitStopsEarly)
 {
     SkeletonOptions opt;

@@ -11,9 +11,10 @@
 ///   elt_check --model sc_t_elt execution.xml
 ///   elt_check --jobs 0 suites/invlpg/*.litmus
 ///
-/// Several files are checked concurrently on the work-stealing scheduler
-/// (--jobs N workers; 0 = one per hardware thread); reports are buffered
-/// and printed in input order, so the output does not depend on --jobs.
+/// Several files are checked concurrently on the shared work-stealing pool
+/// (src/sched/ v2, Chase-Lev deques; --jobs N workers, 0 = one per
+/// hardware thread) as a single job group; reports are buffered and
+/// printed in input order, so the output does not depend on --jobs.
 #include <cstdarg>
 #include <cstdio>
 #include <fstream>

@@ -19,7 +19,10 @@
 ///   --budget SECONDS  time budget per suite (default unlimited)
 ///   --backend NAME    enum (default) | sat
 ///   --jobs N          scheduler workers (0 = one per hardware thread)
-///   --stats           print scheduler counters (jobs, steals, dedup hits)
+///   --shard-depth D   auto (default: adaptive re-splitting) | fixed prefix
+///                     depth 1..6; the suite is identical either way
+///   --stats           print scheduler counters (jobs, steals, re-splits,
+///                     dedup hits)
 ///   --out DIR         write <suite>/<n>.litmus and .xml files
 ///   --quiet           summary only (no test listings)
 ///   --spec            print the model as an Alloy-style module and exit
@@ -28,6 +31,7 @@
 /// and stats diagnostics go to stderr. Within a time budget the suite is
 /// deterministic, so stdout is byte-identical for every --jobs value.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -57,6 +61,7 @@ struct Args {
     double budget = 0;
     std::string backend = "enum";
     int jobs = 1;
+    int shard_depth = 0;  // 0 = adaptive
     bool stats = false;
     std::string out_dir;
     bool quiet = false;
@@ -88,6 +93,7 @@ run_suite(const mtm::Model& model, const std::string& axiom, const Args& args)
     options.backend = args.backend == "sat" ? synth::Backend::kSat
                                             : synth::Backend::kEnumerative;
     options.jobs = args.jobs;
+    options.shard_depth = args.shard_depth;
     const synth::SuiteResult suite =
         synth::synthesize_suite(model, axiom, options);
 
@@ -102,11 +108,11 @@ run_suite(const mtm::Model& model, const std::string& axiom, const Args& args)
         const sched::SchedulerStats& s = suite.scheduler;
         std::fprintf(stderr,
                      "[%s / %s] scheduler: %d workers, %llu jobs, "
-                     "%llu steals (%llu jobs moved), %llu dedup hits\n",
+                     "%llu steals, %llu re-splits, %llu dedup hits\n",
                      model.name().c_str(), axiom.c_str(), s.workers,
                      static_cast<unsigned long long>(s.jobs_run),
                      static_cast<unsigned long long>(s.steals),
-                     static_cast<unsigned long long>(s.jobs_stolen),
+                     static_cast<unsigned long long>(s.resplits),
                      static_cast<unsigned long long>(s.dedup_hits));
     }
 
@@ -175,6 +181,23 @@ main(int argc, char** argv)
             args.backend = value();
         } else if (flag == "--jobs") {
             args.jobs = std::atoi(value());
+        } else if (flag == "--shard-depth") {
+            const std::string depth = value();
+            if (depth == "auto") {
+                args.shard_depth = 0;
+            } else {
+                char* end = nullptr;
+                const long parsed = std::strtol(depth.c_str(), &end, 10);
+                if (depth.empty() || *end != '\0' || parsed < 1 ||
+                    parsed > 6) {
+                    std::fprintf(stderr,
+                                 "--shard-depth takes 'auto' or 1..6, "
+                                 "got '%s'\n",
+                                 depth.c_str());
+                    return 2;
+                }
+                args.shard_depth = static_cast<int>(parsed);
+            }
         } else if (flag == "--stats") {
             args.stats = true;
         } else if (flag == "--out") {
