@@ -14,7 +14,10 @@ constexpr double kRescaleLimit = 1e100;
 constexpr int kRestartBase = 100;
 }  // namespace
 
-Solver::Solver() = default;
+Solver::Solver()
+{
+    stats_.max_learned = static_cast<std::uint64_t>(max_learned_);
+}
 
 Var
 Solver::new_var()
@@ -482,7 +485,12 @@ Solver::reduce_db()
             }
         }
     }
-    if (static_cast<int>(learned_indices.size()) < max_learned_) {
+    if (learned_indices.size() < 2) {
+        // Nothing meaningful to delete (everything learned is binary or
+        // locked as a propagation reason). Still grow the cap: without
+        // growth it would stay below the live count forever and every
+        // later conflict would pay the full-DB scan above.
+        grow_max_learned();
         return;
     }
     std::sort(learned_indices.begin(), learned_indices.end(), [this](int a, int b) {
@@ -504,7 +512,14 @@ Solver::reduce_db()
             attach_clause(i);
         }
     }
+    grow_max_learned();
+}
+
+void
+Solver::grow_max_learned()
+{
     max_learned_ = static_cast<int>(max_learned_ * 1.2);
+    stats_.max_learned = static_cast<std::uint64_t>(max_learned_);
 }
 
 double

@@ -28,6 +28,10 @@ struct SolverStats {
     std::uint64_t restarts = 0;
     std::uint64_t learned_clauses = 0;
     std::uint64_t deleted_clauses = 0;
+    /// Current learned-clause database cap; starts at 4096 and grows
+    /// geometrically on every reduce_db pass (MiniSat-style), so
+    /// long-running enumeration queries stop thrashing the reducer.
+    std::uint64_t max_learned = 0;
 };
 
 /// CDCL SAT solver over clauses added incrementally.
@@ -112,6 +116,7 @@ class Solver {
 
     // Learned-clause database management.
     void reduce_db();
+    void grow_max_learned();
 
     // Restart schedule.
     static double luby(double base, int index);
@@ -142,6 +147,8 @@ class Solver {
 
     std::vector<Lit> conflict_assumptions_;
     SolverStats stats_;
+    /// Learned-DB cap; grown geometrically by reduce_db (never fixed — a
+    /// static cap makes every conflict past it rescan the clause DB).
     int max_learned_ = 4096;
 };
 

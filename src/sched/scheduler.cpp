@@ -18,8 +18,12 @@ SchedulerStats::merge(const SchedulerStats& other)
     workers = std::max(workers, other.workers);
     jobs_run += other.jobs_run;
     steals += other.steals;
-    resplits += other.resplits;
+    lazy_resplits += other.lazy_resplits;
+    closed_prefix_splits += other.closed_prefix_splits;
+    skip_enumerations += other.skip_enumerations;
     dedup_hits += other.dedup_hits;
+    queue_wait_seconds = std::max(queue_wait_seconds,
+                                  other.queue_wait_seconds);
 }
 
 int

@@ -23,18 +23,35 @@ namespace transform::sched {
 
 /// Aggregate counters for a job group or a pool lifetime (the scheduler
 /// analogue of sat::SolverStats). The pool fills the scheduling fields; the
-/// synthesis engine adds `resplits` and `dedup_hits` before surfacing the
-/// struct through SuiteResult and `elt_synth --stats`.
+/// synthesis engine adds the re-split / dedup / queue-wait fields before
+/// surfacing the struct through SuiteResult and `elt_synth --stats`.
 struct SchedulerStats {
     int workers = 0;                 ///< worker threads in the pool
     std::uint64_t jobs_run = 0;      ///< jobs executed
     std::uint64_t steals = 0;        ///< jobs migrated by stealing
                                      ///  (Chase-Lev steals take one job)
-    std::uint64_t resplits = 0;      ///< adaptive shard re-splits (engine)
+    /// Lazy in-search shard re-splits: a shard job abandoned its search at
+    /// the re-split threshold and resubmitted the remainder as children
+    /// (engine).
+    std::uint64_t lazy_resplits = 0;
+    /// The subset of lazy_resplits whose shard prefix had already closed
+    /// thread 0 — splits that constrain thread 1+ decisions (engine).
+    std::uint64_t closed_prefix_splits = 0;
+    /// Candidates enumerated but not searched while boundary children
+    /// replayed their ancestors' visited prefixes — the lazy design's only
+    /// repeated enumeration work. Skips compound down a re-split chain (a
+    /// child inherits its parent's unconsumed skip), so this is measured,
+    /// not modelled (engine).
+    std::uint64_t skip_enumerations = 0;
     std::uint64_t dedup_hits = 0;    ///< duplicate keys seen by the index
+    /// Wall time a suite's jobs spent queued on a shared pool before the
+    /// first one ran (its deadline armed); excluded from
+    /// SuiteResult::seconds (engine).
+    double queue_wait_seconds = 0.0;
 
     /// Accumulates another group's counters (per-suite totals in
-    /// synthesize_all; `workers` takes the maximum).
+    /// synthesize_all; `workers` and `queue_wait_seconds` — which overlap
+    /// across groups rather than add — take the maximum).
     void merge(const SchedulerStats& other);
 };
 
@@ -114,9 +131,12 @@ class WorkStealingPool {
     /// monotonic but only settled for groups that have been wait()ed.
     SchedulerStats stats() const;
 
-    /// Counters attributed to one group (`resplits`/`dedup_hits` stay 0
-    /// here; the engine owns those fields). Thread-safe; settled once
-    /// wait(group) has returned.
+    /// Counters attributed to one group. The pool fills only `workers`,
+    /// `jobs_run`, and `steals`; the five engine-owned fields —
+    /// `lazy_resplits`, `closed_prefix_splits`, `skip_enumerations`,
+    /// `dedup_hits`, `queue_wait_seconds` — stay 0 here and are filled by
+    /// the synthesis engine into SuiteResult::scheduler. Thread-safe;
+    /// settled once wait(group) has returned.
     SchedulerStats group_stats(const GroupHandle& group) const;
 
   private:

@@ -25,33 +25,36 @@ using elt::Program;
 
 namespace {
 
-/// Ticket stride between top-level shards: ticket = base + position, so
-/// ticket order across all shards equals the sequential enumeration order
-/// (shards concatenate to the full stream; no shard holds 2^40 candidates).
-constexpr std::uint64_t kTicketStride = std::uint64_t{1} << 40;
+// kTicketStride / kMinLeafStride / child_stride_for live in engine.h so
+// replays (bench_parallel_scaling's eager-probe baseline) share them.
 
-/// When a shard is re-split, each child receives a sub-range of the
-/// parent's ticket space: child i gets [base + i * child_stride,
-/// base + (i+1) * child_stride) where child_stride is the parent's stride
-/// divided by the child count rounded up to a power of two (a split
-/// produces at most #slots + 1 <= 10 children, so usually 2^4 sub-ranges).
-/// Ticket order over (child index, position) still equals enumeration
-/// order.
-constexpr std::uint64_t
-child_stride_for(std::uint64_t parent_stride, std::size_t children)
+/// Resolves the adaptive re-split threshold: an explicit
+/// SynthesisOptions::resplit_threshold wins; 0 selects the cost model. The
+/// model targets a roughly constant amount of per-leaf evaluation work: the
+/// witness search per candidate grows roughly exponentially with the event
+/// count (each extra event multiplies the execution space), VM mode adds
+/// ghost events (page-table walks, dirty-bit writes) on top of the
+/// architectural ones, and the dirty-bit-as-RMW ablation adds one more Rdb
+/// per write — so the candidate threshold shrinks as those knobs grow. A
+/// pure function of the skeleton options, never of timing, which keeps the
+/// re-split tree deterministic.
+std::uint64_t
+resolve_resplit_threshold(const SynthesisOptions& options,
+                          const SkeletonOptions& skeleton)
 {
-    int shift = 0;
-    while ((std::size_t{1} << shift) < children) {
-        ++shift;
+    if (options.resplit_threshold > 0) {
+        return options.resplit_threshold;
     }
-    return parent_stride >> shift;
+    int exponent = skeleton.num_events;
+    if (skeleton.vm_enabled) {
+        exponent += skeleton.num_events / 2;
+    }
+    if (skeleton.dirty_bit_as_rmw) {
+        exponent += skeleton.num_events / 4;
+    }
+    const int shift = std::clamp(24 - exponent, 6, 14);
+    return std::uint64_t{1} << shift;
 }
-
-/// Re-splitting stops once the child stride would drop below 2^22 tickets
-/// (after five to six 10-way levels) — a leaf must still be able to number
-/// every candidate it holds without bleeding into its sibling's range; the
-/// engine asserts that bound per ticket.
-constexpr std::uint64_t kMinLeafStride = std::uint64_t{1} << 22;
 
 /// Static per-axiom pruning flags: structural features a violation of the
 /// axiom necessarily requires. Sound (never prunes a violating program) and
@@ -68,25 +71,6 @@ set_axiom_requirements(const std::string& axiom, SkeletonOptions* skeleton)
         // ptw_source needs a walk with a second user: a TLB hit.
         skeleton->require_shared_walk = true;
     }
-}
-
-/// Builds the per-size skeleton options (shared by both drivers).
-SkeletonOptions
-skeleton_options(const mtm::Model& model, const std::string& axiom_name,
-                 const SynthesisOptions& options, int size)
-{
-    SkeletonOptions skeleton;
-    skeleton.num_events = size;
-    skeleton.max_threads = options.max_threads;
-    skeleton.max_vas = options.max_vas;
-    skeleton.max_fresh_pas = options.max_fresh_pas;
-    skeleton.vm_enabled = model.vm_aware();
-    skeleton.allow_rmw = options.allow_rmw;
-    skeleton.allow_fences = options.allow_fences;
-    skeleton.allow_full_flush = options.allow_full_flush;
-    skeleton.dirty_bit_as_rmw = options.dirty_bit_as_rmw;
-    set_axiom_requirements(axiom_name, &skeleton);
-    return skeleton;
 }
 
 /// Searches \p program's execution space for the first violating,
@@ -147,12 +131,16 @@ find_witness(const mtm::Model& model, const std::string& axiom_name,
 }
 
 /// One unit of search: a skeleton shard plus the ticket sub-range its
-/// candidates are numbered from. Re-splitting replaces a task with child
-/// tasks over sub-ranges of the same ticket space.
+/// candidates are numbered from. Lazy re-splitting replaces the unsearched
+/// remainder of a task with child tasks over sub-ranges of the same ticket
+/// space; `skip` counts leading candidates of the shard that an ancestor
+/// task already searched (and numbered), which the child enumerates past
+/// without revisiting.
 struct ShardTask {
     SkeletonShard shard;
     std::uint64_t ticket_base = 0;
     std::uint64_t ticket_stride = 0;
+    std::uint64_t skip = 0;
 };
 
 /// All in-flight state of one suite synthesis: the job closures reference
@@ -175,10 +163,21 @@ struct SuiteRun {
     /// starve late suites that v1's per-axiom threads served immediately.
     /// (Once running, the budget is still wall time and may overlap other
     /// suites' shards — the budget bounds latency, not dedicated compute.)
+    ///
+    /// SuiteResult::seconds follows the same clock: the watch restarts
+    /// here, so a queued suite reports its search time, not search + queue
+    /// wait (which previously made `seconds >> budget` with `complete =
+    /// true` look contradictory); the wait is reported separately as
+    /// SchedulerStats::queue_wait_seconds. Safe despite running on a
+    /// worker thread: call_once orders it against every other job, and
+    /// finish_suite reads the watch only after pool.wait() on the group.
     const util::Deadline&
     armed_deadline()
     {
         std::call_once(deadline_armed, [this] {
+            queue_wait_seconds.store(watch.elapsed_seconds(),
+                                     std::memory_order_relaxed);
+            watch.restart();
             deadline = util::Deadline(options.time_budget_seconds);
         });
         return deadline;
@@ -196,8 +195,28 @@ struct SuiteRun {
     std::atomic<std::uint64_t> programs{0};
     std::atomic<std::uint64_t> executions{0};
     std::atomic<std::uint64_t> duplicates{0};
-    std::atomic<std::uint64_t> resplits{0};
+    std::atomic<std::uint64_t> lazy_resplits{0};
+    std::atomic<std::uint64_t> closed_prefix_splits{0};
+    std::atomic<std::uint64_t> skip_enumerations{0};
+    std::atomic<double> queue_wait_seconds{0.0};
+    std::atomic<double> search_seconds{0.0};
     std::atomic<bool> timed_out{false};
+
+    /// Every shard job calls this on completion, so search_seconds ends up
+    /// holding arm-to-last-job wall time — finish_suite cannot read the
+    /// watch itself, because on a shared pool (synthesize_all_parallel) it
+    /// only runs after EVERY suite's group drained, which would charge an
+    /// early suite for the later suites' tail.
+    void
+    note_job_finished()
+    {
+        const double elapsed = watch.elapsed_seconds();
+        double prev = search_seconds.load(std::memory_order_relaxed);
+        while (prev < elapsed &&
+               !search_seconds.compare_exchange_weak(
+                   prev, elapsed, std::memory_order_relaxed)) {
+        }
+    }
 
     std::mutex mu;  ///< guards merged (one lock per finished shard)
     std::vector<std::pair<SynthesizedTest, std::uint64_t>> merged;
@@ -207,14 +226,17 @@ struct SuiteRun {
     std::function<sched::WorkStealingPool::Job(ShardTask)> make_job;
 };
 
-/// Runs the actual search of one leaf shard and splices its results into
-/// the run. Candidates are numbered base + position; the ticket range must
+/// Runs the actual search of one shard and splices its results into the
+/// run. Candidates are numbered base + position (skipped candidates were
+/// numbered by the ancestor that searched them); the ticket range must
 /// stay inside the task's stride so sibling ranges never overlap —
 /// kMinLeafStride (4M candidates per deepest leaf) makes exhaustion
 /// unreachable in practice, and hitting it fails loudly with a workaround
-/// rather than corrupting the deterministic merge.
-void
-search_shard(SuiteRun* run, const ShardTask& task)
+/// rather than corrupting the deterministic merge. A non-zero \p limit
+/// makes the search abandonable: it stops after `limit` candidates and the
+/// returned stop tells the caller where the unsearched remainder begins.
+ShardSearchStop
+search_shard(SuiteRun* run, const ShardTask& task, std::uint64_t limit)
 {
     // Per-job Model copy: the axiom closures are stateless, but keeping
     // workers fully independent costs nothing and avoids reasoning about
@@ -229,7 +251,19 @@ search_shard(SuiteRun* run, const ShardTask& task)
     std::uint64_t duplicates = 0;
     bool timed_out = false;
     std::uint64_t next_ticket = task.ticket_base;
-    for_each_skeleton(task.shard, [&](const Program& program) {
+    // Skipped candidates never reach the visitor below, so the skip
+    // replay polls the deadline through the interrupt hook — otherwise a
+    // resumed boundary child would replay its whole (compounding) skip
+    // prefix after the budget expired.
+    const std::function<bool()> deadline_interrupt = [&] {
+        if (deadline.expired()) {
+            timed_out = true;
+            return true;
+        }
+        return false;
+    };
+    const ShardSearchStop stop = search_skeletons(
+        task.shard, task.skip, limit, [&](const Program& program) {
         if (deadline.expired()) {
             timed_out = true;
             return false;
@@ -272,10 +306,17 @@ search_shard(SuiteRun* run, const ShardTask& task)
             tests.emplace_back(std::move(test), ticket);
         }
         return true;
-    });
+    }, deadline_interrupt);
     run->programs.fetch_add(programs, std::memory_order_relaxed);
     run->executions.fetch_add(executions, std::memory_order_relaxed);
     run->duplicates.fetch_add(duplicates, std::memory_order_relaxed);
+    if (stop.skipped > 0) {
+        // The candidates enumerated past on resume are this design's only
+        // repeated work; recorded as measured (a deadline abort can stop
+        // the replay short of task.skip), so the claim stays honest.
+        run->skip_enumerations.fetch_add(stop.skipped,
+                                         std::memory_order_relaxed);
+    }
     if (timed_out) {
         run->timed_out.store(true, std::memory_order_relaxed);
     }
@@ -285,6 +326,7 @@ search_shard(SuiteRun* run, const ShardTask& task)
             run->merged.push_back(std::move(entry));
         }
     }
+    return stop;
 }
 
 /// Builds a SuiteRun for \p axiom_name and submits its initial shard tasks
@@ -304,36 +346,76 @@ launch_suite(sched::WorkStealingPool& pool, const mtm::Model& model,
         -> sched::WorkStealingPool::Job {
         return [raw, pool_ptr, task = std::move(task)](int) {
             const SynthesisOptions& options = raw->options;
-            // Adaptive re-split: when this shard is splittable (checked
-            // first — split_shard is cheap, the probe is not), probe its
-            // candidate count (a pure function of the shard — see
-            // count_skeletons) and trade this job for its children when the
-            // shard is too heavy. Children are pushed onto this worker's
-            // own deque, where idle workers steal them.
+            // Lazy adaptive re-splitting: the job starts searching
+            // immediately, with a visit limit armed whenever the shard
+            // could be split (no separate count_skeletons probe — the old
+            // eager probe enumerated every leaf's candidates twice). The
+            // limit is the cost-model threshold; the split is viable only
+            // while the remaining ticket range still subdivides cleanly.
+            std::uint64_t limit = 0;
+            std::uint64_t threshold = 0;
+            std::vector<SkeletonShard> children;
             if (options.shard_depth == 0 &&
-                task.ticket_stride >= kMinLeafStride * 2 &&
-                !raw->armed_deadline().expired()) {
-                const std::vector<SkeletonShard> children =
-                    split_shard(task.shard);
-                const std::uint64_t child_stride = children.empty()
-                    ? 0
-                    : child_stride_for(task.ticket_stride, children.size());
-                if (!children.empty() && child_stride >= kMinLeafStride &&
-                    count_skeletons(task.shard,
-                                    options.resplit_threshold + 1) >
-                        options.resplit_threshold) {
-                    raw->resplits.fetch_add(1, std::memory_order_relaxed);
-                    for (std::size_t i = 0; i < children.size(); ++i) {
-                        pool_ptr->submit(
-                            raw->group,
-                            raw->make_job({children[i],
-                                           task.ticket_base + i * child_stride,
-                                           child_stride}));
+                task.ticket_stride >= kMinLeafStride * 2) {
+                threshold =
+                    resolve_resplit_threshold(options, task.shard.options);
+                if (threshold <= task.ticket_stride - kMinLeafStride) {
+                    children = split_shard(task.shard);
+                    if (!children.empty() &&
+                        child_stride_for(task.ticket_stride - threshold,
+                                         children.size()) >= kMinLeafStride) {
+                        limit = threshold;
                     }
-                    return;
                 }
             }
-            search_shard(raw, task);
+            const ShardSearchStop stop = search_shard(raw, task, limit);
+            if (!stop.hit_limit) {
+                raw->note_job_finished();
+                return;  // the shard drained (or the deadline fired) inline
+            }
+            // The threshold-th candidate was visited and more remain:
+            // abandon the search and trade the remainder for child shards.
+            // Visited candidates keep their tickets (base..base+visited-1);
+            // the children renumber the remaining sub-range from
+            // base+visited, so ticket order still equals enumeration order
+            // and the deterministic min-ticket merge is untouched. Children
+            // before the resume point are fully searched already and are
+            // not resubmitted; the boundary child skips the candidates the
+            // parent consumed.
+            if (raw->armed_deadline().expired()) {
+                raw->timed_out.store(true, std::memory_order_relaxed);
+                raw->note_job_finished();
+                return;
+            }
+            std::size_t boundary = children.size();
+            for (std::size_t i = 0; i < children.size(); ++i) {
+                if (children[i].prefix.back() == stop.resume_decision) {
+                    boundary = i;
+                    break;
+                }
+            }
+            TF_ASSERT(boundary < children.size());
+            const std::uint64_t child_stride = child_stride_for(
+                task.ticket_stride - stop.visited, children.size() - boundary);
+            raw->lazy_resplits.fetch_add(1, std::memory_order_relaxed);
+            const bool closed_prefix =
+                std::find(task.shard.prefix.begin(), task.shard.prefix.end(),
+                          kCloseThread) != task.shard.prefix.end();
+            if (closed_prefix) {
+                raw->closed_prefix_splits.fetch_add(1,
+                                                    std::memory_order_relaxed);
+            }
+            for (std::size_t i = boundary; i < children.size(); ++i) {
+                pool_ptr->submit(
+                    raw->group,
+                    raw->make_job(
+                        {children[i],
+                         task.ticket_base + stop.visited +
+                             (i - boundary) * child_stride,
+                         child_stride,
+                         i == boundary ? stop.resume_skip : 0}));
+            }
+            raw->note_job_finished();
         };
     };
 
@@ -344,7 +426,7 @@ launch_suite(sched::WorkStealingPool& pool, const mtm::Model& model,
     std::uint64_t shard_index = 0;
     for (int size = options.min_bound; size <= options.bound; ++size) {
         const SkeletonOptions skeleton =
-            skeleton_options(run->model, axiom_name, options, size);
+            engine_skeleton_options(run->model, axiom_name, options, size);
         const std::vector<SkeletonShard> shards =
             partition_skeletons_at_depth(skeleton,
                                          std::max(options.shard_depth, 1));
@@ -390,9 +472,15 @@ finish_suite(sched::WorkStealingPool& pool, SuiteRun& run)
     }
 
     result.scheduler = pool.group_stats(run.group);
-    result.scheduler.resplits = run.resplits.load();
+    result.scheduler.lazy_resplits = run.lazy_resplits.load();
+    result.scheduler.closed_prefix_splits = run.closed_prefix_splits.load();
+    result.scheduler.skip_enumerations = run.skip_enumerations.load();
     result.scheduler.dedup_hits = run.index.hits();
-    result.seconds = run.watch.elapsed_seconds();
+    result.scheduler.queue_wait_seconds = run.queue_wait_seconds.load();
+    // Arm-to-last-job wall time (the watch restarted when the deadline
+    // armed, and every job recorded its completion); the queue wait is
+    // reported separately above. Zero for a suite that ran no jobs.
+    result.seconds = run.search_seconds.load();
     result.complete = !run.timed_out.load();
     return result;
 }
@@ -443,6 +531,25 @@ synthesize_all_parallel(const mtm::Model& model,
         out.push_back(finish_suite(pool, *run));
     }
     return out;
+}
+
+SkeletonOptions
+engine_skeleton_options(const mtm::Model& model,
+                        const std::string& axiom_name,
+                        const SynthesisOptions& options, int size)
+{
+    SkeletonOptions skeleton;
+    skeleton.num_events = size;
+    skeleton.max_threads = options.max_threads;
+    skeleton.max_vas = options.max_vas;
+    skeleton.max_fresh_pas = options.max_fresh_pas;
+    skeleton.vm_enabled = model.vm_aware();
+    skeleton.allow_rmw = options.allow_rmw;
+    skeleton.allow_fences = options.allow_fences;
+    skeleton.allow_full_flush = options.allow_full_flush;
+    skeleton.dirty_bit_as_rmw = options.dirty_bit_as_rmw;
+    set_axiom_requirements(axiom_name, &skeleton);
+    return skeleton;
 }
 
 int

@@ -12,9 +12,10 @@
 /// (Chase-Lev deques; `synthesize_all_parallel` submits every axiom's
 /// shards to the same pool as separate job groups), and results are merged
 /// through a sharded canonical-key index. Shard depth is adaptive by
-/// default: the engine starts from a coarse split and re-splits any shard
-/// whose observed candidate count exceeds a threshold, submitting the
-/// children back to the pool (see docs/scheduler.md).
+/// default: the engine starts from a coarse split and any shard job that
+/// visits more candidates than a cost-model threshold abandons its search
+/// lazily — in place, keeping the results already found — and resubmits
+/// the unsearched remainder as child shards (see docs/scheduler.md).
 ///
 /// Determinism contract: for a run that completes within its time budget,
 /// the merged suite (tests, their order, and their witnesses) is identical
@@ -32,6 +33,7 @@
 #include "elt/execution.h"
 #include "mtm/model.h"
 #include "sched/scheduler.h"
+#include "synth/skeleton.h"
 
 namespace transform::synth {
 
@@ -59,16 +61,23 @@ struct SynthesisOptions {
     int jobs = 1;  ///< scheduler workers; 0 = one per hardware thread
 
     /// Shard granularity: 0 (default) = adaptive — start from a depth-1
-    /// prefix split and re-split shards whose candidate count exceeds
-    /// resplit_threshold; N >= 1 = fixed prefix depth N, no re-splitting.
-    /// The synthesized suite is identical for every setting.
+    /// prefix split and lazily re-split any shard whose search visits more
+    /// than the re-split threshold's worth of candidates; N >= 1 = fixed
+    /// prefix depth N, no re-splitting. The synthesized suite is identical
+    /// for every setting.
     int shard_depth = 0;
 
-    /// Adaptive mode only: a shard holding more than this many candidate
-    /// programs is split instead of searched. The probe is a deterministic
-    /// count, so the re-split tree — and with it jobs_run/resplits — is a
+    /// Adaptive mode only: a shard job that visits this many candidates
+    /// with more remaining abandons its search in place — already-visited
+    /// candidates keep their results and tickets — and resubmits the
+    /// unsearched remainder as split_shard children (closed-prefix shards
+    /// split on thread 1+ decisions, so deep re-splits never dead-end).
+    /// 0 (default) selects a cost model that shrinks the threshold as the
+    /// per-candidate evaluation cost grows with the bound / VM / dirty-bit
+    /// mix. Either way the trigger is a deterministic candidate count, so
+    /// the re-split tree — and with it jobs_run / lazy_resplits — is a
     /// pure function of the options, not of scheduling.
-    std::uint64_t resplit_threshold = 4096;
+    std::uint64_t resplit_threshold = 0;
 };
 
 /// One synthesized ELT.
@@ -86,6 +95,10 @@ struct SuiteResult {
     std::uint64_t programs_considered = 0;
     std::uint64_t executions_considered = 0;
     std::uint64_t duplicates_rejected = 0;
+    /// Search wall time, measured from when the suite's first shard job ran
+    /// (the moment its time budget armed) — on a shared pool the wait
+    /// behind other suites is excluded and reported as
+    /// scheduler.queue_wait_seconds instead.
     double seconds = 0.0;
     bool complete = false;  ///< false when the time budget expired
     sched::SchedulerStats scheduler;  ///< runtime counters for the search
@@ -117,5 +130,41 @@ std::vector<SuiteResult> synthesize_all_parallel(
 /// Counts the unique ELT programs across suites (tests violating several
 /// axioms appear in several suites but count once).
 int unique_test_count(const std::vector<SuiteResult>& suites);
+
+/// The skeleton options the engine searches for \p axiom_name at event
+/// bound \p size — synthesis knobs plus the static per-axiom pruning
+/// flags. Exposed so tools and benches replaying parts of the search
+/// (e.g. the eager-probe baseline in bench_parallel_scaling) enumerate
+/// exactly the candidate space the engine does.
+SkeletonOptions engine_skeleton_options(const mtm::Model& model,
+                                        const std::string& axiom_name,
+                                        const SynthesisOptions& options,
+                                        int size);
+
+/// Ticket-space constants of the deterministic merge, exported (like
+/// engine_skeleton_options) so replays of the engine's scheduling
+/// decisions stay faithful rather than hand-copied.
+///
+/// Ticket stride between top-level shards: ticket = base + position, so
+/// ticket order across all shards equals the sequential enumeration order.
+inline constexpr std::uint64_t kTicketStride = std::uint64_t{1} << 40;
+
+/// Re-splitting stops once the child stride would drop below this — a
+/// leaf must still be able to number every candidate it holds without
+/// bleeding into its sibling's range.
+inline constexpr std::uint64_t kMinLeafStride = std::uint64_t{1} << 22;
+
+/// When a shard is re-split, each resubmitted child receives a sub-range
+/// of the remaining ticket space: the stride divided by the child count
+/// rounded up to a power of two.
+constexpr std::uint64_t
+child_stride_for(std::uint64_t parent_stride, std::size_t children)
+{
+    int shift = 0;
+    while ((std::size_t{1} << shift) < children) {
+        ++shift;
+    }
+    return parent_stride >> shift;
+}
 
 }  // namespace transform::synth

@@ -531,27 +531,99 @@ constexpr int kFreeChoice = -2;
 /// bound, with non-increasing slot signatures across threads (thread
 /// symmetry pruning; full canonicalization happens at dedup time).
 ///
-/// A non-empty \p prefix pins the first decisions of the first thread (a
-/// slot ordinal per decision, or kCloseThread), restricting the search to
-/// one SkeletonShard; the visit order within the shard is unchanged, so
-/// shards in partition order concatenate to the full enumeration stream.
+/// A non-empty \p prefix pins the first decisions of the slot-structure
+/// decision stream — slot ordinals and kCloseThread markers, running across
+/// threads — restricting the search to one SkeletonShard; the visit order
+/// within the shard is unchanged, so shards in partition order concatenate
+/// to the full enumeration stream.
+///
+/// The enumerator is also the engine's lazily-splittable search: the first
+/// \p skip candidates are enumerated but not passed to the visitor, and a
+/// non-zero \p limit stops the pass at the (limit+1)-th candidate,
+/// reporting which split_shard child the unconsumed remainder starts in
+/// (the decision taken at depth prefix.size()) and how many consumed
+/// candidates that child must skip on resume.
 class SlotEnumerator {
   public:
     SlotEnumerator(const SkeletonOptions& opt, std::vector<int> prefix,
-                   const std::function<bool(const Program&)>& visit)
-        : opt_(opt), prefix_(std::move(prefix)), visit_(visit),
-          slots_(available_slots(opt))
+                   std::uint64_t skip, std::uint64_t limit,
+                   const std::function<bool(const Program&)>& visit,
+                   const std::function<bool()>& interrupt)
+        : opt_(opt), prefix_(std::move(prefix)), skip_(skip), limit_(limit),
+          visit_(visit), interrupt_(interrupt),
+          slots_(available_slots(opt)),
+          sink_([this](const Program& p) { return consume(p); })
     {
     }
 
-    bool
+    ShardSearchStop
     run()
     {
         Draft draft;
-        return enumerate_threads(draft, opt_.num_events);
+        enumerate_threads(draft, opt_.num_events);
+        ShardSearchStop stop;
+        stop.hit_limit = hit_limit_;
+        stop.visitor_stopped = visitor_stopped_;
+        stop.visited = visited_;
+        stop.skipped = consumed_ - visited_;
+        stop.resume_decision = boundary_decision_;
+        stop.resume_skip = boundary_consumed_;
+        return stop;
     }
 
   private:
+    /// Filters every emitted program through the skip/limit machinery.
+    /// Candidate order is depth-first over the decision tree, so all
+    /// candidates sharing a depth-|prefix| decision are contiguous and the
+    /// boundary counters below identify the resume point exactly.
+    bool
+    consume(const Program& program)
+    {
+        if (consumed_ < skip_) {
+            // The skip replay never reaches the visitor, so the caller's
+            // stop conditions (a deadline, typically) are polled here.
+            if (interrupt_ && interrupt_()) {
+                visitor_stopped_ = true;
+                return false;
+            }
+            ++consumed_;
+            ++boundary_consumed_;
+            return true;
+        }
+        if (limit_ > 0 && visited_ >= limit_) {
+            hit_limit_ = true;  // this candidate stays unconsumed
+            return false;
+        }
+        ++consumed_;
+        ++boundary_consumed_;
+        ++visited_;
+        if (!visit_(program)) {
+            visitor_stopped_ = true;
+            return false;
+        }
+        return true;
+    }
+
+    /// Records the decision taken at the current depth. The depth-|prefix|
+    /// decision point is a single tree node (every shallower decision is
+    /// forced by the prefix), so each of its child subtrees is entered
+    /// exactly once and resetting the boundary counter here is sound.
+    void
+    begin_decision(int decision)
+    {
+        if (depth_ == prefix_.size()) {
+            boundary_decision_ = decision;
+            boundary_consumed_ = 0;
+        }
+        ++depth_;
+    }
+
+    void
+    end_decision()
+    {
+        --depth_;
+    }
+
     bool
     enumerate_threads(Draft& draft, int remaining)
     {
@@ -559,7 +631,7 @@ class SlotEnumerator {
             if (opt_.require_shared_walk && !has_possible_hit(draft)) {
                 return true;  // prune: tlb_causality needs a shared entry
             }
-            Linker linker(&draft, opt_, visit_);
+            Linker linker(&draft, opt_, sink_);
             return linker.run();
         }
         if (static_cast<int>(draft.threads.size()) >= opt_.max_threads ||
@@ -567,7 +639,6 @@ class SlotEnumerator {
             return true;
         }
         draft.threads.emplace_back();
-        std::vector<SlotInfo> current;
         const bool keep = enumerate_slots(draft, remaining, /*budget_used=*/0);
         draft.threads.pop_back();
         return keep;
@@ -576,13 +647,12 @@ class SlotEnumerator {
     bool
     enumerate_slots(Draft& draft, int remaining, int used_in_thread)
     {
-        // Shard replay: while building the first thread, decisions up to
-        // the prefix length are forced instead of enumerated.
-        const bool constrained =
-            draft.threads.size() == 1 &&
-            draft.threads.back().size() < prefix_.size();
+        // Shard replay: decisions up to the prefix length are forced
+        // instead of enumerated. The depth counter runs across threads, so
+        // a prefix may reach past a kCloseThread into thread 1+ decisions
+        // (closed-prefix shards).
         const int forced =
-            constrained ? prefix_[draft.threads.back().size()] : kFreeChoice;
+            depth_ < prefix_.size() ? prefix_[depth_] : kFreeChoice;
         // Option: close this thread (it must be non-empty) and open the next.
         if (!draft.threads.back().empty() &&
             (forced == kFreeChoice || forced == kCloseThread)) {
@@ -591,7 +661,10 @@ class SlotEnumerator {
             if (k < 2 ||
                 slot_signature(draft.threads[k - 2]) >=
                     slot_signature(draft.threads[k - 1])) {
-                if (!enumerate_threads(draft, remaining)) {
+                begin_decision(kCloseThread);
+                const bool keep = enumerate_threads(draft, remaining);
+                end_decision();
+                if (!keep) {
                     return false;
                 }
             }
@@ -608,11 +681,15 @@ class SlotEnumerator {
             if (w > remaining) {
                 continue;
             }
+            begin_decision(static_cast<int>(si));
             draft.threads.back().push_back({s});
-            if (!enumerate_slots(draft, remaining - w, used_in_thread + w)) {
+            const bool keep =
+                enumerate_slots(draft, remaining - w, used_in_thread + w);
+            draft.threads.back().pop_back();
+            end_decision();
+            if (!keep) {
                 return false;
             }
-            draft.threads.back().pop_back();
         }
         return true;
     }
@@ -634,9 +711,29 @@ class SlotEnumerator {
 
     const SkeletonOptions& opt_;
     std::vector<int> prefix_;
+    const std::uint64_t skip_;
+    const std::uint64_t limit_;
     const std::function<bool(const Program&)>& visit_;
+    const std::function<bool()>& interrupt_;
     std::vector<Slot> slots_;
+    std::function<bool(const Program&)> sink_;  ///< skip/limit wrapper
+
+    std::size_t depth_ = 0;         ///< decisions made on the current path
+    std::uint64_t consumed_ = 0;    ///< skipped + visited candidates
+    std::uint64_t visited_ = 0;
+    std::uint64_t boundary_consumed_ = 0;
+    int boundary_decision_ = kCloseThread;
+    bool hit_limit_ = false;
+    bool visitor_stopped_ = false;
 };
+
+}  // namespace
+
+namespace {
+
+/// Shared empty interrupt for the unlimited entry points (a per-call
+/// temporary would dangle: the enumerator holds a reference through run()).
+const std::function<bool()> kNoInterrupt;
 
 }  // namespace
 
@@ -644,15 +741,28 @@ bool
 for_each_skeleton(const SkeletonOptions& options,
                   const std::function<bool(const Program&)>& visit)
 {
-    SlotEnumerator enumerator(options, {}, visit);
-    return enumerator.run();
+    SlotEnumerator enumerator(options, {}, /*skip=*/0, /*limit=*/0, visit,
+                              kNoInterrupt);
+    return !enumerator.run().visitor_stopped;
 }
 
 bool
 for_each_skeleton(const SkeletonShard& shard,
                   const std::function<bool(const Program&)>& visit)
 {
-    SlotEnumerator enumerator(shard.options, shard.prefix, visit);
+    SlotEnumerator enumerator(shard.options, shard.prefix, /*skip=*/0,
+                              /*limit=*/0, visit, kNoInterrupt);
+    return !enumerator.run().visitor_stopped;
+}
+
+ShardSearchStop
+search_skeletons(const SkeletonShard& shard, std::uint64_t skip,
+                 std::uint64_t limit,
+                 const std::function<bool(const Program&)>& visit,
+                 const std::function<bool()>& interrupt)
+{
+    SlotEnumerator enumerator(shard.options, shard.prefix, skip, limit,
+                              visit, interrupt);
     return enumerator.run();
 }
 
@@ -660,22 +770,38 @@ std::vector<SkeletonShard>
 split_shard(const SkeletonShard& shard)
 {
     std::vector<SkeletonShard> children;
-    if (!shard.prefix.empty() && shard.prefix.back() == kCloseThread) {
-        return children;  // subtree already left thread 0: not splittable
-    }
     const std::vector<Slot> slots = available_slots(shard.options);
     int used = 0;
+    int closed_threads = 0;
     for (const int ordinal : shard.prefix) {
-        if (ordinal != kCloseThread) {
+        if (ordinal == kCloseThread) {
+            ++closed_threads;
+        } else {
             used += weight(slots[static_cast<std::size_t>(ordinal)],
                            shard.options);
         }
     }
-    // Enumerator child order: close-thread first (only once the thread is
-    // non-empty), then each slot that still fits the event budget.
+    const int remaining = shard.options.num_events - used;
+    const bool thread_open =
+        !shard.prefix.empty() && shard.prefix.back() != kCloseThread;
+    if (!thread_open) {
+        // The prefix sits at a thread start (empty prefix: thread 0;
+        // closed prefix: thread closed_threads). No decision remains when
+        // the event budget is spent (the slot structure is complete —
+        // linking/VA variants still fan out below, but there is nothing
+        // left to pin) or when no further thread may open.
+        if (remaining <= 0 || closed_threads >= shard.options.max_threads) {
+            return children;
+        }
+    }
+    // Enumerator child order: close-thread first (only once the thread
+    // under construction is non-empty), then each slot that still fits the
+    // event budget. Children may turn out empty for deeper reasons (thread
+    // symmetry, linking, VA feasibility), which is harmless — order, not
+    // non-emptiness, is the contract.
     std::vector<int> child = shard.prefix;
     child.push_back(kCloseThread);
-    if (!shard.prefix.empty()) {
+    if (thread_open) {
         children.push_back({shard.options, child});
     }
     for (std::size_t si = 0; si < slots.size(); ++si) {

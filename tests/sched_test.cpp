@@ -20,6 +20,7 @@
 #include "sched/scheduler.h"
 #include "sched/sharded_index.h"
 #include "synth/engine.h"
+#include "util/stopwatch.h"
 
 namespace transform {
 namespace {
@@ -258,6 +259,37 @@ TEST(WorkStealingPool, WaitOnEmptyGroupReturnsImmediately)
     EXPECT_EQ(pool.group_stats(group).jobs_run, 0u);
 }
 
+TEST(SchedStats, MergeSumsCountersAndMaxesOverlappingFields)
+{
+    sched::SchedulerStats a;
+    a.workers = 2;
+    a.jobs_run = 10;
+    a.steals = 3;
+    a.lazy_resplits = 4;
+    a.closed_prefix_splits = 1;
+    a.skip_enumerations = 100;
+    a.dedup_hits = 7;
+    a.queue_wait_seconds = 0.5;
+    sched::SchedulerStats b;
+    b.workers = 4;
+    b.jobs_run = 5;
+    b.steals = 2;
+    b.lazy_resplits = 6;
+    b.closed_prefix_splits = 2;
+    b.skip_enumerations = 50;
+    b.dedup_hits = 1;
+    b.queue_wait_seconds = 0.25;
+    a.merge(b);
+    EXPECT_EQ(a.workers, 4);  // same-pool maximum, not a sum
+    EXPECT_EQ(a.jobs_run, 15u);
+    EXPECT_EQ(a.steals, 5u);
+    EXPECT_EQ(a.lazy_resplits, 10u);
+    EXPECT_EQ(a.closed_prefix_splits, 3u);
+    EXPECT_EQ(a.skip_enumerations, 150u);
+    EXPECT_EQ(a.dedup_hits, 8u);
+    EXPECT_EQ(a.queue_wait_seconds, 0.5);  // waits overlap: maximum
+}
+
 TEST(ShardedKeyIndex, RecordKeepsMinimumTicket)
 {
     sched::ShardedKeyIndex index(8);
@@ -449,13 +481,13 @@ TEST(AdaptiveSharding, FixedDepthsAndAdaptiveProduceIdenticalSuites)
     }
 }
 
-TEST(AdaptiveSharding, ResplitsFireAndAreJobsIndependent)
+TEST(AdaptiveSharding, LazyResplitsFireAndAreJobsIndependent)
 {
-    // A tiny threshold forces the re-split path even at test bounds. The
-    // cost probe is a deterministic candidate count, so the re-split tree
-    // (and with it jobs_run) must be a pure function of the options —
-    // identical at every worker count — and the suite must match the
-    // default-threshold run.
+    // A tiny threshold forces the lazy re-split path even at test bounds.
+    // The abandon trigger is a deterministic candidate count, so the
+    // re-split tree (and with it jobs_run) must be a pure function of the
+    // options — identical at every worker count — and the suite must match
+    // the default-threshold run.
     const mtm::Model model = mtm::x86t_elt();
     synth::SynthesisOptions opt =
         suite_options(5, 1, synth::Backend::kEnumerative);
@@ -463,7 +495,7 @@ TEST(AdaptiveSharding, ResplitsFireAndAreJobsIndependent)
     opt.resplit_threshold = 16;
     const synth::SuiteResult one =
         synth::synthesize_suite(model, "sc_per_loc", opt);
-    EXPECT_GT(one.scheduler.resplits, 0u);
+    EXPECT_GT(one.scheduler.lazy_resplits, 0u);
     for (const int jobs : {2, 8}) {
         synth::SynthesisOptions parallel = opt;
         parallel.jobs = jobs;
@@ -471,7 +503,9 @@ TEST(AdaptiveSharding, ResplitsFireAndAreJobsIndependent)
             synth::synthesize_suite(model, "sc_per_loc", parallel);
         EXPECT_EQ(suite_fingerprint(one), suite_fingerprint(many))
             << "jobs=" << jobs;
-        EXPECT_EQ(one.scheduler.resplits, many.scheduler.resplits);
+        EXPECT_EQ(one.scheduler.lazy_resplits, many.scheduler.lazy_resplits);
+        EXPECT_EQ(one.scheduler.closed_prefix_splits,
+                  many.scheduler.closed_prefix_splits);
         EXPECT_EQ(one.scheduler.jobs_run, many.scheduler.jobs_run);
     }
     synth::SynthesisOptions coarse = opt;
@@ -479,6 +513,104 @@ TEST(AdaptiveSharding, ResplitsFireAndAreJobsIndependent)
     EXPECT_EQ(suite_fingerprint(one),
               suite_fingerprint(
                   synth::synthesize_suite(model, "sc_per_loc", coarse)));
+}
+
+TEST(AdaptiveSharding, SuiteMatrixMatchesEagerProbeFixture)
+{
+    // The byte-identical-suite contract across the full sweep matrix. The
+    // fixture expectation is the jobs=1 / shard-depth=1 run: a single
+    // worker searching the fixed depth-1 shards in submission order
+    // performs exactly the sequential enumeration the pre-PR eager-probe
+    // engine (and the paper's serial loop) performed, so its suite is the
+    // pre-PR fixture. Lazy re-splitting (depth 0, with a threshold small
+    // enough to actually fire) and every fixed depth must reproduce it at
+    // every worker count.
+    const mtm::Model model = mtm::x86t_elt();
+    for (const std::string axiom : {"sc_per_loc", "invlpg"}) {
+        synth::SynthesisOptions fixture =
+            suite_options(5, 1, synth::Backend::kEnumerative);
+        fixture.shard_depth = 1;
+        const synth::SuiteResult reference =
+            synth::synthesize_suite(model, axiom, fixture);
+        EXPECT_TRUE(reference.complete);
+        EXPECT_FALSE(reference.tests.empty()) << axiom;
+        for (const int jobs : {1, 2, 4}) {
+            for (const int depth : {0, 1, 3}) {
+                synth::SynthesisOptions opt = fixture;
+                opt.jobs = jobs;
+                opt.shard_depth = depth;
+                opt.resplit_threshold = depth == 0 ? 32 : 0;
+                const synth::SuiteResult swept =
+                    synth::synthesize_suite(model, axiom, opt);
+                EXPECT_EQ(suite_fingerprint(reference),
+                          suite_fingerprint(swept))
+                    << axiom << " jobs=" << jobs << " depth=" << depth;
+                // Candidates are searched exactly once under lazy
+                // splitting (skip-resume never re-visits), so the
+                // programs counter matches the sequential fixture.
+                EXPECT_EQ(reference.programs_considered,
+                          swept.programs_considered)
+                    << axiom << " jobs=" << jobs << " depth=" << depth;
+            }
+        }
+    }
+}
+
+TEST(AdaptiveSharding, ClosedPrefixSplitsFireOnDeepRecursion)
+{
+    // With a threshold this small the re-split recursion descends past
+    // shards whose prefix closed thread 0 — pre-PR those dead-ended
+    // (split_shard returned empty and the whole subtree stayed one job);
+    // closed-prefix splitting keeps subdividing on thread 1+ decisions.
+    // The suite must stay identical to the unsplit run regardless.
+    const mtm::Model model = mtm::x86t_elt();
+    synth::SynthesisOptions opt =
+        suite_options(5, 2, synth::Backend::kEnumerative);
+    opt.shard_depth = 0;
+    opt.resplit_threshold = 4;
+    const synth::SuiteResult deep =
+        synth::synthesize_suite(model, "sc_per_loc", opt);
+    EXPECT_GT(deep.scheduler.lazy_resplits, 0u);
+    EXPECT_GT(deep.scheduler.closed_prefix_splits, 0u);
+    synth::SynthesisOptions fixed = opt;
+    fixed.shard_depth = 1;
+    EXPECT_EQ(suite_fingerprint(
+                  synth::synthesize_suite(model, "sc_per_loc", fixed)),
+              suite_fingerprint(deep));
+}
+
+TEST(SchedStats, QueueWaitExcludedFromSuiteSeconds)
+{
+    // On a one-worker shared pool the axioms' suites run back to back, so
+    // under the old accounting (watch from SuiteRun construction) each
+    // suite reported nearly the whole sweep's wall time and the per-suite
+    // seconds summed to ~axioms x wall. With the watch restarted when the
+    // deadline arms, the per-suite seconds partition the wall time
+    // instead, and the wait shows up in queue_wait_seconds.
+    const mtm::Model model = mtm::x86t_elt();
+    const synth::SynthesisOptions opt =
+        suite_options(5, 1, synth::Backend::kEnumerative);
+    util::Stopwatch watch;
+    const auto suites = synth::synthesize_all_parallel(model, opt);
+    const double wall = watch.elapsed_seconds();
+    ASSERT_GE(suites.size(), 3u);
+    double search_total = 0;
+    for (const auto& suite : suites) {
+        EXPECT_GE(suite.scheduler.queue_wait_seconds, 0.0);
+        EXPECT_LE(suite.scheduler.queue_wait_seconds, wall * 1.05);
+        EXPECT_LE(suite.seconds, wall * 1.05) << suite.axiom;
+        search_total += suite.seconds;
+    }
+    // The old accounting made this sum ~3x the wall clock (suite i's watch
+    // ran from submission, so its seconds spanned suites 0..i); per-suite
+    // windows now partition the wall, modulo the one-steal-chunk overlap
+    // injection chunking allows between adjacent groups — hence 2x, not a
+    // tight bound.
+    EXPECT_LE(search_total, wall * 2.0);
+    // The last-submitted suite necessarily queued behind the earlier ones
+    // on the single worker; its wait must be visible in the new counter
+    // (the old accounting folded it into `seconds`).
+    EXPECT_GT(suites.back().scheduler.queue_wait_seconds, 0.0);
 }
 
 TEST(AdaptiveSharding, SharedPoolSweepMatchesSerialDriver)

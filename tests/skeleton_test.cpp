@@ -2,7 +2,11 @@
 /// Unit tests for the skeleton enumerator.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <functional>
 #include <set>
+#include <string>
+#include <vector>
 
 #include "elt/derive.h"
 #include "elt/printer.h"
@@ -238,12 +242,86 @@ TEST(Skeleton, SplitShardChildrenConcatenateToParent)
     }
 }
 
-TEST(Skeleton, SplitShardRefusesClosedPrefix)
+/// Closed-prefix splitting: a shard whose prefix closed thread 0 splits on
+/// thread 1+ decisions, and its children in list order replay the parent's
+/// program stream exactly — the property that lets deep adaptive re-splits
+/// keep subdividing a heavy one-slot-first-thread subtree instead of
+/// dead-ending.
+TEST(Skeleton, SplitShardClosedPrefixChildrenReplayParentStream)
+{
+    SkeletonOptions opt;
+    opt.num_events = 5;
+    int closed_parents_with_children = 0;
+    for (const SkeletonShard& depth1 : partition_skeletons_at_depth(opt, 1)) {
+        for (const SkeletonShard& parent : split_shard(depth1)) {
+            if (parent.prefix.back() != kCloseThread) {
+                continue;
+            }
+            const auto children = split_shard(parent);
+            std::vector<std::string> parent_stream;
+            for_each_skeleton(parent, [&](const Program& p) {
+                parent_stream.push_back(elt::program_to_string(p));
+                return true;
+            });
+            if (children.empty()) {
+                continue;  // slot structure fully pinned: nothing to split
+            }
+            ++closed_parents_with_children;
+            std::vector<std::string> child_stream;
+            for (const SkeletonShard& child : children) {
+                EXPECT_EQ(child.prefix.size(), parent.prefix.size() + 1);
+                // Thread 0 is closed, so the new decision constrains a
+                // later thread.
+                EXPECT_EQ(child.prefix[parent.prefix.size() - 1],
+                          kCloseThread);
+                for_each_skeleton(child, [&](const Program& p) {
+                    child_stream.push_back(elt::program_to_string(p));
+                    return true;
+                });
+            }
+            EXPECT_EQ(parent_stream, child_stream);
+        }
+    }
+    EXPECT_GT(closed_parents_with_children, 0);
+}
+
+/// Recursively splitting every shard to the bottom of the decision tree
+/// (children empty only once a prefix pins the complete slot structure)
+/// must still concatenate, leaf by leaf, to the full enumeration stream —
+/// the strongest form of the replay contract, exercising closed-prefix
+/// splits at every level.
+TEST(Skeleton, RecursiveSplitLeavesConcatenateToFullEnumeration)
 {
     SkeletonOptions opt;
     opt.num_events = 4;
-    SkeletonShard closed{opt, {0, kCloseThread}};
-    EXPECT_TRUE(split_shard(closed).empty());
+    std::vector<std::string> full;
+    for_each_skeleton(opt, [&](const Program& p) {
+        full.push_back(elt::program_to_string(p));
+        return true;
+    });
+    std::vector<std::string> leaves;
+    int max_depth = 0;
+    const std::function<void(const SkeletonShard&)> descend =
+        [&](const SkeletonShard& shard) {
+            const auto children = split_shard(shard);
+            if (children.empty()) {
+                max_depth = std::max(
+                    max_depth, static_cast<int>(shard.prefix.size()));
+                for_each_skeleton(shard, [&](const Program& p) {
+                    leaves.push_back(elt::program_to_string(p));
+                    return true;
+                });
+                return;
+            }
+            for (const SkeletonShard& child : children) {
+                descend(child);
+            }
+        };
+    descend({opt, {}});
+    EXPECT_EQ(full, leaves);
+    // The tree bottoms out past thread 0 (pre-PR splitting stopped at the
+    // first kCloseThread, never deeper than num_events + 1).
+    EXPECT_GT(max_depth, opt.num_events + 1);
 }
 
 TEST(Skeleton, FixedDepthPartitionCoversFullEnumeration)
@@ -294,6 +372,139 @@ TEST(Skeleton, ShardVisitStopsEarly)
     });
     EXPECT_FALSE(completed);
     EXPECT_EQ(count, 1);
+}
+
+TEST(Skeleton, SearchSkeletonsSkipDropsALeadingPrefix)
+{
+    SkeletonOptions opt;
+    opt.num_events = 5;
+    const SkeletonShard whole{opt, {}};
+    std::vector<std::string> full;
+    for_each_skeleton(whole, [&](const Program& p) {
+        full.push_back(elt::program_to_string(p));
+        return true;
+    });
+    for (const std::uint64_t skip : {std::uint64_t{0}, std::uint64_t{1},
+                                     std::uint64_t{17},
+                                     static_cast<std::uint64_t>(
+                                         full.size())}) {
+        std::vector<std::string> rest;
+        const ShardSearchStop stop = search_skeletons(
+            whole, skip, /*limit=*/0, [&](const Program& p) {
+                rest.push_back(elt::program_to_string(p));
+                return true;
+            });
+        EXPECT_FALSE(stop.hit_limit);
+        EXPECT_FALSE(stop.visitor_stopped);
+        EXPECT_EQ(stop.visited, full.size() - skip);
+        EXPECT_EQ(rest,
+                  std::vector<std::string>(full.begin() +
+                                               static_cast<long>(skip),
+                                           full.end()));
+    }
+}
+
+TEST(Skeleton, SearchSkeletonsLimitReportsAResumePoint)
+{
+    SkeletonOptions opt;
+    opt.num_events = 5;
+    const SkeletonShard whole{opt, {}};
+    std::vector<std::string> full;
+    for_each_skeleton(whole, [&](const Program& p) {
+        full.push_back(elt::program_to_string(p));
+        return true;
+    });
+    ASSERT_GT(full.size(), 40u);
+    std::vector<std::string> seen;
+    const ShardSearchStop stop =
+        search_skeletons(whole, /*skip=*/0, /*limit=*/40,
+                         [&](const Program& p) {
+                             seen.push_back(elt::program_to_string(p));
+                             return true;
+                         });
+    EXPECT_TRUE(stop.hit_limit);
+    EXPECT_FALSE(stop.visitor_stopped);
+    EXPECT_EQ(stop.visited, 40u);
+    EXPECT_EQ(seen, std::vector<std::string>(full.begin(),
+                                             full.begin() + 40));
+    // Resuming from the reported child (with its skip) and then visiting
+    // the later children replays exactly the unvisited remainder — the
+    // engine's lazy-resplit resubmission in miniature.
+    const auto children = split_shard(whole);
+    std::size_t boundary = children.size();
+    for (std::size_t i = 0; i < children.size(); ++i) {
+        if (children[i].prefix.back() == stop.resume_decision) {
+            boundary = i;
+            break;
+        }
+    }
+    ASSERT_LT(boundary, children.size());
+    std::vector<std::string> remainder;
+    const auto collect = [&](const Program& p) {
+        remainder.push_back(elt::program_to_string(p));
+        return true;
+    };
+    for (std::size_t i = boundary; i < children.size(); ++i) {
+        const ShardSearchStop child_stop = search_skeletons(
+            children[i], i == boundary ? stop.resume_skip : 0,
+            /*limit=*/0, collect);
+        EXPECT_FALSE(child_stop.hit_limit);
+    }
+    EXPECT_EQ(remainder,
+              std::vector<std::string>(full.begin() + 40, full.end()));
+}
+
+TEST(Skeleton, SearchSkeletonsLimitInsideAClosedPrefixShard)
+{
+    // The same resume contract must hold when the bounded pass runs inside
+    // a shard that already closed thread 0 (children constrain thread 1).
+    SkeletonOptions opt;
+    opt.num_events = 5;
+    std::vector<SkeletonShard> closed_with_work;
+    const std::function<void(const SkeletonShard&)> gather =
+        [&](const SkeletonShard& shard) {
+            if (!shard.prefix.empty() &&
+                shard.prefix.back() == kCloseThread &&
+                !split_shard(shard).empty() &&
+                count_skeletons(shard, 30) > 20) {
+                closed_with_work.push_back(shard);
+                return;
+            }
+            for (const SkeletonShard& child : split_shard(shard)) {
+                gather(child);
+            }
+        };
+    gather({opt, {}});
+    ASSERT_FALSE(closed_with_work.empty());
+    const SkeletonShard& shard = closed_with_work.front();
+    std::vector<std::string> full;
+    for_each_skeleton(shard, [&](const Program& p) {
+        full.push_back(elt::program_to_string(p));
+        return true;
+    });
+    std::vector<std::string> replay;
+    const auto collect = [&](const Program& p) {
+        replay.push_back(elt::program_to_string(p));
+        return true;
+    };
+    const ShardSearchStop stop =
+        search_skeletons(shard, /*skip=*/0, /*limit=*/20, collect);
+    ASSERT_TRUE(stop.hit_limit);
+    const auto children = split_shard(shard);
+    ASSERT_FALSE(children.empty());
+    std::size_t boundary = children.size();
+    for (std::size_t i = 0; i < children.size(); ++i) {
+        if (children[i].prefix.back() == stop.resume_decision) {
+            boundary = i;
+            break;
+        }
+    }
+    ASSERT_LT(boundary, children.size());
+    for (std::size_t i = boundary; i < children.size(); ++i) {
+        search_skeletons(children[i], i == boundary ? stop.resume_skip : 0,
+                         /*limit=*/0, collect);
+    }
+    EXPECT_EQ(replay, full);
 }
 
 TEST(Skeleton, DirtyBitAsRmwAblationAddsRdb)

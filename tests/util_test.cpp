@@ -153,12 +153,13 @@ TEST(Deadline, UnlimitedNeverExpires)
 TEST(Deadline, TinyBudgetExpires)
 {
     Deadline d(1e-9);
-    // Busy-wait a moment.
-    int sink = 0;
-    for (int i = 0; i < 100000; ++i) {
+    // Busy-wait a moment (unsigned: the sum overflows int, which UBSan
+    // rightly rejects).
+    unsigned sink = 0;
+    for (unsigned i = 0; i < 100000; ++i) {
         sink += i;
     }
-    EXPECT_NE(sink, -1);  // keep the loop observable
+    EXPECT_NE(sink, 0u);  // keep the loop observable
     EXPECT_TRUE(d.expired());
     EXPECT_EQ(d.remaining_seconds(), 0.0);
 }

@@ -31,6 +31,7 @@
 #include "sched/scheduler.h"
 #include "synth/exec_enum.h"
 #include "synth/minimality.h"
+#include "tool_args.h"
 
 namespace {
 
@@ -174,8 +175,12 @@ main(int argc, char** argv)
         const std::string flag = argv[i];
         if (flag == "--model" && i + 1 < argc) {
             model_name = argv[++i];
-        } else if (flag == "--jobs" && i + 1 < argc) {
-            jobs = std::atoi(argv[++i]);
+        } else if (flag == "--jobs") {
+            const std::string text = i + 1 < argc ? argv[++i] : "";
+            if (!tools::parse_jobs(text, &jobs)) {
+                return tools::usage_error(flag, tools::kJobsExpectation,
+                                          text);
+            }
         } else {
             paths.push_back(flag);
         }

@@ -19,17 +19,28 @@
 ///   --budget SECONDS  time budget per suite (default unlimited)
 ///   --backend NAME    enum (default) | sat
 ///   --jobs N          scheduler workers (0 = one per hardware thread)
-///   --shard-depth D   auto (default: adaptive re-splitting) | fixed prefix
-///                     depth 1..6; the suite is identical either way
-///   --stats           print scheduler counters (jobs, steals, re-splits,
-///                     dedup hits)
+///   --shard-depth D   auto (default: lazy adaptive re-splitting) | fixed
+///                     prefix depth 1..32; the suite is identical either way
+///   --resplit-threshold auto|N
+///                     adaptive mode: abandon-and-split a shard after N
+///                     visited candidates (auto = cost model from the
+///                     bound/VM/dirty-bit mix)
+///   --stats           print scheduler counters per suite plus an
+///                     all-axiom aggregate (jobs, steals, lazy re-splits,
+///                     closed-prefix splits, skip re-enumerations, dedup
+///                     hits, queue wait)
 ///   --out DIR         write <suite>/<n>.litmus and .xml files
 ///   --quiet           summary only (no test listings)
 ///   --spec            print the model as an Alloy-style module and exit
 ///
+/// Numeric flags are validated strictly (std::from_chars, tool_args.h):
+/// trailing junk, hex/garbage, or out-of-range values are usage errors,
+/// never silently 0.
+///
 /// Suite content (test listings, --out files) goes to stdout/disk; summary
 /// and stats diagnostics go to stderr. Within a time budget the suite is
 /// deterministic, so stdout is byte-identical for every --jobs value.
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -46,6 +57,7 @@
 #include "mtm/spec_printer.h"
 #include "sched/scheduler.h"
 #include "synth/engine.h"
+#include "tool_args.h"
 
 namespace {
 
@@ -61,13 +73,36 @@ struct Args {
     double budget = 0;
     std::string backend = "enum";
     int jobs = 1;
-    int shard_depth = 0;  // 0 = adaptive
+    int shard_depth = 0;                  // 0 = adaptive
+    std::uint64_t resplit_threshold = 0;  // 0 = cost model
     bool stats = false;
     std::string out_dir;
     bool quiet = false;
     bool list_axioms = false;
     bool emit_spec = false;
 };
+
+using tools::parse_int;
+using tools::parse_seconds;
+using tools::usage_error;
+
+void
+print_stats(const std::string& scope, const sched::SchedulerStats& s)
+{
+    std::fprintf(
+        stderr,
+        "[%s] scheduler: %d workers, %llu jobs, %llu steals, "
+        "%llu lazy re-splits (%llu closed-prefix), "
+        "%llu skip re-enumerations, %llu dedup hits, %.3fs queue wait\n",
+        scope.c_str(), s.workers,
+        static_cast<unsigned long long>(s.jobs_run),
+        static_cast<unsigned long long>(s.steals),
+        static_cast<unsigned long long>(s.lazy_resplits),
+        static_cast<unsigned long long>(s.closed_prefix_splits),
+        static_cast<unsigned long long>(s.skip_enumerations),
+        static_cast<unsigned long long>(s.dedup_hits),
+        s.queue_wait_seconds);
+}
 
 mtm::Model
 make_model(const std::string& name)
@@ -82,7 +117,8 @@ make_model(const std::string& name)
 }
 
 int
-run_suite(const mtm::Model& model, const std::string& axiom, const Args& args)
+run_suite(const mtm::Model& model, const std::string& axiom,
+          const Args& args, sched::SchedulerStats* total)
 {
     synth::SynthesisOptions options;
     options.min_bound = model.vm_aware() ? 4 : 2;
@@ -94,6 +130,7 @@ run_suite(const mtm::Model& model, const std::string& axiom, const Args& args)
                                             : synth::Backend::kEnumerative;
     options.jobs = args.jobs;
     options.shard_depth = args.shard_depth;
+    options.resplit_threshold = args.resplit_threshold;
     const synth::SuiteResult suite =
         synth::synthesize_suite(model, axiom, options);
 
@@ -104,16 +141,9 @@ run_suite(const mtm::Model& model, const std::string& axiom, const Args& args)
                  static_cast<unsigned long long>(suite.programs_considered),
                  static_cast<unsigned long long>(suite.executions_considered),
                  suite.seconds, suite.complete ? "" : ", budget hit");
+    total->merge(suite.scheduler);
     if (args.stats) {
-        const sched::SchedulerStats& s = suite.scheduler;
-        std::fprintf(stderr,
-                     "[%s / %s] scheduler: %d workers, %llu jobs, "
-                     "%llu steals, %llu re-splits, %llu dedup hits\n",
-                     model.name().c_str(), axiom.c_str(), s.workers,
-                     static_cast<unsigned long long>(s.jobs_run),
-                     static_cast<unsigned long long>(s.steals),
-                     static_cast<unsigned long long>(s.resplits),
-                     static_cast<unsigned long long>(s.dedup_hits));
+        print_stats(model.name() + " / " + axiom, suite.scheduler);
     }
 
     for (std::size_t i = 0; i < suite.tests.size(); ++i) {
@@ -163,6 +193,7 @@ main(int argc, char** argv)
         auto value = [&]() -> const char* {
             return i + 1 < argc ? argv[++i] : "";
         };
+        long long parsed = 0;
         if (flag == "--model") {
             args.model = value();
         } else if (flag == "--axiom") {
@@ -170,33 +201,58 @@ main(int argc, char** argv)
         } else if (flag == "--all") {
             args.all = true;
         } else if (flag == "--bound") {
-            args.bound = std::atoi(value());
+            const std::string text = value();
+            if (!parse_int(text, 1, 64, &parsed)) {
+                return usage_error(flag, "a bound in 1..64", text);
+            }
+            args.bound = static_cast<int>(parsed);
         } else if (flag == "--threads") {
-            args.threads = std::atoi(value());
+            const std::string text = value();
+            if (!parse_int(text, 1, 8, &parsed)) {
+                return usage_error(flag, "a core count in 1..8", text);
+            }
+            args.threads = static_cast<int>(parsed);
         } else if (flag == "--vas") {
-            args.vas = std::atoi(value());
+            const std::string text = value();
+            if (!parse_int(text, 1, 8, &parsed)) {
+                return usage_error(flag, "a VA count in 1..8", text);
+            }
+            args.vas = static_cast<int>(parsed);
         } else if (flag == "--budget") {
-            args.budget = std::atof(value());
+            const std::string text = value();
+            if (!parse_seconds(text, &args.budget)) {
+                return usage_error(flag, "a non-negative seconds value",
+                                   text);
+            }
         } else if (flag == "--backend") {
             args.backend = value();
         } else if (flag == "--jobs") {
-            args.jobs = std::atoi(value());
+            const std::string text = value();
+            if (!tools::parse_jobs(text, &args.jobs)) {
+                return usage_error(flag, tools::kJobsExpectation, text);
+            }
         } else if (flag == "--shard-depth") {
             const std::string depth = value();
             if (depth == "auto") {
                 args.shard_depth = 0;
-            } else {
-                char* end = nullptr;
-                const long parsed = std::strtol(depth.c_str(), &end, 10);
-                if (depth.empty() || *end != '\0' || parsed < 1 ||
-                    parsed > 6) {
-                    std::fprintf(stderr,
-                                 "--shard-depth takes 'auto' or 1..6, "
-                                 "got '%s'\n",
-                                 depth.c_str());
-                    return 2;
-                }
+            } else if (parse_int(depth, 1, 32, &parsed)) {
                 args.shard_depth = static_cast<int>(parsed);
+            } else {
+                return usage_error(flag, "'auto' or a fixed depth in 1..32",
+                                   depth);
+            }
+        } else if (flag == "--resplit-threshold") {
+            const std::string threshold = value();
+            if (threshold == "auto") {
+                args.resplit_threshold = 0;
+            } else if (parse_int(threshold, 1,
+                                 std::int64_t{1} << 32, &parsed)) {
+                args.resplit_threshold =
+                    static_cast<std::uint64_t>(parsed);
+            } else {
+                return usage_error(
+                    flag, "'auto' or a candidate count in 1..2^32",
+                    threshold);
             }
         } else if (flag == "--stats") {
             args.stats = true;
@@ -242,11 +298,18 @@ main(int argc, char** argv)
             axioms.push_back(axiom.name);
         }
     }
+    sched::SchedulerStats total;
     for (const auto& axiom : axioms) {
-        const int rc = run_suite(model, axiom, args);
+        const int rc = run_suite(model, axiom, args, &total);
         if (rc != 0) {
             return rc;
         }
+    }
+    if (args.stats && axioms.size() > 1) {
+        // Counters sum across suites; `workers` and the queue wait (which
+        // overlap rather than add) take the maximum — see
+        // SchedulerStats::merge.
+        print_stats(model.name() + " / all axioms", total);
     }
     return 0;
 }
