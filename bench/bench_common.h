@@ -1,15 +1,59 @@
 /// \file
 /// Shared helpers for the paper-reproduction bench binaries: environment
-/// knobs and uniform headers so bench_output is self-describing.
+/// knobs, uniform headers so bench output is self-describing, and a tiny
+/// JSON emitter so the perf trajectory lands in machine-readable
+/// BENCH_*.json files (see docs/performance.md).
 #pragma once
 
+#include <cinttypes>
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
+
+#include "synth/engine.h"
+#include "tool_args.h"
 
 namespace transform::bench {
 
-/// Reads an integer knob from the environment (bounds, budgets).
+/// The determinism contract's observable, shared by the scaling and
+/// substrate benches: canonical keys, order, sizes and (optionally) the
+/// violated-axiom lists across every suite of a sweep point. Witness
+/// *selection* is backend-dependent (first qualifying witness in that
+/// backend's enumeration order), so cross-backend comparisons drop the
+/// violated lists while cross-jobs comparisons keep them.
+inline std::string
+suite_fingerprint(const std::vector<synth::SuiteResult>& suites,
+                  bool include_violated = true)
+{
+    std::string fp;
+    for (const synth::SuiteResult& suite : suites) {
+        fp += suite.axiom;
+        fp += ':';
+        for (const synth::SynthesizedTest& test : suite.tests) {
+            fp += test.canonical_key;
+            fp += '#';
+            fp += std::to_string(test.size);
+            if (include_violated) {
+                for (const std::string& axiom : test.violated) {
+                    fp += ',';
+                    fp += axiom;
+                }
+            }
+            fp += '|';
+        }
+        fp += '\n';
+    }
+    return fp;
+}
+
+/// Reads an integer knob from the environment (bounds, budgets). Malformed
+/// values are a hard error, not a silent fallback: the strict
+/// std::from_chars parsing is shared with the tools' flag validation
+/// (tools/tool_args.h), so `TRANSFORM_SCALING_BOUND=8x` aborts the bench
+/// instead of quietly running the default workload.
 inline int
 env_int(const char* name, int fallback)
 {
@@ -17,11 +61,13 @@ env_int(const char* name, int fallback)
     if (value == nullptr) {
         return fallback;
     }
-    try {
-        return std::stoi(value);
-    } catch (...) {
-        return fallback;
+    long long parsed = 0;
+    if (!tools::parse_int(value, INT_MIN, INT_MAX, &parsed)) {
+        std::fprintf(stderr,
+                     "%s takes a decimal integer, got '%s'\n", name, value);
+        std::exit(2);
     }
+    return static_cast<int>(parsed);
 }
 
 /// Prints the standard bench banner.
@@ -42,6 +88,74 @@ check(const char* what, bool ok)
 {
     std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what);
     return ok;
+}
+
+/// One key/value pair of a flat JSON object; the value is stored
+/// pre-rendered (numbers verbatim, strings/booleans quoted/encoded by the
+/// j* constructors below).
+using JsonPair = std::pair<std::string, std::string>;
+
+inline JsonPair
+jnum(const std::string& key, double value)
+{
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+    return {key, buffer};
+}
+
+inline JsonPair
+jint(const std::string& key, std::uint64_t value)
+{
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%" PRIu64, value);
+    return {key, buffer};
+}
+
+inline JsonPair
+jbool(const std::string& key, bool value)
+{
+    return {key, value ? "true" : "false"};
+}
+
+inline JsonPair
+jstr(const std::string& key, const std::string& value)
+{
+    std::string out = "\"";
+    for (const char c : value) {
+        if (c == '"' || c == '\\') {
+            out.push_back('\\');
+            out.push_back(c);
+        } else if (c == '\n') {
+            out += "\\n";
+        } else {
+            out.push_back(c);
+        }
+    }
+    out.push_back('"');
+    return {key, out};
+}
+
+/// Writes the pairs as one flat JSON object to \p path (plus a note on
+/// stdout so bench logs say where the machine-readable copy went).
+/// Returns false (after a stderr note) when the file cannot be written.
+inline bool
+write_json(const std::string& path, const std::vector<JsonPair>& pairs)
+{
+    std::FILE* file = std::fopen(path.c_str(), "w");
+    if (file == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return false;
+    }
+    std::fputs("{\n", file);
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+        std::fprintf(file, "  \"%s\": %s%s\n", pairs[i].first.c_str(),
+                     pairs[i].second.c_str(),
+                     i + 1 < pairs.size() ? "," : "");
+    }
+    std::fputs("}\n", file);
+    std::fclose(file);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
 }
 
 }  // namespace transform::bench

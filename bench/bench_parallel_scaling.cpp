@@ -18,7 +18,11 @@
 /// throughput for both designs.
 ///
 /// Knobs: TRANSFORM_SCALING_BOUND (default 6), TRANSFORM_SCALING_MODEL
-/// (x86t_elt | x86tso, default x86t_elt).
+/// (x86t_elt | x86tso, default x86t_elt), TRANSFORM_SCALING_JSON (output
+/// path, default BENCH_scaling.json — the machine-readable run record),
+/// TRANSFORM_SCALING_REQUIRE_SPEEDUP (default 1; 0 makes the >=2x
+/// throughput check report-only — for smoke runs whose workloads are too
+/// small to out-measure scheduler spin-up and CI noise).
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -35,28 +39,12 @@ namespace {
 
 using namespace transform;
 
-/// The determinism contract's observable: canonical keys, order, sizes,
-/// violated-axiom lists across every suite of a sweep point.
+/// The determinism contract's observable (bench_common.h): canonical keys,
+/// order, sizes, violated-axiom lists across every suite of a sweep point.
 std::string
 sweep_fingerprint(const std::vector<synth::SuiteResult>& suites)
 {
-    std::string fp;
-    for (const synth::SuiteResult& suite : suites) {
-        fp += suite.axiom;
-        fp += ':';
-        for (const synth::SynthesizedTest& test : suite.tests) {
-            fp += test.canonical_key;
-            fp += '#';
-            fp += std::to_string(test.size);
-            for (const std::string& axiom : test.violated) {
-                fp += ',';
-                fp += axiom;
-            }
-            fp += '|';
-        }
-        fp += '\n';
-    }
-    return fp;
+    return bench::suite_fingerprint(suites, /*include_violated=*/true);
 }
 
 /// Replays the enumeration work of the deleted eager probe pass,
@@ -121,6 +109,11 @@ main()
 
     const std::vector<int> job_counts = {1, 2, 4, 8};
     std::vector<double> seconds;
+    std::vector<bench::JsonPair> json;
+    json.push_back(bench::jstr("bench", "parallel_scaling"));
+    json.push_back(bench::jstr("model", model.name()));
+    json.push_back(bench::jint("bound", static_cast<std::uint64_t>(bound)));
+    json.push_back(bench::jint("hardware_threads", hw));
     std::string reference_fp;
     std::uint64_t reference_programs = 0;
     std::printf("%8s %12s %10s %9s %9s %10s %10s %8s\n", "jobs", "wall (s)",
@@ -156,6 +149,12 @@ main()
                     static_cast<unsigned long long>(steals),
                     static_cast<unsigned long long>(resplits),
                     static_cast<unsigned long long>(closed));
+        const std::string jobs_key = "jobs_" + std::to_string(jobs);
+        json.push_back(bench::jnum(jobs_key + "_seconds", elapsed));
+        json.push_back(bench::jnum(jobs_key + "_programs_per_sec",
+                                   static_cast<double>(programs) / elapsed));
+        json.push_back(
+            bench::jnum(jobs_key + "_speedup", seconds.front() / elapsed));
         const std::string fp = sweep_fingerprint(suites);
         if (jobs == job_counts.front()) {
             reference_fp = fp;
@@ -262,6 +261,14 @@ main()
                     eager_wall, static_cast<double>(programs) / eager_wall,
                     probe_wall,
                     static_cast<unsigned long long>(probe_enumerated));
+        json.push_back(bench::jnum("lazy_candidates_per_sec",
+                                   static_cast<double>(programs) / lazy_wall));
+        json.push_back(bench::jnum("eager_candidates_per_sec",
+                                   static_cast<double>(programs) /
+                                       eager_wall));
+        json.push_back(bench::jint("lazy_skip_enumerations", lazy_repeated));
+        json.push_back(bench::jint("eager_probe_enumerations",
+                                   probe_enumerated));
         ok = bench::check("suite byte-identical in baseline run",
                           sweep_fingerprint(suites) == reference_fp) &&
              ok;
@@ -279,15 +286,23 @@ main()
 
     // Speedup needs cores to scale onto; the determinism checks above run
     // everywhere, the throughput check only where 4 workers can actually
-    // run in parallel.
+    // run in parallel AND the caller asked for it (smoke runs use tiny
+    // bounds where spin-up and noisy neighbors dominate wall time).
+    const bool require_speedup =
+        bench::env_int("TRANSFORM_SCALING_REQUIRE_SPEEDUP", 1) != 0;
     const double speedup4 = seconds[0] / seconds[2];
-    if (hw >= 4) {
+    if (hw >= 4 && require_speedup) {
         ok = bench::check(">= 2x speedup at 4 jobs", speedup4 >= 2.0) && ok;
     } else {
-        std::printf("  [SKIP] >= 2x speedup at 4 jobs (needs >= 4 hardware "
-                    "threads, have %u; measured %.2fx)\n",
-                    hw, speedup4);
+        std::printf("  [SKIP] >= 2x speedup at 4 jobs (%s; measured %.2fx)\n",
+                    hw < 4 ? "needs >= 4 hardware threads"
+                           : "report-only: TRANSFORM_SCALING_REQUIRE_SPEEDUP=0",
+                    speedup4);
     }
+    json.push_back(bench::jbool("checks_ok", ok));
+    const char* json_env = std::getenv("TRANSFORM_SCALING_JSON");
+    bench::write_json(json_env != nullptr ? json_env : "BENCH_scaling.json",
+                      json);
     std::printf("\nparallel_scaling overall: %s\n", ok ? "PASS" : "FAIL");
     return ok ? 0 : 1;
 }

@@ -1,9 +1,25 @@
 /// \file
 /// google-benchmark microbenchmarks for the substrates the synthesis
 /// pipeline stands on: the CDCL solver, the relational/boolean layer, the
-/// derivation engine, the canonicalizer and the per-program backends.
+/// derivation engine, the canonicalizer and the per-program backends —
+/// followed by the witness-search throughput section, which measures the
+/// end-to-end per-candidate evaluation rate (programs/sec) of both
+/// backends, checks suite byte-identity across worker counts, and records
+/// everything (including a heap-allocation proxy) in BENCH_substrate.json.
+///
+/// Knobs: TRANSFORM_SUBSTRATE_MIN_BOUND (default 4),
+/// TRANSFORM_SUBSTRATE_BOUND (default 6), TRANSFORM_SUBSTRATE_JSON
+/// (default BENCH_substrate.json).
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
 #include "elt/derive.h"
 #include "elt/fixtures.h"
 #include "mtm/encoding.h"
@@ -12,8 +28,44 @@
 #include "rel/relation.h"
 #include "sat/solver.h"
 #include "synth/canonical.h"
+#include "synth/engine.h"
 #include "synth/exec_enum.h"
 #include "synth/minimality.h"
+#include "util/stopwatch.h"
+
+// ---------------------------------------------------------------------------
+// Allocation proxy: every operator-new in the process bumps one counter, so
+// the witness-search section can report allocations per candidate program —
+// the observable the zero-allocation hot path is graded on.
+// ---------------------------------------------------------------------------
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void*
+operator new(std::size_t size)
+{
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+    if (void* p = std::malloc(size)) {
+        return p;
+    }
+    throw std::bad_alloc();
+}
+
+void*
+operator new[](std::size_t size)
+{
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+    if (void* p = std::malloc(size)) {
+        return p;
+    }
+    throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -76,12 +128,28 @@ bm_derive_fig2c(benchmark::State& state)
 }
 BENCHMARK(bm_derive_fig2c);
 
+/// The scratch-reusing derivation the engine's inner loop runs: same
+/// relations as bm_derive_fig2c, no steady-state allocation.
+void
+bm_derive_into_fig2c(benchmark::State& state)
+{
+    const elt::Execution e = elt::fixtures::fig2c_sb_elt_aliased();
+    elt::DerivedRelations derived;
+    elt::DeriveScratch scratch;
+    for (auto _ : state) {
+        elt::derive_into(e, {}, &derived, &scratch);
+        benchmark::DoNotOptimize(derived.well_formed);
+    }
+}
+BENCHMARK(bm_derive_into_fig2c);
+
 void
 bm_canonical_key(benchmark::State& state)
 {
     const elt::Program p = elt::fixtures::fig2c_sb_elt_aliased().program;
+    synth::CanonicalScratch scratch;
     for (auto _ : state) {
-        benchmark::DoNotOptimize(synth::canonical_key(p));
+        benchmark::DoNotOptimize(synth::canonical_key(p, &scratch));
     }
 }
 BENCHMARK(bm_canonical_key);
@@ -106,9 +174,15 @@ bm_sat_backend_dirtybit3(benchmark::State& state)
 {
     const elt::Program p = elt::fixtures::fig10b_dirtybit3().program;
     const mtm::Model model = mtm::x86t_elt();
+    mtm::EncodingScratch scratch;
     for (auto _ : state) {
-        mtm::ProgramEncoding encoding(p, &model);
-        benchmark::DoNotOptimize(encoding.enumerate().size());
+        mtm::ProgramEncoding encoding(p, &model, &scratch);
+        int count = 0;
+        encoding.enumerate("", [&](const elt::Execution&) {
+            ++count;
+            return true;
+        });
+        benchmark::DoNotOptimize(count);
     }
 }
 BENCHMARK(bm_sat_backend_dirtybit3);
@@ -118,10 +192,159 @@ bm_judge_ptwalk2(benchmark::State& state)
 {
     const elt::Execution e = elt::fixtures::fig10a_ptwalk2();
     const mtm::Model model = mtm::x86t_elt();
+    synth::JudgeScratch scratch;
     for (auto _ : state) {
-        benchmark::DoNotOptimize(synth::judge(model, e));
+        benchmark::DoNotOptimize(synth::judge(model, e, &scratch));
     }
 }
 BENCHMARK(bm_judge_ptwalk2);
 
+// ---------------------------------------------------------------------------
+// Witness-search throughput section.
+// ---------------------------------------------------------------------------
+
+struct BackendRun {
+    double seconds = 0.0;
+    std::uint64_t programs = 0;
+    std::uint64_t executions = 0;
+    std::uint64_t allocations = 0;
+    int tests = 0;
+    std::string fingerprint;       ///< keys + sizes + violated
+    std::string key_fingerprint;   ///< keys + sizes only
+};
+
+/// Runs the witness-search workload (the sc_per_loc + causality suites of
+/// x86t_elt — the two axioms with the largest candidate spaces) on one
+/// backend at the given worker count.
+BackendRun
+run_workload(synth::Backend backend, int jobs, int min_bound, int bound)
+{
+    const mtm::Model model = mtm::x86t_elt();
+    synth::SynthesisOptions opt;
+    opt.min_bound = min_bound;
+    opt.bound = bound;
+    opt.jobs = jobs;
+    opt.backend = backend;
+    BackendRun run;
+    std::vector<synth::SuiteResult> suites;
+    const std::uint64_t allocations_before = g_allocations.load();
+    util::Stopwatch watch;
+    for (const char* axiom : {"sc_per_loc", "causality"}) {
+        suites.push_back(synth::synthesize_suite(model, axiom, opt));
+    }
+    run.seconds = watch.elapsed_seconds();
+    run.allocations = g_allocations.load() - allocations_before;
+    for (const synth::SuiteResult& suite : suites) {
+        run.programs += suite.programs_considered;
+        run.executions += suite.executions_considered;
+        run.tests += static_cast<int>(suite.tests.size());
+    }
+    run.fingerprint =
+        bench::suite_fingerprint(suites, /*include_violated=*/true);
+    run.key_fingerprint =
+        bench::suite_fingerprint(suites, /*include_violated=*/false);
+    return run;
+}
+
+int
+witness_search_section()
+{
+    const int min_bound = bench::env_int("TRANSFORM_SUBSTRATE_MIN_BOUND", 4);
+    const int bound = bench::env_int("TRANSFORM_SUBSTRATE_BOUND", 6);
+    const char* json_env = std::getenv("TRANSFORM_SUBSTRATE_JSON");
+    const std::string json_path =
+        json_env != nullptr ? json_env : "BENCH_substrate.json";
+
+    bench::banner("substrate_micro / witness search",
+                  "per-candidate evaluation cost of the synthesis loop "
+                  "(TransForm section IV inner loop)",
+                  "zero-allocation pipeline: streaming SAT enumeration, "
+                  "scratch-reused derivation, bitmask verdicts; suites "
+                  "byte-identical at every worker count");
+    std::printf("x86t_elt, bounds %d..%d\n\n", min_bound, bound);
+
+    bool ok = true;
+    std::printf("%12s %6s %10s %12s %14s %12s\n", "backend", "jobs",
+                "wall (s)", "programs/s", "executions/s", "allocs/prog");
+    BackendRun sat_run;
+    BackendRun enum_run;
+    for (const synth::Backend backend :
+         {synth::Backend::kEnumerative, synth::Backend::kSat}) {
+        const char* backend_name =
+            backend == synth::Backend::kSat ? "sat" : "enumerative";
+        BackendRun reference;
+        for (const int jobs : {1, 2, 4}) {
+            const BackendRun run =
+                run_workload(backend, jobs, min_bound, bound);
+            std::printf("%12s %6d %10.3f %12.0f %14.0f %12.1f\n",
+                        backend_name, jobs, run.seconds,
+                        run.programs / run.seconds,
+                        run.executions / run.seconds,
+                        static_cast<double>(run.allocations) / run.programs);
+            if (jobs == 1) {
+                reference = run;
+                if (backend == synth::Backend::kSat) {
+                    sat_run = run;
+                } else {
+                    enum_run = run;
+                }
+            } else {
+                ok = bench::check(
+                         (std::string(backend_name) +
+                          " suite byte-identical at jobs=" +
+                          std::to_string(jobs))
+                             .c_str(),
+                         run.fingerprint == reference.fingerprint) &&
+                     ok;
+            }
+        }
+    }
+    // The synthesized test SET (keys + sizes) is backend-independent: a
+    // program enters the suite iff some qualifying witness exists, which
+    // both backends agree on even though they find different witnesses.
+    ok = bench::check("test set identical across backends",
+                      sat_run.key_fingerprint == enum_run.key_fingerprint) &&
+         ok;
+
+    bench::write_json(
+        json_path,
+        {
+            bench::jstr("bench", "substrate_micro"),
+            bench::jstr("workload", "x86t_elt sc_per_loc+causality suites"),
+            bench::jint("min_bound", static_cast<std::uint64_t>(min_bound)),
+            bench::jint("bound", static_cast<std::uint64_t>(bound)),
+            bench::jint("programs", sat_run.programs),
+            bench::jint("tests", static_cast<std::uint64_t>(sat_run.tests)),
+            bench::jnum("sat_programs_per_sec",
+                        sat_run.programs / sat_run.seconds),
+            bench::jnum("sat_executions_per_sec",
+                        sat_run.executions / sat_run.seconds),
+            bench::jnum("sat_allocs_per_program",
+                        static_cast<double>(sat_run.allocations) /
+                            sat_run.programs),
+            bench::jnum("enum_programs_per_sec",
+                        enum_run.programs / enum_run.seconds),
+            bench::jnum("enum_executions_per_sec",
+                        enum_run.executions / enum_run.seconds),
+            bench::jnum("enum_allocs_per_program",
+                        static_cast<double>(enum_run.allocations) /
+                            enum_run.programs),
+            bench::jbool("fingerprints_jobs_identical", ok),
+        });
+    std::printf("\nwitness search overall: %s\n", ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+}
+
 }  // namespace
+
+int
+main(int argc, char** argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+        return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return witness_search_section();
+}

@@ -32,14 +32,18 @@ namespace {
 
 /// True when the program admits an interesting, minimal forbidden execution
 /// under the model — i.e. TransForm would synthesize this exact program.
+/// Judges through one reused scratch: the category-2 search below calls
+/// this once per instruction-subset reduction, each visiting many
+/// executions.
 bool
-synthesizable_verbatim(const mtm::Model& model, const Program& program)
+synthesizable_verbatim(const mtm::Model& model, const Program& program,
+                       synth::JudgeScratch* scratch)
 {
     bool found = false;
     synth::for_each_execution(program, model.vm_aware(),
                               [&](const Execution& execution) {
                                   const synth::MinimalityVerdict verdict =
-                                      synth::judge(model, execution);
+                                      synth::judge(model, execution, scratch);
                                   if (verdict.interesting && verdict.minimal) {
                                       found = true;
                                       return false;
@@ -93,7 +97,8 @@ classify(const mtm::Model& model, const HandwrittenElt& test)
     const Program& program = test.execution.program;
     TF_ASSERT(program.validate(model.vm_aware()).empty());
 
-    if (synthesizable_verbatim(model, program)) {
+    synth::JudgeScratch scratch;
+    if (synthesizable_verbatim(model, program, &scratch)) {
         out.category = Category::kVerbatim;
         out.matched_key = synth::canonical_key(program);
         return out;
@@ -121,7 +126,7 @@ classify(const mtm::Model& model, const HandwrittenElt& test)
                 !reduced.program.validate(model.vm_aware()).empty()) {
                 return true;
             }
-            if (synthesizable_verbatim(model, reduced.program)) {
+            if (synthesizable_verbatim(model, reduced.program, &scratch)) {
                 out.category = Category::kReducible;
                 out.matched_key = synth::canonical_key(reduced.program);
                 out.removed = seeds;

@@ -1,7 +1,7 @@
 #include "elt/derive.h"
 
 #include <algorithm>
-#include <map>
+#include <tuple>
 
 #include "util/logging.h"
 
@@ -20,16 +20,45 @@ Execution::empty_for(Program program)
     return e;
 }
 
+void
+DerivedRelations::clear()
+{
+    well_formed = false;
+    problems.clear();
+    resolved_pa.clear();
+    provenance.clear();
+    po.clear();
+    po_loc.clear();
+    rf.clear();
+    co.clear();
+    fr.clear();
+    rfe.clear();
+    ppo.clear();
+    fence.clear();
+    rmw.clear();
+    ghost.clear();
+    rf_ptw.clear();
+    rf_pa.clear();
+    co_pa.clear();
+    fr_pa.clear();
+    fr_va.clear();
+    remap.clear();
+    ptw_source.clear();
+}
+
 namespace {
 
 /// Resolves physical addresses and mapping provenance through the
 /// rf_ptw / PTE-read chains. Cyclic value dependencies (a walk reading a
 /// dirty-bit write whose parent's translation depends on that walk) are
-/// rejected.
+/// rejected. All state lives in the caller's DeriveScratch.
 class Resolver {
   public:
-    Resolver(const Execution& exec, std::vector<std::string>* problems)
-        : exec_(exec), problems_(problems)
+    Resolver(const Execution& exec, std::vector<std::string>* problems,
+             DeriveScratch* scratch)
+        : exec_(exec), problems_(problems),
+          state_(scratch->resolver_state), pa_(scratch->resolver_pa),
+          prov_(scratch->resolver_prov)
     {
         const int n = exec.program.num_events();
         state_.assign(n, kUnvisited);
@@ -56,10 +85,11 @@ class Resolver {
   private:
     enum State { kUnvisited, kInProgress, kDone };
 
-    void fail(EventId id, const std::string& reason)
+    void fail(EventId id, const char* reason)
     {
         problems_->push_back("event " + std::to_string(id) +
-                             ": unresolvable translation (" + reason + ")");
+                             ": unresolvable translation (" +
+                             std::string(reason) + ")");
         pa_[id] = kNone;
         prov_[id] = kNone;
     }
@@ -162,9 +192,9 @@ class Resolver {
 
     const Execution& exec_;
     std::vector<std::string>* problems_;
-    std::vector<int> state_;
-    std::vector<PaId> pa_;
-    std::vector<EventId> prov_;
+    std::vector<int>& state_;
+    std::vector<PaId>& pa_;
+    std::vector<EventId>& prov_;
 };
 
 /// Coherence-class key: data writes/reads resolve to ("data", PA); PTE
@@ -176,20 +206,87 @@ struct ClassKey {
     auto operator<=>(const ClassKey&) const = default;
 };
 
+/// Order-preserving integer encoding of ClassKey (tag major, index minor),
+/// valid for index >= kNone: sorting encoded keys visits classes exactly as
+/// iterating the std::map<ClassKey, ...> this replaced did.
+std::int64_t
+encode_class(const ClassKey& key)
+{
+    return (static_cast<std::int64_t>(key.tag) << 32) +
+           (static_cast<std::int64_t>(key.index) + 1);
+}
+
+/// Rebuilds scratch->class_groups as the contiguous [begin, end) runs of
+/// equal keys in the (already sorted) keyed_writes.
+void
+build_class_groups(DeriveScratch* scratch)
+{
+    scratch->class_groups.clear();
+    const auto& rows = scratch->keyed_writes;
+    std::size_t i = 0;
+    while (i < rows.size()) {
+        std::size_t j = i + 1;
+        while (j < rows.size() && rows[j].key == rows[i].key) {
+            ++j;
+        }
+        scratch->class_groups.push_back({rows[i].key, static_cast<int>(i),
+                                         static_cast<int>(j)});
+        i = j;
+    }
+}
+
+/// Finds the group with the given key (nullptr when absent).
+const DeriveScratch::ClassGroup*
+find_class_group(const DeriveScratch& scratch, std::int64_t key)
+{
+    const auto it = std::lower_bound(
+        scratch.class_groups.begin(), scratch.class_groups.end(), key,
+        [](const DeriveScratch::ClassGroup& g, std::int64_t k) {
+            return g.key < k;
+        });
+    if (it == scratch.class_groups.end() || it->key != key) {
+        return nullptr;
+    }
+    return &*it;
+}
+
 }  // namespace
 
 bool
-has_cycle(int num_nodes, const std::vector<const EdgeSet*>& edge_sets)
+has_cycle(int num_nodes, const EdgeSet* const* edge_sets,
+          std::size_t num_edge_sets, CycleScratch* scratch)
 {
-    std::vector<std::vector<int>> adjacency(num_nodes);
-    for (const EdgeSet* edges : edge_sets) {
-        for (const auto& [from, to] : *edges) {
-            adjacency[from].push_back(to);
+    CycleScratch local;
+    if (scratch == nullptr) {
+        scratch = &local;
+    }
+    // Adjacency in CSR form, built into reused buffers: count out-degrees,
+    // prefix-sum into offsets, then scatter the successors.
+    auto& offset = scratch->offset;
+    auto& cursor = scratch->cursor;
+    auto& flat = scratch->edges;
+    offset.assign(num_nodes + 1, 0);
+    std::size_t total = 0;
+    for (std::size_t s = 0; s < num_edge_sets; ++s) {
+        for (const auto& [from, to] : *edge_sets[s]) {
+            ++offset[from + 1];
+            ++total;
+        }
+    }
+    for (int i = 0; i < num_nodes; ++i) {
+        offset[i + 1] += offset[i];
+    }
+    cursor.assign(offset.begin(), offset.end() - 1);
+    flat.resize(total);
+    for (std::size_t s = 0; s < num_edge_sets; ++s) {
+        for (const auto& [from, to] : *edge_sets[s]) {
+            flat[cursor[from]++] = to;
         }
     }
     // Iterative DFS with colors: 0 = white, 1 = grey, 2 = black.
-    std::vector<int> color(num_nodes, 0);
-    std::vector<std::pair<int, std::size_t>> stack;
+    auto& color = scratch->color;
+    auto& stack = scratch->stack;
+    color.assign(num_nodes, 0);
     for (int start = 0; start < num_nodes; ++start) {
         if (color[start] != 0) {
             continue;
@@ -199,8 +296,8 @@ has_cycle(int num_nodes, const std::vector<const EdgeSet*>& edge_sets)
         color[start] = 1;
         while (!stack.empty()) {
             auto& [node, next] = stack.back();
-            if (next < adjacency[node].size()) {
-                const int successor = adjacency[node][next++];
+            if (static_cast<int>(next) < offset[node + 1] - offset[node]) {
+                const int successor = flat[offset[node] + next++];
                 if (color[successor] == 1) {
                     return true;
                 }
@@ -227,7 +324,8 @@ resolve_addresses(const Execution& exec, const DeriveOptions& options)
     out.provenance.assign(n, kNone);
     std::vector<std::string> problems;
     if (options.vm_enabled) {
-        Resolver resolver(exec, &problems);
+        DeriveScratch scratch;
+        Resolver resolver(exec, &problems, &scratch);
         for (EventId id = 0; id < n; ++id) {
             if (is_memory(p.event(id).kind)) {
                 out.resolved_pa[id] = resolver.pa_of(id);
@@ -249,6 +347,18 @@ DerivedRelations
 derive(const Execution& exec, const DeriveOptions& options)
 {
     DerivedRelations out;
+    DeriveScratch scratch;
+    derive_into(exec, options, &out, &scratch);
+    return out;
+}
+
+void
+derive_into(const Execution& exec, const DeriveOptions& options,
+            DerivedRelations* out_ptr, DeriveScratch* scratch)
+{
+    TF_ASSERT(out_ptr != nullptr && scratch != nullptr);
+    DerivedRelations& out = *out_ptr;
+    out.clear();
     const Program& p = exec.program;
     const int n = p.num_events();
 
@@ -261,7 +371,7 @@ derive(const Execution& exec, const DeriveOptions& options)
     if (!witness_sizes_ok) {
         out.problems.push_back("witness vectors sized differently from program");
         out.well_formed = false;
-        return out;
+        return;
     }
 
     // ------------------------------------------------------------------
@@ -270,7 +380,7 @@ derive(const Execution& exec, const DeriveOptions& options)
     out.resolved_pa.assign(n, kNone);
     out.provenance.assign(n, kNone);
     if (options.vm_enabled) {
-        Resolver resolver(exec, &out.problems);
+        Resolver resolver(exec, &out.problems, scratch);
         for (EventId id = 0; id < n; ++id) {
             if (is_memory(p.event(id).kind)) {
                 out.resolved_pa[id] = resolver.pa_of(id);
@@ -309,48 +419,53 @@ derive(const Execution& exec, const DeriveOptions& options)
 
     for (EventId id = 0; id < n; ++id) {
         const Event& e = p.event(id);
-        const std::string tag = "event " + std::to_string(id);
+        // Problem strings are built only when a rule fires: the happy path
+        // (every synthesis candidate) must stay allocation-free.
+        auto problem = [&](const char* message) {
+            out.problems.push_back("event " + std::to_string(id) + ": " +
+                                   message);
+        };
 
         // Field applicability.
         if (!is_read_like(e.kind) && exec.rf_src[id] != kNone) {
-            out.problems.push_back(tag + ": rf source on a non-read");
+            problem("rf source on a non-read");
         }
         if (!is_write_like(e.kind) && exec.co_pos[id] != kNone) {
-            out.problems.push_back(tag + ": co position on a non-write");
+            problem("co position on a non-write");
         }
         if (!is_data_access(e.kind) && exec.ptw_src[id] != kNone) {
-            out.problems.push_back(tag + ": translation source on a non-data event");
+            problem("translation source on a non-data event");
         }
         if (e.kind != EventKind::kWpte && exec.co_pa_pos[id] != kNone) {
-            out.problems.push_back(tag + ": co_pa position on a non-Wpte");
+            problem("co_pa position on a non-Wpte");
         }
         if (is_write_like(e.kind) && exec.co_pos[id] == kNone) {
-            out.problems.push_back(tag + ": write without a co position");
+            problem("write without a co position");
         }
         if (e.kind == EventKind::kWpte && exec.co_pa_pos[id] == kNone) {
-            out.problems.push_back(tag + ": Wpte without a co_pa position");
+            problem("Wpte without a co_pa position");
         }
 
         // Translation sourcing (vm mode only).
         if (options.vm_enabled && is_data_access(e.kind)) {
             const EventId walk = exec.ptw_src[id];
             if (walk == kNone) {
-                out.problems.push_back(tag + ": data access without a PT walk");
+                problem("data access without a PT walk");
             } else {
                 const Event& w = p.event(walk);
                 if (w.kind != EventKind::kRptw) {
-                    out.problems.push_back(tag + ": translation source is not a walk");
+                    problem("translation source is not a walk");
                 } else {
                     if (w.thread != e.thread) {
-                        out.problems.push_back(tag + ": walk on another core");
+                        problem("walk on another core");
                     }
                     if (w.va != e.va) {
-                        out.problems.push_back(tag + ": walk for another VA");
+                        problem("walk for another VA");
                     }
                     const EventId walker = w.parent;
                     if (walker != id && !p.precedes(walker, id)) {
-                        out.problems.push_back(
-                            tag + ": uses a TLB entry loaded later in program order");
+                        problem(
+                            "uses a TLB entry loaded later in program order");
                     }
                     // No Invlpg for this VA may separate the walk from the use.
                     for (EventId other = 0; other < n; ++other) {
@@ -361,8 +476,7 @@ derive(const Execution& exec, const DeriveOptions& options)
                         if (evicts && i.thread == e.thread &&
                             p.precedes(walker, other) &&
                             p.precedes(other, id)) {
-                            out.problems.push_back(
-                                tag + ": TLB entry used across an INVLPG");
+                            problem("TLB entry used across an INVLPG");
                         }
                     }
                 }
@@ -372,8 +486,7 @@ derive(const Execution& exec, const DeriveOptions& options)
         // The walk's parent must itself use the walk (it missed).
         if (options.vm_enabled && e.kind == EventKind::kRptw) {
             if (exec.ptw_src[e.parent] != id) {
-                out.problems.push_back(
-                    tag + ": walk's invoking access does not read its TLB entry");
+                problem("walk's invoking access does not read its TLB entry");
             }
         }
 
@@ -382,20 +495,20 @@ derive(const Execution& exec, const DeriveOptions& options)
             const EventId src = exec.rf_src[id];
             const Event& w = p.event(src);
             if (src == id || !is_write_like(w.kind)) {
-                out.problems.push_back(tag + ": bad rf source");
+                problem("bad rf source");
             } else if (is_data_access(e.kind)) {
                 if (!is_data_access(w.kind)) {
-                    out.problems.push_back(tag + ": data read sourced by PTE write");
+                    problem("data read sourced by PTE write");
                 } else if (options.vm_enabled &&
                            (out.resolved_pa[id] == kNone ||
                             out.resolved_pa[id] != out.resolved_pa[src])) {
-                    out.problems.push_back(tag + ": rf across different PAs");
+                    problem("rf across different PAs");
                 } else if (!options.vm_enabled && e.va != w.va) {
-                    out.problems.push_back(tag + ": rf across different VAs");
+                    problem("rf across different VAs");
                 }
             } else if (is_pte_access(e.kind)) {
                 if (!is_pte_access(w.kind) || w.va != e.va) {
-                    out.problems.push_back(tag + ": PTE read sourced off-location");
+                    problem("PTE read sourced off-location");
                 }
             }
         }
@@ -415,48 +528,67 @@ derive(const Execution& exec, const DeriveOptions& options)
                 }
             }
             if (!useful) {
-                out.problems.push_back(tag + ": spurious INVLPG with no later "
-                                       "same-VA access on its core");
+                problem("spurious INVLPG with no later "
+                        "same-VA access on its core");
             }
         }
     }
 
-    // Coherence positions form a permutation within each class.
+    // Coherence positions form a permutation within each class. Gather
+    // (class, position) rows into scratch and sort — groups come out in the
+    // same class order the std::map grouping produced.
     {
-        std::map<ClassKey, std::vector<int>> positions;
+        auto& rows = scratch->keyed_positions;
+        rows.clear();
         for (EventId id = 0; id < n; ++id) {
             if (is_write_like(p.event(id).kind) && exec.co_pos[id] != kNone) {
-                positions[class_of(id)].push_back(exec.co_pos[id]);
+                rows.emplace_back(encode_class(class_of(id)),
+                                  exec.co_pos[id]);
             }
         }
-        for (auto& [key, list] : positions) {
-            std::sort(list.begin(), list.end());
-            for (int i = 0; i < static_cast<int>(list.size()); ++i) {
-                if (list[i] != i) {
-                    out.problems.push_back("co positions are not a permutation "
-                                           "within a coherence class");
-                    break;
+        std::sort(rows.begin(), rows.end());
+        std::size_t i = 0;
+        while (i < rows.size()) {
+            std::size_t j = i;
+            bool ok = true;
+            while (j < rows.size() && rows[j].first == rows[i].first) {
+                if (rows[j].second != static_cast<int>(j - i)) {
+                    ok = false;
                 }
+                ++j;
             }
+            if (!ok) {
+                out.problems.push_back("co positions are not a permutation "
+                                       "within a coherence class");
+            }
+            i = j;
         }
     }
     {
-        std::map<int, std::vector<int>> positions;  // keyed by target PA
+        auto& rows = scratch->keyed_positions;  // keyed by target PA
+        rows.clear();
         for (EventId id = 0; id < n; ++id) {
             if (p.event(id).kind == EventKind::kWpte &&
                 exec.co_pa_pos[id] != kNone) {
-                positions[p.event(id).map_pa].push_back(exec.co_pa_pos[id]);
+                rows.emplace_back(p.event(id).map_pa, exec.co_pa_pos[id]);
             }
         }
-        for (auto& [key, list] : positions) {
-            std::sort(list.begin(), list.end());
-            for (int i = 0; i < static_cast<int>(list.size()); ++i) {
-                if (list[i] != i) {
-                    out.problems.push_back("co_pa positions are not a "
-                                           "permutation within a PA class");
-                    break;
+        std::sort(rows.begin(), rows.end());
+        std::size_t i = 0;
+        while (i < rows.size()) {
+            std::size_t j = i;
+            bool ok = true;
+            while (j < rows.size() && rows[j].first == rows[i].first) {
+                if (rows[j].second != static_cast<int>(j - i)) {
+                    ok = false;
                 }
+                ++j;
             }
+            if (!ok) {
+                out.problems.push_back("co_pa positions are not a "
+                                       "permutation within a PA class");
+            }
+            i = j;
         }
     }
     // co and co_pa must agree where both order the same pair of Wptes.
@@ -487,7 +619,7 @@ derive(const Execution& exec, const DeriveOptions& options)
 
     out.well_formed = out.problems.empty();
     if (!out.well_formed) {
-        return out;
+        return;
     }
 
     // ------------------------------------------------------------------
@@ -548,22 +680,28 @@ derive(const Execution& exec, const DeriveOptions& options)
         }
     }
 
-    // co (transitive within each class) and fr.
+    // co (transitive within each class) and fr. Writes are gathered into
+    // scratch rows sorted by (class, coherence position); each class is a
+    // contiguous run, visited in the order the map grouping used.
     {
-        std::map<ClassKey, std::vector<EventId>> classes;
+        auto& rows = scratch->keyed_writes;
+        rows.clear();
         for (EventId id = 0; id < n; ++id) {
             if (is_write_like(p.event(id).kind)) {
-                classes[class_of(id)].push_back(id);
+                rows.push_back({encode_class(class_of(id)), exec.co_pos[id],
+                                id});
             }
         }
-        for (auto& [key, members] : classes) {
-            std::sort(members.begin(), members.end(),
-                      [&](EventId a, EventId b) {
-                          return exec.co_pos[a] < exec.co_pos[b];
-                      });
-            for (std::size_t i = 0; i < members.size(); ++i) {
-                for (std::size_t j = i + 1; j < members.size(); ++j) {
-                    out.co.emplace_back(members[i], members[j]);
+        std::sort(rows.begin(), rows.end(),
+                  [](const DeriveScratch::KeyedWrite& a,
+                     const DeriveScratch::KeyedWrite& b) {
+                      return std::tie(a.key, a.pos) < std::tie(b.key, b.pos);
+                  });
+        build_class_groups(scratch);
+        for (const auto& group : scratch->class_groups) {
+            for (int i = group.begin; i < group.end; ++i) {
+                for (int j = i + 1; j < group.end; ++j) {
+                    out.co.emplace_back(rows[i].id, rows[j].id);
                 }
             }
         }
@@ -571,14 +709,15 @@ derive(const Execution& exec, const DeriveOptions& options)
             if (!is_read_like(p.event(r).kind)) {
                 continue;
             }
-            const ClassKey key = class_of(r);
-            const auto it = classes.find(key);
-            if (it == classes.end()) {
+            const auto* group =
+                find_class_group(*scratch, encode_class(class_of(r)));
+            if (group == nullptr) {
                 continue;
             }
             const EventId src = exec.rf_src[r];
             const int src_pos = src == kNone ? -1 : exec.co_pos[src];
-            for (const EventId w : it->second) {
+            for (int i = group->begin; i < group->end; ++i) {
+                const EventId w = rows[i].id;
                 if (w != src && exec.co_pos[w] > src_pos) {
                     out.fr.emplace_back(r, w);
                 }
@@ -603,7 +742,7 @@ derive(const Execution& exec, const DeriveOptions& options)
     }
 
     if (!options.vm_enabled) {
-        return out;
+        return;
     }
 
     // rf_ptw and ptw_source.
@@ -626,22 +765,25 @@ derive(const Execution& exec, const DeriveOptions& options)
         }
     }
 
-    // co_pa (transitive per target-PA class).
+    // co_pa (transitive per target-PA class), reusing the write rows.
     {
-        std::map<int, std::vector<EventId>> classes;
+        auto& rows = scratch->keyed_writes;
+        rows.clear();
         for (EventId id = 0; id < n; ++id) {
             if (p.event(id).kind == EventKind::kWpte) {
-                classes[p.event(id).map_pa].push_back(id);
+                rows.push_back({p.event(id).map_pa, exec.co_pa_pos[id], id});
             }
         }
-        for (auto& [pa, members] : classes) {
-            std::sort(members.begin(), members.end(),
-                      [&](EventId a, EventId b) {
-                          return exec.co_pa_pos[a] < exec.co_pa_pos[b];
-                      });
-            for (std::size_t i = 0; i < members.size(); ++i) {
-                for (std::size_t j = i + 1; j < members.size(); ++j) {
-                    out.co_pa.emplace_back(members[i], members[j]);
+        std::sort(rows.begin(), rows.end(),
+                  [](const DeriveScratch::KeyedWrite& a,
+                     const DeriveScratch::KeyedWrite& b) {
+                      return std::tie(a.key, a.pos) < std::tie(b.key, b.pos);
+                  });
+        build_class_groups(scratch);
+        for (const auto& group : scratch->class_groups) {
+            for (int i = group.begin; i < group.end; ++i) {
+                for (int j = i + 1; j < group.end; ++j) {
+                    out.co_pa.emplace_back(rows[i].id, rows[j].id);
                 }
             }
         }
@@ -652,13 +794,14 @@ derive(const Execution& exec, const DeriveOptions& options)
                 continue;
             }
             const EventId prov = out.provenance[e];
-            const int pa = out.resolved_pa[e];
-            const auto it = classes.find(pa);
-            if (it == classes.end()) {
+            const auto* group =
+                find_class_group(*scratch, out.resolved_pa[e]);
+            if (group == nullptr) {
                 continue;
             }
             const int prov_pos = prov == kNone ? -1 : exec.co_pa_pos[prov];
-            for (const EventId w : it->second) {
+            for (int i = group->begin; i < group->end; ++i) {
+                const EventId w = rows[i].id;
                 if (w != prov && exec.co_pa_pos[w] > prov_pos) {
                     out.fr_pa.emplace_back(e, w);
                 }
@@ -682,8 +825,6 @@ derive(const Execution& exec, const DeriveOptions& options)
             }
         }
     }
-
-    return out;
 }
 
 }  // namespace transform::elt

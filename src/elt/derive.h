@@ -9,9 +9,20 @@
 /// mapping). Dirty-bit writes preserve their parent's resolved mapping, so
 /// resolution is a fixpoint over a dependency graph; cyclic value
 /// dependencies render the execution ill-formed.
+///
+/// The synthesis hot path derives millions of candidate executions; to keep
+/// that loop allocation-free in steady state, derivation comes in two
+/// forms: the convenience `derive()` returning a fresh DerivedRelations,
+/// and `derive_into()` which clears and reuses a caller-owned
+/// DerivedRelations plus a DeriveScratch holding every internal buffer
+/// (resolver state, coherence-class buckets, cycle-check adjacency). See
+/// docs/performance.md for the reuse contract.
 #pragma once
 
+#include <cstdint>
+#include <initializer_list>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "elt/execution.h"
@@ -51,6 +62,10 @@ struct DerivedRelations {
     EdgeSet fr_va;       ///< access -> later Wptes remapping its VA
     EdgeSet remap;       ///< Wpte -> the Invlpgs it invokes
     EdgeSet ptw_source;  ///< walk's parent -> other users of the walk
+
+    /// Clears every field while keeping vector capacity — the reset step of
+    /// the derive_into reuse contract.
+    void clear();
 };
 
 /// Options controlling derivation (the MCM-only baseline of prior work runs
@@ -62,9 +77,58 @@ struct DeriveOptions {
     bool vm_enabled = true;
 };
 
+/// Reusable state for has_cycle: the adjacency structure (CSR form) and DFS
+/// bookkeeping, cleared and rebuilt per call without reallocating once
+/// capacity has grown to the working-set size.
+struct CycleScratch {
+    std::vector<int> offset;  ///< CSR row offsets (num_nodes + 1)
+    std::vector<int> cursor;  ///< per-node fill cursor while building
+    std::vector<int> edges;   ///< flat successor lists
+    std::vector<int> color;   ///< DFS colors (0 white / 1 grey / 2 black)
+    std::vector<std::pair<int, std::size_t>> stack;  ///< DFS stack
+    /// Caller-side temporary for axioms that need to assemble an edge-set
+    /// union before the cycle check (e.g. the SC causality variant).
+    EdgeSet tmp_edges;
+};
+
+/// Reusable buffers for derive_into: everything derive allocates per call
+/// when no scratch is supplied. One scratch per worker thread; a scratch
+/// must not be shared between concurrent derivations.
+struct DeriveScratch {
+    // Address-resolution state (per event).
+    std::vector<int> resolver_state;
+    std::vector<PaId> resolver_pa;
+    std::vector<EventId> resolver_prov;
+    // Coherence-class buckets, replacing the per-call std::map groupings:
+    // (encoded class key, sort position) and (key, position, event) rows
+    // sorted in place, plus the contiguous group index built from them.
+    std::vector<std::pair<std::int64_t, int>> keyed_positions;
+    struct KeyedWrite {
+        std::int64_t key;
+        int pos;
+        EventId id;
+    };
+    std::vector<KeyedWrite> keyed_writes;
+    struct ClassGroup {
+        std::int64_t key;
+        int begin;
+        int end;
+    };
+    std::vector<ClassGroup> class_groups;
+    /// Cycle-check scratch, threaded through the axiom evaluators.
+    CycleScratch cycle;
+};
+
 /// Derives all relations and runs the well-formedness checks.
 DerivedRelations derive(const Execution& execution,
                         const DeriveOptions& options = {});
+
+/// As derive(), but writes into \p out (cleared first, capacity kept) and
+/// takes every internal buffer from \p scratch. Field-identical to a fresh
+/// derive() on the same inputs — asserted by the differential tests. Either
+/// pointer argument must be non-null.
+void derive_into(const Execution& execution, const DeriveOptions& options,
+                 DerivedRelations* out, DeriveScratch* scratch);
 
 /// Address resolution alone (no witness validation): per-event resolved PA
 /// and mapping provenance. Needed by the relaxation engine, which must
@@ -79,7 +143,23 @@ ResolutionResult resolve_addresses(const Execution& execution,
                                    const DeriveOptions& options = {});
 
 /// True when the directed graph over \p num_nodes nodes with the union of
-/// the given edge sets contains a cycle.
-bool has_cycle(int num_nodes, const std::vector<const EdgeSet*>& edge_sets);
+/// the given edge sets contains a cycle. \p scratch may be null (a local
+/// one is used); passing one makes repeated checks allocation-free.
+bool has_cycle(int num_nodes, const EdgeSet* const* edge_sets,
+               std::size_t num_edge_sets, CycleScratch* scratch = nullptr);
+
+inline bool
+has_cycle(int num_nodes, std::initializer_list<const EdgeSet*> edge_sets,
+          CycleScratch* scratch = nullptr)
+{
+    return has_cycle(num_nodes, edge_sets.begin(), edge_sets.size(), scratch);
+}
+
+inline bool
+has_cycle(int num_nodes, const std::vector<const EdgeSet*>& edge_sets,
+          CycleScratch* scratch = nullptr)
+{
+    return has_cycle(num_nodes, edge_sets.data(), edge_sets.size(), scratch);
+}
 
 }  // namespace transform::elt

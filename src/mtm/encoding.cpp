@@ -21,16 +21,62 @@ using rel::BoolFactory;
 using rel::ExprId;
 using rel::RelExpr;
 
-/// Per-query encoding state: the factory, the solver, the witness choice
-/// variables, and the derived-relation circuits.
+/// Which derived-relation circuits a query needs. The placement
+/// constraints and choice variables are always built (they define the
+/// execution space and the CNF the solver sees); the derived circuits are
+/// pure factory nodes referenced only by axiom circuits, so building just
+/// the ones the queried axioms touch skips megabytes of dead circuit per
+/// program without changing the solver's clause stream at all.
+enum RelNeed : unsigned {
+    kNeedRf = 1u << 0,
+    kNeedRfe = 1u << 1,
+    kNeedFr = 1u << 2,
+    kNeedPoLoc = 1u << 3,
+    kNeedRfPtw = 1u << 4,
+    kNeedPtwSource = 1u << 5,
+    kNeedRfPa = 1u << 6,
+    kNeedFrPa = 1u << 7,
+    kNeedFrVa = 1u << 8,
+    kNeedPoConst = 1u << 9,
+    kNeedRemapConst = 1u << 10,
+    kNeedPpoFenceConst = 1u << 11,
+};
+
+/// The relations axiom_circuit(tag) touches.
+unsigned
+needs_for(AxiomTag tag)
+{
+    switch (tag) {
+    case AxiomTag::kScPerLoc:
+        return kNeedRf | kNeedFr | kNeedPoLoc;
+    case AxiomTag::kRmwAtomicity:
+        return kNeedFr;
+    case AxiomTag::kCausalityTso:
+    case AxiomTag::kCausalitySc:
+        return kNeedRfe | kNeedFr | kNeedPpoFenceConst;
+    case AxiomTag::kInvlpg:
+        return kNeedFrVa | kNeedPoConst | kNeedRemapConst;
+    case AxiomTag::kTlbCausality:
+        return kNeedPtwSource | kNeedRf | kNeedFr;
+    }
+    TF_PANIC("unknown axiom tag");
+}
+
+/// Per-query encoding state: the witness choice variables and the
+/// derived-relation circuits, built into a (reset) scratch's factory and
+/// solver.
 struct ProgramEncoding::Build {
-    explicit Build(const Program& program, bool vm)
-        : p(program), n(program.num_events()), vm_enabled(vm)
+    Build(const Program& program, bool vm, unsigned needs,
+          EncodingScratch* scratch)
+        : p(program), n(program.num_events()), vm_enabled(vm),
+          factory(scratch->factory), solver(scratch->solver)
     {
+        factory.reset();
+        solver.reset();
         build_choices();
         build_address_resolution();
         build_coherence();
-        build_derived();
+        build_derived(needs);
         build_placement_constraints();
     }
 
@@ -41,8 +87,8 @@ struct ProgramEncoding::Build {
     const int n;
     const bool vm_enabled;
 
-    BoolFactory factory;
-    sat::Solver solver;
+    BoolFactory& factory;
+    sat::Solver& solver;
 
     // ------------------------------------------------------------------
     // Choice variables.
@@ -73,6 +119,78 @@ struct ProgramEncoding::Build {
 
     int num_pas = 0;
 
+    // ------------------------------------------------------------------
+    // Direct clause emission. Nearly every placement constraint is a
+    // 2-/3-literal clause over choice variables; routing them through the
+    // circuit layer (assert_true -> Tseitin compile) used to cost an
+    // auxiliary variable plus ~4 clauses each and dominated the per-program
+    // Build time. The helpers below emit the clauses straight into the
+    // solver through one reused buffer; constant exprs fold (a true term
+    // drops the clause, a false term drops out of it).
+    // ------------------------------------------------------------------
+    std::vector<sat::Lit> clause_buf;
+    bool clause_sat = false;
+
+    void
+    cl_begin()
+    {
+        clause_buf.clear();
+        clause_sat = false;
+    }
+
+    /// Adds \p e as a positive term. \p e may be any expression; non-var
+    /// exprs Tseitin-compile once (memoized) to an equivalent literal.
+    void
+    cl_pos(ExprId e)
+    {
+        if (e == rel::kTrueExpr) {
+            clause_sat = true;
+        } else if (e != rel::kFalseExpr) {
+            clause_buf.push_back(factory.compile(e, &solver));
+        }
+    }
+
+    void
+    cl_neg(ExprId e)
+    {
+        if (e == rel::kFalseExpr) {
+            clause_sat = true;
+        } else if (e != rel::kTrueExpr) {
+            clause_buf.push_back(~factory.compile(e, &solver));
+        }
+    }
+
+    void
+    cl_end()
+    {
+        if (!clause_sat) {
+            solver.add_clause(clause_buf);
+        }
+    }
+
+    /// Exactly-one over literal-backed options: one at-least-one clause
+    /// plus pairwise at-most-one clauses (the same pairwise encoding the
+    /// circuit layer used, minus its per-pair auxiliary variables). An
+    /// empty option list yields the empty clause, i.e. unsatisfiable —
+    /// matching assert_true(mk_exactly_one({})).
+    void
+    assert_exactly_one(const std::vector<ExprId>& options)
+    {
+        cl_begin();
+        for (const ExprId o : options) {
+            cl_pos(o);
+        }
+        cl_end();
+        for (std::size_t i = 0; i < options.size(); ++i) {
+            for (std::size_t j = i + 1; j < options.size(); ++j) {
+                cl_begin();
+                cl_neg(options[i]);
+                cl_neg(options[j]);
+                cl_end();
+            }
+        }
+    }
+
     ExprId
     var()
     {
@@ -90,17 +208,22 @@ struct ProgramEncoding::Build {
         return acc;
     }
 
-    /// Asserts guard -> pa[a] == pa[b] (one-hot implications both ways).
+    /// Asserts guard -> pa[a] == pa[b]: per one-hot slot k, the clauses
+    /// (!guard | !pa[a][k] | pa[b][k]) and (!guard | !pa[b][k] | pa[a][k]).
     void
     link_pa(ExprId guard, EventId a, EventId b)
     {
         for (int k = 0; k < num_pas; ++k) {
-            factory.assert_true(
-                factory.mk_implies(factory.mk_and(guard, pa[a][k]), pa[b][k]),
-                &solver);
-            factory.assert_true(
-                factory.mk_implies(factory.mk_and(guard, pa[b][k]), pa[a][k]),
-                &solver);
+            cl_begin();
+            cl_neg(guard);
+            cl_neg(pa[a][k]);
+            cl_pos(pa[b][k]);
+            cl_end();
+            cl_begin();
+            cl_neg(guard);
+            cl_neg(pa[b][k]);
+            cl_pos(pa[a][k]);
+            cl_end();
         }
     }
 
@@ -108,29 +231,35 @@ struct ProgramEncoding::Build {
     void
     link_prov(ExprId guard, EventId a, EventId b)
     {
-        factory.assert_true(
-            factory.mk_implies(factory.mk_and(guard, prov_init[a]),
-                               prov_init[b]),
-            &solver);
-        factory.assert_true(
-            factory.mk_implies(factory.mk_and(guard, prov_init[b]),
-                               prov_init[a]),
-            &solver);
+        cl_begin();
+        cl_neg(guard);
+        cl_neg(prov_init[a]);
+        cl_pos(prov_init[b]);
+        cl_end();
+        cl_begin();
+        cl_neg(guard);
+        cl_neg(prov_init[b]);
+        cl_pos(prov_init[a]);
+        cl_end();
         for (auto& [w, flag] : prov[a]) {
             const auto it = prov[b].find(w);
             const ExprId other =
                 it == prov[b].end() ? rel::kFalseExpr : it->second;
-            factory.assert_true(
-                factory.mk_implies(factory.mk_and(guard, flag), other),
-                &solver);
+            cl_begin();
+            cl_neg(guard);
+            cl_neg(flag);
+            cl_pos(other);
+            cl_end();
         }
         for (auto& [w, flag] : prov[b]) {
             const auto it = prov[a].find(w);
             const ExprId other =
                 it == prov[a].end() ? rel::kFalseExpr : it->second;
-            factory.assert_true(
-                factory.mk_implies(factory.mk_and(guard, flag), other),
-                &solver);
+            cl_begin();
+            cl_neg(guard);
+            cl_neg(flag);
+            cl_pos(other);
+            cl_end();
         }
     }
 
@@ -190,7 +319,7 @@ struct ProgramEncoding::Build {
                     options.push_back(rf_choice[r][w]);
                 }
             }
-            factory.assert_true(factory.mk_exactly_one(options), &solver);
+            assert_exactly_one(options);
         }
 
         if (!vm_enabled) {
@@ -229,7 +358,7 @@ struct ProgramEncoding::Build {
                     options.push_back(ptw_choice[e][w]);
                 }
             }
-            factory.assert_true(factory.mk_exactly_one(options), &solver);
+            assert_exactly_one(options);
             // An access that invoked its own walk must use it.
             const EventId own = p.rptw_of(e);
             if (own != kNone) {
@@ -262,7 +391,7 @@ struct ProgramEncoding::Build {
             for (int k = 0; k < num_pas; ++k) {
                 pa[e].push_back(var());
             }
-            factory.assert_true(factory.mk_exactly_one(pa[e]), &solver);
+            assert_exactly_one(pa[e]);
             prov_init[e] = var();
             std::vector<ExprId> options{prov_init[e]};
             for (EventId w = 0; w < n; ++w) {
@@ -272,7 +401,7 @@ struct ProgramEncoding::Build {
                     options.push_back(prov[e][w]);
                 }
             }
-            factory.assert_true(factory.mk_exactly_one(options), &solver);
+            assert_exactly_one(options);
         }
 
         for (EventId e = 0; e < n; ++e) {
@@ -288,18 +417,25 @@ struct ProgramEncoding::Build {
             case EventKind::kRptw:
             case EventKind::kRdb: {
                 // Initial mapping: VA i -> PA i.
-                factory.assert_true(
-                    factory.mk_implies(init_choice[e], pa[e][ev.va]), &solver);
-                factory.assert_true(
-                    factory.mk_implies(init_choice[e], prov_init[e]), &solver);
+                cl_begin();
+                cl_neg(init_choice[e]);
+                cl_pos(pa[e][ev.va]);
+                cl_end();
+                cl_begin();
+                cl_neg(init_choice[e]);
+                cl_pos(prov_init[e]);
+                cl_end();
                 for (auto& [w, guard] : rf_choice[e]) {
                     const Event& we = p.event(w);
                     if (we.kind == EventKind::kWpte) {
-                        factory.assert_true(
-                            factory.mk_implies(guard, pa[e][we.map_pa]),
-                            &solver);
-                        factory.assert_true(
-                            factory.mk_implies(guard, prov[e].at(w)), &solver);
+                        cl_begin();
+                        cl_neg(guard);
+                        cl_pos(pa[e][we.map_pa]);
+                        cl_end();
+                        cl_begin();
+                        cl_neg(guard);
+                        cl_pos(prov[e].at(w));
+                        cl_end();
                     } else {  // Wdb: mapping propagates through
                         link_pa(guard, e, w);
                         link_prov(guard, e, w);
@@ -321,14 +457,21 @@ struct ProgramEncoding::Build {
             }
         }
 
-        // A data read may only be sourced by a same-PA write.
+        // A data read may only be sourced by a same-PA write: under the
+        // one-hot PA encoding, guard & pa[r][k] -> pa[w][k] per slot pins
+        // the equality (exactly-one on pa[w] rules every other slot out).
         for (EventId r = 0; r < n; ++r) {
             if (!elt::is_data_access(p.event(r).kind)) {
                 continue;
             }
             for (auto& [w, guard] : rf_choice[r]) {
-                factory.assert_true(factory.mk_implies(guard, pa_equal(r, w)),
-                                    &solver);
+                for (int k = 0; k < num_pas; ++k) {
+                    cl_begin();
+                    cl_neg(guard);
+                    cl_neg(pa[r][k]);
+                    cl_pos(pa[w][k]);
+                    cl_end();
+                }
             }
         }
     }
@@ -356,22 +499,60 @@ struct ProgramEncoding::Build {
                 if (a == b) {
                     continue;
                 }
-                const ExprId cls = same_class(a, b);
-                factory.assert_true(factory.mk_implies(co.at(a, b), cls),
-                                    &solver);
+                // co(a, b) -> same class. For VM data-data pairs the class
+                // is the dynamic one-hot PA: per slot k, co(a,b) & pa[a][k]
+                // -> pa[b][k] pins equality (exactly-one excludes the
+                // rest). Every other combination has a constant class.
+                const bool dynamic_class =
+                    vm_enabled && elt::is_data_access(p.event(a).kind) &&
+                    elt::is_data_access(p.event(b).kind);
+                if (dynamic_class) {
+                    for (int k = 0; k < num_pas; ++k) {
+                        cl_begin();
+                        cl_neg(co.at(a, b));
+                        cl_neg(pa[a][k]);
+                        cl_pos(pa[b][k]);
+                        cl_end();
+                    }
+                } else {
+                    cl_begin();
+                    cl_neg(co.at(a, b));
+                    cl_pos(same_class(a, b));  // constant here
+                    cl_end();
+                }
                 if (a < b) {
-                    factory.assert_true(
-                        factory.mk_implies(
-                            cls, factory.mk_xor(co.at(a, b), co.at(b, a))),
-                        &solver);
+                    // Same class -> exactly one direction. The at-most-one
+                    // half holds unconditionally (different-class pairs have
+                    // both directions forced false above), the totality half
+                    // is guarded by the class condition.
+                    cl_begin();
+                    cl_neg(co.at(a, b));
+                    cl_neg(co.at(b, a));
+                    cl_end();
+                    if (dynamic_class) {
+                        for (int k = 0; k < num_pas; ++k) {
+                            cl_begin();
+                            cl_neg(pa[a][k]);
+                            cl_neg(pa[b][k]);
+                            cl_pos(co.at(a, b));
+                            cl_pos(co.at(b, a));
+                            cl_end();
+                        }
+                    } else {
+                        cl_begin();
+                        cl_neg(same_class(a, b));  // constant here
+                        cl_pos(co.at(a, b));
+                        cl_pos(co.at(b, a));
+                        cl_end();
+                    }
                 }
                 for (const EventId c : writes) {
                     if (c != a && c != b) {
-                        factory.assert_true(
-                            factory.mk_implies(
-                                factory.mk_and(co.at(a, b), co.at(b, c)),
-                                co.at(a, c)),
-                            &solver);
+                        cl_begin();
+                        cl_neg(co.at(a, b));
+                        cl_neg(co.at(b, c));
+                        cl_pos(co.at(a, c));
+                        cl_end();
                     }
                 }
             }
@@ -396,15 +577,24 @@ struct ProgramEncoding::Build {
                     peers.push_back(w);
                 }
             }
-            ExprId is_first = rel::kTrueExpr;
+            // Coherence-first: no peer precedes d. Directly clausal, since
+            // "not first" is a plain disjunction of co(w, d) literals.
+            cl_begin();
             for (const EventId w : peers) {
-                is_first = factory.mk_and(is_first, factory.mk_not(co.at(w, d)));
+                cl_pos(co.at(w, d));
             }
-            factory.assert_true(factory.mk_implies(is_first, pa[d][va]),
-                                &solver);
-            factory.assert_true(factory.mk_implies(is_first, prov_init[d]),
-                                &solver);
+            cl_pos(pa[d][va]);
+            cl_end();
+            cl_begin();
             for (const EventId w : peers) {
+                cl_pos(co.at(w, d));
+            }
+            cl_pos(prov_init[d]);
+            cl_end();
+            for (const EventId w : peers) {
+                // immediate(w, d) = co(w, d) with nothing in between — the
+                // one constraint here that is a genuine circuit; its
+                // Tseitin literal compiles once and guards plain clauses.
                 ExprId immediate = co.at(w, d);
                 for (const EventId between : peers) {
                     if (between != w) {
@@ -415,11 +605,14 @@ struct ProgramEncoding::Build {
                     }
                 }
                 if (p.event(w).kind == EventKind::kWpte) {
-                    factory.assert_true(
-                        factory.mk_implies(immediate, pa[d][p.event(w).map_pa]),
-                        &solver);
-                    factory.assert_true(
-                        factory.mk_implies(immediate, prov[d].at(w)), &solver);
+                    cl_begin();
+                    cl_neg(immediate);
+                    cl_pos(pa[d][p.event(w).map_pa]);
+                    cl_end();
+                    cl_begin();
+                    cl_neg(immediate);
+                    cl_pos(prov[d].at(w));
+                    cl_end();
                 } else {
                     link_pa(immediate, d, w);
                     link_prov(immediate, d, w);
@@ -448,180 +641,238 @@ struct ProgramEncoding::Build {
                     continue;
                 }
                 if (a < b) {
-                    factory.assert_true(
-                        factory.mk_xor(co_pa.at(a, b), co_pa.at(b, a)),
-                        &solver);
+                    // Strict total order per class: exactly one direction.
+                    cl_begin();
+                    cl_pos(co_pa.at(a, b));
+                    cl_pos(co_pa.at(b, a));
+                    cl_end();
+                    cl_begin();
+                    cl_neg(co_pa.at(a, b));
+                    cl_neg(co_pa.at(b, a));
+                    cl_end();
                 }
                 for (const EventId c : wptes) {
                     if (c != a && c != b &&
                         p.event(c).map_pa == p.event(a).map_pa) {
-                        factory.assert_true(
-                            factory.mk_implies(
-                                factory.mk_and(co_pa.at(a, b), co_pa.at(b, c)),
-                                co_pa.at(a, c)),
-                            &solver);
+                        cl_begin();
+                        cl_neg(co_pa.at(a, b));
+                        cl_neg(co_pa.at(b, c));
+                        cl_pos(co_pa.at(a, c));
+                        cl_end();
                     }
                 }
                 if (p.event(a).va == p.event(b).va) {
-                    factory.assert_true(
-                        factory.mk_iff(co.at(a, b), co_pa.at(a, b)), &solver);
+                    // co and co_pa agree where both apply: co(a,b) <-> co_pa(a,b).
+                    cl_begin();
+                    cl_neg(co.at(a, b));
+                    cl_pos(co_pa.at(a, b));
+                    cl_end();
+                    cl_begin();
+                    cl_pos(co.at(a, b));
+                    cl_neg(co_pa.at(a, b));
+                    cl_end();
                 }
             }
         }
     }
 
     void
-    build_derived()
+    build_derived(unsigned needs)
     {
-        rf = RelExpr::empty(&factory, n);
-        for (EventId r = 0; r < n; ++r) {
-            for (auto& [w, guard] : rf_choice[r]) {
-                rf.set(w, r, factory.mk_or(rf.at(w, r), guard));
+        if (needs & kNeedRf) {
+            rf = RelExpr::empty(&factory, n);
+            for (EventId r = 0; r < n; ++r) {
+                for (auto& [w, guard] : rf_choice[r]) {
+                    rf.set(w, r, factory.mk_or(rf.at(w, r), guard));
+                }
             }
         }
-        rfe = RelExpr::empty(&factory, n);
-        for (EventId r = 0; r < n; ++r) {
-            for (auto& [w, guard] : rf_choice[r]) {
-                if (p.event(w).thread != p.event(r).thread) {
-                    rfe.set(w, r, factory.mk_or(rfe.at(w, r), guard));
+        if (needs & kNeedRfe) {
+            rfe = RelExpr::empty(&factory, n);
+            for (EventId r = 0; r < n; ++r) {
+                for (auto& [w, guard] : rf_choice[r]) {
+                    if (p.event(w).thread != p.event(r).thread) {
+                        rfe.set(w, r, factory.mk_or(rfe.at(w, r), guard));
+                    }
                 }
             }
         }
         // fr(r, w') = exists w: rf(w, r) & co(w, w')  |  init(r) & class(r, w').
-        fr = RelExpr::empty(&factory, n);
-        for (EventId r = 0; r < n; ++r) {
-            if (!elt::is_read_like(p.event(r).kind)) {
-                continue;
-            }
-            for (EventId w2 = 0; w2 < n; ++w2) {
-                if (!elt::is_write_like(p.event(w2).kind)) {
+        if (needs & kNeedFr) {
+            fr = RelExpr::empty(&factory, n);
+            for (EventId r = 0; r < n; ++r) {
+                if (!elt::is_read_like(p.event(r).kind)) {
                     continue;
                 }
-                ExprId acc = factory.mk_and(init_choice[r], same_class(r, w2));
-                for (auto& [w, guard] : rf_choice[r]) {
-                    if (w != w2) {
-                        acc = factory.mk_or(acc,
-                                            factory.mk_and(guard, co.at(w, w2)));
+                for (EventId w2 = 0; w2 < n; ++w2) {
+                    if (!elt::is_write_like(p.event(w2).kind)) {
+                        continue;
                     }
+                    ExprId acc =
+                        factory.mk_and(init_choice[r], same_class(r, w2));
+                    for (auto& [w, guard] : rf_choice[r]) {
+                        if (w != w2) {
+                            acc = factory.mk_or(
+                                acc, factory.mk_and(guard, co.at(w, w2)));
+                        }
+                    }
+                    fr.set(r, w2, acc);
                 }
-                fr.set(r, w2, acc);
             }
         }
         // po_loc over extended order.
-        po_loc = RelExpr::empty(&factory, n);
-        for (EventId a = 0; a < n; ++a) {
-            for (EventId b = 0; b < n; ++b) {
-                if (a != b && elt::is_memory(p.event(a).kind) &&
-                    elt::is_memory(p.event(b).kind) && p.precedes(a, b)) {
-                    po_loc.set(a, b, same_class(a, b));
+        if (needs & kNeedPoLoc) {
+            po_loc = RelExpr::empty(&factory, n);
+            for (EventId a = 0; a < n; ++a) {
+                for (EventId b = 0; b < n; ++b) {
+                    if (a != b && elt::is_memory(p.event(a).kind) &&
+                        elt::is_memory(p.event(b).kind) && p.precedes(a, b)) {
+                        po_loc.set(a, b, same_class(a, b));
+                    }
                 }
             }
         }
-        // Constants: po (transitive), remap, ppo, fence, rmw.
-        po_const = RelExpr::empty(&factory, n);
-        for (int t = 0; t < p.num_threads(); ++t) {
-            const auto& seq = p.thread(t);
-            for (std::size_t i = 0; i < seq.size(); ++i) {
-                for (std::size_t j = i + 1; j < seq.size(); ++j) {
-                    po_const.set(seq[i], seq[j], rel::kTrueExpr);
+        // Constants: po (transitive), remap, ppo, fence.
+        if (needs & kNeedPoConst) {
+            po_const = RelExpr::empty(&factory, n);
+            for (int t = 0; t < p.num_threads(); ++t) {
+                const auto& seq = p.thread(t);
+                for (std::size_t i = 0; i < seq.size(); ++i) {
+                    for (std::size_t j = i + 1; j < seq.size(); ++j) {
+                        po_const.set(seq[i], seq[j], rel::kTrueExpr);
+                    }
                 }
             }
         }
-        remap_const = RelExpr::empty(&factory, n);
-        for (EventId i = 0; i < n; ++i) {
-            const Event& e = p.event(i);
-            if (e.kind == EventKind::kInvlpg && e.remap_src != kNone) {
-                remap_const.set(e.remap_src, i, rel::kTrueExpr);
+        if (needs & kNeedRemapConst) {
+            remap_const = RelExpr::empty(&factory, n);
+            for (EventId i = 0; i < n; ++i) {
+                const Event& e = p.event(i);
+                if (e.kind == EventKind::kInvlpg && e.remap_src != kNone) {
+                    remap_const.set(e.remap_src, i, rel::kTrueExpr);
+                }
             }
         }
-        ppo_const = RelExpr::empty(&factory, n);
-        fence_const = RelExpr::empty(&factory, n);
-        for (EventId a = 0; a < n; ++a) {
-            for (EventId b = 0; b < n; ++b) {
-                if (a == b || !elt::is_memory(p.event(a).kind) ||
-                    !elt::is_memory(p.event(b).kind) || !p.precedes(a, b)) {
-                    continue;
-                }
-                if (!(elt::is_write_like(p.event(a).kind) &&
-                      elt::is_read_like(p.event(b).kind))) {
-                    ppo_const.set(a, b, rel::kTrueExpr);
-                }
-                for (EventId f = 0; f < n; ++f) {
-                    if (p.event(f).kind == EventKind::kMfence &&
-                        p.precedes(a, f) && p.precedes(f, b)) {
-                        fence_const.set(a, b, rel::kTrueExpr);
-                        break;
+        if (needs & kNeedPpoFenceConst) {
+            ppo_const = RelExpr::empty(&factory, n);
+            fence_const = RelExpr::empty(&factory, n);
+            for (EventId a = 0; a < n; ++a) {
+                for (EventId b = 0; b < n; ++b) {
+                    if (a == b || !elt::is_memory(p.event(a).kind) ||
+                        !elt::is_memory(p.event(b).kind) || !p.precedes(a, b)) {
+                        continue;
+                    }
+                    if (!(elt::is_write_like(p.event(a).kind) &&
+                          elt::is_read_like(p.event(b).kind))) {
+                        ppo_const.set(a, b, rel::kTrueExpr);
+                    }
+                    for (EventId f = 0; f < n; ++f) {
+                        if (p.event(f).kind == EventKind::kMfence &&
+                            p.precedes(a, f) && p.precedes(f, b)) {
+                            fence_const.set(a, b, rel::kTrueExpr);
+                            break;
+                        }
                     }
                 }
             }
         }
         if (!vm_enabled) {
-            rf_ptw_rel = RelExpr::empty(&factory, n);
-            ptw_source = RelExpr::empty(&factory, n);
-            rf_pa = RelExpr::empty(&factory, n);
-            fr_pa = RelExpr::empty(&factory, n);
-            fr_va = RelExpr::empty(&factory, n);
+            // A non-VM model may still carry VM axioms (Model is an open
+            // "define your own MTM" API): their relations are simply empty
+            // here, exactly as the eager builder produced them.
+            if (needs & (kNeedRfPtw | kNeedPtwSource)) {
+                rf_ptw_rel = RelExpr::empty(&factory, n);
+                ptw_source = RelExpr::empty(&factory, n);
+            }
+            if (needs & kNeedRfPa) {
+                rf_pa = RelExpr::empty(&factory, n);
+            }
+            if (needs & kNeedFrVa) {
+                fr_va = RelExpr::empty(&factory, n);
+            }
+            if (needs & kNeedFrPa) {
+                fr_pa = RelExpr::empty(&factory, n);
+            }
             return;
         }
 
-        rf_ptw_rel = RelExpr::empty(&factory, n);
-        ptw_source = RelExpr::empty(&factory, n);
-        for (EventId e = 0; e < n; ++e) {
-            for (auto& [walk, guard] : ptw_choice[e]) {
-                rf_ptw_rel.set(walk, e,
-                               factory.mk_or(rf_ptw_rel.at(walk, e), guard));
-                const EventId walker = p.event(walk).parent;
-                if (walker != e) {
-                    ptw_source.set(walker, e,
-                                   factory.mk_or(ptw_source.at(walker, e),
-                                                 guard));
+        if (needs & (kNeedRfPtw | kNeedPtwSource)) {
+            rf_ptw_rel = RelExpr::empty(&factory, n);
+            ptw_source = RelExpr::empty(&factory, n);
+            for (EventId e = 0; e < n; ++e) {
+                for (auto& [walk, guard] : ptw_choice[e]) {
+                    rf_ptw_rel.set(
+                        walk, e, factory.mk_or(rf_ptw_rel.at(walk, e), guard));
+                    const EventId walker = p.event(walk).parent;
+                    if (walker != e) {
+                        ptw_source.set(walker, e,
+                                       factory.mk_or(ptw_source.at(walker, e),
+                                                     guard));
+                    }
                 }
             }
         }
-        rf_pa = RelExpr::empty(&factory, n);
-        fr_va = RelExpr::empty(&factory, n);
-        fr_pa = RelExpr::empty(&factory, n);
-        for (EventId e = 0; e < n; ++e) {
-            if (!elt::is_data_access(p.event(e).kind)) {
-                continue;
-            }
-            for (auto& [wpte, flag] : prov[e]) {
-                rf_pa.set(wpte, e, flag);
-            }
-            // fr_va: later Wptes (in PTE-location coherence) remapping e's VA.
-            for (EventId w2 = 0; w2 < n; ++w2) {
-                const Event& we2 = p.event(w2);
-                if (we2.kind != EventKind::kWpte || we2.va != p.event(e).va) {
+        if (needs & kNeedRfPa) {
+            rf_pa = RelExpr::empty(&factory, n);
+            for (EventId e = 0; e < n; ++e) {
+                if (!elt::is_data_access(p.event(e).kind)) {
                     continue;
                 }
-                ExprId acc = prov_init[e];
                 for (auto& [wpte, flag] : prov[e]) {
-                    if (wpte != w2) {
-                        acc = factory.mk_or(
-                            acc, factory.mk_and(flag, co.at(wpte, w2)));
-                    }
+                    rf_pa.set(wpte, e, flag);
                 }
-                fr_va.set(e, w2, acc);
             }
-            // fr_pa: co_pa-successors of the provenance (initial mapping
-            // precedes every alias creation for its PA).
-            for (EventId w2 = 0; w2 < n; ++w2) {
-                const Event& we2 = p.event(w2);
-                if (we2.kind != EventKind::kWpte) {
+        }
+        // fr_va: later Wptes (in PTE-location coherence) remapping e's VA.
+        if (needs & kNeedFrVa) {
+            fr_va = RelExpr::empty(&factory, n);
+            for (EventId e = 0; e < n; ++e) {
+                if (!elt::is_data_access(p.event(e).kind)) {
                     continue;
                 }
-                ExprId acc = factory.mk_and(prov_init[e],
-                                            pa[e].empty()
-                                                ? rel::kFalseExpr
-                                                : pa[e][we2.map_pa]);
-                for (auto& [wpte, flag] : prov[e]) {
-                    if (wpte != w2 &&
-                        p.event(wpte).map_pa == we2.map_pa) {
-                        acc = factory.mk_or(
-                            acc, factory.mk_and(flag, co_pa.at(wpte, w2)));
+                for (EventId w2 = 0; w2 < n; ++w2) {
+                    const Event& we2 = p.event(w2);
+                    if (we2.kind != EventKind::kWpte ||
+                        we2.va != p.event(e).va) {
+                        continue;
                     }
+                    ExprId acc = prov_init[e];
+                    for (auto& [wpte, flag] : prov[e]) {
+                        if (wpte != w2) {
+                            acc = factory.mk_or(
+                                acc, factory.mk_and(flag, co.at(wpte, w2)));
+                        }
+                    }
+                    fr_va.set(e, w2, acc);
                 }
-                fr_pa.set(e, w2, acc);
+            }
+        }
+        // fr_pa: co_pa-successors of the provenance (initial mapping
+        // precedes every alias creation for its PA).
+        if (needs & kNeedFrPa) {
+            fr_pa = RelExpr::empty(&factory, n);
+            for (EventId e = 0; e < n; ++e) {
+                if (!elt::is_data_access(p.event(e).kind)) {
+                    continue;
+                }
+                for (EventId w2 = 0; w2 < n; ++w2) {
+                    const Event& we2 = p.event(w2);
+                    if (we2.kind != EventKind::kWpte) {
+                        continue;
+                    }
+                    ExprId acc = factory.mk_and(prov_init[e],
+                                                pa[e].empty()
+                                                    ? rel::kFalseExpr
+                                                    : pa[e][we2.map_pa]);
+                    for (auto& [wpte, flag] : prov[e]) {
+                        if (wpte != w2 &&
+                            p.event(wpte).map_pa == we2.map_pa) {
+                            acc = factory.mk_or(
+                                acc, factory.mk_and(flag, co_pa.at(wpte, w2)));
+                        }
+                    }
+                    fr_pa.set(e, w2, acc);
+                }
             }
         }
     }
@@ -680,35 +931,45 @@ struct ProgramEncoding::Build {
 
 };
 
-ProgramEncoding::ProgramEncoding(Program program, const Model* model)
-    : program_(std::move(program)), model_(model)
+ProgramEncoding::ProgramEncoding(Program program, const Model* model,
+                                 EncodingScratch* scratch)
+    : program_(std::move(program)), model_(model), scratch_(scratch)
 {
     TF_ASSERT(model_ != nullptr);
     TF_ASSERT(program_.validate(model_->vm_aware()).empty());
+    if (scratch_ == nullptr) {
+        owned_scratch_ = std::make_unique<EncodingScratch>();
+        scratch_ = owned_scratch_.get();
+    }
 }
 
 namespace {
 
-/// Extracts a concrete Execution from a satisfying model of the encoding.
-Execution
-extract(const ProgramEncoding::Build& b, const Program& program)
+/// Extracts a concrete Execution from a satisfying model of the encoding
+/// into \p out, resetting and reusing its witness vectors.
+void
+extract_into(const ProgramEncoding::Build& b, const Program& program,
+             Execution* out)
 {
-    Execution out = Execution::empty_for(program);
+    const int n = program.num_events();
+    out->rf_src.assign(n, kNone);
+    out->co_pos.assign(n, kNone);
+    out->ptw_src.assign(n, kNone);
+    out->co_pa_pos.assign(n, kNone);
     auto lit_true = [&](ExprId e) {
         return b.factory.evaluate(e, [&](sat::Var v) {
             return b.solver.model_value(v) == sat::LBool::kTrue;
         });
     };
-    const int n = program.num_events();
     for (EventId r = 0; r < n; ++r) {
         for (const auto& [w, guard] : b.rf_choice[r]) {
             if (lit_true(guard)) {
-                out.rf_src[r] = w;
+                out->rf_src[r] = w;
             }
         }
         for (const auto& [walk, guard] : b.ptw_choice[r]) {
             if (lit_true(guard)) {
-                out.ptw_src[r] = walk;
+                out->ptw_src[r] = walk;
             }
         }
     }
@@ -724,7 +985,7 @@ extract(const ProgramEncoding::Build& b, const Program& program)
                 ++predecessors;
             }
         }
-        out.co_pos[w] = predecessors;
+        out->co_pos[w] = predecessors;
     }
     for (EventId w = 0; w < n; ++w) {
         if (program.event(w).kind != EventKind::kWpte) {
@@ -738,23 +999,23 @@ extract(const ProgramEncoding::Build& b, const Program& program)
                 ++predecessors;
             }
         }
-        out.co_pa_pos[w] = predecessors;
+        out->co_pa_pos[w] = predecessors;
     }
-    return out;
 }
 
 /// Collects every solver variable used by the witness choices — the
-/// projection set for AllSAT enumeration and blocking.
-std::vector<sat::Lit>
-blocking_clause(ProgramEncoding::Build& b)
+/// projection set for AllSAT enumeration and blocking — into the reused
+/// \p clause buffer.
+void
+blocking_clause(ProgramEncoding::Build& b, std::vector<sat::Lit>* clause)
 {
-    std::vector<sat::Lit> clause;
+    clause->clear();
     auto block = [&](ExprId e) {
         // Choice expressions are single variables created via var(); compile
         // is a lookup returning the underlying literal.
         const sat::Lit l = b.factory.compile(e, &b.solver);
         const bool value = b.solver.model_literal_true(l);
-        clause.push_back(value ? ~l : l);
+        clause->push_back(value ? ~l : l);
     };
     const int n = b.n;
     for (EventId r = 0; r < n; ++r) {
@@ -780,7 +1041,6 @@ blocking_clause(ProgramEncoding::Build& b)
             }
         }
     }
-    return clause;
 }
 
 }  // namespace
@@ -796,7 +1056,7 @@ ProgramEncoding::find_violating(const std::string& axiom_name)
 {
     const Axiom* axiom = model_->axiom(axiom_name);
     TF_ASSERT(axiom != nullptr);
-    Build b(program_, model_->vm_aware());
+    Build b(program_, model_->vm_aware(), needs_for(axiom->tag), scratch_);
     b.factory.assert_true(b.factory.mk_not(b.axiom_circuit(axiom->tag)),
                           &b.solver);
     stats_.variables = b.solver.num_vars();
@@ -804,13 +1064,19 @@ ProgramEncoding::find_violating(const std::string& axiom_name)
     if (b.solver.solve() != sat::SolveResult::kSat) {
         return std::nullopt;
     }
-    return extract(b, program_);
+    Execution out = Execution::empty_for(program_);
+    extract_into(b, program_, &out);
+    return out;
 }
 
 bool
 ProgramEncoding::exists_permitted()
 {
-    Build b(program_, model_->vm_aware());
+    unsigned needs = 0;
+    for (const Axiom& axiom : model_->axioms()) {
+        needs |= needs_for(axiom.tag);
+    }
+    Build b(program_, model_->vm_aware(), needs, scratch_);
     for (const Axiom& axiom : model_->axioms()) {
         b.factory.assert_true(b.axiom_circuit(axiom.tag), &b.solver);
     }
@@ -822,39 +1088,56 @@ ProgramEncoding::exists_permitted()
 bool
 ProgramEncoding::exists_execution()
 {
-    Build b(program_, model_->vm_aware());
+    Build b(program_, model_->vm_aware(), /*needs=*/0, scratch_);
     stats_.variables = b.solver.num_vars();
     stats_.circuit_nodes = static_cast<int>(b.factory.num_nodes());
     return b.solver.solve() == sat::SolveResult::kSat;
+}
+
+bool
+ProgramEncoding::enumerate(const std::string& violating_axiom,
+                           const ExecutionVisitor& visit)
+{
+    const Axiom* axiom = nullptr;
+    if (!violating_axiom.empty()) {
+        axiom = model_->axiom(violating_axiom);
+        TF_ASSERT(axiom != nullptr);
+    }
+    Build b(program_, model_->vm_aware(),
+            axiom == nullptr ? 0u : needs_for(axiom->tag), scratch_);
+    if (axiom != nullptr) {
+        b.factory.assert_true(b.factory.mk_not(b.axiom_circuit(axiom->tag)),
+                              &b.solver);
+    }
+    stats_.variables = b.solver.num_vars();
+    stats_.circuit_nodes = static_cast<int>(b.factory.num_nodes());
+    stats_.models = 0;
+    Execution current = Execution::empty_for(program_);
+    sat::Clause clause;
+    while (b.solver.solve() == sat::SolveResult::kSat) {
+        extract_into(b, program_, &current);
+        ++stats_.models;
+        if (!visit(current)) {
+            return false;  // the visitor stopped the solver
+        }
+        blocking_clause(b, &clause);
+        if (clause.empty() || !b.solver.add_clause(clause)) {
+            break;
+        }
+    }
+    return true;
 }
 
 std::vector<Execution>
 ProgramEncoding::enumerate(const std::string& violating_axiom,
                            int max_executions)
 {
-    Build b(program_, model_->vm_aware());
-    if (!violating_axiom.empty()) {
-        const Axiom* axiom = model_->axiom(violating_axiom);
-        TF_ASSERT(axiom != nullptr);
-        b.factory.assert_true(b.factory.mk_not(b.axiom_circuit(axiom->tag)),
-                              &b.solver);
-    }
-    stats_.variables = b.solver.num_vars();
-    stats_.circuit_nodes = static_cast<int>(b.factory.num_nodes());
     std::vector<Execution> out;
-    stats_.models = 0;
-    while (b.solver.solve() == sat::SolveResult::kSat) {
-        out.push_back(extract(b, program_));
-        ++stats_.models;
-        if (max_executions > 0 &&
-            static_cast<int>(out.size()) >= max_executions) {
-            break;
-        }
-        sat::Clause clause = blocking_clause(b);
-        if (clause.empty() || !b.solver.add_clause(std::move(clause))) {
-            break;
-        }
-    }
+    enumerate(violating_axiom, [&](const Execution& e) {
+        out.push_back(e);
+        return max_executions <= 0 ||
+               static_cast<int>(out.size()) < max_executions;
+    });
     return out;
 }
 

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 
+#include "util/logging.h"
+
 namespace transform::mtm {
 
+using elt::CycleScratch;
 using elt::DerivedRelations;
 using elt::EdgeSet;
 using elt::Program;
@@ -11,9 +14,10 @@ using elt::Program;
 namespace {
 
 bool
-acyclic(const Program& p, const std::vector<const EdgeSet*>& parts)
+acyclic(const Program& p, std::initializer_list<const EdgeSet*> parts,
+        CycleScratch* scratch)
 {
-    return !elt::has_cycle(p.num_events(), parts);
+    return !elt::has_cycle(p.num_events(), parts, scratch);
 }
 
 /// sc_per_loc: acyclic(rf + co + fr + po_loc).
@@ -23,8 +27,9 @@ sc_per_loc_axiom()
     return {"sc_per_loc",
             "coherence: rf + co + fr + po_loc is acyclic per location",
             AxiomTag::kScPerLoc,
-            [](const Program& p, const DerivedRelations& d) {
-                return acyclic(p, {&d.rf, &d.co, &d.fr, &d.po_loc});
+            [](const Program& p, const DerivedRelations& d,
+               CycleScratch* scratch) {
+                return acyclic(p, {&d.rf, &d.co, &d.fr, &d.po_loc}, scratch);
             }};
 }
 
@@ -35,8 +40,10 @@ rmw_atomicity_axiom()
     return {"rmw_atomicity",
             "no same-address write intervenes inside an RMW (fr.co & rmw = 0)",
             AxiomTag::kRmwAtomicity,
-            [](const Program& p, const DerivedRelations& d) {
+            [](const Program& p, const DerivedRelations& d,
+               CycleScratch* scratch) {
                 (void)p;
+                (void)scratch;
                 for (const auto& [r, w] : d.rmw) {
                     // Does some w' exist with fr(r, w') and co(w', w)?
                     for (const auto& [fr_from, fr_to] : d.fr) {
@@ -63,15 +70,22 @@ causality_axiom(bool sequential_ppo)
                 ? "acyclic(rfe + co + fr + po + fence) (sequential consistency)"
                 : "acyclic(rfe + co + fr + ppo + fence) (TSO ppo)",
             sequential_ppo ? AxiomTag::kCausalitySc : AxiomTag::kCausalityTso,
-            [sequential_ppo](const Program& p, const DerivedRelations& d) {
+            [sequential_ppo](const Program& p, const DerivedRelations& d,
+                             CycleScratch* scratch) {
                 // For the SC variant the full extended program order between
                 // memory events is preserved: ppo U (the pairs TSO drops) ==
                 // po_loc-agnostic extended order. DerivedRelations keeps TSO
                 // ppo; reconstruct full order by adding write->read pairs.
                 if (!sequential_ppo) {
-                    return acyclic(p, {&d.rfe, &d.co, &d.fr, &d.ppo, &d.fence});
+                    return acyclic(p, {&d.rfe, &d.co, &d.fr, &d.ppo, &d.fence},
+                                   scratch);
                 }
-                EdgeSet full = d.ppo;
+                CycleScratch local;
+                if (scratch == nullptr) {
+                    scratch = &local;
+                }
+                EdgeSet& full = scratch->tmp_edges;
+                full.assign(d.ppo.begin(), d.ppo.end());
                 for (elt::EventId a = 0; a < p.num_events(); ++a) {
                     for (elt::EventId b = 0; b < p.num_events(); ++b) {
                         if (a != b && elt::is_memory(p.event(a).kind) &&
@@ -83,7 +97,8 @@ causality_axiom(bool sequential_ppo)
                         }
                     }
                 }
-                return acyclic(p, {&d.rfe, &d.co, &d.fr, &full, &d.fence});
+                return acyclic(p, {&d.rfe, &d.co, &d.fr, &full, &d.fence},
+                               scratch);
             }};
 }
 
@@ -95,8 +110,9 @@ invlpg_axiom()
             "accesses after an INVLPG use the latest mapping: "
             "acyclic(fr_va + ^po + remap)",
             AxiomTag::kInvlpg,
-            [](const Program& p, const DerivedRelations& d) {
-                return acyclic(p, {&d.fr_va, &d.po, &d.remap});
+            [](const Program& p, const DerivedRelations& d,
+               CycleScratch* scratch) {
+                return acyclic(p, {&d.fr_va, &d.po, &d.remap}, scratch);
             }};
 }
 
@@ -107,12 +123,20 @@ tlb_causality_axiom()
     return {"tlb_causality",
             "diagnostic: acyclic(ptw_source + rf + co + fr)",
             AxiomTag::kTlbCausality,
-            [](const Program& p, const DerivedRelations& d) {
-                return acyclic(p, {&d.ptw_source, &d.rf, &d.co, &d.fr});
+            [](const Program& p, const DerivedRelations& d,
+               CycleScratch* scratch) {
+                return acyclic(p, {&d.ptw_source, &d.rf, &d.co, &d.fr},
+                               scratch);
             }};
 }
 
 }  // namespace
+
+Model::Model(std::string name, bool vm_aware, std::vector<Axiom> axioms)
+    : name_(std::move(name)), vm_aware_(vm_aware), axioms_(std::move(axioms))
+{
+    TF_ASSERT(static_cast<int>(axioms_.size()) <= kMaxAxioms);
+}
 
 const Axiom*
 Model::axiom(const std::string& name) const
@@ -125,17 +149,48 @@ Model::axiom(const std::string& name) const
     return nullptr;
 }
 
+int
+Model::axiom_index(const std::string& name) const
+{
+    for (std::size_t i = 0; i < axioms_.size(); ++i) {
+        if (axioms_[i].name == name) {
+            return static_cast<int>(i);
+        }
+    }
+    return -1;
+}
+
+AxiomMask
+Model::violated_mask(const elt::Program& program,
+                     const elt::DerivedRelations& d,
+                     elt::CycleScratch* scratch) const
+{
+    AxiomMask mask = 0;
+    for (std::size_t i = 0; i < axioms_.size(); ++i) {
+        if (!axioms_[i].holds(program, d, scratch)) {
+            mask |= AxiomMask{1} << i;
+        }
+    }
+    return mask;
+}
+
+std::vector<std::string>
+Model::mask_names(AxiomMask mask) const
+{
+    std::vector<std::string> out;
+    for (std::size_t i = 0; i < axioms_.size(); ++i) {
+        if (mask & (AxiomMask{1} << i)) {
+            out.push_back(axioms_[i].name);
+        }
+    }
+    return out;
+}
+
 std::vector<std::string>
 Model::violated_axioms(const elt::Program& program,
                        const elt::DerivedRelations& d) const
 {
-    std::vector<std::string> out;
-    for (const Axiom& a : axioms_) {
-        if (!a.holds(program, d)) {
-            out.push_back(a.name);
-        }
-    }
-    return out;
+    return mask_names(violated_mask(program, d));
 }
 
 std::vector<std::string>

@@ -10,8 +10,14 @@
 ///                tlb_causality — the paper's estimated x86 MTM;
 ///  - sc_t_elt(): a sequentially-consistent MTM (ppo = full po), provided
 ///                as the "define your own MTM" example.
+///
+/// Verdicts come in two forms: `violated_mask` — an axiom-index bitset,
+/// the allocation-free fast path the synthesis engine judges millions of
+/// candidates through — and the string API (`violated_axioms`), kept as a
+/// shim over the mask for printers, tools and tests.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -33,23 +39,30 @@ enum class AxiomTag {
     kTlbCausality,
 };
 
+/// Bitset of violated axioms, indexed by a model's axiom order: bit i set
+/// means axioms()[i] is violated. 0 == the execution is permitted.
+using AxiomMask = std::uint32_t;
+
+/// Models hold at most this many axioms (the mask width).
+inline constexpr int kMaxAxioms = 32;
+
 /// One axiom of a transistency (or consistency) predicate.
 struct Axiom {
     std::string name;
     std::string description;
     AxiomTag tag;
-    /// True when the axiom HOLDS on the given derived relations.
-    std::function<bool(const elt::Program&, const elt::DerivedRelations&)> holds;
+    /// True when the axiom HOLDS on the given derived relations. \p scratch
+    /// may be null; when supplied the evaluator reuses its buffers (cycle
+    /// adjacency, edge-set temporaries) instead of allocating.
+    std::function<bool(const elt::Program&, const elt::DerivedRelations&,
+                       elt::CycleScratch* scratch)>
+        holds;
 };
 
 /// A memory (transistency) model: a named conjunction of axioms.
 class Model {
   public:
-    Model(std::string name, bool vm_aware, std::vector<Axiom> axioms)
-        : name_(std::move(name)), vm_aware_(vm_aware),
-          axioms_(std::move(axioms))
-    {
-    }
+    Model(std::string name, bool vm_aware, std::vector<Axiom> axioms);
 
     const std::string& name() const { return name_; }
 
@@ -61,11 +74,27 @@ class Model {
     /// Finds an axiom by name (nullptr if absent).
     const Axiom* axiom(const std::string& name) const;
 
+    /// Index of the named axiom in axioms() (-1 if absent) — the bit
+    /// position the axiom occupies in an AxiomMask.
+    int axiom_index(const std::string& name) const;
+
     /// Derivation options matching this model's VM-awareness.
     elt::DeriveOptions derive_options() const { return {vm_aware_}; }
 
+    /// Bitset of the axioms the execution violates (0 => permitted). The
+    /// allocation-free fast path: no strings are built, and a non-null
+    /// \p scratch makes the axiom evaluators reuse buffers too. The
+    /// execution must be well-formed (derive it first and check).
+    AxiomMask violated_mask(const elt::Program& program,
+                            const elt::DerivedRelations& d,
+                            elt::CycleScratch* scratch = nullptr) const;
+
+    /// Names for the set bits of \p mask, in axiom order.
+    std::vector<std::string> mask_names(AxiomMask mask) const;
+
     /// Names of the axioms the execution violates (empty => permitted).
-    /// The execution must be well-formed (derive it first and check).
+    /// String shim over violated_mask for printers/tools; the hot path
+    /// uses the mask directly.
     std::vector<std::string> violated_axioms(
         const elt::Program& program, const elt::DerivedRelations& d) const;
 

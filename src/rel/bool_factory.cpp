@@ -12,6 +12,15 @@ BoolFactory::BoolFactory()
     nodes_.push_back({Op::kConst, 1, -1});  // kTrueExpr
 }
 
+void
+BoolFactory::reset()
+{
+    nodes_.resize(2);    // keep the constants (and the arena's capacity)
+    interned_.clear();   // bucket arrays are kept by clear()
+    compiled_.clear();
+    compiled_for_ = nullptr;
+}
+
 ExprId
 BoolFactory::intern(Op op, std::int32_t a, std::int32_t b)
 {

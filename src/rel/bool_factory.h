@@ -31,6 +31,13 @@ class BoolFactory {
   public:
     BoolFactory();
 
+    /// Returns the arena to its freshly-constructed state (only the two
+    /// constant nodes live) while keeping node storage and hash-table
+    /// buckets, so a reused factory builds its next circuit without heap
+    /// growth. Invalidates every previously returned ExprId except the
+    /// constants.
+    void reset();
+
     /// Wraps a solver variable as an expression.
     ExprId mk_var(sat::Var v);
 

@@ -19,6 +19,34 @@ Solver::Solver()
     stats_.max_learned = static_cast<std::uint64_t>(max_learned_);
 }
 
+void
+Solver::reset()
+{
+    ok_ = true;
+    clauses_used_ = 0;  // slots (and their lit buffers) are kept for reuse
+    for (auto& list : watches_) {
+        list.clear();  // entries kept for reuse by new_var
+    }
+    assigns_.clear();
+    model_.clear();
+    saved_phase_.clear();
+    reason_.clear();
+    level_.clear();
+    activity_.clear();
+    heap_position_.clear();
+    seen_.clear();
+    trail_.clear();
+    trail_limits_.clear();
+    propagation_head_ = 0;
+    order_heap_.clear();
+    var_activity_increment_ = 1.0;
+    clause_activity_increment_ = 1.0;
+    conflict_assumptions_.clear();
+    stats_ = SolverStats{};
+    max_learned_ = 4096;
+    stats_.max_learned = static_cast<std::uint64_t>(max_learned_);
+}
+
 Var
 Solver::new_var()
 {
@@ -31,8 +59,9 @@ Solver::new_var()
     activity_.push_back(0.0);
     heap_position_.push_back(-1);
     seen_.push_back(false);
-    watches_.emplace_back();
-    watches_.emplace_back();
+    while (watches_.size() < 2 * assigns_.size()) {
+        watches_.emplace_back();  // after a reset the entries already exist
+    }
     heap_insert(v);
     return v;
 }
@@ -55,18 +84,20 @@ Solver::value(Lit l) const
 }
 
 bool
-Solver::add_clause(Clause clause)
+Solver::add_clause(const Lit* lits, std::size_t count)
 {
     if (!ok_) {
         return false;
     }
     TF_ASSERT(decision_level() == 0);
-    // Simplify: sort, drop duplicates, detect tautologies, drop literals
-    // already false at the root level, detect already-satisfied clauses.
-    std::sort(clause.begin(), clause.end());
-    Clause simplified;
+    // Simplify in the reused scratch buffer: sort, drop duplicates, detect
+    // tautologies, drop literals already false at the root level, detect
+    // already-satisfied clauses.
+    add_scratch_.assign(lits, lits + count);
+    std::sort(add_scratch_.begin(), add_scratch_.end());
+    std::size_t keep = 0;
     Lit previous = kUndefLit;
-    for (Lit l : clause) {
+    for (const Lit l : add_scratch_) {
         TF_ASSERT(l.var() >= 0 && l.var() < num_vars());
         if (value(l) == LBool::kTrue || l == ~previous) {
             return true;  // satisfied or tautology
@@ -74,24 +105,39 @@ Solver::add_clause(Clause clause)
         if (value(l) == LBool::kFalse || l == previous) {
             continue;  // falsified at root or duplicate
         }
-        simplified.push_back(l);
+        add_scratch_[keep++] = l;
         previous = l;
     }
-    if (simplified.empty()) {
+    if (keep == 0) {
         ok_ = false;
         return false;
     }
-    if (simplified.size() == 1) {
-        enqueue(simplified[0], -1);
+    if (keep == 1) {
+        enqueue(add_scratch_[0], -1);
         if (propagate() != -1) {
             ok_ = false;
             return false;
         }
         return true;
     }
-    clauses_.push_back({std::move(simplified), /*learned=*/false, 0.0, false});
-    attach_clause(static_cast<int>(clauses_.size()) - 1);
+    attach_clause(store_clause(add_scratch_.data(), keep, /*learned=*/false));
     return true;
+}
+
+int
+Solver::store_clause(const Lit* lits, std::size_t count, bool learned)
+{
+    if (clauses_used_ < clauses_.size()) {
+        // Refill a retired slot, reusing its literal buffer.
+        InternalClause& slot = clauses_[clauses_used_];
+        slot.lits.assign(lits, lits + count);
+        slot.learned = learned;
+        slot.activity = 0.0;
+        slot.deleted = false;
+    } else {
+        clauses_.push_back({Clause(lits, lits + count), learned, 0.0, false});
+    }
+    return static_cast<int>(clauses_used_++);
 }
 
 void
@@ -362,8 +408,8 @@ Solver::bump_clause(int clause_index)
     InternalClause& c = clauses_[clause_index];
     c.activity += clause_activity_increment_;
     if (c.activity > kRescaleLimit) {
-        for (InternalClause& other : clauses_) {
-            other.activity *= 1e-100;
+        for (std::size_t i = 0; i < clauses_used_; ++i) {
+            clauses_[i].activity *= 1e-100;
         }
         clause_activity_increment_ *= 1e-100;
     }
@@ -475,7 +521,7 @@ Solver::reduce_db()
         return;
     }
     std::vector<int> learned_indices;
-    for (int i = 0; i < static_cast<int>(clauses_.size()); ++i) {
+    for (int i = 0; i < static_cast<int>(clauses_used_); ++i) {
         const InternalClause& c = clauses_[i];
         if (c.learned && !c.deleted && c.lits.size() > 2) {
             const bool is_reason = reason_[c.lits[0].var()] == i &&
@@ -507,7 +553,7 @@ Solver::reduce_db()
     for (auto& list : watches_) {
         list.clear();
     }
-    for (int i = 0; i < static_cast<int>(clauses_.size()); ++i) {
+    for (int i = 0; i < static_cast<int>(clauses_used_); ++i) {
         if (!clauses_[i].deleted) {
             attach_clause(i);
         }
@@ -571,8 +617,9 @@ Solver::solve(const std::vector<Lit>& assumptions, std::int64_t conflict_budget)
             if (learned.size() == 1) {
                 enqueue(learned[0], -1);
             } else {
-                clauses_.push_back({learned, /*learned=*/true, 0.0, false});
-                const int index = static_cast<int>(clauses_.size()) - 1;
+                const int index =
+                    store_clause(learned.data(), learned.size(),
+                                 /*learned=*/true);
                 attach_clause(index);
                 bump_clause(index);
                 enqueue(learned[0], index);

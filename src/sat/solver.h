@@ -39,20 +39,44 @@ class Solver {
   public:
     Solver();
 
+    /// Returns the solver to its freshly-constructed state while keeping
+    /// every internal buffer's capacity (clause slots, watch lists, per-var
+    /// arrays, analysis scratch). A reset solver behaves bit-identically to
+    /// a new one; the synthesis engine reuses one solver per worker across
+    /// millions of per-program queries to keep the hot path allocation-free
+    /// in steady state.
+    void reset();
+
     /// Creates a fresh variable and returns it.
     Var new_var();
 
     /// Number of variables created so far.
     int num_vars() const { return static_cast<int>(assigns_.size()); }
 
-    /// Adds a clause; returns false if the formula is already trivially
-    /// unsatisfiable (empty clause after simplification).
-    bool add_clause(Clause clause);
+    /// Adds a clause from a literal range; returns false if the formula is
+    /// already trivially unsatisfiable (empty clause after simplification).
+    /// The allocation-free core: simplification runs in a reused member
+    /// buffer and stored clauses reuse retired slots.
+    bool add_clause(const Lit* lits, std::size_t count);
+
+    /// Vector convenience wrapper.
+    bool add_clause(const Clause& clause)
+    {
+        return add_clause(clause.data(), clause.size());
+    }
 
     /// Convenience overloads for short clauses.
-    bool add_unit(Lit a) { return add_clause({a}); }
-    bool add_binary(Lit a, Lit b) { return add_clause({a, b}); }
-    bool add_ternary(Lit a, Lit b, Lit c) { return add_clause({a, b, c}); }
+    bool add_unit(Lit a) { return add_clause(&a, 1); }
+    bool add_binary(Lit a, Lit b)
+    {
+        const Lit lits[] = {a, b};
+        return add_clause(lits, 2);
+    }
+    bool add_ternary(Lit a, Lit b, Lit c)
+    {
+        const Lit lits[] = {a, b, c};
+        return add_clause(lits, 3);
+    }
 
     /// Solves the current formula under optional \p assumptions.
     /// \p conflict_budget bounds the search (<0 means unlimited).
@@ -121,8 +145,14 @@ class Solver {
     // Restart schedule.
     static double luby(double base, int index);
 
+    /// Appends (or slot-reuses) a stored clause; returns its index.
+    int store_clause(const Lit* lits, std::size_t count, bool learned);
+
     bool ok_ = true;
-    std::vector<InternalClause> clauses_;
+    std::vector<InternalClause> clauses_;  ///< slots; only clauses_used_ live
+    /// Live clause count. Slots past it are retired (their lit buffers are
+    /// kept and refilled by store_clause after a reset).
+    std::size_t clauses_used_ = 0;
     std::vector<std::vector<Watcher>> watches_;  // indexed by literal code
     std::vector<LBool> assigns_;
     std::vector<LBool> model_;
@@ -140,10 +170,11 @@ class Solver {
     std::vector<Var> order_heap_;
     std::vector<int> heap_position_;  // per var, -1 when absent
 
-    // Scratch buffers for analyze().
+    // Scratch buffers for analyze() and add_clause().
     std::vector<bool> seen_;
     std::vector<Lit> analyze_stack_;
     std::vector<Lit> analyze_to_clear_;
+    Clause add_scratch_;
 
     std::vector<Lit> conflict_assumptions_;
     SolverStats stats_;

@@ -1,9 +1,6 @@
 #include "synth/canonical.h"
 
-#include <algorithm>
-#include <map>
-#include <numeric>
-#include <sstream>
+#include <charconv>
 
 #include "util/logging.h"
 #include "util/permutations.h"
@@ -18,23 +15,40 @@ using elt::Program;
 
 namespace {
 
+/// Appends a small non-negative integer to \p out without allocating a
+/// formatter.
+void
+append_int(std::string* out, int value)
+{
+    char buffer[16];
+    const auto [ptr, ec] =
+        std::to_chars(buffer, buffer + sizeof(buffer), value);
+    TF_ASSERT(ec == std::errc());
+    out->append(buffer, ptr);
+}
+
 /// Address renaming built per thread-order candidate: VAs are numbered by
 /// first use; PAs that are initial frames of *used* VAs inherit the VA's
 /// number; every other PA (frames of unused VAs behave exactly like fresh
-/// frames) is numbered by first use starting after the used VAs.
+/// frames) is numbered by first use starting after the used VAs. Tables are
+/// flat arrays indexed by the original id, reset (capacity kept) per
+/// candidate.
 class Renamer {
   public:
-    explicit Renamer(int original_num_vas) : original_num_vas_(original_num_vas) {}
+    Renamer(const Program& p, CanonicalScratch* scratch)
+        : original_num_vas_(p.num_vas()), va_map_(scratch->va_map),
+          pa_map_(scratch->pa_map)
+    {
+        va_map_.assign(p.num_vas(), -1);
+        pa_map_.assign(p.num_pas(), -1);
+    }
 
     int va(int original)
     {
-        const auto it = va_map_.find(original);
-        if (it != va_map_.end()) {
-            return it->second;
+        if (va_map_[original] < 0) {
+            va_map_[original] = va_count_++;
         }
-        const int fresh = static_cast<int>(va_map_.size());
-        va_map_.emplace(original, fresh);
-        return fresh;
+        return va_map_[original];
     }
 
     /// PA renaming is resolved lazily, after the VA walk: call only once
@@ -42,26 +56,21 @@ class Renamer {
     int pa(int original)
     {
         // Initial frame of a used VA?
-        if (original < original_num_vas_) {
-            const auto it = va_map_.find(original);
-            if (it != va_map_.end()) {
-                return it->second;
-            }
+        if (original < original_num_vas_ && va_map_[original] >= 0) {
+            return va_map_[original];
         }
-        const auto it = pa_map_.find(original);
-        if (it != pa_map_.end()) {
-            return it->second;
+        if (pa_map_[original] < 0) {
+            pa_map_[original] = va_count_ + pa_count_++;
         }
-        const int fresh =
-            static_cast<int>(va_map_.size() + pa_map_.size());
-        pa_map_.emplace(original, fresh);
-        return fresh;
+        return pa_map_[original];
     }
 
   private:
     int original_num_vas_;
-    std::map<int, int> va_map_;
-    std::map<int, int> pa_map_;
+    int va_count_ = 0;
+    int pa_count_ = 0;
+    std::vector<int>& va_map_;
+    std::vector<int>& pa_map_;
 };
 
 char
@@ -81,20 +90,22 @@ kind_code(EventKind k)
     return '?';
 }
 
-}  // namespace
-
-std::string
-serialize_with_thread_order(const Program& p, const std::vector<int>& order)
+/// Serializes into scratch->candidate (cleared first, capacity kept).
+void
+serialize_into(const Program& p, const std::vector<int>& order,
+               CanonicalScratch* scratch)
 {
     TF_ASSERT(static_cast<int>(order.size()) == p.num_threads());
-    Renamer renamer(p.num_vas());
+    Renamer renamer(p, scratch);
 
     // Stable label for a non-ghost event: (renamed thread index, position).
-    std::map<EventId, std::pair<int, int>> label;
+    scratch->label_thread.assign(p.num_events(), -1);
+    scratch->label_pos.assign(p.num_events(), -1);
     for (int new_t = 0; new_t < static_cast<int>(order.size()); ++new_t) {
         const auto& seq = p.thread(order[new_t]);
         for (int pos = 0; pos < static_cast<int>(seq.size()); ++pos) {
-            label[seq[pos]] = {new_t, pos};
+            scratch->label_thread[seq[pos]] = new_t;
+            scratch->label_pos[seq[pos]] = pos;
         }
     }
 
@@ -109,66 +120,84 @@ serialize_with_thread_order(const Program& p, const std::vector<int>& order)
         }
     }
 
-    std::ostringstream out;
-    out << p.num_threads() << '|';
+    std::string& out = scratch->candidate;
+    out.clear();
+    append_int(&out, p.num_threads());
+    out.push_back('|');
     for (const int t : order) {
         for (const EventId id : p.thread(t)) {
             const Event& e = p.event(id);
-            out << kind_code(e.kind);
+            out.push_back(kind_code(e.kind));
             if (e.va != kNone) {
-                out << renamer.va(e.va);
+                append_int(&out, renamer.va(e.va));
             }
             if (e.kind == EventKind::kWpte) {
-                out << '>' << renamer.pa(e.map_pa);
+                out.push_back('>');
+                append_int(&out, renamer.pa(e.map_pa));
             }
             if (e.kind == EventKind::kInvlpg) {
                 if (e.remap_src == kNone) {
-                    out << "s";
+                    out.push_back('s');
                 } else {
-                    const auto& [lt, lp] = label.at(e.remap_src);
-                    out << "m" << lt << '.' << lp;
+                    out.push_back('m');
+                    append_int(&out, scratch->label_thread[e.remap_src]);
+                    out.push_back('.');
+                    append_int(&out, scratch->label_pos[e.remap_src]);
                 }
             }
             // Ghost markers, in fixed subposition order.
-            const EventId rdb = p.rdb_of(id);
-            const EventId wdb = p.wdb_of(id);
-            const EventId rptw = p.rptw_of(id);
-            if (rdb != kNone) {
-                out << "+rdb";
+            if (p.rdb_of(id) != kNone) {
+                out.append("+rdb");
             }
-            if (wdb != kNone) {
-                out << "+db";
+            if (p.wdb_of(id) != kNone) {
+                out.append("+db");
             }
-            if (rptw != kNone) {
-                out << "+ptw";
+            if (p.rptw_of(id) != kNone) {
+                out.append("+ptw");
             }
             // rmw membership (the Read carries the mark).
             for (const auto& [r, w] : p.rmw_pairs()) {
                 if (r == id) {
-                    out << "+rmw";
+                    out.append("+rmw");
                 }
                 (void)w;
             }
-            out << ';';
+            out.push_back(';');
         }
-        out << '/';
+        out.push_back('/');
     }
-    return out.str();
+}
+
+}  // namespace
+
+std::string
+serialize_with_thread_order(const Program& p, const std::vector<int>& order)
+{
+    CanonicalScratch scratch;
+    serialize_into(p, order, &scratch);
+    return std::move(scratch.candidate);
+}
+
+std::string
+canonical_key(const Program& p, CanonicalScratch* scratch)
+{
+    scratch->best.clear();
+    util::for_each_permutation(
+        p.num_threads(), [&](const std::vector<int>& order) {
+            serialize_into(p, order, scratch);
+            if (scratch->best.empty() || scratch->candidate < scratch->best) {
+                std::swap(scratch->best, scratch->candidate);
+            }
+            return true;
+        });
+    return scratch->best;
 }
 
 std::string
 canonical_key(const Program& p)
 {
-    std::string best;
-    util::for_each_permutation(
-        p.num_threads(), [&](const std::vector<int>& order) {
-            std::string candidate = serialize_with_thread_order(p, order);
-            if (best.empty() || candidate < best) {
-                best = std::move(candidate);
-            }
-            return true;
-        });
-    return best;
+    CanonicalScratch scratch;
+    return canonical_key(p, &scratch);
 }
 
 }  // namespace transform::synth

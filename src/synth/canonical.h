@@ -7,17 +7,41 @@
 /// serialization over all such symmetries; executions of one program share
 /// the key, so deduplicating on it collapses executions into unique ELT
 /// programs exactly as the paper's dedup stage does.
+///
+/// Keys are computed once per candidate program in the synthesis inner
+/// loop, so the serializer works out of flat arrays and a reusable string
+/// buffer (CanonicalScratch) instead of per-permutation maps and
+/// stringstreams; one scratch per worker keeps the loop allocation-free in
+/// steady state.
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "elt/program.h"
 
 namespace transform::synth {
 
+/// Reusable buffers for canonical_key: address-renaming tables, event
+/// labels, and the candidate/best serialization strings. Do not share one
+/// scratch between concurrent callers.
+struct CanonicalScratch {
+    std::vector<int> va_map;        ///< original VA -> canonical number (-1)
+    std::vector<int> pa_map;        ///< original PA -> canonical number (-1)
+    std::vector<int> label_thread;  ///< per event: renamed thread index
+    std::vector<int> label_pos;     ///< per event: position in its thread
+    std::string candidate;          ///< serialization being built
+    std::string best;               ///< minimum serialization so far
+};
+
 /// Returns the canonical key for \p program. Programs are isomorphic
 /// (thread/VA/PA symmetry) iff their keys are equal.
 std::string canonical_key(const elt::Program& program);
+
+/// As canonical_key, reusing \p scratch across calls (the synthesis hot
+/// path). Byte-identical to the scratch-free overload.
+std::string canonical_key(const elt::Program& program,
+                          CanonicalScratch* scratch);
 
 /// Serializes the program with threads taken in the given order and
 /// addresses renamed by first use — one candidate string considered by

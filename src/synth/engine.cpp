@@ -73,17 +73,37 @@ set_axiom_requirements(const std::string& axiom, SkeletonOptions* skeleton)
     }
 }
 
+/// Per-worker reusable buffers for the candidate-evaluation hot path:
+/// derivation output + scratch, the judge's buffers, and the
+/// canonicalizer's tables. One per (suite, worker); a worker runs one job
+/// at a time, so jobs index into the suite's vector with their worker id.
+struct WorkerScratch {
+    elt::DerivedRelations derived;
+    elt::DeriveScratch derive;
+    JudgeScratch judge;
+    CanonicalScratch canonical;
+    mtm::EncodingScratch encoding;  ///< SAT backend: factory + solver reuse
+};
+
 /// Searches \p program's execution space for the first violating,
-/// interesting, minimal witness of \p axiom_name (any one witness suffices:
-/// minimality and dedup are program-level once a forbidden witness exists).
-/// Returns true and fills the out-params when one exists.
+/// interesting, minimal witness of the axiom at \p axiom_index (any one
+/// witness suffices: minimality and dedup are program-level once a
+/// forbidden witness exists). Returns true and fills the out-params when
+/// one exists. All per-execution work runs through \p scratch; the only
+/// allocations on an accepted witness are the witness copy and its
+/// violated-axiom names.
 bool
 find_witness(const mtm::Model& model, const std::string& axiom_name,
-             const SynthesisOptions& options, const Program& program,
-             const util::Deadline& deadline, Execution* witness,
+             int axiom_index, const SynthesisOptions& options,
+             const Program& program, const util::Deadline& deadline,
+             WorkerScratch* scratch, Execution* witness,
              std::vector<std::string>* witness_violated,
              std::uint64_t* executions_considered, bool* timed_out)
 {
+    if (!contains_write(program)) {
+        return false;  // never interesting: skip the whole execution space
+    }
+    const mtm::AxiomMask target = mtm::AxiomMask{1} << axiom_index;
     bool accepted = false;
     auto consider = [&](const Execution& execution) {
         ++*executions_considered;
@@ -91,41 +111,38 @@ find_witness(const mtm::Model& model, const std::string& axiom_name,
             *timed_out = true;
             return false;
         }
-        const elt::DerivedRelations derived =
-            elt::derive(execution, model.derive_options());
-        if (!derived.well_formed) {
+        elt::derive_into(execution, model.derive_options(), &scratch->derived,
+                         &scratch->derive);
+        if (!scratch->derived.well_formed) {
             return true;
         }
-        const std::vector<std::string> violated =
-            model.violated_axioms(program, derived);
-        if (std::find(violated.begin(), violated.end(), axiom_name) ==
-            violated.end()) {
-            return true;
-        }
-        if (!contains_write(program)) {
+        const mtm::AxiomMask violated = model.violated_mask(
+            program, scratch->derived, &scratch->derive.cycle);
+        if ((violated & target) == 0) {
             return true;
         }
         if (options.require_minimal) {
-            const MinimalityVerdict verdict = judge(model, execution);
+            const MinimalityVerdict verdict =
+                judge(model, execution, &scratch->judge);
             if (!verdict.minimal) {
                 return true;
             }
         }
         accepted = true;
         *witness = execution;
-        *witness_violated = violated;
+        *witness_violated = model.mask_names(violated);
         return false;  // stop at the first qualifying witness
     };
 
     if (options.backend == Backend::kEnumerative) {
         for_each_execution(program, model.vm_aware(), consider);
     } else {
-        mtm::ProgramEncoding encoding(program, &model);
-        for (const Execution& execution : encoding.enumerate(axiom_name)) {
-            if (!consider(execution)) {
-                break;
-            }
-        }
+        // Streaming AllSAT: consider() returning false stops the solver at
+        // the first accepted witness instead of materializing the whole
+        // violating space. The worker's factory/solver pair is reused
+        // across every program of the shard.
+        mtm::ProgramEncoding encoding(program, &model, &scratch->encoding);
+        encoding.enumerate(axiom_name, consider);
     }
     return accepted;
 }
@@ -183,9 +200,17 @@ struct SuiteRun {
         return deadline;
     }
 
-    const mtm::Model model;  ///< private copy; jobs re-copy per shard
+    /// One private copy per suite; every shard job of the suite shares it
+    /// by const reference — the axiom closures are stateless, so concurrent
+    /// evaluation through one Model is safe and the per-job deep copies
+    /// (std::function closures included) PR 3 paid are gone.
+    const mtm::Model model;
     const std::string axiom;
+    int axiom_index = 0;  ///< bit position of axiom in model's masks
     const SynthesisOptions options;
+    /// Per-worker evaluation scratch, indexed by the pool worker id a job
+    /// runs on (sized workers() at launch; a worker runs one job at a time).
+    std::vector<WorkerScratch> worker_scratch;
     util::Stopwatch watch;
     std::once_flag deadline_armed;
     util::Deadline deadline;  ///< access via armed_deadline() from jobs
@@ -236,13 +261,11 @@ struct SuiteRun {
 /// makes the search abandonable: it stops after `limit` candidates and the
 /// returned stop tells the caller where the unsearched remainder begins.
 ShardSearchStop
-search_shard(SuiteRun* run, const ShardTask& task, std::uint64_t limit)
+search_shard(SuiteRun* run, const ShardTask& task, std::uint64_t limit,
+             int worker)
 {
-    // Per-job Model copy: the axiom closures are stateless, but keeping
-    // workers fully independent costs nothing and avoids reasoning about
-    // shared access.
-    const mtm::Model local(run->model.name(), run->model.vm_aware(),
-                           run->model.axioms());
+    const mtm::Model& model = run->model;
+    WorkerScratch& scratch = run->worker_scratch[worker];
     const SynthesisOptions& options = run->options;
     const util::Deadline& deadline = run->armed_deadline();
     std::vector<std::pair<SynthesizedTest, std::uint64_t>> tests;
@@ -282,7 +305,7 @@ search_shard(SuiteRun* run, const ShardTask& task, std::uint64_t limit)
             // evaluates: any earlier candidate with this key is isomorphic
             // and receives the same verdict, so its owner's result (or
             // rejection) stands for ours.
-            key = canonical_key(program);
+            key = canonical_key(program, &scratch.canonical);
             if (!run->index.record(key, ticket).is_min) {
                 ++duplicates;
                 return true;
@@ -291,8 +314,9 @@ search_shard(SuiteRun* run, const ShardTask& task, std::uint64_t limit)
         Execution witness = Execution::empty_for(program);
         std::vector<std::string> violated;
         const bool accepted =
-            find_witness(local, run->axiom, options, program, deadline,
-                         &witness, &violated, &executions, &timed_out);
+            find_witness(model, run->axiom, run->axiom_index, options,
+                         program, deadline, &scratch, &witness, &violated,
+                         &executions, &timed_out);
         if (timed_out) {
             return false;
         }
@@ -300,7 +324,8 @@ search_shard(SuiteRun* run, const ShardTask& task, std::uint64_t limit)
             SynthesizedTest test;
             test.witness = witness;
             test.canonical_key =
-                options.dedup ? key : canonical_key(program);
+                options.dedup ? key : canonical_key(program,
+                                                    &scratch.canonical);
             test.size = program.num_events();
             test.violated = violated;
             tests.emplace_back(std::move(test), ticket);
@@ -338,13 +363,15 @@ launch_suite(sched::WorkStealingPool& pool, const mtm::Model& model,
 {
     TF_ASSERT(model.axiom(axiom_name) != nullptr);
     auto run = std::make_unique<SuiteRun>(model, axiom_name, options);
+    run->axiom_index = run->model.axiom_index(axiom_name);
+    run->worker_scratch.resize(pool.workers());
     run->group = pool.make_group();
     SuiteRun* raw = run.get();
     sched::WorkStealingPool* pool_ptr = &pool;
 
     run->make_job = [raw, pool_ptr](ShardTask task)
         -> sched::WorkStealingPool::Job {
-        return [raw, pool_ptr, task = std::move(task)](int) {
+        return [raw, pool_ptr, task = std::move(task)](int worker) {
             const SynthesisOptions& options = raw->options;
             // Lazy adaptive re-splitting: the job starts searching
             // immediately, with a visit limit armed whenever the shard
@@ -368,7 +395,8 @@ launch_suite(sched::WorkStealingPool& pool, const mtm::Model& model,
                     }
                 }
             }
-            const ShardSearchStop stop = search_shard(raw, task, limit);
+            const ShardSearchStop stop =
+                search_shard(raw, task, limit, worker);
             if (!stop.hit_limit) {
                 raw->note_job_finished();
                 return;  // the shard drained (or the deadline fired) inline

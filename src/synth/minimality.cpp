@@ -17,22 +17,34 @@ contains_write(const elt::Program& program)
     return false;
 }
 
+namespace {
+
+/// One implementation behind both judge overloads; \p diagnostics selects
+/// whether the string fields (violated names, blocking_relaxation) are
+/// filled — the scratch-reusing hot path skips them.
 MinimalityVerdict
-judge(const mtm::Model& model, const elt::Execution& execution)
+judge_impl(const mtm::Model& model, const elt::Execution& execution,
+           JudgeScratch* scratch, bool diagnostics)
 {
     MinimalityVerdict verdict;
-    const elt::DerivedRelations derived =
-        elt::derive(execution, model.derive_options());
-    if (!derived.well_formed) {
+    elt::derive_into(execution, model.derive_options(), &scratch->derived,
+                     &scratch->derive);
+    if (!scratch->derived.well_formed) {
         return verdict;  // not even a candidate
     }
-    verdict.violated = model.violated_axioms(execution.program, derived);
+    verdict.violated_mask = model.violated_mask(
+        execution.program, scratch->derived, &scratch->derive.cycle);
+    if (diagnostics) {
+        verdict.violated = model.mask_names(verdict.violated_mask);
+    }
     verdict.interesting =
-        contains_write(execution.program) && !verdict.violated.empty();
+        contains_write(execution.program) && verdict.violated_mask != 0;
     if (!verdict.interesting) {
         return verdict;
     }
-    // Minimality: every isolated relaxation must be permitted.
+    // Minimality: every isolated relaxation must be permitted. Each relaxed
+    // execution is derived into the same reused buffers (the original's
+    // relations are no longer needed at this point).
     for (const mtm::Relaxation& relaxation :
          mtm::applicable_relaxations(execution.program)) {
         const elt::Execution relaxed =
@@ -40,19 +52,41 @@ judge(const mtm::Model& model, const elt::Execution& execution)
         if (relaxed.program.num_events() == 0) {
             continue;  // the relaxation emptied the test: trivially permitted
         }
-        const std::vector<std::string> violated =
-            model.violated_axioms(relaxed);
+        elt::derive_into(relaxed, model.derive_options(), &scratch->derived,
+                         &scratch->derive);
+        // An ill-formed relaxed execution is trivially permitted (the
+        // string API reported it as the "well_formed" pseudo-axiom, which
+        // the old code did not count as still-forbidden either).
         const bool still_forbidden =
-            !violated.empty() && violated != std::vector<std::string>{
-                                     "well_formed"};
+            scratch->derived.well_formed &&
+            model.violated_mask(relaxed.program, scratch->derived,
+                                &scratch->derive.cycle) != 0;
         if (still_forbidden) {
-            verdict.blocking_relaxation =
-                relaxation.describe(execution.program);
+            if (diagnostics) {
+                verdict.blocking_relaxation =
+                    relaxation.describe(execution.program);
+            }
             return verdict;  // minimal stays false
         }
     }
     verdict.minimal = true;
     return verdict;
+}
+
+}  // namespace
+
+MinimalityVerdict
+judge(const mtm::Model& model, const elt::Execution& execution)
+{
+    JudgeScratch scratch;
+    return judge_impl(model, execution, &scratch, /*diagnostics=*/true);
+}
+
+MinimalityVerdict
+judge(const mtm::Model& model, const elt::Execution& execution,
+      JudgeScratch* scratch)
+{
+    return judge_impl(model, execution, scratch, /*diagnostics=*/false);
 }
 
 }  // namespace transform::synth

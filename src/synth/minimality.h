@@ -3,6 +3,13 @@
 /// execution enters the suite iff it is *interesting* (contains a write and
 /// has a forbidden outcome) and *minimal* (every isolated relaxation of the
 /// test makes the outcome permitted).
+///
+/// Judging is the second-hottest call in the synthesis inner loop (one
+/// derivation per relaxation of every violating candidate), so it comes in
+/// two forms: the diagnostic `judge(model, execution)` that fills the
+/// string fields, and the scratch-reusing overload the engine calls, which
+/// derives every relaxed execution into reused buffers and never touches a
+/// string on the accept path.
 #pragma once
 
 #include <string>
@@ -13,13 +20,25 @@
 
 namespace transform::synth {
 
+/// Reusable buffers for judge: the derived relations of the execution (and
+/// of each relaxed execution, sequentially) plus the derivation scratch.
+/// One per worker; not shareable between concurrent judges.
+struct JudgeScratch {
+    elt::DerivedRelations derived;
+    elt::DeriveScratch derive;
+};
+
 /// Result of judging one candidate.
 struct MinimalityVerdict {
     bool interesting = false;
     bool minimal = false;
-    std::vector<std::string> violated;  ///< axioms the candidate violates
+    /// Axioms the candidate violates, as a bitset over model.axioms().
+    mtm::AxiomMask violated_mask = 0;
+    /// Axiom names (filled by the diagnostic judge overload only; the
+    /// scratch overload leaves it empty and reports via violated_mask).
+    std::vector<std::string> violated;
     /// For non-minimal candidates: description of a relaxation that stays
-    /// forbidden (diagnostic).
+    /// forbidden (diagnostic overload only).
     std::string blocking_relaxation;
 };
 
@@ -29,8 +48,16 @@ bool contains_write(const elt::Program& program);
 
 /// Judges a candidate execution against \p model: computes the violated
 /// axioms, the interesting criterion, and minimality under the restricted
-/// relaxations of mtm/relax.h.
+/// relaxations of mtm/relax.h. Fills the diagnostic string fields.
 MinimalityVerdict judge(const mtm::Model& model,
                         const elt::Execution& execution);
+
+/// As judge, but reuses \p scratch for every derivation and skips the
+/// diagnostic strings (violated stays empty, violated_mask is authoritative;
+/// blocking_relaxation stays empty). The interesting/minimal verdict is
+/// identical to the diagnostic overload.
+MinimalityVerdict judge(const mtm::Model& model,
+                        const elt::Execution& execution,
+                        JudgeScratch* scratch);
 
 }  // namespace transform::synth

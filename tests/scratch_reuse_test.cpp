@@ -1,0 +1,344 @@
+/// \file
+/// Differential tests for the zero-allocation witness pipeline: the
+/// scratch-reusing fast paths must be observably identical to the
+/// allocating originals they replaced.
+///  - derive_into + a reused DeriveScratch is field-identical to a fresh
+///    derive() across generated programs, their executions, and
+///    systematically corrupted (ill-formed) witnesses;
+///  - the streaming ProgramEncoding::enumerate visits exactly the sequence
+///    the materializing wrapper returns (order and count) for every
+///    x86t_elt axiom, and early-stop visits exactly a prefix;
+///  - a reset Solver / reused EncodingScratch behaves like a fresh one;
+///  - canonical_key and judge agree between their scratch and scratch-free
+///    overloads.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "elt/derive.h"
+#include "elt/fixtures.h"
+#include "mtm/encoding.h"
+#include "mtm/model.h"
+#include "synth/canonical.h"
+#include "synth/exec_enum.h"
+#include "synth/minimality.h"
+#include "synth/skeleton.h"
+
+namespace transform {
+namespace {
+
+using elt::DerivedRelations;
+using elt::Execution;
+
+void
+expect_identical(const DerivedRelations& fresh, const DerivedRelations& reused,
+                 const std::string& context)
+{
+    EXPECT_EQ(fresh.well_formed, reused.well_formed) << context;
+    EXPECT_EQ(fresh.problems, reused.problems) << context;
+    EXPECT_EQ(fresh.resolved_pa, reused.resolved_pa) << context;
+    EXPECT_EQ(fresh.provenance, reused.provenance) << context;
+    EXPECT_EQ(fresh.po, reused.po) << context;
+    EXPECT_EQ(fresh.po_loc, reused.po_loc) << context;
+    EXPECT_EQ(fresh.rf, reused.rf) << context;
+    EXPECT_EQ(fresh.co, reused.co) << context;
+    EXPECT_EQ(fresh.fr, reused.fr) << context;
+    EXPECT_EQ(fresh.rfe, reused.rfe) << context;
+    EXPECT_EQ(fresh.ppo, reused.ppo) << context;
+    EXPECT_EQ(fresh.fence, reused.fence) << context;
+    EXPECT_EQ(fresh.rmw, reused.rmw) << context;
+    EXPECT_EQ(fresh.ghost, reused.ghost) << context;
+    EXPECT_EQ(fresh.rf_ptw, reused.rf_ptw) << context;
+    EXPECT_EQ(fresh.rf_pa, reused.rf_pa) << context;
+    EXPECT_EQ(fresh.co_pa, reused.co_pa) << context;
+    EXPECT_EQ(fresh.fr_pa, reused.fr_pa) << context;
+    EXPECT_EQ(fresh.fr_va, reused.fr_va) << context;
+    EXPECT_EQ(fresh.remap, reused.remap) << context;
+    EXPECT_EQ(fresh.ptw_source, reused.ptw_source) << context;
+}
+
+/// Sweeps generated programs and their executions, deriving each through
+/// ONE DerivedRelations + DeriveScratch reused across the whole sweep, and
+/// comparing against a fresh derive() every time. Also derives corrupted
+/// variants so the ill-formed paths (problems, early returns) go through
+/// the same comparison.
+void
+sweep_and_compare(bool vm_enabled, int num_events)
+{
+    synth::SkeletonOptions opt;
+    opt.num_events = num_events;
+    opt.max_threads = 2;
+    opt.max_vas = 2;
+    opt.vm_enabled = vm_enabled;
+    const elt::DeriveOptions derive_options{vm_enabled};
+    DerivedRelations reused;
+    elt::DeriveScratch scratch;
+    int programs = 0;
+    int executions = 0;
+    synth::for_each_skeleton(opt, [&](const elt::Program& p) {
+        int per_program = 0;
+        synth::for_each_execution(p, vm_enabled, [&](const Execution& e) {
+            const std::string context =
+                "program " + std::to_string(programs) + " execution " +
+                std::to_string(executions) + (vm_enabled ? " (vm)" : " (mcm)");
+            elt::derive_into(e, derive_options, &reused, &scratch);
+            expect_identical(elt::derive(e, derive_options), reused, context);
+
+            // Corruptions: witness fields that break the placement rules.
+            Execution bad = e;
+            if (!bad.co_pos.empty()) {
+                bad.co_pos[0] = 7;  // co position on a non-write / bad perm
+                elt::derive_into(bad, derive_options, &reused, &scratch);
+                expect_identical(elt::derive(bad, derive_options), reused,
+                                 context + " corrupted co_pos");
+            }
+            Execution self_rf = e;
+            self_rf.rf_src[0] = 0;  // self-sourced rf is always rejected
+            elt::derive_into(self_rf, derive_options, &reused, &scratch);
+            expect_identical(elt::derive(self_rf, derive_options), reused,
+                             context + " self rf");
+            ++executions;
+            return executions % 7 != 0;  // rotate through executions
+        });
+        (void)per_program;
+        ++programs;
+        return programs < 60;
+    });
+    EXPECT_GT(programs, 0);
+    EXPECT_GT(executions, 0);
+}
+
+TEST(DeriveScratchDifferential, VmSweepFieldIdentical)
+{
+    sweep_and_compare(/*vm_enabled=*/true, 4);
+    sweep_and_compare(/*vm_enabled=*/true, 5);
+}
+
+TEST(DeriveScratchDifferential, McmSweepFieldIdentical)
+{
+    sweep_and_compare(/*vm_enabled=*/false, 3);
+    sweep_and_compare(/*vm_enabled=*/false, 4);
+}
+
+TEST(DeriveScratchDifferential, FixturesFieldIdentical)
+{
+    DerivedRelations reused;
+    elt::DeriveScratch scratch;
+    struct Case {
+        Execution (*make)();
+        bool vm;
+    };
+    const Case cases[] = {
+        {elt::fixtures::fig2a_sb_mcm, false},
+        {elt::fixtures::fig2c_sb_elt_aliased, true},
+        {elt::fixtures::fig4_remap_chain, true},
+        {elt::fixtures::fig10b_dirtybit3, true},
+        {elt::fixtures::fig11_new_elt, true},
+    };
+    for (const Case& c : cases) {
+        const Execution e = c.make();
+        elt::derive_into(e, {c.vm}, &reused, &scratch);
+        expect_identical(elt::derive(e, {c.vm}), reused, "fixture");
+    }
+}
+
+bool
+same_witnesses(const Execution& a, const Execution& b)
+{
+    return a.rf_src == b.rf_src && a.co_pos == b.co_pos &&
+           a.ptw_src == b.ptw_src && a.co_pa_pos == b.co_pa_pos;
+}
+
+TEST(StreamingEnumerate, VisitsExactlyTheMaterializedSequencePerAxiom)
+{
+    const mtm::Model model = mtm::x86t_elt();
+    const elt::Program program = elt::fixtures::fig10b_dirtybit3().program;
+    mtm::EncodingScratch scratch;
+    for (const std::string& axiom : mtm::x86t_elt_axiom_names()) {
+        mtm::ProgramEncoding materializing(program, &model);
+        const std::vector<Execution> expected = materializing.enumerate(axiom);
+
+        mtm::ProgramEncoding streaming(program, &model, &scratch);
+        std::size_t visited = 0;
+        const bool completed =
+            streaming.enumerate(axiom, [&](const Execution& e) {
+                EXPECT_LT(visited, expected.size()) << axiom;
+                if (visited < expected.size()) {
+                    EXPECT_TRUE(same_witnesses(expected[visited], e))
+                        << axiom << " diverges at model " << visited;
+                }
+                ++visited;
+                return true;
+            });
+        EXPECT_TRUE(completed) << axiom;
+        EXPECT_EQ(visited, expected.size()) << axiom;
+        EXPECT_EQ(streaming.stats().models, expected.size()) << axiom;
+    }
+}
+
+TEST(StreamingEnumerate, EarlyStopVisitsExactlyAPrefix)
+{
+    const mtm::Model model = mtm::x86t_elt();
+    const elt::Program program = elt::fixtures::fig10b_dirtybit3().program;
+    mtm::ProgramEncoding encoding(program, &model);
+    const std::vector<Execution> all = encoding.enumerate();
+    ASSERT_GT(all.size(), 2u);
+
+    mtm::ProgramEncoding stopped(program, &model);
+    std::vector<Execution> seen;
+    const bool completed = stopped.enumerate("", [&](const Execution& e) {
+        seen.push_back(e);
+        return seen.size() < 2;
+    });
+    EXPECT_FALSE(completed);  // the visitor stopped the solver
+    ASSERT_EQ(seen.size(), 2u);
+    for (std::size_t i = 0; i < seen.size(); ++i) {
+        EXPECT_TRUE(same_witnesses(all[i], seen[i])) << "prefix model " << i;
+    }
+}
+
+TEST(StreamingEnumerate, ReusedScratchIsBitStableAcrossQueries)
+{
+    const mtm::Model model = mtm::x86t_elt();
+    const elt::Program program = elt::fixtures::fig10a_ptwalk2().program;
+    mtm::EncodingScratch scratch;
+    std::vector<Execution> first;
+    {
+        mtm::ProgramEncoding encoding(program, &model, &scratch);
+        first = encoding.enumerate("causality");
+    }
+    for (int round = 0; round < 3; ++round) {
+        mtm::ProgramEncoding encoding(program, &model, &scratch);
+        const std::vector<Execution> again = encoding.enumerate("causality");
+        ASSERT_EQ(again.size(), first.size()) << "round " << round;
+        for (std::size_t i = 0; i < again.size(); ++i) {
+            EXPECT_TRUE(same_witnesses(first[i], again[i]))
+                << "round " << round << " model " << i;
+        }
+    }
+}
+
+TEST(StreamingEnumerate, NonVmModelWithVmAxiomsQueriesEmptyRelations)
+{
+    // Model is an open "define your own MTM" API: a non-VM model may carry
+    // VM axioms, whose relations are empty on MCM programs. The need-gated
+    // circuit builder must still initialize them (regression: it used to
+    // skip them entirely and trip the relation-size assert).
+    const mtm::Model hybrid("mcm_with_vm_axioms", /*vm_aware=*/false,
+                            mtm::x86t_elt().axioms());
+    const elt::Program program = elt::fixtures::fig2a_sb_mcm().program;
+    mtm::ProgramEncoding encoding(program, &hybrid);
+    EXPECT_FALSE(encoding.exists_violating("invlpg"));
+    EXPECT_FALSE(encoding.exists_violating("tlb_causality"));
+    EXPECT_TRUE(encoding.exists_execution());
+}
+
+TEST(SolverReset, BehavesLikeAFreshSolver)
+{
+    auto build = [](sat::Solver* s) {
+        // x | y, !x | y, x | !y — satisfied only by x = y = true.
+        const sat::Var x = s->new_var();
+        const sat::Var y = s->new_var();
+        s->add_binary(sat::Lit(x, false), sat::Lit(y, false));
+        s->add_binary(sat::Lit(x, true), sat::Lit(y, false));
+        s->add_binary(sat::Lit(x, false), sat::Lit(y, true));
+    };
+    sat::Solver fresh;
+    build(&fresh);
+    ASSERT_EQ(fresh.solve(), sat::SolveResult::kSat);
+
+    sat::Solver reused;
+    // Pollute with an unrelated UNSAT formula, then reset.
+    const sat::Var z = reused.new_var();
+    reused.add_unit(sat::Lit(z, false));
+    reused.add_unit(sat::Lit(z, true));
+    EXPECT_TRUE(reused.proven_unsat());
+    reused.reset();
+    EXPECT_FALSE(reused.proven_unsat());
+    EXPECT_EQ(reused.num_vars(), 0);
+    build(&reused);
+    ASSERT_EQ(reused.solve(), sat::SolveResult::kSat);
+    for (sat::Var v = 0; v < 2; ++v) {
+        EXPECT_EQ(fresh.model_value(v), reused.model_value(v)) << "var " << v;
+    }
+    EXPECT_EQ(reused.stats().decisions, fresh.stats().decisions);
+}
+
+TEST(CanonicalScratch, KeysMatchScratchFreeOverload)
+{
+    synth::CanonicalScratch scratch;
+    synth::SkeletonOptions opt;
+    opt.num_events = 4;
+    int programs = 0;
+    synth::for_each_skeleton(opt, [&](const elt::Program& p) {
+        EXPECT_EQ(synth::canonical_key(p),
+                  synth::canonical_key(p, &scratch));
+        return ++programs < 100;
+    });
+    EXPECT_GT(programs, 0);
+}
+
+TEST(JudgeScratch, AgreesWithDiagnosticJudge)
+{
+    const mtm::Model model = mtm::x86t_elt();
+    synth::JudgeScratch scratch;
+    struct Case {
+        Execution (*make)();
+    };
+    const Case cases[] = {
+        {elt::fixtures::fig10a_ptwalk2},
+        {elt::fixtures::fig10b_dirtybit3},
+        {elt::fixtures::fig11_new_elt},
+        {elt::fixtures::fig4_remap_chain},
+        {elt::fixtures::fig2c_sb_elt_aliased},
+    };
+    for (const Case& c : cases) {
+        const Execution e = c.make();
+        const synth::MinimalityVerdict diagnostic = synth::judge(model, e);
+        const synth::MinimalityVerdict fast =
+            synth::judge(model, e, &scratch);
+        EXPECT_EQ(diagnostic.interesting, fast.interesting);
+        EXPECT_EQ(diagnostic.minimal, fast.minimal);
+        EXPECT_EQ(diagnostic.violated_mask, fast.violated_mask);
+        // The diagnostic names are exactly the mask, decoded.
+        EXPECT_EQ(diagnostic.violated,
+                  model.mask_names(fast.violated_mask));
+        EXPECT_TRUE(fast.violated.empty());  // fast path skips strings
+    }
+}
+
+TEST(ViolatedMask, MatchesStringShimOnFixtures)
+{
+    struct Case {
+        Execution (*make)();
+        bool vm;
+    };
+    const Case cases[] = {
+        {elt::fixtures::fig2a_sb_mcm, false},
+        {elt::fixtures::fig2c_sb_elt_aliased, true},
+        {elt::fixtures::fig10a_ptwalk2, true},
+        {elt::fixtures::fig10b_dirtybit3, true},
+    };
+    elt::DeriveScratch scratch;
+    for (const Case& c : cases) {
+        const mtm::Model model = c.vm ? mtm::x86t_elt() : mtm::x86tso();
+        const Execution e = c.make();
+        const auto derived = elt::derive(e, model.derive_options());
+        ASSERT_TRUE(derived.well_formed);
+        const mtm::AxiomMask mask =
+            model.violated_mask(e.program, derived, &scratch.cycle);
+        EXPECT_EQ(model.mask_names(mask),
+                  model.violated_axioms(e.program, derived));
+        // Mask bit positions follow axiom order.
+        for (std::size_t i = 0; i < model.axioms().size(); ++i) {
+            const bool bit = (mask & (mtm::AxiomMask{1} << i)) != 0;
+            const bool holds = model.axioms()[i].holds(e.program, derived,
+                                                       &scratch.cycle);
+            EXPECT_EQ(bit, !holds) << model.axioms()[i].name;
+        }
+    }
+}
+
+}  // namespace
+}  // namespace transform
