@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <new>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,7 @@
 #include "rel/bool_factory.h"
 #include "rel/relation.h"
 #include "sat/solver.h"
+#include "spec/registry.h"
 #include "synth/canonical.h"
 #include "synth/engine.h"
 #include "synth/exec_enum.h"
@@ -214,12 +216,12 @@ struct BackendRun {
 };
 
 /// Runs the witness-search workload (the sc_per_loc + causality suites of
-/// x86t_elt — the two axioms with the largest candidate spaces) on one
-/// backend at the given worker count.
+/// the given model — the two axioms with the largest candidate spaces) on
+/// one backend at the given worker count.
 BackendRun
-run_workload(synth::Backend backend, int jobs, int min_bound, int bound)
+run_workload(const mtm::Model& model, synth::Backend backend, int jobs,
+             int min_bound, int bound)
 {
-    const mtm::Model model = mtm::x86t_elt();
     synth::SynthesisOptions opt;
     opt.min_bound = min_bound;
     opt.bound = bound;
@@ -263,11 +265,24 @@ witness_search_section()
                   "byte-identical at every worker count");
     std::printf("x86t_elt, bounds %d..%d\n\n", min_bound, bound);
 
+    const mtm::Model hardwired = mtm::x86t_elt();
+    std::string spec_error;
+    const std::optional<spec::ResolvedModel> twin =
+        spec::resolve_model("x86t_elt.mtm", &spec_error);
+    if (!twin.has_value()) {
+        std::fprintf(stderr, "cannot resolve x86t_elt.mtm: %s\n",
+                     spec_error.c_str());
+        return 1;
+    }
+
     bool ok = true;
-    std::printf("%12s %6s %10s %12s %14s %12s\n", "backend", "jobs",
-                "wall (s)", "programs/s", "executions/s", "allocs/prog");
+    std::printf("%12s %10s %6s %10s %12s %14s %12s\n", "backend", "model",
+                "jobs", "wall (s)", "programs/s", "executions/s",
+                "allocs/prog");
     BackendRun sat_run;
     BackendRun enum_run;
+    BackendRun spec_sat_run;
+    BackendRun spec_enum_run;
     for (const synth::Backend backend :
          {synth::Backend::kEnumerative, synth::Backend::kSat}) {
         const char* backend_name =
@@ -275,9 +290,9 @@ witness_search_section()
         BackendRun reference;
         for (const int jobs : {1, 2, 4}) {
             const BackendRun run =
-                run_workload(backend, jobs, min_bound, bound);
-            std::printf("%12s %6d %10.3f %12.0f %14.0f %12.1f\n",
-                        backend_name, jobs, run.seconds,
+                run_workload(hardwired, backend, jobs, min_bound, bound);
+            std::printf("%12s %10s %6d %10.3f %12.0f %14.0f %12.1f\n",
+                        backend_name, "builtin", jobs, run.seconds,
                         run.programs / run.seconds,
                         run.executions / run.seconds,
                         static_cast<double>(run.allocations) / run.programs);
@@ -297,6 +312,28 @@ witness_search_section()
                          run.fingerprint == reference.fingerprint) &&
                      ok;
             }
+        }
+        // The same workload through the `.mtm` twin prices the DSL
+        // interpreter (enumerative) and the generic circuit lowering (SAT)
+        // against the hand-written axioms — and re-proves suite identity.
+        const BackendRun spec_run =
+            run_workload(twin->model, backend, 1, min_bound, bound);
+        std::printf("%12s %10s %6d %10.3f %12.0f %14.0f %12.1f\n",
+                    backend_name, "spec", 1, spec_run.seconds,
+                    spec_run.programs / spec_run.seconds,
+                    spec_run.executions / spec_run.seconds,
+                    static_cast<double>(spec_run.allocations) /
+                        spec_run.programs);
+        ok = bench::check((std::string(backend_name) +
+                           " .mtm twin test set identical to builtin")
+                              .c_str(),
+                          spec_run.key_fingerprint ==
+                              reference.key_fingerprint) &&
+             ok;
+        if (backend == synth::Backend::kSat) {
+            spec_sat_run = spec_run;
+        } else {
+            spec_enum_run = spec_run;
         }
     }
     // The synthesized test SET (keys + sizes) is backend-independent: a
@@ -329,6 +366,16 @@ witness_search_section()
             bench::jnum("enum_allocs_per_program",
                         static_cast<double>(enum_run.allocations) /
                             enum_run.programs),
+            bench::jnum("spec_sat_programs_per_sec",
+                        spec_sat_run.programs / spec_sat_run.seconds),
+            bench::jnum("spec_sat_allocs_per_program",
+                        static_cast<double>(spec_sat_run.allocations) /
+                            spec_sat_run.programs),
+            bench::jnum("spec_enum_programs_per_sec",
+                        spec_enum_run.programs / spec_enum_run.seconds),
+            bench::jnum("spec_enum_allocs_per_program",
+                        static_cast<double>(spec_enum_run.allocations) /
+                            spec_enum_run.programs),
             bench::jbool("fingerprints_jobs_identical", ok),
         });
     std::printf("\nwitness search overall: %s\n", ok ? "PASS" : "FAIL");

@@ -89,6 +89,17 @@ struct CycleScratch {
     /// Caller-side temporary for axioms that need to assemble an edge-set
     /// union before the cycle check (e.g. the SC causality variant).
     EdgeSet tmp_edges;
+    /// Edge-set arena for the `.mtm` DSL axiom evaluator (spec/eval.h):
+    /// slots are acquired stack-wise per expression node and released
+    /// wholesale at the end of each axiom evaluation, so in steady state a
+    /// DSL axiom evaluates without allocating — each slot's capacity
+    /// persists across evaluations. Indexed (not referenced) because the
+    /// vector may grow mid-evaluation.
+    std::vector<EdgeSet> spec_pool;
+    std::size_t spec_pool_live = 0;  ///< slots currently acquired
+    /// Evaluator bookkeeping (opaque AST-node keys -> pinned slots /
+    /// visit marks), pooled here for the same reuse reasons.
+    std::vector<std::pair<const void*, std::size_t>> spec_memo;
 };
 
 /// Reusable buffers for derive_into: everything derive allocates per call

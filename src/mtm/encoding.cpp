@@ -1,12 +1,14 @@
 #include "mtm/encoding.h"
 
 #include <algorithm>
-#include <map>
+#include <utility>
 
 #include "rel/bool_factory.h"
 #include "rel/constraints.h"
 #include "rel/relation.h"
 #include "sat/solver.h"
+#include "spec/ast.h"
+#include "spec/eval.h"
 #include "util/logging.h"
 
 namespace transform::mtm {
@@ -20,6 +22,7 @@ using elt::Program;
 using rel::BoolFactory;
 using rel::ExprId;
 using rel::RelExpr;
+using rel::SetExpr;
 
 /// Which derived-relation circuits a query needs. The placement
 /// constraints and choice variables are always built (they define the
@@ -40,13 +43,159 @@ enum RelNeed : unsigned {
     kNeedPoConst = 1u << 9,
     kNeedRemapConst = 1u << 10,
     kNeedPpoFenceConst = 1u << 11,
+    kNeedPoMemConst = 1u << 12,
+    kNeedRmwConst = 1u << 13,
+    kNeedGhostConst = 1u << 14,
 };
 
-/// The relations axiom_circuit(tag) touches.
-unsigned
-needs_for(AxiomTag tag)
+/// Flat replacement for the per-event std::map<EventId, ExprId> choice
+/// maps: every builder loop inserts keys in ascending order, so the vector
+/// stays sorted, lookups are binary searches, and — the point — clearing
+/// keeps the node storage that a std::map would free per program.
+struct ChoiceMap {
+    std::vector<std::pair<EventId, ExprId>> kv;
+
+    void clear() { kv.clear(); }
+    bool empty() const { return kv.empty(); }
+
+    /// Keys must arrive in strictly ascending order (asserted in debug).
+    void
+    insert(EventId key, ExprId value)
+    {
+        TF_ASSERT(kv.empty() || kv.back().first < key);
+        kv.emplace_back(key, value);
+    }
+
+    /// Pointer to the value for \p key, or nullptr.
+    const ExprId*
+    find(EventId key) const
+    {
+        const auto it = std::lower_bound(
+            kv.begin(), kv.end(), key,
+            [](const std::pair<EventId, ExprId>& entry, EventId k) {
+                return entry.first < k;
+            });
+        return it != kv.end() && it->first == key ? &it->second : nullptr;
+    }
+
+    ExprId
+    at(EventId key) const
+    {
+        const ExprId* value = find(key);
+        TF_ASSERT(value != nullptr);
+        return *value;
+    }
+
+    auto begin() const { return kv.begin(); }
+    auto end() const { return kv.end(); }
+};
+
+/// The pooled per-query Build containers (PR-4 left these as per-program
+/// allocations; see docs/performance.md for the reuse contract). One Pool
+/// per EncodingScratch, reset — capacities kept — by every Build.
+struct EncodingScratch::Pool {
+    std::vector<ChoiceMap> rf_choice;
+    std::vector<ExprId> init_choice;
+    std::vector<ChoiceMap> ptw_choice;
+    std::vector<std::vector<ExprId>> pa;
+    std::vector<ChoiceMap> prov;
+    std::vector<ExprId> prov_init;
+
+    RelExpr co, co_pa;
+    RelExpr rf, fr, po_loc, rfe, rf_ptw_rel, ptw_source, rf_pa, fr_pa, fr_va;
+    RelExpr po_const, remap_const, ppo_const, fence_const;
+    RelExpr po_mem_const, rmw_const, ghost_const;
+
+    std::vector<sat::Lit> clause_buf;
+    std::vector<ExprId> options_buf;
+    std::vector<EventId> events_buf;   ///< writes / Wptes scans
+    std::vector<EventId> peers_buf;    ///< same-location peers per Wdb
+
+    /// Per-query memo of lowered `.mtm` expression nodes: a let body shared
+    /// by several references (or axioms) compiles once per Build.
+    std::vector<std::pair<const spec::Expr*, RelExpr>> expr_memo;
+};
+
+EncodingScratch::EncodingScratch() : pool(std::make_unique<Pool>()) {}
+EncodingScratch::~EncodingScratch() = default;
+EncodingScratch::EncodingScratch(EncodingScratch&&) noexcept = default;
+EncodingScratch&
+EncodingScratch::operator=(EncodingScratch&&) noexcept = default;
+
+namespace {
+
+/// ONE source of truth per `.mtm` base relation: the need bit its circuit
+/// is gated on AND the pooled circuit it lowers to. Keeping the pair in a
+/// single switch makes a mismatch — a circuit read without its need bit,
+/// i.e. a stale pooled RelExpr from a previous program — structurally
+/// impossible. co and co_pa are free choice relations, always built
+/// (needs = 0).
+struct BaseRelInfo {
+    unsigned needs;
+    rel::RelExpr EncodingScratch::Pool::* circuit;
+};
+
+BaseRelInfo
+base_rel_info(spec::BaseRel base)
 {
-    switch (tag) {
+    using Pool = EncodingScratch::Pool;
+    switch (base) {
+    case spec::BaseRel::kPo: return {kNeedPoConst, &Pool::po_const};
+    case spec::BaseRel::kPoLoc: return {kNeedPoLoc, &Pool::po_loc};
+    case spec::BaseRel::kPoMem: return {kNeedPoMemConst, &Pool::po_mem_const};
+    case spec::BaseRel::kRf: return {kNeedRf, &Pool::rf};
+    case spec::BaseRel::kRfe: return {kNeedRfe, &Pool::rfe};
+    case spec::BaseRel::kCo: return {0, &Pool::co};
+    case spec::BaseRel::kFr: return {kNeedFr, &Pool::fr};
+    case spec::BaseRel::kPpo: return {kNeedPpoFenceConst, &Pool::ppo_const};
+    case spec::BaseRel::kFence:
+        return {kNeedPpoFenceConst, &Pool::fence_const};
+    case spec::BaseRel::kRmw: return {kNeedRmwConst, &Pool::rmw_const};
+    case spec::BaseRel::kGhost: return {kNeedGhostConst, &Pool::ghost_const};
+    case spec::BaseRel::kRfPtw: return {kNeedRfPtw, &Pool::rf_ptw_rel};
+    case spec::BaseRel::kRfPa: return {kNeedRfPa, &Pool::rf_pa};
+    case spec::BaseRel::kCoPa: return {0, &Pool::co_pa};
+    case spec::BaseRel::kFrPa: return {kNeedFrPa, &Pool::fr_pa};
+    case spec::BaseRel::kFrVa: return {kNeedFrVa, &Pool::fr_va};
+    case spec::BaseRel::kRemap: return {kNeedRemapConst, &Pool::remap_const};
+    case spec::BaseRel::kPtwSource:
+        return {kNeedPtwSource, &Pool::ptw_source};
+    }
+    TF_PANIC("unknown base relation");
+}
+
+/// Union of the need bits under \p e. The AST is a DAG through shared
+/// `let` bodies, so the walk carries a visited set — linear in the DAG,
+/// not exponential in the let-chain depth.
+unsigned
+needs_for_expr(const spec::Expr& e, std::vector<const spec::Expr*>* visited)
+{
+    if (std::find(visited->begin(), visited->end(), &e) != visited->end()) {
+        return 0;
+    }
+    visited->push_back(&e);
+    unsigned needs = 0;
+    if (e.op == spec::ExprOp::kBase) {
+        needs |= base_rel_info(e.base).needs;
+    }
+    if (e.lhs != nullptr) {
+        needs |= needs_for_expr(*e.lhs, visited);
+    }
+    if (e.rhs != nullptr) {
+        needs |= needs_for_expr(*e.rhs, visited);
+    }
+    return needs;
+}
+
+}  // namespace
+
+/// The relations axiom_circuit(axiom) touches. Hardwired axioms have a
+/// fixed footprint per tag; a `.mtm` axiom's footprint is read off its
+/// expression DAG.
+unsigned
+needs_for(const Axiom& axiom)
+{
+    switch (axiom.tag) {
     case AxiomTag::kScPerLoc:
         return kNeedRf | kNeedFr | kNeedPoLoc;
     case AxiomTag::kRmwAtomicity:
@@ -58,21 +207,50 @@ needs_for(AxiomTag tag)
         return kNeedFrVa | kNeedPoConst | kNeedRemapConst;
     case AxiomTag::kTlbCausality:
         return kNeedPtwSource | kNeedRf | kNeedFr;
+    case AxiomTag::kExpr: {
+        TF_ASSERT(axiom.def != nullptr && axiom.def->expr != nullptr);
+        std::vector<const spec::Expr*> visited;
+        return needs_for_expr(*axiom.def->expr, &visited);
+    }
     }
     TF_PANIC("unknown axiom tag");
 }
 
 /// Per-query encoding state: the witness choice variables and the
-/// derived-relation circuits, built into a (reset) scratch's factory and
-/// solver.
+/// derived-relation circuits, built into a (reset) scratch's factory,
+/// solver and container pool.
 struct ProgramEncoding::Build {
     Build(const Program& program, bool vm, unsigned needs,
           EncodingScratch* scratch)
         : p(program), n(program.num_events()), vm_enabled(vm),
-          factory(scratch->factory), solver(scratch->solver)
+          factory(scratch->factory), solver(scratch->solver),
+          pool(*scratch->pool),
+          rf_choice(scratch->pool->rf_choice),
+          init_choice(scratch->pool->init_choice),
+          ptw_choice(scratch->pool->ptw_choice), pa(scratch->pool->pa),
+          prov(scratch->pool->prov), prov_init(scratch->pool->prov_init),
+          co(scratch->pool->co), co_pa(scratch->pool->co_pa),
+          rf(scratch->pool->rf), fr(scratch->pool->fr),
+          po_loc(scratch->pool->po_loc), rfe(scratch->pool->rfe),
+          rf_ptw_rel(scratch->pool->rf_ptw_rel),
+          ptw_source(scratch->pool->ptw_source), rf_pa(scratch->pool->rf_pa),
+          fr_pa(scratch->pool->fr_pa), fr_va(scratch->pool->fr_va),
+          po_const(scratch->pool->po_const),
+          remap_const(scratch->pool->remap_const),
+          ppo_const(scratch->pool->ppo_const),
+          fence_const(scratch->pool->fence_const),
+          po_mem_const(scratch->pool->po_mem_const),
+          rmw_const(scratch->pool->rmw_const),
+          ghost_const(scratch->pool->ghost_const),
+          clause_buf(scratch->pool->clause_buf),
+          options_buf(scratch->pool->options_buf),
+          events_buf(scratch->pool->events_buf),
+          peers_buf(scratch->pool->peers_buf),
+          expr_memo(scratch->pool->expr_memo)
     {
         factory.reset();
         solver.reset();
+        expr_memo.clear();
         build_choices();
         build_address_resolution();
         build_coherence();
@@ -89,33 +267,48 @@ struct ProgramEncoding::Build {
 
     BoolFactory& factory;
     sat::Solver& solver;
+    EncodingScratch::Pool& pool;  ///< base_rel_info circuits resolve here
 
     // ------------------------------------------------------------------
-    // Choice variables.
+    // Choice variables (pooled storage; see EncodingScratch::Pool).
     // ------------------------------------------------------------------
-    // rf_choice[r]: map write-candidate -> ExprId; init_choice[r] for the
+    // rf_choice[r]: write-candidate -> ExprId; init_choice[r] for the
     // initial state.
-    std::vector<std::map<EventId, ExprId>> rf_choice;
-    std::vector<ExprId> init_choice;
-    // ptw_choice[e]: map walk -> ExprId (data accesses only).
-    std::vector<std::map<EventId, ExprId>> ptw_choice;
+    std::vector<ChoiceMap>& rf_choice;
+    std::vector<ExprId>& init_choice;
+    // ptw_choice[e]: walk -> ExprId (data accesses only).
+    std::vector<ChoiceMap>& ptw_choice;
     // pa[e][k]: one-hot resolved physical address (memory events only).
-    std::vector<std::vector<ExprId>> pa;
-    // prov[e]: map Wpte -> ExprId, plus prov_init[e] (data accesses, walks,
+    std::vector<std::vector<ExprId>>& pa;
+    // prov[e]: Wpte -> ExprId, plus prov_init[e] (data accesses, walks,
     // dirty-bit writes).
-    std::vector<std::map<EventId, ExprId>> prov;
-    std::vector<ExprId> prov_init;
+    std::vector<ChoiceMap>& prov;
+    std::vector<ExprId>& prov_init;
 
     // Coherence order over write-like events; alias-creation order over
     // Wptes.
-    RelExpr co;
-    RelExpr co_pa;
+    RelExpr& co;
+    RelExpr& co_pa;
 
     // ------------------------------------------------------------------
     // Derived circuits.
     // ------------------------------------------------------------------
-    RelExpr rf, fr, po_loc, rfe, rf_ptw_rel, ptw_source, rf_pa, fr_pa, fr_va;
-    RelExpr po_const, remap_const, ppo_const, fence_const;
+    RelExpr& rf;
+    RelExpr& fr;
+    RelExpr& po_loc;
+    RelExpr& rfe;
+    RelExpr& rf_ptw_rel;
+    RelExpr& ptw_source;
+    RelExpr& rf_pa;
+    RelExpr& fr_pa;
+    RelExpr& fr_va;
+    RelExpr& po_const;
+    RelExpr& remap_const;
+    RelExpr& ppo_const;
+    RelExpr& fence_const;
+    RelExpr& po_mem_const;
+    RelExpr& rmw_const;
+    RelExpr& ghost_const;
 
     int num_pas = 0;
 
@@ -128,8 +321,16 @@ struct ProgramEncoding::Build {
     // solver through one reused buffer; constant exprs fold (a true term
     // drops the clause, a false term drops out of it).
     // ------------------------------------------------------------------
-    std::vector<sat::Lit> clause_buf;
+    std::vector<sat::Lit>& clause_buf;
     bool clause_sat = false;
+
+    /// Reused exactly-one option buffer and event scans.
+    std::vector<ExprId>& options_buf;
+    std::vector<EventId>& events_buf;
+    std::vector<EventId>& peers_buf;
+
+    /// Memo for compile_expr (pooled; cleared per Build).
+    std::vector<std::pair<const spec::Expr*, RelExpr>>& expr_memo;
 
     void
     cl_begin()
@@ -241,20 +442,18 @@ struct ProgramEncoding::Build {
         cl_neg(prov_init[b]);
         cl_pos(prov_init[a]);
         cl_end();
-        for (auto& [w, flag] : prov[a]) {
-            const auto it = prov[b].find(w);
-            const ExprId other =
-                it == prov[b].end() ? rel::kFalseExpr : it->second;
+        for (const auto& [w, flag] : prov[a]) {
+            const ExprId* it = prov[b].find(w);
+            const ExprId other = it == nullptr ? rel::kFalseExpr : *it;
             cl_begin();
             cl_neg(guard);
             cl_neg(flag);
             cl_pos(other);
             cl_end();
         }
-        for (auto& [w, flag] : prov[b]) {
-            const auto it = prov[a].find(w);
-            const ExprId other =
-                it == prov[a].end() ? rel::kFalseExpr : it->second;
+        for (const auto& [w, flag] : prov[b]) {
+            const ExprId* it = prov[a].find(w);
+            const ExprId other = it == nullptr ? rel::kFalseExpr : *it;
             cl_begin();
             cl_neg(guard);
             cl_neg(flag);
@@ -280,15 +479,27 @@ struct ProgramEncoding::Build {
         return factory.mk_const(false);
     }
 
+    /// Resizes a vector of per-event containers to n rows and clears each
+    /// row, keeping every row's capacity.
+    template <typename Row>
+    void
+    reset_rows(std::vector<Row>& rows)
+    {
+        rows.resize(n);
+        for (Row& row : rows) {
+            row.clear();
+        }
+    }
+
     void
     build_choices()
     {
         num_pas = std::max(p.num_pas(), 1);
-        rf_choice.resize(n);
+        reset_rows(rf_choice);
         init_choice.assign(n, rel::kFalseExpr);
-        ptw_choice.resize(n);
-        pa.assign(n, {});
-        prov.resize(n);
+        reset_rows(ptw_choice);
+        reset_rows(pa);
+        reset_rows(prov);
         prov_init.assign(n, rel::kFalseExpr);
 
         for (EventId r = 0; r < n; ++r) {
@@ -296,7 +507,8 @@ struct ProgramEncoding::Build {
             if (!elt::is_read_like(e.kind)) {
                 continue;
             }
-            std::vector<ExprId> options;
+            std::vector<ExprId>& options = options_buf;
+            options.clear();
             init_choice[r] = var();
             options.push_back(init_choice[r]);
             for (EventId w = 0; w < n; ++w) {
@@ -315,8 +527,9 @@ struct ProgramEncoding::Build {
                                       elt::is_write_like(we.kind) &&
                                       we.va == e.va;
                 if (data_pair || pte_pair) {
-                    rf_choice[r][w] = var();
-                    options.push_back(rf_choice[r][w]);
+                    const ExprId choice = var();
+                    rf_choice[r].insert(w, choice);
+                    options.push_back(choice);
                 }
             }
             assert_exactly_one(options);
@@ -329,7 +542,8 @@ struct ProgramEncoding::Build {
             if (!elt::is_data_access(p.event(e).kind)) {
                 continue;
             }
-            std::vector<ExprId> options;
+            std::vector<ExprId>& options = options_buf;
+            options.clear();
             for (EventId w = 0; w < n; ++w) {
                 const Event& we = p.event(w);
                 if (we.kind != EventKind::kRptw || we.thread != p.event(e).thread ||
@@ -354,17 +568,18 @@ struct ProgramEncoding::Build {
                     }
                 }
                 if (!blocked) {
-                    ptw_choice[e][w] = var();
-                    options.push_back(ptw_choice[e][w]);
+                    const ExprId choice = var();
+                    ptw_choice[e].insert(w, choice);
+                    options.push_back(choice);
                 }
             }
             assert_exactly_one(options);
             // An access that invoked its own walk must use it.
             const EventId own = p.rptw_of(e);
             if (own != kNone) {
-                const auto it = ptw_choice[e].find(own);
-                TF_ASSERT(it != ptw_choice[e].end());
-                factory.assert_true(it->second, &solver);
+                const ExprId* choice = ptw_choice[e].find(own);
+                TF_ASSERT(choice != nullptr);
+                factory.assert_true(*choice, &solver);
             }
         }
     }
@@ -393,12 +608,15 @@ struct ProgramEncoding::Build {
             }
             assert_exactly_one(pa[e]);
             prov_init[e] = var();
-            std::vector<ExprId> options{prov_init[e]};
+            std::vector<ExprId>& options = options_buf;
+            options.clear();
+            options.push_back(prov_init[e]);
             for (EventId w = 0; w < n; ++w) {
                 if (p.event(w).kind == EventKind::kWpte &&
                     p.event(w).va == ev.va) {
-                    prov[e][w] = var();
-                    options.push_back(prov[e][w]);
+                    const ExprId flag = var();
+                    prov[e].insert(w, flag);
+                    options.push_back(flag);
                 }
             }
             assert_exactly_one(options);
@@ -409,7 +627,7 @@ struct ProgramEncoding::Build {
             switch (ev.kind) {
             case EventKind::kRead:
             case EventKind::kWrite:
-                for (auto& [walk, guard] : ptw_choice[e]) {
+                for (const auto& [walk, guard] : ptw_choice[e]) {
                     link_pa(guard, e, walk);
                     link_prov(guard, e, walk);
                 }
@@ -425,7 +643,7 @@ struct ProgramEncoding::Build {
                 cl_neg(init_choice[e]);
                 cl_pos(prov_init[e]);
                 cl_end();
-                for (auto& [w, guard] : rf_choice[e]) {
+                for (const auto& [w, guard] : rf_choice[e]) {
                     const Event& we = p.event(w);
                     if (we.kind == EventKind::kWpte) {
                         cl_begin();
@@ -464,7 +682,7 @@ struct ProgramEncoding::Build {
             if (!elt::is_data_access(p.event(r).kind)) {
                 continue;
             }
-            for (auto& [w, guard] : rf_choice[r]) {
+            for (const auto& [w, guard] : rf_choice[r]) {
                 for (int k = 0; k < num_pas; ++k) {
                     cl_begin();
                     cl_neg(guard);
@@ -479,9 +697,10 @@ struct ProgramEncoding::Build {
     void
     build_coherence()
     {
-        co = RelExpr::empty(&factory, n);
-        co_pa = RelExpr::empty(&factory, n);
-        std::vector<EventId> writes;
+        co.reset_empty(&factory, n);
+        co_pa.reset_empty(&factory, n);
+        std::vector<EventId>& writes = events_buf;
+        writes.clear();
         for (EventId w = 0; w < n; ++w) {
             if (elt::is_write_like(p.event(w).kind)) {
                 writes.push_back(w);
@@ -569,7 +788,8 @@ struct ProgramEncoding::Build {
                 continue;
             }
             const int va = p.event(d).va;
-            std::vector<EventId> peers;
+            std::vector<EventId>& peers = peers_buf;
+            peers.clear();
             for (EventId w = 0; w < n; ++w) {
                 if (w != d && elt::is_pte_access(p.event(w).kind) &&
                     elt::is_write_like(p.event(w).kind) &&
@@ -621,7 +841,8 @@ struct ProgramEncoding::Build {
         }
         // co_pa: strict total order per (static) target-PA class of Wptes,
         // consistent with co where both orders apply.
-        std::vector<EventId> wptes;
+        std::vector<EventId>& wptes = events_buf;
+        wptes.clear();
         for (EventId w = 0; w < n; ++w) {
             if (p.event(w).kind == EventKind::kWpte) {
                 wptes.push_back(w);
@@ -680,17 +901,17 @@ struct ProgramEncoding::Build {
     build_derived(unsigned needs)
     {
         if (needs & kNeedRf) {
-            rf = RelExpr::empty(&factory, n);
+            rf.reset_empty(&factory, n);
             for (EventId r = 0; r < n; ++r) {
-                for (auto& [w, guard] : rf_choice[r]) {
+                for (const auto& [w, guard] : rf_choice[r]) {
                     rf.set(w, r, factory.mk_or(rf.at(w, r), guard));
                 }
             }
         }
         if (needs & kNeedRfe) {
-            rfe = RelExpr::empty(&factory, n);
+            rfe.reset_empty(&factory, n);
             for (EventId r = 0; r < n; ++r) {
-                for (auto& [w, guard] : rf_choice[r]) {
+                for (const auto& [w, guard] : rf_choice[r]) {
                     if (p.event(w).thread != p.event(r).thread) {
                         rfe.set(w, r, factory.mk_or(rfe.at(w, r), guard));
                     }
@@ -699,7 +920,7 @@ struct ProgramEncoding::Build {
         }
         // fr(r, w') = exists w: rf(w, r) & co(w, w')  |  init(r) & class(r, w').
         if (needs & kNeedFr) {
-            fr = RelExpr::empty(&factory, n);
+            fr.reset_empty(&factory, n);
             for (EventId r = 0; r < n; ++r) {
                 if (!elt::is_read_like(p.event(r).kind)) {
                     continue;
@@ -710,7 +931,7 @@ struct ProgramEncoding::Build {
                     }
                     ExprId acc =
                         factory.mk_and(init_choice[r], same_class(r, w2));
-                    for (auto& [w, guard] : rf_choice[r]) {
+                    for (const auto& [w, guard] : rf_choice[r]) {
                         if (w != w2) {
                             acc = factory.mk_or(
                                 acc, factory.mk_and(guard, co.at(w, w2)));
@@ -722,7 +943,7 @@ struct ProgramEncoding::Build {
         }
         // po_loc over extended order.
         if (needs & kNeedPoLoc) {
-            po_loc = RelExpr::empty(&factory, n);
+            po_loc.reset_empty(&factory, n);
             for (EventId a = 0; a < n; ++a) {
                 for (EventId b = 0; b < n; ++b) {
                     if (a != b && elt::is_memory(p.event(a).kind) &&
@@ -732,9 +953,9 @@ struct ProgramEncoding::Build {
                 }
             }
         }
-        // Constants: po (transitive), remap, ppo, fence.
+        // Constants: po (transitive), po_mem, remap, ppo, fence, rmw, ghost.
         if (needs & kNeedPoConst) {
-            po_const = RelExpr::empty(&factory, n);
+            po_const.reset_empty(&factory, n);
             for (int t = 0; t < p.num_threads(); ++t) {
                 const auto& seq = p.thread(t);
                 for (std::size_t i = 0; i < seq.size(); ++i) {
@@ -744,8 +965,22 @@ struct ProgramEncoding::Build {
                 }
             }
         }
+        if (needs & kNeedPoMemConst) {
+            // Extended program order over memory events, ghosts included —
+            // the same pairs the concrete evaluator's po_mem base and the
+            // hardwired SC causality's `full` relation enumerate.
+            po_mem_const.reset_empty(&factory, n);
+            for (EventId a = 0; a < n; ++a) {
+                for (EventId b = 0; b < n; ++b) {
+                    if (a != b && elt::is_memory(p.event(a).kind) &&
+                        elt::is_memory(p.event(b).kind) && p.precedes(a, b)) {
+                        po_mem_const.set(a, b, rel::kTrueExpr);
+                    }
+                }
+            }
+        }
         if (needs & kNeedRemapConst) {
-            remap_const = RelExpr::empty(&factory, n);
+            remap_const.reset_empty(&factory, n);
             for (EventId i = 0; i < n; ++i) {
                 const Event& e = p.event(i);
                 if (e.kind == EventKind::kInvlpg && e.remap_src != kNone) {
@@ -753,9 +988,23 @@ struct ProgramEncoding::Build {
                 }
             }
         }
+        if (needs & kNeedRmwConst) {
+            rmw_const.reset_empty(&factory, n);
+            for (const auto& [r, w] : p.rmw_pairs()) {
+                rmw_const.set(r, w, rel::kTrueExpr);
+            }
+        }
+        if (needs & kNeedGhostConst) {
+            ghost_const.reset_empty(&factory, n);
+            for (EventId i = 0; i < n; ++i) {
+                if (elt::is_ghost(p.event(i).kind)) {
+                    ghost_const.set(p.event(i).parent, i, rel::kTrueExpr);
+                }
+            }
+        }
         if (needs & kNeedPpoFenceConst) {
-            ppo_const = RelExpr::empty(&factory, n);
-            fence_const = RelExpr::empty(&factory, n);
+            ppo_const.reset_empty(&factory, n);
+            fence_const.reset_empty(&factory, n);
             for (EventId a = 0; a < n; ++a) {
                 for (EventId b = 0; b < n; ++b) {
                     if (a == b || !elt::is_memory(p.event(a).kind) ||
@@ -781,26 +1030,26 @@ struct ProgramEncoding::Build {
             // "define your own MTM" API): their relations are simply empty
             // here, exactly as the eager builder produced them.
             if (needs & (kNeedRfPtw | kNeedPtwSource)) {
-                rf_ptw_rel = RelExpr::empty(&factory, n);
-                ptw_source = RelExpr::empty(&factory, n);
+                rf_ptw_rel.reset_empty(&factory, n);
+                ptw_source.reset_empty(&factory, n);
             }
             if (needs & kNeedRfPa) {
-                rf_pa = RelExpr::empty(&factory, n);
+                rf_pa.reset_empty(&factory, n);
             }
             if (needs & kNeedFrVa) {
-                fr_va = RelExpr::empty(&factory, n);
+                fr_va.reset_empty(&factory, n);
             }
             if (needs & kNeedFrPa) {
-                fr_pa = RelExpr::empty(&factory, n);
+                fr_pa.reset_empty(&factory, n);
             }
             return;
         }
 
         if (needs & (kNeedRfPtw | kNeedPtwSource)) {
-            rf_ptw_rel = RelExpr::empty(&factory, n);
-            ptw_source = RelExpr::empty(&factory, n);
+            rf_ptw_rel.reset_empty(&factory, n);
+            ptw_source.reset_empty(&factory, n);
             for (EventId e = 0; e < n; ++e) {
-                for (auto& [walk, guard] : ptw_choice[e]) {
+                for (const auto& [walk, guard] : ptw_choice[e]) {
                     rf_ptw_rel.set(
                         walk, e, factory.mk_or(rf_ptw_rel.at(walk, e), guard));
                     const EventId walker = p.event(walk).parent;
@@ -813,19 +1062,19 @@ struct ProgramEncoding::Build {
             }
         }
         if (needs & kNeedRfPa) {
-            rf_pa = RelExpr::empty(&factory, n);
+            rf_pa.reset_empty(&factory, n);
             for (EventId e = 0; e < n; ++e) {
                 if (!elt::is_data_access(p.event(e).kind)) {
                     continue;
                 }
-                for (auto& [wpte, flag] : prov[e]) {
+                for (const auto& [wpte, flag] : prov[e]) {
                     rf_pa.set(wpte, e, flag);
                 }
             }
         }
         // fr_va: later Wptes (in PTE-location coherence) remapping e's VA.
         if (needs & kNeedFrVa) {
-            fr_va = RelExpr::empty(&factory, n);
+            fr_va.reset_empty(&factory, n);
             for (EventId e = 0; e < n; ++e) {
                 if (!elt::is_data_access(p.event(e).kind)) {
                     continue;
@@ -837,7 +1086,7 @@ struct ProgramEncoding::Build {
                         continue;
                     }
                     ExprId acc = prov_init[e];
-                    for (auto& [wpte, flag] : prov[e]) {
+                    for (const auto& [wpte, flag] : prov[e]) {
                         if (wpte != w2) {
                             acc = factory.mk_or(
                                 acc, factory.mk_and(flag, co.at(wpte, w2)));
@@ -850,7 +1099,7 @@ struct ProgramEncoding::Build {
         // fr_pa: co_pa-successors of the provenance (initial mapping
         // precedes every alias creation for its PA).
         if (needs & kNeedFrPa) {
-            fr_pa = RelExpr::empty(&factory, n);
+            fr_pa.reset_empty(&factory, n);
             for (EventId e = 0; e < n; ++e) {
                 if (!elt::is_data_access(p.event(e).kind)) {
                     continue;
@@ -864,7 +1113,7 @@ struct ProgramEncoding::Build {
                                                 pa[e].empty()
                                                     ? rel::kFalseExpr
                                                     : pa[e][we2.map_pa]);
-                    for (auto& [wpte, flag] : prov[e]) {
+                    for (const auto& [wpte, flag] : prov[e]) {
                         if (wpte != w2 &&
                             p.event(wpte).map_pa == we2.map_pa) {
                             acc = factory.mk_or(
@@ -884,11 +1133,102 @@ struct ProgramEncoding::Build {
         // the dynamic placement rules were asserted inline above.
     }
 
+    // ------------------------------------------------------------------
+    // Generic `.mtm` expression lowering — the symbolic twin of
+    // spec/eval.cpp. Base relations map onto the circuits above; the
+    // relational operators map 1:1 onto rel::RelExpr's algebra. Nodes are
+    // memoized per Build so a let body shared by several references (the
+    // AST is a DAG) compiles once.
+    // ------------------------------------------------------------------
+
+    const RelExpr&
+    base_circuit(spec::BaseRel base)
+    {
+        // Resolved through the same table that produced the need bits, so
+        // a circuit can never be read without having been (re)built for
+        // this query.
+        return pool.*(base_rel_info(base).circuit);
+    }
+
+    RelExpr
+    set_identity(spec::EventSet set)
+    {
+        RelExpr id = RelExpr::empty(&factory, n);
+        for (EventId a = 0; a < n; ++a) {
+            if (spec::event_in_set(set, p.event(a).kind)) {
+                id.set(a, a, rel::kTrueExpr);
+            }
+        }
+        return id;
+    }
+
+    RelExpr
+    compile_expr(const spec::Expr& e)
+    {
+        for (const auto& [node, circuit] : expr_memo) {
+            if (node == &e) {
+                return circuit;
+            }
+        }
+        RelExpr result;
+        switch (e.op) {
+        case spec::ExprOp::kBase:
+            result = base_circuit(e.base);
+            break;
+        case spec::ExprOp::kEmpty:
+            result = RelExpr::empty(&factory, n);
+            break;
+        case spec::ExprOp::kIdSet:
+            result = set_identity(e.set);
+            break;
+        case spec::ExprOp::kUnion:
+            result = compile_expr(*e.lhs).rel_union(&factory,
+                                                    compile_expr(*e.rhs));
+            break;
+        case spec::ExprOp::kIntersect:
+            result = compile_expr(*e.lhs).rel_intersect(&factory,
+                                                        compile_expr(*e.rhs));
+            break;
+        case spec::ExprOp::kMinus:
+            result = compile_expr(*e.lhs).rel_minus(&factory,
+                                                    compile_expr(*e.rhs));
+            break;
+        case spec::ExprOp::kJoin:
+            result =
+                compile_expr(*e.lhs).join(&factory, compile_expr(*e.rhs));
+            break;
+        case spec::ExprOp::kTranspose:
+            result = compile_expr(*e.lhs).transpose(&factory);
+            break;
+        case spec::ExprOp::kClosure:
+            result = compile_expr(*e.lhs).closure(&factory);
+            break;
+        case spec::ExprOp::kLetRef:
+            result = compile_expr(*e.lhs);
+            break;
+        }
+        expr_memo.emplace_back(&e, result);
+        return result;
+    }
+
     /// Circuit stating that the given axiom HOLDS.
     ExprId
-    axiom_circuit(AxiomTag tag)
+    axiom_circuit(const Axiom& axiom)
     {
-        switch (tag) {
+        if (axiom.tag == AxiomTag::kExpr) {
+            TF_ASSERT(axiom.def != nullptr && axiom.def->expr != nullptr);
+            const RelExpr r = compile_expr(*axiom.def->expr);
+            switch (axiom.def->form) {
+            case spec::AxiomForm::kAcyclic:
+                return r.acyclic(&factory);
+            case spec::AxiomForm::kIrreflexive:
+                return r.irreflexive(&factory);
+            case spec::AxiomForm::kEmpty:
+                return r.is_empty(&factory);
+            }
+            TF_PANIC("unknown axiom form");
+        }
+        switch (axiom.tag) {
         case AxiomTag::kScPerLoc:
             return rel::acyclic_union(&factory, {&rf, &co, &fr, &po_loc});
         case AxiomTag::kRmwAtomicity: {
@@ -925,6 +1265,8 @@ struct ProgramEncoding::Build {
                                       {&fr_va, &po_const, &remap_const});
         case AxiomTag::kTlbCausality:
             return rel::acyclic_union(&factory, {&ptw_source, &rf, &co, &fr});
+        case AxiomTag::kExpr:
+            break;  // handled above
         }
         TF_PANIC("unknown axiom tag");
     }
@@ -1056,8 +1398,8 @@ ProgramEncoding::find_violating(const std::string& axiom_name)
 {
     const Axiom* axiom = model_->axiom(axiom_name);
     TF_ASSERT(axiom != nullptr);
-    Build b(program_, model_->vm_aware(), needs_for(axiom->tag), scratch_);
-    b.factory.assert_true(b.factory.mk_not(b.axiom_circuit(axiom->tag)),
+    Build b(program_, model_->vm_aware(), needs_for(*axiom), scratch_);
+    b.factory.assert_true(b.factory.mk_not(b.axiom_circuit(*axiom)),
                           &b.solver);
     stats_.variables = b.solver.num_vars();
     stats_.circuit_nodes = static_cast<int>(b.factory.num_nodes());
@@ -1074,11 +1416,11 @@ ProgramEncoding::exists_permitted()
 {
     unsigned needs = 0;
     for (const Axiom& axiom : model_->axioms()) {
-        needs |= needs_for(axiom.tag);
+        needs |= needs_for(axiom);
     }
     Build b(program_, model_->vm_aware(), needs, scratch_);
     for (const Axiom& axiom : model_->axioms()) {
-        b.factory.assert_true(b.axiom_circuit(axiom.tag), &b.solver);
+        b.factory.assert_true(b.axiom_circuit(axiom), &b.solver);
     }
     stats_.variables = b.solver.num_vars();
     stats_.circuit_nodes = static_cast<int>(b.factory.num_nodes());
@@ -1104,9 +1446,9 @@ ProgramEncoding::enumerate(const std::string& violating_axiom,
         TF_ASSERT(axiom != nullptr);
     }
     Build b(program_, model_->vm_aware(),
-            axiom == nullptr ? 0u : needs_for(axiom->tag), scratch_);
+            axiom == nullptr ? 0u : needs_for(*axiom), scratch_);
     if (axiom != nullptr) {
-        b.factory.assert_true(b.factory.mk_not(b.axiom_circuit(axiom->tag)),
+        b.factory.assert_true(b.factory.mk_not(b.axiom_circuit(*axiom)),
                               &b.solver);
     }
     stats_.variables = b.solver.num_vars();

@@ -42,15 +42,28 @@ struct EncodingStats {
     std::uint64_t models = 0;
 };
 
-/// Reusable substrate for ProgramEncoding queries: the expression arena and
-/// the CDCL solver, reset (capacities kept) at the start of every query.
-/// The synthesis engine owns one per worker and threads it through
-/// millions of per-program encodings; without one, each ProgramEncoding
-/// query builds and tears down both objects. Not shareable between
-/// concurrent queries.
+/// Reusable substrate for ProgramEncoding queries: the expression arena,
+/// the CDCL solver, and the per-query Build containers (witness-choice
+/// maps, one-hot PA vectors, derived-relation RelExpr matrices), all reset
+/// with capacities kept at the start of every query. The synthesis engine
+/// owns one per worker and threads it through millions of per-program
+/// encodings; without one, each ProgramEncoding query builds and tears
+/// down everything. Not shareable between concurrent queries.
 struct EncodingScratch {
+    EncodingScratch();
+    ~EncodingScratch();
+    EncodingScratch(const EncodingScratch&) = delete;
+    EncodingScratch& operator=(const EncodingScratch&) = delete;
+    EncodingScratch(EncodingScratch&&) noexcept;
+    EncodingScratch& operator=(EncodingScratch&&) noexcept;
+
     rel::BoolFactory factory;
     sat::Solver solver;
+
+    /// The pooled Build containers (opaque here: the layout is a private
+    /// contract of encoding.cpp).
+    struct Pool;
+    std::unique_ptr<Pool> pool;
 };
 
 /// Relational encoding of one program's execution space under a model.

@@ -19,11 +19,17 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "elt/derive.h"
 #include "elt/execution.h"
+
+namespace transform::spec {
+struct AxiomDef;
+struct ModelSpec;
+}  // namespace transform::spec
 
 namespace transform::mtm {
 
@@ -37,6 +43,10 @@ enum class AxiomTag {
     kCausalitySc,
     kInvlpg,
     kTlbCausality,
+    /// A user-defined axiom from a `.mtm` specification: the condition is
+    /// the relational expression in Axiom::def, which the encoding backend
+    /// lowers to circuits generically — no bespoke circuit required.
+    kExpr,
 };
 
 /// Bitset of violated axioms, indexed by a model's axiom order: bit i set
@@ -57,6 +67,10 @@ struct Axiom {
     std::function<bool(const elt::Program&, const elt::DerivedRelations&,
                        elt::CycleScratch* scratch)>
         holds;
+    /// For tag == kExpr: the parsed condition (form + relational
+    /// expression) both backends evaluate. Shared, immutable, and also
+    /// captured by `holds`, so copying a Model keeps the two in sync.
+    std::shared_ptr<const spec::AxiomDef> def = {};
 };
 
 /// A memory (transistency) model: a named conjunction of axioms.
@@ -108,10 +122,24 @@ class Model {
         return violated_axioms(e).empty();
     }
 
+    /// The parsed `.mtm` specification this model was compiled from (null
+    /// for the hardwired builtins and for copies made through the 3-arg
+    /// constructor). Consulted only by the spec printers — never on the
+    /// synthesis hot path.
+    const std::shared_ptr<const spec::ModelSpec>& source_spec() const
+    {
+        return source_spec_;
+    }
+    void set_source_spec(std::shared_ptr<const spec::ModelSpec> spec)
+    {
+        source_spec_ = std::move(spec);
+    }
+
   private:
     std::string name_;
     bool vm_aware_;
     std::vector<Axiom> axioms_;
+    std::shared_ptr<const spec::ModelSpec> source_spec_;
 };
 
 /// The x86-TSO consistency model (sc_per_loc, rmw_atomicity, causality).

@@ -113,6 +113,14 @@ RelExpr::empty(BoolFactory* factory, int universe_size)
     return r;
 }
 
+void
+RelExpr::reset_empty(BoolFactory* factory, int universe_size)
+{
+    n_ = universe_size;
+    entries_.assign(static_cast<std::size_t>(universe_size) * universe_size,
+                    factory->mk_const(false));
+}
+
 RelExpr
 RelExpr::constant(BoolFactory* factory, int universe_size,
                   const std::vector<std::pair<int, int>>& pairs)

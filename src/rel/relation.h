@@ -57,6 +57,12 @@ class RelExpr {
     /// The empty binary relation.
     static RelExpr empty(BoolFactory* factory, int universe_size);
 
+    /// Re-initializes THIS relation to the empty relation over
+    /// \p universe_size atoms, reusing the entry matrix's capacity — the
+    /// pooled form of empty() for callers (mtm::EncodingScratch) that
+    /// rebuild relations per query without reallocating.
+    void reset_empty(BoolFactory* factory, int universe_size);
+
     /// A constant relation holding the listed (from, to) pairs.
     static RelExpr constant(BoolFactory* factory, int universe_size,
                             const std::vector<std::pair<int, int>>& pairs);

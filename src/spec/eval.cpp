@@ -1,0 +1,378 @@
+#include "spec/eval.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace transform::spec {
+
+using elt::CycleScratch;
+using elt::DerivedRelations;
+using elt::Edge;
+using elt::EdgeSet;
+using elt::EventId;
+using elt::EventKind;
+using elt::Program;
+
+bool
+event_in_set(EventSet set, EventKind kind)
+{
+    switch (set) {
+    case EventSet::kRead:
+        return elt::is_read_like(kind);
+    case EventSet::kWrite:
+        return elt::is_write_like(kind);
+    case EventSet::kMemory:
+        return elt::is_memory(kind);
+    case EventSet::kData:
+        return elt::is_data_access(kind);
+    case EventSet::kPte:
+        return elt::is_pte_access(kind);
+    case EventSet::kFence:
+        return kind == EventKind::kMfence;
+    case EventSet::kWpte:
+        return kind == EventKind::kWpte;
+    case EventSet::kInvlpg:
+        return elt::is_tlb_invalidation(kind);
+    case EventSet::kRptw:
+        return kind == EventKind::kRptw;
+    case EventSet::kWdb:
+        return kind == EventKind::kWdb;
+    case EventSet::kRdb:
+        return kind == EventKind::kRdb;
+    case EventSet::kGhost:
+        return elt::is_ghost(kind);
+    case EventSet::kUser:
+        return elt::is_user(kind);
+    }
+    TF_PANIC("unknown event set");
+}
+
+namespace {
+
+/// Pool-slot handles are indices: CycleScratch::spec_pool may reallocate
+/// while children evaluate, so references must be re-fetched through the
+/// evaluator after any acquire.
+using Slot = std::size_t;
+
+struct Evaluator {
+    const Program& p;
+    const DerivedRelations& d;
+    CycleScratch& scratch;
+    const int n;
+
+    static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+
+    /// Pinned results for `let` bodies, keyed by body node. The AST is a
+    /// DAG only through lets (the parser shares each body across its
+    /// references), so evaluating every distinct body once — pinned below
+    /// the expression stack, copied on reference — makes evaluation linear
+    /// in the DAG instead of exponential in the let-chain depth.
+    std::size_t
+    pinned_slot(const Expr* body) const
+    {
+        for (const auto& [key, slot] : scratch.spec_memo) {
+            if (key == body) {
+                return slot;
+            }
+        }
+        return kNoSlot;
+    }
+
+    /// Evaluates and pins every distinct let body reachable from \p e,
+    /// dependencies first (a body may reference earlier lets). Each pinned
+    /// slot stays live until the caller unwinds the arena.
+    void
+    pin_let_bodies(const Expr& e)
+    {
+        if (e.op == ExprOp::kLetRef) {
+            const Expr* body = e.lhs.get();
+            if (pinned_slot(body) == kNoSlot) {
+                pin_let_bodies(*body);
+                const Slot slot = eval(*body);
+                scratch.spec_memo.emplace_back(body, slot);
+            }
+            return;
+        }
+        if (e.lhs != nullptr) {
+            pin_let_bodies(*e.lhs);
+        }
+        if (e.rhs != nullptr) {
+            pin_let_bodies(*e.rhs);
+        }
+    }
+
+    Slot
+    acquire()
+    {
+        if (scratch.spec_pool_live == scratch.spec_pool.size()) {
+            scratch.spec_pool.emplace_back();
+        }
+        const Slot slot = scratch.spec_pool_live++;
+        scratch.spec_pool[slot].clear();
+        return slot;
+    }
+
+    EdgeSet&
+    at(Slot slot)
+    {
+        return scratch.spec_pool[slot];
+    }
+
+    void
+    release_to(Slot mark)
+    {
+        scratch.spec_pool_live = mark;
+    }
+
+    static void
+    normalize(EdgeSet* edges)
+    {
+        std::sort(edges->begin(), edges->end());
+        edges->erase(std::unique(edges->begin(), edges->end()), edges->end());
+    }
+
+    /// The base relation's edges, sorted. po_mem is synthesized from the
+    /// program (no DerivedRelations field stores it); everything else is a
+    /// copy of the corresponding derived field.
+    void
+    base_into(BaseRel base, EdgeSet* out)
+    {
+        const EdgeSet* source = nullptr;
+        switch (base) {
+        case BaseRel::kPo: source = &d.po; break;
+        case BaseRel::kPoLoc: source = &d.po_loc; break;
+        case BaseRel::kRf: source = &d.rf; break;
+        case BaseRel::kRfe: source = &d.rfe; break;
+        case BaseRel::kCo: source = &d.co; break;
+        case BaseRel::kFr: source = &d.fr; break;
+        case BaseRel::kPpo: source = &d.ppo; break;
+        case BaseRel::kFence: source = &d.fence; break;
+        case BaseRel::kRmw: source = &d.rmw; break;
+        case BaseRel::kGhost: source = &d.ghost; break;
+        case BaseRel::kRfPtw: source = &d.rf_ptw; break;
+        case BaseRel::kRfPa: source = &d.rf_pa; break;
+        case BaseRel::kCoPa: source = &d.co_pa; break;
+        case BaseRel::kFrPa: source = &d.fr_pa; break;
+        case BaseRel::kFrVa: source = &d.fr_va; break;
+        case BaseRel::kRemap: source = &d.remap; break;
+        case BaseRel::kPtwSource: source = &d.ptw_source; break;
+        case BaseRel::kPoMem:
+            for (EventId a = 0; a < n; ++a) {
+                if (!elt::is_memory(p.event(a).kind)) {
+                    continue;
+                }
+                for (EventId b = 0; b < n; ++b) {
+                    if (a != b && elt::is_memory(p.event(b).kind) &&
+                        p.precedes(a, b)) {
+                        out->emplace_back(a, b);
+                    }
+                }
+            }
+            normalize(out);
+            return;
+        }
+        TF_ASSERT(source != nullptr);
+        out->assign(source->begin(), source->end());
+        normalize(out);
+    }
+
+    /// Evaluates \p e into a freshly acquired slot and returns it. Child
+    /// slots are released before returning, so the live-slot high-water
+    /// mark tracks expression depth, not node count.
+    Slot
+    eval(const Expr& e)
+    {
+        switch (e.op) {
+        case ExprOp::kBase: {
+            const Slot out = acquire();
+            base_into(e.base, &at(out));
+            return out;
+        }
+        case ExprOp::kEmpty:
+            return acquire();
+        case ExprOp::kIdSet: {
+            const Slot out = acquire();
+            for (EventId a = 0; a < n; ++a) {
+                if (event_in_set(e.set, p.event(a).kind)) {
+                    at(out).emplace_back(a, a);
+                }
+            }
+            return out;
+        }
+        case ExprOp::kUnion: {
+            const Slot lhs = eval(*e.lhs);
+            const Slot rhs = eval(*e.rhs);
+            const Slot out = acquire();
+            std::set_union(at(lhs).begin(), at(lhs).end(), at(rhs).begin(),
+                           at(rhs).end(), std::back_inserter(at(out)));
+            collapse(lhs, out);
+            return lhs;
+        }
+        case ExprOp::kIntersect: {
+            const Slot lhs = eval(*e.lhs);
+            const Slot rhs = eval(*e.rhs);
+            const Slot out = acquire();
+            std::set_intersection(at(lhs).begin(), at(lhs).end(),
+                                  at(rhs).begin(), at(rhs).end(),
+                                  std::back_inserter(at(out)));
+            collapse(lhs, out);
+            return lhs;
+        }
+        case ExprOp::kMinus: {
+            const Slot lhs = eval(*e.lhs);
+            const Slot rhs = eval(*e.rhs);
+            const Slot out = acquire();
+            std::set_difference(at(lhs).begin(), at(lhs).end(),
+                                at(rhs).begin(), at(rhs).end(),
+                                std::back_inserter(at(out)));
+            collapse(lhs, out);
+            return lhs;
+        }
+        case ExprOp::kJoin: {
+            const Slot lhs = eval(*e.lhs);
+            const Slot rhs = eval(*e.rhs);
+            const Slot out = acquire();
+            join_into(at(lhs), at(rhs), &at(out));
+            collapse(lhs, out);
+            return lhs;
+        }
+        case ExprOp::kTranspose: {
+            const Slot inner = eval(*e.lhs);
+            const Slot out = acquire();
+            for (const Edge& edge : at(inner)) {
+                at(out).emplace_back(edge.second, edge.first);
+            }
+            normalize(&at(out));
+            collapse(inner, out);
+            return inner;
+        }
+        case ExprOp::kClosure: {
+            const Slot inner = eval(*e.lhs);
+            closure_in_place(inner);
+            return inner;
+        }
+        case ExprOp::kLetRef: {
+            const std::size_t pinned = pinned_slot(e.lhs.get());
+            if (pinned != kNoSlot) {
+                const Slot out = acquire();
+                at(out) = at(pinned);
+                return out;
+            }
+            // Unpinned bodies only occur when eval is entered without the
+            // pin pass (never through the public entry points).
+            return eval(*e.lhs);
+        }
+        }
+        TF_PANIC("unknown expression op");
+    }
+
+    /// Moves \p out's contents down into \p dst and releases every slot
+    /// above dst — the stack discipline that bounds live slots by depth.
+    void
+    collapse(Slot dst, Slot out)
+    {
+        std::swap(at(dst), at(out));
+        release_to(dst + 1);
+    }
+
+    /// (lhs ; rhs)(a, c) = exists b: lhs(a, b) and rhs(b, c). Both inputs
+    /// sorted; rhs rows are located by binary search, the result is
+    /// re-normalized once.
+    static void
+    join_into(const EdgeSet& lhs, const EdgeSet& rhs, EdgeSet* out)
+    {
+        for (const Edge& l : lhs) {
+            auto it = std::lower_bound(
+                rhs.begin(), rhs.end(), Edge(l.second, 0),
+                [](const Edge& a, const Edge& b) { return a.first < b.first; });
+            for (; it != rhs.end() && it->first == l.second; ++it) {
+                out->emplace_back(l.first, it->second);
+            }
+        }
+        normalize(out);
+    }
+
+    /// Transitive closure by fixpoint: union in (cur ; base) until the edge
+    /// count stops growing. Bounded by n iterations (longest simple path).
+    void
+    closure_in_place(Slot slot)
+    {
+        const Slot base = acquire();
+        at(base) = at(slot);
+        const Slot step = acquire();
+        for (;;) {
+            at(step).clear();
+            join_into(at(slot), at(base), &at(step));
+            const std::size_t before = at(slot).size();
+            const Slot merged = acquire();
+            std::set_union(at(slot).begin(), at(slot).end(), at(step).begin(),
+                           at(step).end(), std::back_inserter(at(merged)));
+            std::swap(at(slot), at(merged));
+            release_to(step + 1);
+            if (at(slot).size() == before) {
+                break;
+            }
+        }
+        release_to(base);
+    }
+};
+
+}  // namespace
+
+bool
+axiom_holds(const AxiomDef& axiom, const Program& program,
+            const DerivedRelations& d, CycleScratch* scratch)
+{
+    CycleScratch local;
+    if (scratch == nullptr) {
+        scratch = &local;
+    }
+    const std::size_t mark = scratch->spec_pool_live;
+    const std::size_t memo_mark = scratch->spec_memo.size();
+    Evaluator eval{program, d, *scratch, program.num_events()};
+    eval.pin_let_bodies(*axiom.expr);
+    const Slot result = eval.eval(*axiom.expr);
+    bool holds = true;
+    switch (axiom.form) {
+    case AxiomForm::kAcyclic: {
+        const EdgeSet* parts[] = {&eval.at(result)};
+        holds = !elt::has_cycle(program.num_events(), parts, 1, scratch);
+        break;
+    }
+    case AxiomForm::kIrreflexive:
+        for (const Edge& edge : eval.at(result)) {
+            if (edge.first == edge.second) {
+                holds = false;
+                break;
+            }
+        }
+        break;
+    case AxiomForm::kEmpty:
+        holds = eval.at(result).empty();
+        break;
+    }
+    scratch->spec_memo.resize(memo_mark);
+    scratch->spec_pool_live = mark;
+    return holds;
+}
+
+void
+eval_expr(const Expr& expr, const Program& program,
+          const DerivedRelations& d, CycleScratch* scratch, EdgeSet* out)
+{
+    CycleScratch local;
+    if (scratch == nullptr) {
+        scratch = &local;
+    }
+    const std::size_t mark = scratch->spec_pool_live;
+    const std::size_t memo_mark = scratch->spec_memo.size();
+    Evaluator eval{program, d, *scratch, program.num_events()};
+    eval.pin_let_bodies(expr);
+    const Slot result = eval.eval(expr);
+    *out = eval.at(result);
+    scratch->spec_memo.resize(memo_mark);
+    scratch->spec_pool_live = mark;
+}
+
+}  // namespace transform::spec

@@ -1,0 +1,39 @@
+/// \file
+/// The concrete interpreter for `.mtm` axioms: evaluates a relational
+/// expression over one candidate execution's elt::DerivedRelations and
+/// decides the axiom's condition (acyclic / irreflexive / empty).
+///
+/// This is the DSL counterpart of the hand-written axiom closures in
+/// mtm/model.cpp and runs in the same place — the synthesis engine's
+/// per-candidate hot path — so it is scratch-threaded and
+/// allocation-conscious: every intermediate edge set comes from the
+/// CycleScratch::spec_pool arena (capacity kept across evaluations), and a
+/// null scratch falls back to a local one, exactly like the hardwired
+/// evaluators. Edge sets are kept sorted and duplicate-free throughout, so
+/// the set algebra is linear merges and the join is a binary-search sweep.
+#pragma once
+
+#include "elt/derive.h"
+#include "elt/execution.h"
+#include "spec/ast.h"
+
+namespace transform::spec {
+
+/// True when \p event's kind belongs to \p set — the single definition both
+/// compilers (concrete and symbolic) share.
+bool event_in_set(EventSet set, elt::EventKind kind);
+
+/// True when the axiom's condition HOLDS on the derived relations of one
+/// well-formed execution. \p scratch may be null (a local scratch is used);
+/// passing the worker's scratch makes repeated evaluations allocation-free.
+bool axiom_holds(const AxiomDef& axiom, const elt::Program& program,
+                 const elt::DerivedRelations& d,
+                 elt::CycleScratch* scratch);
+
+/// Materializes the expression's edge set (sorted, duplicate-free) into
+/// \p out — the debugging / testing entry point.
+void eval_expr(const Expr& expr, const elt::Program& program,
+               const elt::DerivedRelations& d, elt::CycleScratch* scratch,
+               elt::EdgeSet* out);
+
+}  // namespace transform::spec

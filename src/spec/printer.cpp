@@ -1,0 +1,122 @@
+#include "spec/printer.h"
+
+#include <sstream>
+
+namespace transform::spec {
+
+namespace {
+
+/// Binding strength, loosest first. Atoms (base relations, `[S]`, `0`,
+/// let references) never need parentheses.
+int
+level_of(const Expr& e)
+{
+    switch (e.op) {
+    case ExprOp::kUnion:
+        return 1;
+    case ExprOp::kIntersect:
+    case ExprOp::kMinus:
+        return 2;
+    case ExprOp::kJoin:
+        return 3;
+    case ExprOp::kTranspose:
+    case ExprOp::kClosure:
+        return 4;
+    case ExprOp::kBase:
+    case ExprOp::kEmpty:
+    case ExprOp::kIdSet:
+    case ExprOp::kLetRef:
+        return 5;
+    }
+    return 5;
+}
+
+void
+print(const Expr& e, int min_level, std::ostream& out)
+{
+    const int level = level_of(e);
+    const bool parens = level < min_level;
+    if (parens) {
+        out << "(";
+    }
+    switch (e.op) {
+    case ExprOp::kUnion:
+    case ExprOp::kIntersect:
+    case ExprOp::kMinus: {
+        // Left-associative: the left child may sit at the same level, the
+        // right child must bind strictly tighter to re-parse identically.
+        const char* op = e.op == ExprOp::kUnion
+                             ? "|"
+                             : e.op == ExprOp::kIntersect ? "&" : "\\";
+        print(*e.lhs, level, out);
+        out << " " << op << " ";
+        print(*e.rhs, level + 1, out);
+        break;
+    }
+    case ExprOp::kJoin:
+        print(*e.lhs, level, out);
+        out << " ; ";
+        print(*e.rhs, level + 1, out);
+        break;
+    case ExprOp::kTranspose:
+        print(*e.lhs, level, out);
+        out << "^-1";
+        break;
+    case ExprOp::kClosure:
+        print(*e.lhs, level, out);
+        out << "^+";
+        break;
+    case ExprOp::kBase:
+        out << base_rel_name(e.base);
+        break;
+    case ExprOp::kEmpty:
+        out << "0";
+        break;
+    case ExprOp::kIdSet:
+        out << "[" << event_set_name(e.set) << "]";
+        break;
+    case ExprOp::kLetRef:
+        out << e.let_name;
+        break;
+    }
+    if (parens) {
+        out << ")";
+    }
+}
+
+}  // namespace
+
+std::string
+expr_to_source(const Expr& expr)
+{
+    std::ostringstream out;
+    print(expr, 0, out);
+    return out.str();
+}
+
+std::string
+model_to_source(const ModelSpec& spec)
+{
+    std::ostringstream out;
+    out << "model " << spec.name << "\n";
+    out << "vm " << (spec.vm ? "on" : "off") << "\n";
+    if (!spec.lets.empty()) {
+        out << "\n";
+        for (const LetDef& let : spec.lets) {
+            out << "let " << let.name << " = " << expr_to_source(*let.expr)
+                << "\n";
+        }
+    }
+    out << "\n";
+    for (const AxiomDef& axiom : spec.axioms) {
+        out << "axiom " << axiom.name;
+        if (!axiom.description.empty()) {
+            out << " \"" << axiom.description << "\"";
+        }
+        out << ": " << axiom_form_name(axiom.form) << "("
+            << expr_to_source(*axiom.expr) << ")\n";
+    }
+    return out.str();
+}
+
+}  // namespace transform::spec

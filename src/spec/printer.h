@@ -1,0 +1,22 @@
+/// \file
+/// Canonical `.mtm` source emission from a parsed ModelSpec — the inverse
+/// of spec/parser.h. Printing is canonical (one space between tokens,
+/// parentheses only where precedence demands them, one declaration per
+/// line), so parse-print-parse reaches a fixed point after one round trip:
+/// print(parse(print(parse(s)))) == print(parse(s)) for every valid s.
+/// The golden round-trip tests hold every zoo model to that contract.
+#pragma once
+
+#include <string>
+
+#include "spec/ast.h"
+
+namespace transform::spec {
+
+/// Renders one expression in canonical concrete syntax.
+std::string expr_to_source(const Expr& expr);
+
+/// Renders the whole model file in canonical form.
+std::string model_to_source(const ModelSpec& spec);
+
+}  // namespace transform::spec

@@ -1,0 +1,54 @@
+/// \file
+/// The model registry: one place that resolves `--model <name|path>` for
+/// every tool and test.
+///
+/// Three tiers, searched in order:
+///  1. the hardwired C++ builtins (x86tso, x86t_elt, sc_t_elt) — kept as
+///     the defaults and as the cross-check oracles for their DSL twins;
+///  2. the embedded `.mtm` zoo (the same sources checked in under
+///     examples/models/; a golden test keeps file and embedding identical),
+///     addressable with or without the `.mtm` suffix — e.g. `sc` or
+///     `sc.mtm`;
+///  3. the filesystem: anything else is read as a path to a `.mtm` file.
+///
+/// Parse failures come back as positioned diagnostics
+/// (`origin:line:col: error: ...`), which the tools print to stderr before
+/// exiting 2 — the tool_args.h strictness convention.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mtm/model.h"
+
+namespace transform::spec {
+
+/// One embedded zoo model: its registry name (the `.mtm` filename), the
+/// full source text, and a one-line summary for --list-models.
+struct RegistryEntry {
+    const char* name;     ///< e.g. "x86t_elt.mtm"
+    const char* summary;
+    const char* source;
+};
+
+/// Every embedded `.mtm` source, in listing order.
+const std::vector<RegistryEntry>& registry_entries();
+
+/// A resolved model plus where it came from.
+struct ResolvedModel {
+    mtm::Model model;
+    bool from_spec = false;  ///< true when compiled from a `.mtm` source
+    std::string origin;      ///< "builtin", "registry:<name>", or the path
+};
+
+/// Resolves \p name_or_path through the three tiers. On failure returns
+/// nullopt and sets \p error to a printable message (positioned for parse
+/// errors, "unknown model" + the available names otherwise).
+std::optional<ResolvedModel> resolve_model(const std::string& name_or_path,
+                                           std::string* error);
+
+/// Human-readable listing of every resolvable name (for --list-models).
+std::string list_models_text();
+
+}  // namespace transform::spec

@@ -9,7 +9,12 @@
 ///
 ///   elt_check test.litmus
 ///   elt_check --model sc_t_elt execution.xml
+///   elt_check --model examples/models/pso.mtm test.litmus
 ///   elt_check --jobs 0 suites/invlpg/*.litmus
+///
+/// --model accepts the same names as elt_synth: a hardwired builtin, a
+/// registry `.mtm` model, or a path to a `.mtm` specification file
+/// (malformed files exit 2 with a file:line:col diagnostic).
 ///
 /// Several files are checked concurrently on the shared work-stealing pool
 /// (src/sched/ v2, Chase-Lev deques; --jobs N workers, 0 = one per
@@ -29,6 +34,7 @@
 #include "elt/serialize.h"
 #include "mtm/model.h"
 #include "sched/scheduler.h"
+#include "spec/registry.h"
 #include "synth/exec_enum.h"
 #include "synth/minimality.h"
 #include "tool_args.h"
@@ -36,18 +42,6 @@
 namespace {
 
 using namespace transform;
-
-mtm::Model
-make_model(const std::string& name)
-{
-    if (name == "x86tso") {
-        return mtm::x86tso();
-    }
-    if (name == "sc_t_elt") {
-        return mtm::sc_t_elt();
-    }
-    return mtm::x86t_elt();
-}
 
 /// printf-style append to a report buffer (reports are built off-thread and
 /// printed in input order once every file is checked). For short formatted
@@ -111,7 +105,7 @@ check_program(const mtm::Model& model, const elt::Program& program,
 /// Checks one file end-to-end. Normal output goes to \p out, error lines to
 /// \p err; returns the process exit code contribution.
 int
-check_file(const std::string& model_name, const std::string& path,
+check_file(const mtm::Model& model, const std::string& path,
            std::string* out, std::string* err)
 {
     std::ifstream in(path);
@@ -122,7 +116,6 @@ check_file(const std::string& model_name, const std::string& path,
     std::stringstream buffer;
     buffer << in.rdbuf();
     const std::string text = buffer.str();
-    const mtm::Model model = make_model(model_name);
 
     if (text.find("<elt") != std::string::npos) {
         const auto execution = elt::execution_from_xml(text);
@@ -190,6 +183,15 @@ main(int argc, char** argv)
                      "usage: elt_check [--model NAME] [--jobs N] <file>...\n");
         return 2;
     }
+    std::string model_error;
+    const auto resolved = spec::resolve_model(model_name, &model_error);
+    if (!resolved.has_value()) {
+        std::fprintf(stderr, "%s\n", model_error.c_str());
+        return 2;
+    }
+    // One shared model: the axiom closures are stateless, so concurrent
+    // checks through a const reference are safe.
+    const mtm::Model& model = resolved->model;
 
     struct Report {
         int rc = 0;
@@ -201,8 +203,8 @@ main(int argc, char** argv)
     std::vector<sched::WorkStealingPool::Job> batch;
     batch.reserve(paths.size());
     for (std::size_t i = 0; i < paths.size(); ++i) {
-        batch.push_back([&model_name, &paths, &reports, i](int) {
-            reports[i].rc = check_file(model_name, paths[i],
+        batch.push_back([&model, &paths, &reports, i](int) {
+            reports[i].rc = check_file(model, paths[i],
                                        &reports[i].out, &reports[i].err);
         });
     }

@@ -7,10 +7,15 @@
 ///
 ///   elt_synth --axiom invlpg --bound 5
 ///   elt_synth --model sc_t_elt --all --bound 6 --out suites/
+///   elt_synth --model examples/models/pso_t_elt.mtm --bound 4
+///   elt_synth --list-models
 ///   elt_synth --list-axioms
 ///
 /// Flags:
-///   --model NAME      x86t_elt (default) | x86tso | sc_t_elt
+///   --model NAME|PATH x86t_elt (default) | any builtin or registry model
+///                     name | a path to a .mtm specification file (see
+///                     docs/models.md; malformed files exit 2 with a
+///                     file:line:col diagnostic)
 ///   --axiom NAME      target axiom (default: every axiom, as --all)
 ///   --all             synthesize every per-axiom suite
 ///   --bound N         instruction bound, ghosts included (default 5)
@@ -32,6 +37,8 @@
 ///   --out DIR         write <suite>/<n>.litmus and .xml files
 ///   --quiet           summary only (no test listings)
 ///   --spec            print the model as an Alloy-style module and exit
+///   --spec-mtm        print the model as .mtm DSL source and exit
+///   --list-models     list every resolvable --model name and exit
 ///
 /// Numeric flags are validated strictly (std::from_chars, tool_args.h):
 /// trailing junk, hex/garbage, or out-of-range values are usage errors,
@@ -46,6 +53,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -56,6 +64,7 @@
 #include "mtm/model.h"
 #include "mtm/spec_printer.h"
 #include "sched/scheduler.h"
+#include "spec/registry.h"
 #include "synth/engine.h"
 #include "tool_args.h"
 
@@ -79,7 +88,9 @@ struct Args {
     std::string out_dir;
     bool quiet = false;
     bool list_axioms = false;
+    bool list_models = false;
     bool emit_spec = false;
+    bool emit_spec_mtm = false;
 };
 
 using tools::parse_int;
@@ -102,18 +113,6 @@ print_stats(const std::string& scope, const sched::SchedulerStats& s)
         static_cast<unsigned long long>(s.skip_enumerations),
         static_cast<unsigned long long>(s.dedup_hits),
         s.queue_wait_seconds);
-}
-
-mtm::Model
-make_model(const std::string& name)
-{
-    if (name == "x86tso") {
-        return mtm::x86tso();
-    }
-    if (name == "sc_t_elt") {
-        return mtm::sc_t_elt();
-    }
-    return mtm::x86t_elt();
 }
 
 int
@@ -262,8 +261,12 @@ main(int argc, char** argv)
             args.quiet = true;
         } else if (flag == "--list-axioms") {
             args.list_axioms = true;
+        } else if (flag == "--list-models") {
+            args.list_models = true;
         } else if (flag == "--spec") {
             args.emit_spec = true;
+        } else if (flag == "--spec-mtm") {
+            args.emit_spec_mtm = true;
         } else {
             std::fprintf(stderr, "unknown flag '%s' (see the file header "
                          "for usage)\n", flag.c_str());
@@ -271,9 +274,24 @@ main(int argc, char** argv)
         }
     }
 
-    const mtm::Model model = make_model(args.model);
+    if (args.list_models) {
+        std::printf("%s", spec::list_models_text().c_str());
+        return 0;
+    }
+    std::string model_error;
+    const std::optional<spec::ResolvedModel> resolved =
+        spec::resolve_model(args.model, &model_error);
+    if (!resolved.has_value()) {
+        std::fprintf(stderr, "%s\n", model_error.c_str());
+        return 2;
+    }
+    const mtm::Model& model = resolved->model;
     if (args.emit_spec) {
         std::printf("%s", mtm::model_to_alloy(model).c_str());
+        return 0;
+    }
+    if (args.emit_spec_mtm) {
+        std::printf("%s", mtm::model_to_mtm(model).c_str());
         return 0;
     }
     if (args.list_axioms) {
