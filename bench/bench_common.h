@@ -18,6 +18,13 @@
 
 namespace transform::bench {
 
+/// Version of the flat BENCH_*.json layout written by write_json, stamped
+/// into every record as "bench_schema_version" so the CI regression gate
+/// (tools/bench_compare.py) can refuse to diff records whose layout
+/// drifted instead of silently comparing renamed keys. Bump on any key
+/// addition/removal/rename in a bench's record.
+inline constexpr int kBenchSchemaVersion = 1;
+
 /// The determinism contract's observable, shared by the scaling and
 /// substrate benches: canonical keys, order, sizes and (optionally) the
 /// violated-axiom lists across every suite of a sweep point. Witness
@@ -147,6 +154,8 @@ write_json(const std::string& path, const std::vector<JsonPair>& pairs)
         return false;
     }
     std::fputs("{\n", file);
+    std::fprintf(file, "  \"bench_schema_version\": %d%s\n",
+                 kBenchSchemaVersion, pairs.empty() ? "" : ",");
     for (std::size_t i = 0; i < pairs.size(); ++i) {
         std::fprintf(file, "  \"%s\": %s%s\n", pairs[i].first.c_str(),
                      pairs[i].second.c_str(),

@@ -1,0 +1,134 @@
+#include "obs/metrics.h"
+
+#include <chrono>
+
+namespace transform::obs {
+
+const char*
+phase_name(Phase phase)
+{
+    switch (phase) {
+    case Phase::kSkeletonEnum:
+        return "skeleton_enum";
+    case Phase::kSatEncode:
+        return "sat_encode";
+    case Phase::kSatSolve:
+        return "sat_solve";
+    case Phase::kDerive:
+        return "derive";
+    case Phase::kCanonicalize:
+        return "canonicalize";
+    case Phase::kJudge:
+        return "judge";
+    case Phase::kDedup:
+        return "dedup";
+    case Phase::kQueueWait:
+        return "queue_wait";
+    }
+    return "unknown";
+}
+
+void
+PhaseTotals::merge(const PhaseTotals& other)
+{
+    for (int p = 0; p < kPhaseCount; ++p) {
+        phases[static_cast<std::size_t>(p)].count +=
+            other.phases[static_cast<std::size_t>(p)].count;
+        phases[static_cast<std::size_t>(p)].nanos +=
+            other.phases[static_cast<std::size_t>(p)].nanos;
+    }
+}
+
+double
+PhaseTotals::seconds(Phase phase) const
+{
+    return static_cast<double>(
+               phases[static_cast<std::size_t>(phase)].nanos) *
+           1e-9;
+}
+
+std::uint64_t
+PhaseTotals::count(Phase phase) const
+{
+    return phases[static_cast<std::size_t>(phase)].count;
+}
+
+std::uint64_t
+PhaseTotals::total_nanos() const
+{
+    std::uint64_t total = 0;
+    for (const PhaseSlot& slot : phases) {
+        total += slot.nanos;
+    }
+    return total;
+}
+
+std::uint64_t
+now_nanos()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+MetricsRegistry::MetricsRegistry(int workers)
+    : cells_(workers > 0 ? static_cast<std::size_t>(workers) : 1)
+{
+}
+
+void
+MetricsRegistry::add(int worker, Phase phase, std::uint64_t nanos,
+                     std::uint64_t count)
+{
+    if (worker < 0 || worker >= workers()) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    Cell& cell = cells_[static_cast<std::size_t>(worker)];
+    const int p = static_cast<int>(phase);
+    cell.count[p].fetch_add(count, std::memory_order_relaxed);
+    cell.nanos[p].fetch_add(nanos, std::memory_order_relaxed);
+}
+
+std::uint64_t
+MetricsRegistry::worker_nanos(int worker) const
+{
+    if (worker < 0 || worker >= workers()) {
+        return 0;
+    }
+    const Cell& cell = cells_[static_cast<std::size_t>(worker)];
+    std::uint64_t total = 0;
+    for (int p = 0; p < kPhaseCount; ++p) {
+        total += cell.nanos[p].load(std::memory_order_relaxed);
+    }
+    return total;
+}
+
+std::uint64_t
+MetricsRegistry::worker_phase_nanos(int worker, Phase phase) const
+{
+    if (worker < 0 || worker >= workers()) {
+        return 0;
+    }
+    return cells_[static_cast<std::size_t>(worker)]
+        .nanos[static_cast<int>(phase)]
+        .load(std::memory_order_relaxed);
+}
+
+PhaseTotals
+MetricsRegistry::merged() const
+{
+    PhaseTotals totals;
+    for (const Cell& cell : cells_) {
+        for (int p = 0; p < kPhaseCount; ++p) {
+            totals.phases[static_cast<std::size_t>(p)].count +=
+                cell.count[p].load(std::memory_order_relaxed);
+            totals.phases[static_cast<std::size_t>(p)].nanos +=
+                cell.nanos[p].load(std::memory_order_relaxed);
+        }
+    }
+    return totals;
+}
+
+}  // namespace transform::obs

@@ -1,0 +1,159 @@
+/// \file
+/// Phase-attributed metrics for the synthesis runtime — the counter/timer
+/// half of the observability layer (the span half is obs/trace.h, the
+/// machine-readable export obs/report.h; see docs/observability.md).
+///
+/// The paper's headline claims are throughput claims, so the runtime must
+/// be able to answer "what fraction of a run is SAT solve vs. derivation
+/// vs. judging?" without perturbing the numbers it reports. The design is
+/// a MetricsRegistry of per-worker cache-line-padded cells over a FIXED
+/// phase taxonomy: a worker only ever touches its own cell (relaxed atomic
+/// adds, zero contention on the hot path), and totals are merged on
+/// demand once the writers have quiesced. When metrics are disabled the
+/// instrumentation sites compile down to one null-pointer test — no clock
+/// reads, no atomic traffic (ScopedPhase below).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace transform::obs {
+
+/// The phase taxonomy. Fixed and versioned with the metrics-JSON schema
+/// (obs/report.h): every nanosecond a shard job spends is attributed to
+/// exactly one phase, so per-phase seconds sum to shard-job wall time.
+enum class Phase : int {
+    kSkeletonEnum = 0,  ///< skeleton/execution enumeration + shard framing
+                        ///  (a shard job's wall time not claimed below)
+    kSatEncode,         ///< SAT backend: building the relational encoding
+    kSatSolve,          ///< SAT backend: time inside sat::Solver::solve
+    kDerive,            ///< Table-I relation derivation + axiom verdicts
+    kCanonicalize,      ///< canonical-key construction (dedup gate input)
+    kJudge,             ///< spanning-set minimality judging
+    kDedup,             ///< sharded canonical-key index lookups
+    kQueueWait,         ///< wall time queued on a shared pool before the
+                        ///  suite's first job ran
+};
+
+/// Number of phases in the taxonomy (kQueueWait is the last).
+inline constexpr int kPhaseCount = static_cast<int>(Phase::kQueueWait) + 1;
+
+/// Stable lower_snake_case name of a phase — the spelling used by the
+/// metrics-JSON schema and docs/observability.md.
+const char* phase_name(Phase phase);
+
+/// One phase's merged totals.
+struct PhaseSlot {
+    std::uint64_t count = 0;  ///< instrumented sections entered
+    std::uint64_t nanos = 0;  ///< wall nanoseconds attributed
+};
+
+/// Totals across every worker, merged on demand by MetricsRegistry or
+/// accumulated across suites by tools.
+struct PhaseTotals {
+    std::array<PhaseSlot, kPhaseCount> phases{};
+
+    void merge(const PhaseTotals& other);
+    double seconds(Phase phase) const;
+    std::uint64_t count(Phase phase) const;
+    /// Sum of nanos over all phases.
+    std::uint64_t total_nanos() const;
+};
+
+/// Reads the process-wide monotonic clock, in nanoseconds. All obs
+/// timestamps (metrics and trace spans) come from this one clock so phase
+/// totals and span durations agree.
+std::uint64_t now_nanos();
+
+/// A registry of per-worker metric cells. Construction fixes the worker
+/// count; worker w may call add(w, ...) concurrently with every other
+/// worker at zero contention (each cell owns its cache lines). merged()
+/// may run concurrently with writers (relaxed reads — totals are only
+/// "settled" once the writers have quiesced, e.g. after the owning job
+/// group has been waited).
+class MetricsRegistry {
+  public:
+    /// One cell per worker in [0, workers); out-of-range worker ids are
+    /// dropped (counted in dropped()) rather than asserting, so callers
+    /// with extra lanes degrade gracefully.
+    explicit MetricsRegistry(int workers);
+
+    MetricsRegistry(const MetricsRegistry&) = delete;
+    MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+    int workers() const { return static_cast<int>(cells_.size()); }
+
+    /// Attributes \p nanos (and \p count sections) to \p phase on
+    /// \p worker's cell. Relaxed; wait-free.
+    void add(int worker, Phase phase, std::uint64_t nanos,
+             std::uint64_t count = 1);
+
+    /// Sum of nanos across every phase of \p worker's cell. Used by the
+    /// engine to attribute a shard job's *unclaimed* wall time to
+    /// kSkeletonEnum: snapshot before the job, subtract after.
+    std::uint64_t worker_nanos(int worker) const;
+
+    /// Nanos of one phase on one worker's cell.
+    std::uint64_t worker_phase_nanos(int worker, Phase phase) const;
+
+    /// Merged totals across all workers.
+    PhaseTotals merged() const;
+
+    /// add() calls that named an out-of-range worker.
+    std::uint64_t dropped() const
+    {
+        return dropped_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    /// One worker's counters, padded to whole cache lines so neighbouring
+    /// workers never false-share. 8 phases x 2 counters x 8 bytes = 128
+    /// bytes = two lines exactly.
+    struct alignas(64) Cell {
+        std::atomic<std::uint64_t> count[kPhaseCount];
+        std::atomic<std::uint64_t> nanos[kPhaseCount];
+
+        Cell()
+        {
+            for (int p = 0; p < kPhaseCount; ++p) {
+                count[p].store(0, std::memory_order_relaxed);
+                nanos[p].store(0, std::memory_order_relaxed);
+            }
+        }
+    };
+
+    std::vector<Cell> cells_;
+    std::atomic<std::uint64_t> dropped_{0};
+};
+
+/// RAII phase section: times construction-to-destruction and attributes it
+/// to (worker, phase). A null registry is the disabled fast path — no
+/// clock read on either end, just one branch.
+class ScopedPhase {
+  public:
+    ScopedPhase(MetricsRegistry* registry, int worker, Phase phase)
+        : registry_(registry), worker_(worker), phase_(phase),
+          start_(registry != nullptr ? now_nanos() : 0)
+    {
+    }
+
+    ~ScopedPhase()
+    {
+        if (registry_ != nullptr) {
+            registry_->add(worker_, phase_, now_nanos() - start_);
+        }
+    }
+
+    ScopedPhase(const ScopedPhase&) = delete;
+    ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+  private:
+    MetricsRegistry* registry_;
+    int worker_;
+    Phase phase_;
+    std::uint64_t start_;
+};
+
+}  // namespace transform::obs

@@ -1,0 +1,245 @@
+#include "obs/report.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace transform::obs {
+
+namespace {
+
+/// Minimal JSON string escaping for the free-form fields (model may be a
+/// filesystem path).
+std::string
+escaped(const std::string& text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        if (c == '"' || c == '\\') {
+            out.push_back('\\');
+            out.push_back(c);
+        } else if (c == '\n') {
+            out += "\\n";
+        } else {
+            out.push_back(c);
+        }
+    }
+    return out;
+}
+
+void
+append_kv(std::string* out, const char* key, std::uint64_t value,
+          const char* suffix = ",")
+{
+    char buffer[96];
+    std::snprintf(buffer, sizeof buffer, "\"%s\": %" PRIu64 "%s", key, value,
+                  suffix);
+    *out += buffer;
+}
+
+void
+append_kv(std::string* out, const char* key, double value,
+          const char* suffix = ",")
+{
+    char buffer[96];
+    std::snprintf(buffer, sizeof buffer, "\"%s\": %.9g%s", key, value,
+                  suffix);
+    *out += buffer;
+}
+
+void
+append_scheduler(std::string* out, const std::string& indent,
+                 const sched::SchedulerStats& s)
+{
+    *out += "{\n";
+    *out += indent + "  ";
+    append_kv(out, "workers", static_cast<std::uint64_t>(s.workers));
+    *out += "\n" + indent + "  ";
+    append_kv(out, "jobs_run", s.jobs_run);
+    *out += "\n" + indent + "  ";
+    append_kv(out, "steals", s.steals);
+    *out += "\n" + indent + "  ";
+    append_kv(out, "lazy_resplits", s.lazy_resplits);
+    *out += "\n" + indent + "  ";
+    append_kv(out, "closed_prefix_splits", s.closed_prefix_splits);
+    *out += "\n" + indent + "  ";
+    append_kv(out, "skip_enumerations", s.skip_enumerations);
+    *out += "\n" + indent + "  ";
+    append_kv(out, "dedup_hits", s.dedup_hits);
+    *out += "\n" + indent + "  ";
+    append_kv(out, "queue_wait_seconds", s.queue_wait_seconds, "");
+    *out += "\n" + indent + "}";
+}
+
+void
+append_solver(std::string* out, const std::string& indent,
+              const sat::SolverStats& s)
+{
+    *out += "{\n";
+    *out += indent + "  ";
+    append_kv(out, "solve_calls", s.solve_calls);
+    *out += "\n" + indent + "  ";
+    append_kv(out, "solve_seconds",
+              static_cast<double>(s.solve_nanos) * 1e-9);
+    *out += "\n" + indent + "  ";
+    append_kv(out, "decisions", s.decisions);
+    *out += "\n" + indent + "  ";
+    append_kv(out, "propagations", s.propagations);
+    *out += "\n" + indent + "  ";
+    append_kv(out, "conflicts", s.conflicts);
+    *out += "\n" + indent + "  ";
+    append_kv(out, "restarts", s.restarts);
+    *out += "\n" + indent + "  ";
+    append_kv(out, "learned_clauses", s.learned_clauses);
+    *out += "\n" + indent + "  ";
+    append_kv(out, "deleted_clauses", s.deleted_clauses);
+    *out += "\n" + indent + "  ";
+    append_kv(out, "max_learned", s.max_learned, "");
+    *out += "\n" + indent + "}";
+}
+
+void
+append_phases(std::string* out, const std::string& indent,
+              const PhaseTotals& phases)
+{
+    *out += "{\n";
+    for (int p = 0; p < kPhaseCount; ++p) {
+        const Phase phase = static_cast<Phase>(p);
+        *out += indent + "  \"";
+        *out += phase_name(phase);
+        *out += "\": {";
+        append_kv(out, "seconds", phases.seconds(phase));
+        *out += " ";
+        append_kv(out, "count", phases.count(phase), "");
+        *out += "}";
+        *out += p + 1 < kPhaseCount ? ",\n" : "\n";
+    }
+    *out += indent + "}";
+}
+
+void
+append_suite(std::string* out, const std::string& indent,
+             const SuiteReport& suite, bool with_axiom)
+{
+    *out += "{\n";
+    if (with_axiom) {
+        *out += indent + "  \"axiom\": \"" + escaped(suite.axiom) + "\",\n";
+    }
+    *out += indent + "  ";
+    append_kv(out, "tests", suite.tests);
+    *out += "\n" + indent + "  ";
+    append_kv(out, "programs_considered", suite.programs_considered);
+    *out += "\n" + indent + "  ";
+    append_kv(out, "executions_considered", suite.executions_considered);
+    *out += "\n" + indent + "  ";
+    append_kv(out, "duplicates_rejected", suite.duplicates_rejected);
+    *out += "\n" + indent + "  ";
+    append_kv(out, "seconds", suite.seconds);
+    *out += "\n" + indent + "  \"complete\": ";
+    *out += suite.complete ? "true" : "false";
+    *out += ",\n" + indent + "  \"scheduler\": ";
+    append_scheduler(out, indent + "  ", suite.scheduler);
+    *out += ",\n" + indent + "  \"solver\": ";
+    append_solver(out, indent + "  ", suite.solver);
+    *out += ",\n" + indent + "  \"phases\": ";
+    append_phases(out, indent + "  ", suite.phases);
+    *out += "\n" + indent + "}";
+}
+
+}  // namespace
+
+void
+SuiteReport::merge(const SuiteReport& other)
+{
+    tests += other.tests;
+    programs_considered += other.programs_considered;
+    executions_considered += other.executions_considered;
+    duplicates_rejected += other.duplicates_rejected;
+    seconds += other.seconds;
+    complete = complete && other.complete;
+    scheduler.merge(other.scheduler);
+    solver.merge(other.solver);
+    phases.merge(other.phases);
+}
+
+SuiteReport
+suite_report(const synth::SuiteResult& suite)
+{
+    SuiteReport report;
+    report.axiom = suite.axiom;
+    report.tests = suite.tests.size();
+    report.programs_considered = suite.programs_considered;
+    report.executions_considered = suite.executions_considered;
+    report.duplicates_rejected = suite.duplicates_rejected;
+    report.seconds = suite.seconds;
+    report.complete = suite.complete;
+    report.scheduler = suite.scheduler;
+    report.solver = suite.solver;
+    report.phases = suite.phases;
+    return report;
+}
+
+SuiteReport
+RunReport::totals() const
+{
+    SuiteReport total;
+    total.axiom = "all";
+    for (const SuiteReport& suite : suites) {
+        total.merge(suite);
+    }
+    return total;
+}
+
+std::string
+report_to_json(const RunReport& report)
+{
+    std::string out;
+    out.reserve(4096);
+    out += "{\n";
+    out += "  \"schema\": \"transform-metrics\",\n";
+    out += "  ";
+    append_kv(&out, "schema_version",
+              static_cast<std::uint64_t>(kMetricsSchemaVersion));
+    out += "\n  \"tool\": \"" + escaped(report.tool) + "\",\n";
+    out += "  \"model\": \"" + escaped(report.model) + "\",\n";
+    out += "  \"backend\": \"" + escaped(report.backend) + "\",\n";
+    out += "  ";
+    append_kv(&out, "bound", static_cast<std::uint64_t>(report.bound));
+    out += "\n  ";
+    append_kv(&out, "jobs", static_cast<std::uint64_t>(report.jobs));
+    out += "\n  \"suites\": [\n";
+    for (std::size_t i = 0; i < report.suites.size(); ++i) {
+        out += "    ";
+        append_suite(&out, "    ", report.suites[i], /*with_axiom=*/true);
+        out += i + 1 < report.suites.size() ? ",\n" : "\n";
+    }
+    out += "  ],\n";
+    out += "  \"totals\": ";
+    const SuiteReport total = report.totals();
+    append_suite(&out, "  ", total, /*with_axiom=*/false);
+    out += "\n}\n";
+    return out;
+}
+
+bool
+write_report(const std::string& path, const RunReport& report,
+             std::string* error)
+{
+    std::FILE* file = std::fopen(path.c_str(), "w");
+    if (file == nullptr) {
+        if (error != nullptr) {
+            *error = "cannot open " + path + " for writing";
+        }
+        return false;
+    }
+    const std::string json = report_to_json(report);
+    const std::size_t written =
+        std::fwrite(json.data(), 1, json.size(), file);
+    const bool ok = written == json.size() && std::fclose(file) == 0;
+    if (!ok && error != nullptr) {
+        *error = "short write to " + path;
+    }
+    return ok;
+}
+
+}  // namespace transform::obs

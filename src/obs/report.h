@@ -1,0 +1,69 @@
+/// \file
+/// The machine-readable run report — one versioned JSON schema folding
+/// SuiteResult counters, merged SchedulerStats, per-suite-aggregated
+/// SolverStats, and the phase time breakdown, consumed by benches, CI,
+/// and (eventually) the serving layer. `elt_synth --metrics-json out.json`
+/// writes one; docs/observability.md documents the schema.
+///
+/// The schema is versioned (kMetricsSchemaVersion) so downstream
+/// consumers can detect layout changes instead of silently misreading
+/// fields; any key addition/removal/rename bumps it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "sat/solver.h"
+#include "sched/scheduler.h"
+#include "synth/engine.h"
+
+namespace transform::obs {
+
+/// Version of the metrics-JSON layout produced by report_to_json.
+inline constexpr int kMetricsSchemaVersion = 1;
+
+/// One suite's slice of the report.
+struct SuiteReport {
+    std::string axiom;
+    std::uint64_t tests = 0;
+    std::uint64_t programs_considered = 0;
+    std::uint64_t executions_considered = 0;
+    std::uint64_t duplicates_rejected = 0;
+    double seconds = 0.0;
+    bool complete = true;
+    sched::SchedulerStats scheduler;
+    sat::SolverStats solver;
+    PhaseTotals phases;
+
+    /// Accumulates another suite's counters (SchedulerStats/SolverStats
+    /// merge semantics; seconds add, complete ANDs).
+    void merge(const SuiteReport& other);
+};
+
+/// Copies every reportable field out of a finished SuiteResult.
+SuiteReport suite_report(const synth::SuiteResult& suite);
+
+/// A whole run: invocation context plus one SuiteReport per suite.
+struct RunReport {
+    std::string tool;     ///< "elt_synth" / "elt_check" / a bench name
+    std::string model;
+    std::string backend;  ///< "enum" / "sat" (empty when not applicable)
+    int bound = 0;
+    int jobs = 0;
+    std::vector<SuiteReport> suites;
+
+    /// All suites merged into one aggregate (the report's "totals" object).
+    SuiteReport totals() const;
+};
+
+/// Serializes \p report as the versioned metrics-JSON document.
+std::string report_to_json(const RunReport& report);
+
+/// Writes report_to_json to \p path; false (with \p error filled when
+/// non-null) when the file cannot be written.
+bool write_report(const std::string& path, const RunReport& report,
+                  std::string* error = nullptr);
+
+}  // namespace transform::obs

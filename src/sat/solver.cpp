@@ -1,11 +1,26 @@
 #include "sat/solver.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "util/logging.h"
 
 namespace transform::sat {
+
+void
+SolverStats::merge(const SolverStats& other)
+{
+    decisions += other.decisions;
+    propagations += other.propagations;
+    conflicts += other.conflicts;
+    restarts += other.restarts;
+    learned_clauses += other.learned_clauses;
+    deleted_clauses += other.deleted_clauses;
+    max_learned = std::max(max_learned, other.max_learned);
+    solve_calls += other.solve_calls;
+    solve_nanos += other.solve_nanos;
+}
 
 namespace {
 constexpr double kVarDecay = 0.95;
@@ -42,9 +57,21 @@ Solver::reset()
     var_activity_increment_ = 1.0;
     clause_activity_increment_ = 1.0;
     conflict_assumptions_.clear();
+    // Retire the live counters into the lifetime accumulator before
+    // clearing — per-suite aggregation reads lifetime_stats() off solvers
+    // that reset once per query.
+    retired_stats_.merge(stats_);
     stats_ = SolverStats{};
     max_learned_ = 4096;
     stats_.max_learned = static_cast<std::uint64_t>(max_learned_);
+}
+
+SolverStats
+Solver::lifetime_stats() const
+{
+    SolverStats out = retired_stats_;
+    out.merge(stats_);
+    return out;
 }
 
 Var
@@ -589,6 +616,23 @@ Solver::luby(double base, int index)
 
 SolveResult
 Solver::solve(const std::vector<Lit>& assumptions, std::int64_t conflict_budget)
+{
+    ++stats_.solve_calls;
+    if (!timing_) {
+        return solve_impl(assumptions, conflict_budget);
+    }
+    const auto start = std::chrono::steady_clock::now();
+    const SolveResult result = solve_impl(assumptions, conflict_budget);
+    stats_.solve_nanos += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+    return result;
+}
+
+SolveResult
+Solver::solve_impl(const std::vector<Lit>& assumptions,
+                   std::int64_t conflict_budget)
 {
     conflict_assumptions_.clear();
     if (!ok_) {

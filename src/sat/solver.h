@@ -20,7 +20,9 @@ namespace transform::sat {
 /// Result of a solve call.
 enum class SolveResult { kSat, kUnsat, kUnknown };
 
-/// Aggregate statistics, exposed for the substrate micro-benchmarks.
+/// Aggregate statistics, exposed for the substrate micro-benchmarks and
+/// aggregated per suite into synth::SuiteResult::solver (the observability
+/// layer's solver-time attribution — see docs/observability.md).
 struct SolverStats {
     std::uint64_t decisions = 0;
     std::uint64_t propagations = 0;
@@ -32,6 +34,16 @@ struct SolverStats {
     /// geometrically on every reduce_db pass (MiniSat-style), so
     /// long-running enumeration queries stop thrashing the reducer.
     std::uint64_t max_learned = 0;
+    /// solve() invocations (every AllSAT model extraction is one call).
+    std::uint64_t solve_calls = 0;
+    /// Wall nanoseconds inside solve(). Only accumulated while
+    /// set_timing(true) — the default-off clock reads keep the hot path
+    /// identical when nobody is measuring.
+    std::uint64_t solve_nanos = 0;
+
+    /// Accumulates another solver's counters (monotonic counters add;
+    /// `max_learned`, a cap rather than a count, takes the maximum).
+    void merge(const SolverStats& other);
 };
 
 /// CDCL SAT solver over clauses added incrementally.
@@ -93,13 +105,32 @@ class Solver {
     /// (negated) that formed the final conflict.
     const std::vector<Lit>& unsat_core() const { return conflict_assumptions_; }
 
-    /// Solver statistics accumulated over the lifetime of this instance.
+    /// Solver statistics accumulated since construction or the last
+    /// reset().
     const SolverStats& stats() const { return stats_; }
+
+    /// Statistics accumulated across every reset() since construction:
+    /// reset() folds the live counters into a retired accumulator before
+    /// clearing them, so a per-worker solver reused across millions of
+    /// queries can still report per-suite totals. Purely observational —
+    /// the reset-is-bit-identical contract is untouched.
+    SolverStats lifetime_stats() const;
+
+    /// Enables wall-clock accumulation into SolverStats::solve_nanos
+    /// (default off: two clock reads per solve() call are only paid when
+    /// somebody asked for solver-time attribution). Survives reset() —
+    /// it is configuration, like buffer capacity.
+    void set_timing(bool enabled) { timing_ = enabled; }
 
     /// True if the formula was proven unsatisfiable without assumptions.
     bool proven_unsat() const { return ok_ == false; }
 
   private:
+    /// The CDCL search loop behind solve() (which only adds the gated
+    /// timing wrapper).
+    SolveResult solve_impl(const std::vector<Lit>& assumptions,
+                           std::int64_t conflict_budget);
+
     struct Watcher {
         int clause_index;
         Lit blocker;
@@ -178,6 +209,9 @@ class Solver {
 
     std::vector<Lit> conflict_assumptions_;
     SolverStats stats_;
+    /// Counters folded in from previous reset() epochs (lifetime_stats).
+    SolverStats retired_stats_;
+    bool timing_ = false;  ///< accumulate solve_nanos (set_timing)
     /// Learned-DB cap; grown geometrically by reduce_db (never fixed — a
     /// static cap makes every conflict past it rescan the clause DB).
     int max_learned_ = 4096;

@@ -7,6 +7,8 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sched/chase_lev.h"
 #include "util/logging.h"
 
@@ -186,7 +188,14 @@ struct WorkStealingPool::Impl {
     void
     execute(JobRecord* rec, int self)
     {
-        rec->fn(self);
+        obs::TraceCollector* tc = trace.load(std::memory_order_relaxed);
+        if (tc != nullptr) {
+            const std::uint64_t start = obs::now_nanos();
+            rec->fn(self);
+            tc->record_complete(self, "job", start, obs::now_nanos());
+        } else {
+            rec->fn(self);
+        }
         const std::shared_ptr<JobGroup> group = std::move(rec->group);
         delete rec;
         jobs_total.fetch_add(1, std::memory_order_relaxed);
@@ -209,6 +218,9 @@ struct WorkStealingPool::Impl {
     std::atomic<std::uint64_t> pending_total{0};
     std::atomic<std::uint64_t> jobs_total{0};
     std::atomic<std::uint64_t> steals_total{0};
+    /// Optional span collector (set_trace); jobs are recorded as complete
+    /// spans on the executing worker's lane.
+    std::atomic<obs::TraceCollector*> trace{nullptr};
     std::vector<std::jthread> threads;  ///< last: joined before the rest dies
 
     /// Identify the pool and worker index of the current thread, so
@@ -346,6 +358,12 @@ int
 WorkStealingPool::workers() const
 {
     return static_cast<int>(impl_->deques.size());
+}
+
+void
+WorkStealingPool::set_trace(obs::TraceCollector* trace)
+{
+    impl_->trace.store(trace, std::memory_order_relaxed);
 }
 
 SchedulerStats

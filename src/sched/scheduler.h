@@ -19,6 +19,10 @@
 #include <memory>
 #include <vector>
 
+namespace transform::obs {
+class TraceCollector;
+}
+
 namespace transform::sched {
 
 /// Aggregate counters for a job group or a pool lifetime (the scheduler
@@ -29,7 +33,7 @@ struct SchedulerStats {
     int workers = 0;                 ///< worker threads in the pool
     std::uint64_t jobs_run = 0;      ///< jobs executed
     std::uint64_t steals = 0;        ///< jobs migrated by stealing
-                                     ///  (Chase-Lev steals take one job)
+                                     ///< (Chase-Lev steals take one job)
     /// Lazy in-search shard re-splits: a shard job abandoned its search at
     /// the re-split threshold and resubmitted the remainder as children
     /// (engine).
@@ -126,6 +130,14 @@ class WorkStealingPool {
 
     /// Worker count the pool was built with.
     int workers() const;
+
+    /// Attaches (or detaches, nullptr) a span collector: every job
+    /// executed afterwards is recorded as a complete "job" span on the
+    /// executing worker's trace lane, so gaps between job spans expose
+    /// steal/park/injection overhead in the timeline. The collector must
+    /// outlive the pool or be detached first; when none is attached the
+    /// cost is one relaxed load per job.
+    void set_trace(obs::TraceCollector* trace);
 
     /// Pool-lifetime counters across all groups. Thread-safe; counters are
     /// monotonic but only settled for groups that have been wait()ed.

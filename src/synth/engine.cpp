@@ -9,6 +9,8 @@
 
 #include "elt/derive.h"
 #include "mtm/encoding.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sched/scheduler.h"
 #include "sched/sharded_index.h"
 #include "synth/canonical.h"
@@ -96,7 +98,8 @@ bool
 find_witness(const mtm::Model& model, const std::string& axiom_name,
              int axiom_index, const SynthesisOptions& options,
              const Program& program, const util::Deadline& deadline,
-             WorkerScratch* scratch, Execution* witness,
+             WorkerScratch* scratch, obs::MetricsRegistry* metrics,
+             int worker, Execution* witness,
              std::vector<std::string>* witness_violated,
              std::uint64_t* executions_considered, bool* timed_out)
 {
@@ -111,17 +114,24 @@ find_witness(const mtm::Model& model, const std::string& axiom_name,
             *timed_out = true;
             return false;
         }
-        elt::derive_into(execution, model.derive_options(), &scratch->derived,
-                         &scratch->derive);
-        if (!scratch->derived.well_formed) {
-            return true;
+        mtm::AxiomMask violated{};
+        {
+            const obs::ScopedPhase phase(metrics, worker,
+                                         obs::Phase::kDerive);
+            elt::derive_into(execution, model.derive_options(),
+                             &scratch->derived, &scratch->derive);
+            if (!scratch->derived.well_formed) {
+                return true;
+            }
+            violated = model.violated_mask(program, scratch->derived,
+                                           &scratch->derive.cycle);
         }
-        const mtm::AxiomMask violated = model.violated_mask(
-            program, scratch->derived, &scratch->derive.cycle);
         if ((violated & target) == 0) {
             return true;
         }
         if (options.require_minimal) {
+            const obs::ScopedPhase phase(metrics, worker,
+                                         obs::Phase::kJudge);
             const MinimalityVerdict verdict =
                 judge(model, execution, &scratch->judge);
             if (!verdict.minimal) {
@@ -136,13 +146,38 @@ find_witness(const mtm::Model& model, const std::string& axiom_name,
 
     if (options.backend == Backend::kEnumerative) {
         for_each_execution(program, model.vm_aware(), consider);
-    } else {
+    } else if (metrics == nullptr) {
         // Streaming AllSAT: consider() returning false stops the solver at
         // the first accepted witness instead of materializing the whole
         // violating space. The worker's factory/solver pair is reused
         // across every program of the shard.
         mtm::ProgramEncoding encoding(program, &model, &scratch->encoding);
         encoding.enumerate(axiom_name, consider);
+    } else {
+        // Same search, with phase attribution. kSatSolve comes from the
+        // solver's own gated clock (set_timing); kSatEncode is the
+        // remaining wall time of the encode+enumerate pair after
+        // subtracting solve time and the derive/judge time consider()
+        // already claimed above — so the three never double-count.
+        const std::uint64_t start = obs::now_nanos();
+        const std::uint64_t inner_before =
+            metrics->worker_phase_nanos(worker, obs::Phase::kDerive) +
+            metrics->worker_phase_nanos(worker, obs::Phase::kJudge);
+        const std::uint64_t solve_before =
+            scratch->encoding.solver.lifetime_stats().solve_nanos;
+        mtm::ProgramEncoding encoding(program, &model, &scratch->encoding);
+        encoding.enumerate(axiom_name, consider);
+        const std::uint64_t wall = obs::now_nanos() - start;
+        const std::uint64_t solve =
+            scratch->encoding.solver.lifetime_stats().solve_nanos -
+            solve_before;
+        const std::uint64_t inner =
+            metrics->worker_phase_nanos(worker, obs::Phase::kDerive) +
+            metrics->worker_phase_nanos(worker, obs::Phase::kJudge) -
+            inner_before;
+        metrics->add(worker, obs::Phase::kSatSolve, solve);
+        metrics->add(worker, obs::Phase::kSatEncode,
+                     wall > solve + inner ? wall - solve - inner : 0);
     }
     return accepted;
 }
@@ -158,6 +193,11 @@ struct ShardTask {
     std::uint64_t ticket_base = 0;
     std::uint64_t ticket_stride = 0;
     std::uint64_t skip = 0;
+    /// When tracing: the flow id the submitting parent opened with
+    /// record_flow_start, consumed by this task's record_flow_end at job
+    /// start — the arrow that draws re-split lineage in the timeline.
+    /// 0 = top-level shard, no arrow.
+    std::uint64_t trace_flow = 0;
 };
 
 /// All in-flight state of one suite synthesis: the job closures reference
@@ -211,6 +251,9 @@ struct SuiteRun {
     /// Per-worker evaluation scratch, indexed by the pool worker id a job
     /// runs on (sized workers() at launch; a worker runs one job at a time).
     std::vector<WorkerScratch> worker_scratch;
+    /// Phase-attributed counters (options.collect_metrics); null when
+    /// metrics are off — the instrumentation's disabled fast path.
+    std::unique_ptr<obs::MetricsRegistry> metrics;
     util::Stopwatch watch;
     std::once_flag deadline_armed;
     util::Deadline deadline;  ///< access via armed_deadline() from jobs
@@ -266,6 +309,7 @@ search_shard(SuiteRun* run, const ShardTask& task, std::uint64_t limit,
 {
     const mtm::Model& model = run->model;
     WorkerScratch& scratch = run->worker_scratch[worker];
+    obs::MetricsRegistry* metrics = run->metrics.get();
     const SynthesisOptions& options = run->options;
     const util::Deadline& deadline = run->armed_deadline();
     std::vector<std::pair<SynthesizedTest, std::uint64_t>> tests;
@@ -305,8 +349,18 @@ search_shard(SuiteRun* run, const ShardTask& task, std::uint64_t limit,
             // evaluates: any earlier candidate with this key is isomorphic
             // and receives the same verdict, so its owner's result (or
             // rejection) stands for ours.
-            key = canonical_key(program, &scratch.canonical);
-            if (!run->index.record(key, ticket).is_min) {
+            {
+                const obs::ScopedPhase phase(metrics, worker,
+                                             obs::Phase::kCanonicalize);
+                key = canonical_key(program, &scratch.canonical);
+            }
+            bool is_min = false;
+            {
+                const obs::ScopedPhase phase(metrics, worker,
+                                             obs::Phase::kDedup);
+                is_min = run->index.record(key, ticket).is_min;
+            }
+            if (!is_min) {
                 ++duplicates;
                 return true;
             }
@@ -315,8 +369,8 @@ search_shard(SuiteRun* run, const ShardTask& task, std::uint64_t limit,
         std::vector<std::string> violated;
         const bool accepted =
             find_witness(model, run->axiom, run->axiom_index, options,
-                         program, deadline, &scratch, &witness, &violated,
-                         &executions, &timed_out);
+                         program, deadline, &scratch, metrics, worker,
+                         &witness, &violated, &executions, &timed_out);
         if (timed_out) {
             return false;
         }
@@ -354,6 +408,103 @@ search_shard(SuiteRun* run, const ShardTask& task, std::uint64_t limit,
     return stop;
 }
 
+/// The body of one shard job — lazy-resplit arming, the search itself, and
+/// child resubmission. The make_job closures wrap this with the
+/// observability shell (span + phase accounting), which reads \p
+/// visited_out / \p resplit_out for span args; both may be null.
+void
+execute_shard_task(SuiteRun* raw, sched::WorkStealingPool* pool_ptr,
+                   const ShardTask& task, int worker,
+                   std::uint64_t* visited_out, bool* resplit_out)
+{
+    const SynthesisOptions& options = raw->options;
+    // Lazy adaptive re-splitting: the job starts searching
+    // immediately, with a visit limit armed whenever the shard
+    // could be split (no separate count_skeletons probe — the old
+    // eager probe enumerated every leaf's candidates twice). The
+    // limit is the cost-model threshold; the split is viable only
+    // while the remaining ticket range still subdivides cleanly.
+    std::uint64_t limit = 0;
+    std::uint64_t threshold = 0;
+    std::vector<SkeletonShard> children;
+    if (options.shard_depth == 0 &&
+        task.ticket_stride >= kMinLeafStride * 2) {
+        threshold =
+            resolve_resplit_threshold(options, task.shard.options);
+        if (threshold <= task.ticket_stride - kMinLeafStride) {
+            children = split_shard(task.shard);
+            if (!children.empty() &&
+                child_stride_for(task.ticket_stride - threshold,
+                                 children.size()) >= kMinLeafStride) {
+                limit = threshold;
+            }
+        }
+    }
+    const ShardSearchStop stop =
+        search_shard(raw, task, limit, worker);
+    if (visited_out != nullptr) {
+        *visited_out = stop.visited;
+    }
+    if (!stop.hit_limit) {
+        raw->note_job_finished();
+        return;  // the shard drained (or the deadline fired) inline
+    }
+    // The threshold-th candidate was visited and more remain:
+    // abandon the search and trade the remainder for child shards.
+    // Visited candidates keep their tickets (base..base+visited-1);
+    // the children renumber the remaining sub-range from
+    // base+visited, so ticket order still equals enumeration order
+    // and the deterministic min-ticket merge is untouched. Children
+    // before the resume point are fully searched already and are
+    // not resubmitted; the boundary child skips the candidates the
+    // parent consumed.
+    if (raw->armed_deadline().expired()) {
+        raw->timed_out.store(true, std::memory_order_relaxed);
+        raw->note_job_finished();
+        return;
+    }
+    std::size_t boundary = children.size();
+    for (std::size_t i = 0; i < children.size(); ++i) {
+        if (children[i].prefix.back() == stop.resume_decision) {
+            boundary = i;
+            break;
+        }
+    }
+    TF_ASSERT(boundary < children.size());
+    const std::uint64_t child_stride = child_stride_for(
+        task.ticket_stride - stop.visited, children.size() - boundary);
+    raw->lazy_resplits.fetch_add(1, std::memory_order_relaxed);
+    if (resplit_out != nullptr) {
+        *resplit_out = true;
+    }
+    const bool closed_prefix =
+        std::find(task.shard.prefix.begin(), task.shard.prefix.end(),
+                  kCloseThread) != task.shard.prefix.end();
+    if (closed_prefix) {
+        raw->closed_prefix_splits.fetch_add(1,
+                                            std::memory_order_relaxed);
+    }
+    obs::TraceCollector* trace = raw->options.trace;
+    for (std::size_t i = boundary; i < children.size(); ++i) {
+        std::uint64_t flow = 0;
+        if (trace != nullptr) {
+            // Flow arrow from the abandoning parent to each child job.
+            flow = trace->next_flow_id();
+            trace->record_flow_start(worker, flow, obs::now_nanos());
+        }
+        pool_ptr->submit(
+            raw->group,
+            raw->make_job(
+                {children[i],
+                 task.ticket_base + stop.visited +
+                     (i - boundary) * child_stride,
+                 child_stride,
+                 i == boundary ? stop.resume_skip : 0,
+                 flow}));
+    }
+    raw->note_job_finished();
+}
+
 /// Builds a SuiteRun for \p axiom_name and submits its initial shard tasks
 /// to \p pool as one job group. The caller must pool.wait(run->group) and
 /// then finish_suite().
@@ -365,6 +516,14 @@ launch_suite(sched::WorkStealingPool& pool, const mtm::Model& model,
     auto run = std::make_unique<SuiteRun>(model, axiom_name, options);
     run->axiom_index = run->model.axiom_index(axiom_name);
     run->worker_scratch.resize(pool.workers());
+    if (options.collect_metrics) {
+        run->metrics = std::make_unique<obs::MetricsRegistry>(pool.workers());
+        // Solver wall-timing is configuration, not state: enabled once per
+        // worker solver, before any job runs, surviving per-program resets.
+        for (WorkerScratch& scratch : run->worker_scratch) {
+            scratch.encoding.solver.set_timing(true);
+        }
+    }
     run->group = pool.make_group();
     SuiteRun* raw = run.get();
     sched::WorkStealingPool* pool_ptr = &pool;
@@ -372,78 +531,46 @@ launch_suite(sched::WorkStealingPool& pool, const mtm::Model& model,
     run->make_job = [raw, pool_ptr](ShardTask task)
         -> sched::WorkStealingPool::Job {
         return [raw, pool_ptr, task = std::move(task)](int worker) {
-            const SynthesisOptions& options = raw->options;
-            // Lazy adaptive re-splitting: the job starts searching
-            // immediately, with a visit limit armed whenever the shard
-            // could be split (no separate count_skeletons probe — the old
-            // eager probe enumerated every leaf's candidates twice). The
-            // limit is the cost-model threshold; the split is viable only
-            // while the remaining ticket range still subdivides cleanly.
-            std::uint64_t limit = 0;
-            std::uint64_t threshold = 0;
-            std::vector<SkeletonShard> children;
-            if (options.shard_depth == 0 &&
-                task.ticket_stride >= kMinLeafStride * 2) {
-                threshold =
-                    resolve_resplit_threshold(options, task.shard.options);
-                if (threshold <= task.ticket_stride - kMinLeafStride) {
-                    children = split_shard(task.shard);
-                    if (!children.empty() &&
-                        child_stride_for(task.ticket_stride - threshold,
-                                         children.size()) >= kMinLeafStride) {
-                        limit = threshold;
-                    }
-                }
-            }
-            const ShardSearchStop stop =
-                search_shard(raw, task, limit, worker);
-            if (!stop.hit_limit) {
-                raw->note_job_finished();
-                return;  // the shard drained (or the deadline fired) inline
-            }
-            // The threshold-th candidate was visited and more remain:
-            // abandon the search and trade the remainder for child shards.
-            // Visited candidates keep their tickets (base..base+visited-1);
-            // the children renumber the remaining sub-range from
-            // base+visited, so ticket order still equals enumeration order
-            // and the deterministic min-ticket merge is untouched. Children
-            // before the resume point are fully searched already and are
-            // not resubmitted; the boundary child skips the candidates the
-            // parent consumed.
-            if (raw->armed_deadline().expired()) {
-                raw->timed_out.store(true, std::memory_order_relaxed);
-                raw->note_job_finished();
+            obs::MetricsRegistry* metrics = raw->metrics.get();
+            obs::TraceCollector* trace = raw->options.trace;
+            if (metrics == nullptr && trace == nullptr) {
+                // Disabled fast path: two null checks, no clock reads.
+                execute_shard_task(raw, pool_ptr, task, worker, nullptr,
+                                   nullptr);
                 return;
             }
-            std::size_t boundary = children.size();
-            for (std::size_t i = 0; i < children.size(); ++i) {
-                if (children[i].prefix.back() == stop.resume_decision) {
-                    boundary = i;
-                    break;
-                }
+            const std::uint64_t start = obs::now_nanos();
+            const std::uint64_t claimed_before =
+                metrics == nullptr ? 0 : metrics->worker_nanos(worker);
+            if (trace != nullptr && task.trace_flow != 0) {
+                trace->record_flow_end(worker, task.trace_flow, start);
             }
-            TF_ASSERT(boundary < children.size());
-            const std::uint64_t child_stride = child_stride_for(
-                task.ticket_stride - stop.visited, children.size() - boundary);
-            raw->lazy_resplits.fetch_add(1, std::memory_order_relaxed);
-            const bool closed_prefix =
-                std::find(task.shard.prefix.begin(), task.shard.prefix.end(),
-                          kCloseThread) != task.shard.prefix.end();
-            if (closed_prefix) {
-                raw->closed_prefix_splits.fetch_add(1,
-                                                    std::memory_order_relaxed);
+            std::uint64_t visited = 0;
+            bool resplit = false;
+            execute_shard_task(raw, pool_ptr, task, worker, &visited,
+                               &resplit);
+            const std::uint64_t end = obs::now_nanos();
+            if (metrics != nullptr) {
+                // Whatever wall time no inner phase claimed is the
+                // candidate generator itself — skeleton enumeration plus
+                // shard framing. This closes the attribution: per-phase
+                // seconds sum to shard-job wall time.
+                const std::uint64_t claimed =
+                    metrics->worker_nanos(worker) - claimed_before;
+                const std::uint64_t wall = end - start;
+                metrics->add(worker, obs::Phase::kSkeletonEnum,
+                             wall > claimed ? wall - claimed : 0);
             }
-            for (std::size_t i = boundary; i < children.size(); ++i) {
-                pool_ptr->submit(
-                    raw->group,
-                    raw->make_job(
-                        {children[i],
-                         task.ticket_base + stop.visited +
-                             (i - boundary) * child_stride,
-                         child_stride,
-                         i == boundary ? stop.resume_skip : 0}));
+            if (trace != nullptr) {
+                trace->record_complete(
+                    worker, "shard " + raw->axiom, start, end,
+                    {{"events",
+                      static_cast<std::uint64_t>(
+                          task.shard.options.num_events)},
+                     {"visited", visited},
+                     {"resplit", resplit ? std::uint64_t{1}
+                                         : std::uint64_t{0}}});
             }
-            raw->note_job_finished();
         };
     };
 
@@ -499,6 +626,22 @@ finish_suite(sched::WorkStealingPool& pool, SuiteRun& run)
         result.tests.push_back(std::move(test));
     }
 
+    // Per-suite solver totals (satellite of the observability layer): the
+    // suite's solvers live in its private worker_scratch, so summing their
+    // lifetime counters — reset() folds live counters into a retired
+    // accumulator — attributes exactly this suite's solver work. All-zero
+    // under the enumerative backend.
+    for (const WorkerScratch& scratch : run.worker_scratch) {
+        result.solver.merge(scratch.encoding.solver.lifetime_stats());
+    }
+    if (run.metrics != nullptr) {
+        // Safe single-threaded write into lane 0: every worker quiesced
+        // when the group was waited, before finish_suite ran.
+        run.metrics->add(0, obs::Phase::kQueueWait,
+                         static_cast<std::uint64_t>(
+                             run.queue_wait_seconds.load() * 1e9));
+        result.phases = run.metrics->merged();
+    }
     result.scheduler = pool.group_stats(run.group);
     result.scheduler.lazy_resplits = run.lazy_resplits.load();
     result.scheduler.closed_prefix_splits = run.closed_prefix_splits.load();
@@ -520,9 +663,21 @@ synthesize_suite(const mtm::Model& model, const std::string& axiom_name,
                  const SynthesisOptions& options)
 {
     sched::WorkStealingPool pool(options.jobs);
+    pool.set_trace(options.trace);
+    obs::TraceCollector* trace = options.trace;
+    const std::uint64_t suite_id =
+        trace == nullptr ? 0 : trace->next_flow_id();
+    if (trace != nullptr) {
+        trace->record_async_begin(trace->main_lane(), "suite " + axiom_name,
+                                  suite_id, obs::now_nanos());
+    }
     const std::unique_ptr<SuiteRun> run =
         launch_suite(pool, model, axiom_name, options);
     pool.wait(run->group);
+    if (trace != nullptr) {
+        trace->record_async_end(trace->main_lane(), "suite " + axiom_name,
+                                suite_id, obs::now_nanos());
+    }
     return finish_suite(pool, *run);
 }
 
@@ -545,15 +700,31 @@ synthesize_all_parallel(const mtm::Model& model,
     // until the very last suite drains (v1 instead pinned a thread group
     // per axiom, leaving cores idle once the cheap axioms finished).
     sched::WorkStealingPool pool(options.jobs);
+    pool.set_trace(options.trace);
+    obs::TraceCollector* trace = options.trace;
     std::vector<std::unique_ptr<SuiteRun>> runs;
+    std::vector<std::uint64_t> suite_ids;
     runs.reserve(model.axioms().size());
     for (const mtm::Axiom& axiom : model.axioms()) {
+        if (trace != nullptr) {
+            // Async spans ("b"/"e"): suites overlap on the shared pool, so
+            // they cannot be nested complete spans on the main lane.
+            suite_ids.push_back(trace->next_flow_id());
+            trace->record_async_begin(trace->main_lane(),
+                                      "suite " + axiom.name,
+                                      suite_ids.back(), obs::now_nanos());
+        }
         runs.push_back(launch_suite(pool, model, axiom.name, options));
     }
     std::vector<SuiteResult> out;
     out.reserve(runs.size());
-    for (const std::unique_ptr<SuiteRun>& run : runs) {
-        pool.wait(run->group);
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        pool.wait(runs[i]->group);
+        if (trace != nullptr) {
+            trace->record_async_end(trace->main_lane(),
+                                    "suite " + runs[i]->axiom, suite_ids[i],
+                                    obs::now_nanos());
+        }
     }
     for (const std::unique_ptr<SuiteRun>& run : runs) {
         out.push_back(finish_suite(pool, *run));

@@ -32,8 +32,14 @@
 
 #include "elt/execution.h"
 #include "mtm/model.h"
+#include "obs/metrics.h"
+#include "sat/solver.h"
 #include "sched/scheduler.h"
 #include "synth/skeleton.h"
+
+namespace transform::obs {
+class TraceCollector;
+}
 
 namespace transform::synth {
 
@@ -78,6 +84,24 @@ struct SynthesisOptions {
     /// the re-split tree — and with it jobs_run / lazy_resplits — is a
     /// pure function of the options, not of scheduling.
     std::uint64_t resplit_threshold = 0;
+
+    /// Observability (src/obs/, docs/observability.md). Both knobs are
+    /// purely observational: they never influence search order, tickets, or
+    /// the merge, so the determinism contract holds with them on or off
+    /// (asserted by tests/obs_test.cpp).
+    ///
+    /// When true the run carries a per-worker obs::MetricsRegistry and
+    /// attributes candidate-evaluation time to the fixed phase taxonomy
+    /// (SuiteResult::phases); solver wall-timing is enabled on the
+    /// per-worker solvers. Off (default) costs one null check per
+    /// instrumentation point and zero clock reads.
+    bool collect_metrics = false;
+
+    /// When non-null, shard jobs / suites / re-split lineage are recorded
+    /// as spans, async spans, and flow arrows. The collector must have at
+    /// least resolve_jobs(jobs) worker lanes plus the main lane and must
+    /// outlive the synthesis call. nullptr (default) disables recording.
+    obs::TraceCollector* trace = nullptr;
 };
 
 /// One synthesized ELT.
@@ -102,6 +126,14 @@ struct SuiteResult {
     double seconds = 0.0;
     bool complete = false;  ///< false when the time budget expired
     sched::SchedulerStats scheduler;  ///< runtime counters for the search
+    /// SAT-solver counters summed across every per-worker solver the suite
+    /// used (lifetime_stats, so per-program reset() cycles are included).
+    /// All-zero under the enumerative backend; solve_nanos is populated
+    /// only when SynthesisOptions::collect_metrics enabled solver timing.
+    sat::SolverStats solver;
+    /// Phase-attributed time/count breakdown; all-zero unless
+    /// SynthesisOptions::collect_metrics was set.
+    obs::PhaseTotals phases;
 };
 
 /// Synthesizes the suite of unique, minimal, interesting ELT programs whose

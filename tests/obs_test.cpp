@@ -1,0 +1,500 @@
+/// \file
+/// Tests for the observability layer (src/obs/): the phase-attributed
+/// MetricsRegistry (exact merges under concurrent hammering, out-of-range
+/// drops), the TraceCollector (valid Chrome trace JSON, paired flow
+/// arrows, bounded rings), the metrics-JSON report, the scheduler's job
+/// spans — and the layer's central promise: turning observability on
+/// changes NOTHING about the synthesized suites (byte-identical
+/// fingerprints across backends and job counts, obs on vs off).
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "elt/serialize.h"
+#include "mtm/model.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+#include "sched/scheduler.h"
+#include "synth/engine.h"
+
+namespace transform {
+namespace {
+
+// ---------------------------------------------------------------------------
+// A minimal JSON well-formedness checker, so the trace/report tests can
+// assert "any JSON consumer parses this" without a JSON dependency.
+
+struct JsonCursor {
+    const std::string& text;
+    std::size_t pos = 0;
+
+    void
+    skip_ws()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' ||
+                text[pos] == '\n' || text[pos] == '\r')) {
+            ++pos;
+        }
+    }
+
+    bool
+    consume(char c)
+    {
+        skip_ws();
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    parse_string()
+    {
+        skip_ws();
+        if (pos >= text.size() || text[pos] != '"') {
+            return false;
+        }
+        ++pos;
+        while (pos < text.size() && text[pos] != '"') {
+            if (text[pos] == '\\') {
+                ++pos;  // escape: skip the escaped character blindly
+            }
+            ++pos;
+        }
+        return consume('"');
+    }
+
+    bool
+    parse_value()
+    {
+        skip_ws();
+        if (pos >= text.size()) {
+            return false;
+        }
+        const char c = text[pos];
+        if (c == '{') {
+            ++pos;
+            if (consume('}')) {
+                return true;
+            }
+            do {
+                if (!parse_string() || !consume(':') || !parse_value()) {
+                    return false;
+                }
+            } while (consume(','));
+            return consume('}');
+        }
+        if (c == '[') {
+            ++pos;
+            if (consume(']')) {
+                return true;
+            }
+            do {
+                if (!parse_value()) {
+                    return false;
+                }
+            } while (consume(','));
+            return consume(']');
+        }
+        if (c == '"') {
+            return parse_string();
+        }
+        if (c == 't') {
+            return text.compare(pos, 4, "true") == 0 && (pos += 4, true);
+        }
+        if (c == 'f') {
+            return text.compare(pos, 5, "false") == 0 && (pos += 5, true);
+        }
+        if (c == 'n') {
+            return text.compare(pos, 4, "null") == 0 && (pos += 4, true);
+        }
+        // Number: accept any [-+0-9.eE] run (validity of the digits is the
+        // producer's problem; structure is what we check here).
+        std::size_t start = pos;
+        while (pos < text.size() &&
+               (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+                text[pos] == '-' || text[pos] == '+' || text[pos] == '.' ||
+                text[pos] == 'e' || text[pos] == 'E')) {
+            ++pos;
+        }
+        return pos > start;
+    }
+};
+
+bool
+is_valid_json(const std::string& text)
+{
+    JsonCursor cursor{text};
+    if (!cursor.parse_value()) {
+        return false;
+    }
+    cursor.skip_ws();
+    return cursor.pos == text.size();
+}
+
+int
+count_occurrences(const std::string& text, const std::string& needle)
+{
+    int n = 0;
+    for (std::size_t at = text.find(needle); at != std::string::npos;
+         at = text.find(needle, at + needle.size())) {
+        ++n;
+    }
+    return n;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+
+TEST(MetricsRegistry, ConcurrentHammeringMergesExactly)
+{
+    constexpr int kThreads = 8;
+    constexpr int kIterations = 50000;
+    obs::MetricsRegistry registry(4);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        // Two threads share each cell on purpose: adds must not lose
+        // updates even when the per-worker ownership convention is broken.
+        threads.emplace_back([&registry, t] {
+            const int worker = t % 4;
+            const obs::Phase phase =
+                static_cast<obs::Phase>(t % obs::kPhaseCount);
+            for (int i = 0; i < kIterations; ++i) {
+                registry.add(worker, phase, 3);
+            }
+        });
+    }
+    for (std::thread& thread : threads) {
+        thread.join();
+    }
+    const obs::PhaseTotals totals = registry.merged();
+    std::uint64_t count = 0;
+    std::uint64_t nanos = 0;
+    for (int p = 0; p < obs::kPhaseCount; ++p) {
+        count += totals.count(static_cast<obs::Phase>(p));
+        nanos += totals.phases[static_cast<std::size_t>(p)].nanos;
+    }
+    EXPECT_EQ(count, static_cast<std::uint64_t>(kThreads) * kIterations);
+    EXPECT_EQ(nanos, static_cast<std::uint64_t>(kThreads) * kIterations * 3);
+    EXPECT_EQ(totals.total_nanos(), nanos);
+    EXPECT_EQ(registry.dropped(), 0u);
+}
+
+TEST(MetricsRegistry, OutOfRangeWorkersAreDroppedNotCrashed)
+{
+    obs::MetricsRegistry registry(2);
+    registry.add(-1, obs::Phase::kDerive, 10);
+    registry.add(2, obs::Phase::kDerive, 10);
+    registry.add(1, obs::Phase::kDerive, 10);
+    EXPECT_EQ(registry.dropped(), 2u);
+    EXPECT_EQ(registry.merged().count(obs::Phase::kDerive), 1u);
+}
+
+TEST(MetricsRegistry, WorkerNanosSnapshotsSupportUnclaimedAttribution)
+{
+    obs::MetricsRegistry registry(1);
+    registry.add(0, obs::Phase::kDerive, 100);
+    registry.add(0, obs::Phase::kJudge, 50);
+    EXPECT_EQ(registry.worker_nanos(0), 150u);
+    EXPECT_EQ(registry.worker_phase_nanos(0, obs::Phase::kDerive), 100u);
+    EXPECT_EQ(registry.worker_phase_nanos(0, obs::Phase::kJudge), 50u);
+    EXPECT_EQ(registry.worker_phase_nanos(0, obs::Phase::kDedup), 0u);
+}
+
+TEST(MetricsRegistry, ScopedPhaseNullRegistryIsANoop)
+{
+    // The disabled fast path must not crash (and must not read the clock,
+    // though that is asserted by the benchmarks, not here).
+    obs::ScopedPhase phase(nullptr, 0, obs::Phase::kSatSolve);
+}
+
+TEST(MetricsRegistry, ScopedPhaseAttributesOneSection)
+{
+    obs::MetricsRegistry registry(1);
+    {
+        obs::ScopedPhase phase(&registry, 0, obs::Phase::kCanonicalize);
+    }
+    EXPECT_EQ(registry.merged().count(obs::Phase::kCanonicalize), 1u);
+}
+
+TEST(MetricsRegistry, PhaseNamesAreStable)
+{
+    // The metrics-JSON schema spells phases with these names; renames are
+    // schema changes and must bump kMetricsSchemaVersion.
+    EXPECT_STREQ(obs::phase_name(obs::Phase::kSkeletonEnum),
+                 "skeleton_enum");
+    EXPECT_STREQ(obs::phase_name(obs::Phase::kSatEncode), "sat_encode");
+    EXPECT_STREQ(obs::phase_name(obs::Phase::kSatSolve), "sat_solve");
+    EXPECT_STREQ(obs::phase_name(obs::Phase::kDerive), "derive");
+    EXPECT_STREQ(obs::phase_name(obs::Phase::kCanonicalize), "canonicalize");
+    EXPECT_STREQ(obs::phase_name(obs::Phase::kJudge), "judge");
+    EXPECT_STREQ(obs::phase_name(obs::Phase::kDedup), "dedup");
+    EXPECT_STREQ(obs::phase_name(obs::Phase::kQueueWait), "queue_wait");
+}
+
+// ---------------------------------------------------------------------------
+// TraceCollector
+
+TEST(TraceCollector, ChromeJsonIsValidAndCarriesEveryKind)
+{
+    obs::TraceCollector trace(2);
+    const std::uint64_t t0 = obs::now_nanos();
+    trace.record_complete(0, "span \"quoted\"", t0, t0 + 1000,
+                          {{"visited", 7}});
+    trace.record_instant(1, "marker", t0 + 500);
+    const std::uint64_t flow = trace.next_flow_id();
+    trace.record_flow_start(0, flow, t0 + 600);
+    trace.record_flow_end(1, flow, t0 + 700);
+    trace.record_async_begin(trace.main_lane(), "suite x", 42, t0);
+    trace.record_async_end(trace.main_lane(), "suite x", 42, t0 + 2000);
+
+    const std::string json = trace.chrome_json();
+    EXPECT_TRUE(is_valid_json(json)) << json;
+    // One metadata record per lane (2 workers + main).
+    EXPECT_EQ(count_occurrences(json, "\"ph\":\"M\""), 3);
+    EXPECT_EQ(count_occurrences(json, "\"ph\":\"X\""), 1);
+    EXPECT_EQ(count_occurrences(json, "\"ph\":\"i\""), 1);
+    EXPECT_EQ(count_occurrences(json, "\"ph\":\"s\""), 1);
+    EXPECT_EQ(count_occurrences(json, "\"ph\":\"f\""), 1);
+    EXPECT_EQ(count_occurrences(json, "\"ph\":\"b\""), 1);
+    EXPECT_EQ(count_occurrences(json, "\"ph\":\"e\""), 1);
+    EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+    EXPECT_NE(json.find("\"visited\":7"), std::string::npos);
+    EXPECT_EQ(trace.dropped(), 0u);
+}
+
+TEST(TraceCollector, RingsAreBoundedAndCountDrops)
+{
+    obs::TraceCollector trace(1, 4);
+    const std::uint64_t t0 = obs::now_nanos();
+    for (int i = 0; i < 10; ++i) {
+        trace.record_instant(0, "e" + std::to_string(i), t0 + i);
+    }
+    trace.record_instant(99, "invalid lane", t0);
+    EXPECT_EQ(trace.events_resident(), 4u);
+    EXPECT_EQ(trace.dropped(), 7u);  // 6 overwritten + 1 invalid lane
+    // The survivors are the newest four.
+    const std::string json = trace.chrome_json();
+    EXPECT_TRUE(is_valid_json(json));
+    EXPECT_EQ(json.find("\"e0\""), std::string::npos);
+    EXPECT_NE(json.find("\"e9\""), std::string::npos);
+}
+
+TEST(TraceCollector, ConcurrentLanesRecordIndependently)
+{
+    constexpr int kLanes = 4;
+    constexpr int kEvents = 2000;
+    obs::TraceCollector trace(kLanes, 4096);
+    std::vector<std::thread> threads;
+    for (int lane = 0; lane < kLanes; ++lane) {
+        threads.emplace_back([&trace, lane] {
+            for (int i = 0; i < kEvents; ++i) {
+                const std::uint64_t now = obs::now_nanos();
+                trace.record_complete(lane, "w", now, now + 10);
+            }
+        });
+    }
+    for (std::thread& thread : threads) {
+        thread.join();
+    }
+    EXPECT_EQ(trace.events_resident(),
+              static_cast<std::size_t>(kLanes) * kEvents);
+    EXPECT_EQ(trace.dropped(), 0u);
+    EXPECT_TRUE(is_valid_json(trace.chrome_json()));
+}
+
+TEST(SchedulerTrace, PoolRecordsJobSpansWhenAttached)
+{
+    sched::WorkStealingPool pool(2);
+    obs::TraceCollector trace(pool.workers());
+    pool.set_trace(&trace);
+    std::atomic<int> ran{0};
+    std::vector<sched::WorkStealingPool::Job> jobs;
+    for (int i = 0; i < 16; ++i) {
+        jobs.push_back([&ran](int) { ++ran; });
+    }
+    pool.run_batch(std::move(jobs));
+    pool.set_trace(nullptr);
+    EXPECT_EQ(ran.load(), 16);
+    const std::string json = trace.chrome_json();
+    EXPECT_TRUE(is_valid_json(json));
+    EXPECT_EQ(count_occurrences(json, "\"name\":\"job\""), 16);
+    // Detached: further jobs record nothing.
+    pool.run_batch({[](int) {}});
+    EXPECT_EQ(count_occurrences(trace.chrome_json(), "\"name\":\"job\""),
+              16);
+}
+
+// ---------------------------------------------------------------------------
+// Engine integration: metrics/trace fill SuiteResult without perturbing it.
+
+std::string
+suite_fingerprint(const synth::SuiteResult& suite)
+{
+    std::string fp;
+    for (const synth::SynthesizedTest& test : suite.tests) {
+        fp += test.canonical_key;
+        fp += '|';
+        fp += std::to_string(test.size);
+        for (const std::string& axiom : test.violated) {
+            fp += ',';
+            fp += axiom;
+        }
+        fp += '|';
+        fp += elt::execution_to_xml(test.witness, "w");
+        fp += '\n';
+    }
+    return fp;
+}
+
+synth::SynthesisOptions
+obs_options(int jobs, synth::Backend backend)
+{
+    synth::SynthesisOptions opt;
+    opt.min_bound = 4;
+    opt.bound = backend == synth::Backend::kSat ? 4 : 5;
+    opt.jobs = jobs;
+    opt.backend = backend;
+    return opt;
+}
+
+TEST(ObsDeterminism, SuitesAreByteIdenticalWithObservabilityOnOrOff)
+{
+    const mtm::Model model = mtm::x86t_elt();
+    for (const synth::Backend backend :
+         {synth::Backend::kEnumerative, synth::Backend::kSat}) {
+        const synth::SuiteResult reference = synth::synthesize_suite(
+            model, "invlpg", obs_options(1, backend));
+        EXPECT_FALSE(reference.tests.empty());
+        for (const int jobs : {1, 2, 4}) {
+            synth::SynthesisOptions instrumented =
+                obs_options(jobs, backend);
+            instrumented.collect_metrics = true;
+            obs::TraceCollector trace(sched::resolve_jobs(jobs));
+            instrumented.trace = &trace;
+            const synth::SuiteResult observed = synth::synthesize_suite(
+                model, "invlpg", instrumented);
+            EXPECT_EQ(suite_fingerprint(reference),
+                      suite_fingerprint(observed))
+                << "backend=" << static_cast<int>(backend)
+                << " jobs=" << jobs;
+            EXPECT_TRUE(is_valid_json(trace.chrome_json()));
+        }
+    }
+}
+
+TEST(ObsEngine, CollectMetricsFillsPhaseTotals)
+{
+    const mtm::Model model = mtm::x86t_elt();
+    synth::SynthesisOptions options =
+        obs_options(2, synth::Backend::kEnumerative);
+    options.collect_metrics = true;
+    const synth::SuiteResult suite =
+        synth::synthesize_suite(model, "sc_per_loc", options);
+    EXPECT_GT(suite.phases.total_nanos(), 0u);
+    EXPECT_GT(suite.phases.count(obs::Phase::kSkeletonEnum), 0u);
+    EXPECT_GT(suite.phases.count(obs::Phase::kDerive), 0u);
+    EXPECT_GT(suite.phases.count(obs::Phase::kCanonicalize), 0u);
+    EXPECT_GT(suite.phases.count(obs::Phase::kDedup), 0u);
+    // Enumerative backend: no SAT phases, no solver calls.
+    EXPECT_EQ(suite.phases.count(obs::Phase::kSatSolve), 0u);
+    EXPECT_EQ(suite.solver.solve_calls, 0u);
+
+    // Metrics off: the breakdown stays all-zero.
+    options.collect_metrics = false;
+    const synth::SuiteResult off =
+        synth::synthesize_suite(model, "sc_per_loc", options);
+    EXPECT_EQ(off.phases.total_nanos(), 0u);
+}
+
+TEST(ObsEngine, SatBackendAggregatesSolverStatsPerSuite)
+{
+    const mtm::Model model = mtm::x86t_elt();
+    // Solver counters surface even WITHOUT collect_metrics (satellite
+    // contract: `--stats` works with no obs flags) — only solve_nanos
+    // needs the metrics switch, which gates the solver's clock reads.
+    synth::SynthesisOptions options = obs_options(2, synth::Backend::kSat);
+    const synth::SuiteResult plain =
+        synth::synthesize_suite(model, "invlpg", options);
+    EXPECT_GT(plain.solver.solve_calls, 0u);
+    EXPECT_GT(plain.solver.propagations, 0u);
+    EXPECT_EQ(plain.solver.solve_nanos, 0u);
+
+    options.collect_metrics = true;
+    const synth::SuiteResult timed =
+        synth::synthesize_suite(model, "invlpg", options);
+    EXPECT_EQ(timed.solver.solve_calls, plain.solver.solve_calls)
+        << "solver work must not depend on the metrics switch";
+    EXPECT_GT(timed.solver.solve_nanos, 0u);
+    EXPECT_GT(timed.phases.count(obs::Phase::kSatSolve), 0u);
+    EXPECT_GT(timed.phases.count(obs::Phase::kSatEncode), 0u);
+}
+
+TEST(ObsEngine, ResplitLineageShowsUpAsPairedFlowArrows)
+{
+    const mtm::Model model = mtm::x86t_elt();
+    synth::SynthesisOptions options =
+        obs_options(4, synth::Backend::kEnumerative);
+    options.resplit_threshold = 50;  // force lazy re-splitting
+    obs::TraceCollector trace(sched::resolve_jobs(options.jobs));
+    options.trace = &trace;
+    const synth::SuiteResult suite =
+        synth::synthesize_suite(model, "sc_per_loc", options);
+    EXPECT_GT(suite.scheduler.lazy_resplits, 0u);
+    const std::string json = trace.chrome_json();
+    EXPECT_TRUE(is_valid_json(json));
+    const int starts = count_occurrences(json, "\"ph\":\"s\"");
+    const int ends = count_occurrences(json, "\"ph\":\"f\"");
+    EXPECT_GT(starts, 0);
+    EXPECT_EQ(starts, ends) << "every re-split arrow must have both ends";
+}
+
+// ---------------------------------------------------------------------------
+// Metrics-JSON report
+
+TEST(ObsReport, ReportJsonIsValidVersionedAndTotalled)
+{
+    const mtm::Model model = mtm::x86t_elt();
+    obs::RunReport report;
+    report.tool = "obs_test";
+    report.model = "path/with \"quotes\" and\nnewlines";
+    report.backend = "enum";
+    report.bound = 5;
+    report.jobs = 2;
+    for (const std::string axiom : {"sc_per_loc", "invlpg"}) {
+        synth::SynthesisOptions options =
+            obs_options(2, synth::Backend::kEnumerative);
+        options.collect_metrics = true;
+        report.suites.push_back(obs::suite_report(
+            synth::synthesize_suite(model, axiom, options)));
+    }
+    const std::string json = obs::report_to_json(report);
+    EXPECT_TRUE(is_valid_json(json)) << json;
+    EXPECT_NE(json.find("\"schema\": \"transform-metrics\""),
+              std::string::npos);
+    EXPECT_NE(
+        json.find("\"schema_version\": " +
+                  std::to_string(obs::kMetricsSchemaVersion)),
+        std::string::npos);
+    for (int p = 0; p < obs::kPhaseCount; ++p) {
+        EXPECT_NE(json.find(obs::phase_name(static_cast<obs::Phase>(p))),
+                  std::string::npos);
+    }
+
+    const obs::SuiteReport totals = report.totals();
+    EXPECT_EQ(totals.tests,
+              report.suites[0].tests + report.suites[1].tests);
+    EXPECT_EQ(totals.programs_considered,
+              report.suites[0].programs_considered +
+                  report.suites[1].programs_considered);
+}
+
+}  // namespace
+}  // namespace transform

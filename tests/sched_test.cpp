@@ -16,6 +16,7 @@
 
 #include "elt/serialize.h"
 #include "mtm/model.h"
+#include "obs/trace.h"
 #include "sched/chase_lev.h"
 #include "sched/scheduler.h"
 #include "sched/sharded_index.h"
@@ -443,6 +444,29 @@ TEST(SchedDeterminism, HardwareConcurrencyJobsProducesSameSuite)
         suite_options(5, 0, synth::Backend::kEnumerative));
     EXPECT_EQ(suite_fingerprint(reference), suite_fingerprint(parallel));
     EXPECT_EQ(parallel.scheduler.workers, sched::resolve_jobs(0));
+}
+
+TEST(SchedDeterminism, ObservabilityOnIsByteIdenticalAtEveryShardDepth)
+{
+    // The observability layer (metrics + trace) must be purely
+    // observational: same fingerprint as the uninstrumented jobs=1 run at
+    // every shard depth, adaptive included. tests/obs_test.cpp sweeps the
+    // jobs axis; this covers the shard-depth axis.
+    const mtm::Model model = mtm::x86t_elt();
+    const synth::SuiteResult reference = synth::synthesize_suite(
+        model, "invlpg", suite_options(5, 1, synth::Backend::kEnumerative));
+    for (const int depth : {0, 1, 2}) {
+        synth::SynthesisOptions options =
+            suite_options(5, 4, synth::Backend::kEnumerative);
+        options.shard_depth = depth;
+        options.collect_metrics = true;
+        obs::TraceCollector trace(4);
+        options.trace = &trace;
+        const synth::SuiteResult observed =
+            synth::synthesize_suite(model, "invlpg", options);
+        EXPECT_EQ(suite_fingerprint(reference), suite_fingerprint(observed))
+            << "shard_depth=" << depth;
+    }
 }
 
 TEST(SchedStats, CountersAreFilledAndJobsIndependent)

@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over the BENCH_*.json records.
+
+Diffs freshly produced bench records against committed baselines
+(bench/baselines/) and fails when a throughput key regressed past the
+noise band or an allocation key grew past its (much tighter) band:
+
+    bench_compare.py --baseline bench/baselines --current . \
+        [--throughput-tolerance 0.60] [--allocs-tolerance 0.15] [--update]
+
+Design decisions (see docs/performance.md, "CI regression gate"):
+
+- Records pair by file name (BENCH_substrate.json <-> BENCH_substrate.json).
+  A baseline with no fresh counterpart is an error (the bench stopped
+  producing output); a fresh record with no baseline is a warning (new
+  bench, commit a baseline when ready).
+- Gated keys are exactly the `*_per_sec` rates (lower is worse) and the
+  `*_allocs_per_program` ratios (higher is worse). Everything else is
+  context.
+- Rates carry machine noise — CI runners differ wildly from the machines
+  baselines were recorded on — so their band is loose by default (a run
+  must lose over 60% of baseline throughput to fail, i.e. catch
+  catastrophes, not jitter). Allocation ratios are deterministic per
+  workload, so their band is tight (15%).
+- Context keys shared by both records ("bound", "min_bound", "workload")
+  must match exactly: comparing a bound-5 run against a bound-6 baseline
+  is meaningless, so a mismatch skips the record with a warning rather
+  than failing or (worse) silently diffing.
+- A bench_schema_version mismatch likewise skips the record: renamed keys
+  must be re-baselined, not treated as regressions.
+- A gated key present in the baseline but missing from the fresh record
+  FAILS: silently dropping a metric is how regressions hide.
+- --update rewrites the baselines from the fresh records (run locally
+  after an intentional perf change, then commit the diff).
+"""
+
+import argparse
+import json
+import os
+import shutil
+import sys
+
+# Context keys that must match for a comparison to be meaningful.
+CONTEXT_KEYS = ("bound", "min_bound", "workload", "bench")
+
+
+def is_rate_key(key):
+    return key.endswith("_per_sec")
+
+
+def is_allocs_key(key):
+    return key.endswith("_allocs_per_program")
+
+
+def load(path):
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def compare_record(name, baseline, current, args, problems, notes):
+    """Appends failures to problems / observations to notes."""
+    base_schema = baseline.get("bench_schema_version")
+    cur_schema = current.get("bench_schema_version")
+    if base_schema != cur_schema:
+        notes.append(
+            f"{name}: bench_schema_version {base_schema} -> {cur_schema}; "
+            "skipped (re-baseline with --update)")
+        return
+    for key in CONTEXT_KEYS:
+        if key in baseline and key in current and baseline[key] != current[key]:
+            notes.append(
+                f"{name}: context '{key}' differs "
+                f"({baseline[key]!r} vs {current[key]!r}); skipped — "
+                "regenerate baselines with the CI knobs")
+            return
+
+    for key, base_value in sorted(baseline.items()):
+        gated_rate = is_rate_key(key)
+        gated_allocs = is_allocs_key(key)
+        if not gated_rate and not gated_allocs:
+            continue
+        if key not in current:
+            problems.append(
+                f"{name}: gated key '{key}' missing from fresh record")
+            continue
+        cur_value = current[key]
+        if not isinstance(base_value, (int, float)) or not isinstance(
+                cur_value, (int, float)):
+            problems.append(f"{name}: '{key}' is not numeric")
+            continue
+        if gated_rate:
+            floor = base_value * (1.0 - args.throughput_tolerance)
+            if cur_value < floor:
+                problems.append(
+                    f"{name}: {key} regressed: {cur_value:.6g} < "
+                    f"{floor:.6g} (baseline {base_value:.6g}, "
+                    f"tolerance {args.throughput_tolerance:.0%})")
+            else:
+                notes.append(
+                    f"{name}: {key} {base_value:.6g} -> {cur_value:.6g} ok")
+        else:
+            ceiling = base_value * (1.0 + args.allocs_tolerance)
+            if cur_value > ceiling:
+                problems.append(
+                    f"{name}: {key} regressed: {cur_value:.6g} > "
+                    f"{ceiling:.6g} (baseline {base_value:.6g}, "
+                    f"tolerance {args.allocs_tolerance:.0%})")
+            else:
+                notes.append(
+                    f"{name}: {key} {base_value:.6g} -> {cur_value:.6g} ok")
+
+
+def bench_files(directory):
+    return sorted(
+        f for f in os.listdir(directory)
+        if f.startswith("BENCH_") and f.endswith(".json"))
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="diff fresh BENCH_*.json records against baselines")
+    parser.add_argument("--baseline", required=True,
+                        help="directory of committed baseline records")
+    parser.add_argument("--current", required=True,
+                        help="directory of freshly produced records")
+    parser.add_argument("--throughput-tolerance", type=float, default=0.60,
+                        help="allowed fractional drop for *_per_sec keys "
+                             "(default 0.60: catch catastrophes, not "
+                             "runner jitter)")
+    parser.add_argument("--allocs-tolerance", type=float, default=0.15,
+                        help="allowed fractional growth for "
+                             "*_allocs_per_program keys (default 0.15: "
+                             "allocations are deterministic)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baselines from the fresh records")
+    args = parser.parse_args()
+
+    if not os.path.isdir(args.current):
+        print(f"--current {args.current} is not a directory",
+              file=sys.stderr)
+        return 2
+    fresh = bench_files(args.current)
+    if not fresh:
+        print(f"no BENCH_*.json records under {args.current}",
+              file=sys.stderr)
+        return 2
+
+    if args.update:
+        os.makedirs(args.baseline, exist_ok=True)
+        for name in fresh:
+            shutil.copyfile(os.path.join(args.current, name),
+                            os.path.join(args.baseline, name))
+            print(f"baseline updated: {os.path.join(args.baseline, name)}")
+        return 0
+
+    if not os.path.isdir(args.baseline):
+        print(f"no baseline directory {args.baseline}; nothing to gate "
+              "(seed it with --update)")
+        return 0
+
+    problems = []
+    notes = []
+    baselines = bench_files(args.baseline)
+    for name in baselines:
+        if name not in fresh:
+            problems.append(
+                f"{name}: baseline exists but the bench produced no fresh "
+                "record")
+            continue
+        compare_record(name, load(os.path.join(args.baseline, name)),
+                       load(os.path.join(args.current, name)), args,
+                       problems, notes)
+    for name in fresh:
+        if name not in baselines:
+            notes.append(f"{name}: no committed baseline; not gated "
+                         "(add one with --update)")
+
+    for line in notes:
+        print(f"  [note] {line}")
+    for line in problems:
+        print(f"  [FAIL] {line}", file=sys.stderr)
+    print(f"bench_compare: {len(problems)} failure(s), "
+          f"{len(notes)} note(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

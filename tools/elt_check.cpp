@@ -20,10 +20,15 @@
 /// (src/sched/ v2, Chase-Lev deques; --jobs N workers, 0 = one per
 /// hardware thread) as a single job group; reports are buffered and
 /// printed in input order, so the output does not depend on --jobs.
+///
+/// --trace FILE records each file's check as a span on its worker's lane
+/// and writes a Chrome trace-event JSON file (Perfetto /
+/// chrome://tracing; see docs/observability.md).
 #include <cstdarg>
 #include <cstdio>
 #include <fstream>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -33,6 +38,8 @@
 #include "elt/printer.h"
 #include "elt/serialize.h"
 #include "mtm/model.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sched/scheduler.h"
 #include "spec/registry.h"
 #include "synth/exec_enum.h"
@@ -163,6 +170,7 @@ main(int argc, char** argv)
 {
     std::string model_name = "x86t_elt";
     int jobs = 1;
+    std::string trace_path;
     std::vector<std::string> paths;
     for (int i = 1; i < argc; ++i) {
         const std::string flag = argv[i];
@@ -174,13 +182,16 @@ main(int argc, char** argv)
                 return tools::usage_error(flag, tools::kJobsExpectation,
                                           text);
             }
+        } else if (flag == "--trace" && i + 1 < argc) {
+            trace_path = argv[++i];
         } else {
             paths.push_back(flag);
         }
     }
     if (paths.empty()) {
         std::fprintf(stderr,
-                     "usage: elt_check [--model NAME] [--jobs N] <file>...\n");
+                     "usage: elt_check [--model NAME] [--jobs N] "
+                     "[--trace FILE] <file>...\n");
         return 2;
     }
     std::string model_error;
@@ -200,15 +211,35 @@ main(int argc, char** argv)
     };
     std::vector<Report> reports(paths.size());
     sched::WorkStealingPool pool(jobs);
+    std::optional<obs::TraceCollector> trace;
+    if (!trace_path.empty()) {
+        trace.emplace(pool.workers());
+        pool.set_trace(&*trace);
+    }
     std::vector<sched::WorkStealingPool::Job> batch;
     batch.reserve(paths.size());
     for (std::size_t i = 0; i < paths.size(); ++i) {
-        batch.push_back([&model, &paths, &reports, i](int) {
+        obs::TraceCollector* tc = trace ? &*trace : nullptr;
+        batch.push_back([&model, &paths, &reports, tc, i](int worker) {
+            const std::uint64_t start =
+                tc != nullptr ? obs::now_nanos() : 0;
             reports[i].rc = check_file(model, paths[i],
                                        &reports[i].out, &reports[i].err);
+            if (tc != nullptr) {
+                tc->record_complete(worker, "check " + paths[i], start,
+                                    obs::now_nanos());
+            }
         });
     }
     pool.run_batch(std::move(batch));
+    if (trace) {
+        pool.set_trace(nullptr);
+        std::string error;
+        if (!trace->write(trace_path, &error)) {
+            std::fprintf(stderr, "--trace: %s\n", error.c_str());
+            return 1;
+        }
+    }
 
     int rc = 0;
     for (std::size_t i = 0; i < reports.size(); ++i) {

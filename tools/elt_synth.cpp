@@ -33,7 +33,16 @@
 ///   --stats           print scheduler counters per suite plus an
 ///                     all-axiom aggregate (jobs, steals, lazy re-splits,
 ///                     closed-prefix splits, skip re-enumerations, dedup
-///                     hits, queue wait)
+///                     hits, queue wait); under --backend sat also the
+///                     per-suite SAT solver counters (solves, decisions,
+///                     propagations, conflicts, ...)
+///   --trace FILE      record shard jobs, suites, and re-split lineage as
+///                     spans and write a Chrome trace-event JSON file
+///                     (open in Perfetto or chrome://tracing); see
+///                     docs/observability.md
+///   --metrics-json FILE
+///                     collect the phase-attributed metrics breakdown and
+///                     write the versioned metrics-JSON run report
 ///   --out DIR         write <suite>/<n>.litmus and .xml files
 ///   --quiet           summary only (no test listings)
 ///   --spec            print the model as an Alloy-style module and exit
@@ -63,6 +72,8 @@
 #include "elt/serialize.h"
 #include "mtm/model.h"
 #include "mtm/spec_printer.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "sched/scheduler.h"
 #include "spec/registry.h"
 #include "synth/engine.h"
@@ -85,6 +96,8 @@ struct Args {
     int shard_depth = 0;                  // 0 = adaptive
     std::uint64_t resplit_threshold = 0;  // 0 = cost model
     bool stats = false;
+    std::string trace_path;
+    std::string metrics_json;
     std::string out_dir;
     bool quiet = false;
     bool list_axioms = false;
@@ -115,9 +128,30 @@ print_stats(const std::string& scope, const sched::SchedulerStats& s)
         s.queue_wait_seconds);
 }
 
+void
+print_solver_stats(const std::string& scope, const sat::SolverStats& s)
+{
+    std::fprintf(
+        stderr,
+        "[%s] solver: %llu solves (%.3fs), %llu decisions, "
+        "%llu propagations, %llu conflicts, %llu restarts, "
+        "%llu learned (%llu deleted)\n",
+        scope.c_str(),
+        static_cast<unsigned long long>(s.solve_calls),
+        static_cast<double>(s.solve_nanos) * 1e-9,
+        static_cast<unsigned long long>(s.decisions),
+        static_cast<unsigned long long>(s.propagations),
+        static_cast<unsigned long long>(s.conflicts),
+        static_cast<unsigned long long>(s.restarts),
+        static_cast<unsigned long long>(s.learned_clauses),
+        static_cast<unsigned long long>(s.deleted_clauses));
+}
+
 int
 run_suite(const mtm::Model& model, const std::string& axiom,
-          const Args& args, sched::SchedulerStats* total)
+          const Args& args, obs::TraceCollector* trace,
+          sched::SchedulerStats* total, sat::SolverStats* solver_total,
+          obs::RunReport* report)
 {
     synth::SynthesisOptions options;
     options.min_bound = model.vm_aware() ? 4 : 2;
@@ -130,6 +164,8 @@ run_suite(const mtm::Model& model, const std::string& axiom,
     options.jobs = args.jobs;
     options.shard_depth = args.shard_depth;
     options.resplit_threshold = args.resplit_threshold;
+    options.collect_metrics = report != nullptr;
+    options.trace = trace;
     const synth::SuiteResult suite =
         synth::synthesize_suite(model, axiom, options);
 
@@ -141,8 +177,15 @@ run_suite(const mtm::Model& model, const std::string& axiom,
                  static_cast<unsigned long long>(suite.executions_considered),
                  suite.seconds, suite.complete ? "" : ", budget hit");
     total->merge(suite.scheduler);
+    solver_total->merge(suite.solver);
+    if (report != nullptr) {
+        report->suites.push_back(obs::suite_report(suite));
+    }
     if (args.stats) {
         print_stats(model.name() + " / " + axiom, suite.scheduler);
+        if (suite.solver.solve_calls > 0) {
+            print_solver_stats(model.name() + " / " + axiom, suite.solver);
+        }
     }
 
     for (std::size_t i = 0; i < suite.tests.size(); ++i) {
@@ -255,6 +298,16 @@ main(int argc, char** argv)
             }
         } else if (flag == "--stats") {
             args.stats = true;
+        } else if (flag == "--trace") {
+            args.trace_path = value();
+            if (args.trace_path.empty()) {
+                return usage_error(flag, "an output file path", "");
+            }
+        } else if (flag == "--metrics-json") {
+            args.metrics_json = value();
+            if (args.metrics_json.empty()) {
+                return usage_error(flag, "an output file path", "");
+            }
         } else if (flag == "--out") {
             args.out_dir = value();
         } else if (flag == "--quiet") {
@@ -316,9 +369,30 @@ main(int argc, char** argv)
             axioms.push_back(axiom.name);
         }
     }
+    // Observability (docs/observability.md): one collector/report spans
+    // every suite of the invocation. Each suite builds its own pool, so the
+    // collector is sized for the resolved worker count, which every pool
+    // shares.
+    std::optional<obs::TraceCollector> trace;
+    if (!args.trace_path.empty()) {
+        trace.emplace(sched::resolve_jobs(args.jobs));
+    }
+    std::optional<obs::RunReport> report;
+    if (!args.metrics_json.empty()) {
+        report.emplace();
+        report->tool = "elt_synth";
+        report->model = model.name();
+        report->backend = args.backend;
+        report->bound = args.bound;
+        report->jobs = sched::resolve_jobs(args.jobs);
+    }
+
     sched::SchedulerStats total;
+    sat::SolverStats solver_total;
     for (const auto& axiom : axioms) {
-        const int rc = run_suite(model, axiom, args, &total);
+        const int rc = run_suite(model, axiom, args,
+                                 trace ? &*trace : nullptr, &total,
+                                 &solver_total, report ? &*report : nullptr);
         if (rc != 0) {
             return rc;
         }
@@ -328,6 +402,27 @@ main(int argc, char** argv)
         // overlap rather than add) take the maximum — see
         // SchedulerStats::merge.
         print_stats(model.name() + " / all axioms", total);
+        if (solver_total.solve_calls > 0) {
+            print_solver_stats(model.name() + " / all axioms", solver_total);
+        }
+    }
+    if (trace) {
+        std::string error;
+        if (!trace->write(args.trace_path, &error)) {
+            std::fprintf(stderr, "--trace: %s\n", error.c_str());
+            return 1;
+        }
+        std::fprintf(stderr, "[trace] %zu events -> %s\n",
+                     trace->events_resident(), args.trace_path.c_str());
+    }
+    if (report) {
+        std::string error;
+        if (!obs::write_report(args.metrics_json, *report, &error)) {
+            std::fprintf(stderr, "--metrics-json: %s\n", error.c_str());
+            return 1;
+        }
+        std::fprintf(stderr, "[metrics] %zu suites -> %s\n",
+                     report->suites.size(), args.metrics_json.c_str());
     }
     return 0;
 }
