@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "mtm/encoding_detail.h"
 #include "rel/bool_factory.h"
 #include "rel/constraints.h"
 #include "rel/relation.h"
@@ -24,71 +25,8 @@ using rel::ExprId;
 using rel::RelExpr;
 using rel::SetExpr;
 
-/// Which derived-relation circuits a query needs. The placement
-/// constraints and choice variables are always built (they define the
-/// execution space and the CNF the solver sees); the derived circuits are
-/// pure factory nodes referenced only by axiom circuits, so building just
-/// the ones the queried axioms touch skips megabytes of dead circuit per
-/// program without changing the solver's clause stream at all.
-enum RelNeed : unsigned {
-    kNeedRf = 1u << 0,
-    kNeedRfe = 1u << 1,
-    kNeedFr = 1u << 2,
-    kNeedPoLoc = 1u << 3,
-    kNeedRfPtw = 1u << 4,
-    kNeedPtwSource = 1u << 5,
-    kNeedRfPa = 1u << 6,
-    kNeedFrPa = 1u << 7,
-    kNeedFrVa = 1u << 8,
-    kNeedPoConst = 1u << 9,
-    kNeedRemapConst = 1u << 10,
-    kNeedPpoFenceConst = 1u << 11,
-    kNeedPoMemConst = 1u << 12,
-    kNeedRmwConst = 1u << 13,
-    kNeedGhostConst = 1u << 14,
-};
-
-/// Flat replacement for the per-event std::map<EventId, ExprId> choice
-/// maps: every builder loop inserts keys in ascending order, so the vector
-/// stays sorted, lookups are binary searches, and — the point — clearing
-/// keeps the node storage that a std::map would free per program.
-struct ChoiceMap {
-    std::vector<std::pair<EventId, ExprId>> kv;
-
-    void clear() { kv.clear(); }
-    bool empty() const { return kv.empty(); }
-
-    /// Keys must arrive in strictly ascending order (asserted in debug).
-    void
-    insert(EventId key, ExprId value)
-    {
-        TF_ASSERT(kv.empty() || kv.back().first < key);
-        kv.emplace_back(key, value);
-    }
-
-    /// Pointer to the value for \p key, or nullptr.
-    const ExprId*
-    find(EventId key) const
-    {
-        const auto it = std::lower_bound(
-            kv.begin(), kv.end(), key,
-            [](const std::pair<EventId, ExprId>& entry, EventId k) {
-                return entry.first < k;
-            });
-        return it != kv.end() && it->first == key ? &it->second : nullptr;
-    }
-
-    ExprId
-    at(EventId key) const
-    {
-        const ExprId* value = find(key);
-        TF_ASSERT(value != nullptr);
-        return *value;
-    }
-
-    auto begin() const { return kv.begin(); }
-    auto end() const { return kv.end(); }
-};
+// RelNeed and ChoiceMap live in encoding_detail.h, shared with the
+// incremental assumption-based session (incremental.cpp).
 
 /// The pooled per-query Build containers (PR-4 left these as per-program
 /// allocations; see docs/performance.md for the reuse contract). One Pool

@@ -1,0 +1,87 @@
+/// \file
+/// Internals shared by the two SAT encodings of a program's execution
+/// space: the per-query fresh encoding (encoding.cpp) and the incremental
+/// assumption-based session (incremental.cpp). Not part of the public API.
+#pragma once
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "elt/event.h"
+#include "rel/bool_factory.h"
+#include "util/logging.h"
+
+namespace transform::mtm {
+
+struct Axiom;
+
+/// Which derived-relation circuits a query needs. The placement
+/// constraints and choice variables are always built (they define the
+/// execution space and the CNF the solver sees); the derived circuits are
+/// pure factory nodes referenced only by axiom circuits, so building just
+/// the ones the queried axioms touch skips megabytes of dead circuit per
+/// program without changing the solver's clause stream at all.
+enum RelNeed : unsigned {
+    kNeedRf = 1u << 0,
+    kNeedRfe = 1u << 1,
+    kNeedFr = 1u << 2,
+    kNeedPoLoc = 1u << 3,
+    kNeedRfPtw = 1u << 4,
+    kNeedPtwSource = 1u << 5,
+    kNeedRfPa = 1u << 6,
+    kNeedFrPa = 1u << 7,
+    kNeedFrVa = 1u << 8,
+    kNeedPoConst = 1u << 9,
+    kNeedRemapConst = 1u << 10,
+    kNeedPpoFenceConst = 1u << 11,
+    kNeedPoMemConst = 1u << 12,
+    kNeedRmwConst = 1u << 13,
+    kNeedGhostConst = 1u << 14,
+};
+
+/// The relations axiom_circuit(axiom) touches (defined in encoding.cpp).
+unsigned needs_for(const Axiom& axiom);
+
+/// Flat replacement for the per-event std::map<EventId, ExprId> choice
+/// maps: every builder loop inserts keys in ascending order, so the vector
+/// stays sorted, lookups are binary searches, and — the point — clearing
+/// keeps the node storage that a std::map would free per program.
+struct ChoiceMap {
+    std::vector<std::pair<elt::EventId, rel::ExprId>> kv;
+
+    void clear() { kv.clear(); }
+    bool empty() const { return kv.empty(); }
+
+    /// Keys must arrive in strictly ascending order (asserted in debug).
+    void
+    insert(elt::EventId key, rel::ExprId value)
+    {
+        TF_ASSERT(kv.empty() || kv.back().first < key);
+        kv.emplace_back(key, value);
+    }
+
+    /// Pointer to the value for \p key, or nullptr.
+    const rel::ExprId*
+    find(elt::EventId key) const
+    {
+        const auto it = std::lower_bound(
+            kv.begin(), kv.end(), key,
+            [](const std::pair<elt::EventId, rel::ExprId>& entry,
+               elt::EventId k) { return entry.first < k; });
+        return it != kv.end() && it->first == key ? &it->second : nullptr;
+    }
+
+    rel::ExprId
+    at(elt::EventId key) const
+    {
+        const rel::ExprId* value = find(key);
+        TF_ASSERT(value != nullptr);
+        return *value;
+    }
+
+    auto begin() const { return kv.begin(); }
+    auto end() const { return kv.end(); }
+};
+
+}  // namespace transform::mtm

@@ -1,0 +1,102 @@
+/// \file
+/// Incremental assumption-based twin of ProgramEncoding (the tentpole of
+/// the incremental-SAT work): one live SolverBackend per synthesis worker
+/// hosts a *structure-lifetime* base encoding shared by every candidate
+/// program with the same skeleton structure, and each candidate is solved
+/// purely under assumptions — no per-candidate clause emission at all.
+///
+/// The split exploits how the skeleton enumerator orders candidates:
+/// siblings differing only in VA assignment and Wpte target-PA choice are
+/// enumerated contiguously (the "structure" — event kinds, threads, ghost
+/// parents, remap links and rmw pairs — changes last). The session builds
+/// one superset encoding per structure in which VA and target-PA placement
+/// are one-hot *selector* variables, compiles the axiom circuit once, and
+/// pins each concrete candidate with one positive selector assumption per
+/// placement slot. Placement-validity rules that the fresh encoding bakes
+/// into its candidate sets (same-VA rf pairing, walk/INVLPG blocking,
+/// provenance VA matching, co_pa target-PA classes) are emitted once as
+/// selector-guarded base clauses, so unit propagation under the pinned
+/// selectors retires every invalid choice variable — the per-candidate
+/// assumption vector stays a handful of literals.
+///
+/// AllSAT blocking clauses are the only per-candidate clauses and carry a
+/// per-candidate activation literal; advancing to the next candidate
+/// retires the literal (one unit clause) instead of resetting the solver,
+/// so learned clauses survive across a whole structure and reduce_db keeps
+/// managing the learned set as usual. The solver is reset only when the
+/// structure itself changes.
+///
+/// Contract against the fresh path (asserted by tests/sat_incremental_test
+/// and the engine's replay discipline): for every candidate, the verdict
+/// (does a violating execution exist / how many are there) and the set of
+/// enumerated executions match ProgramEncoding::enumerate exactly; only
+/// the *order* models stream in may differ, because the live solver's
+/// heuristic state carries over. Callers that need the fresh path's
+/// first-found witness byte-for-byte (the synthesis engine) replay
+/// accepted candidates through ProgramEncoding.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "elt/execution.h"
+#include "elt/program.h"
+#include "mtm/model.h"
+#include "sat/backend.h"
+
+namespace transform::mtm {
+
+/// One worker's incremental encoding session. Not shareable between
+/// concurrent queries; the synthesis engine owns one per WorkerScratch.
+class IncrementalEncoding {
+  public:
+    IncrementalEncoding();
+    ~IncrementalEncoding();
+    IncrementalEncoding(const IncrementalEncoding&) = delete;
+    IncrementalEncoding& operator=(const IncrementalEncoding&) = delete;
+    IncrementalEncoding(IncrementalEncoding&&) noexcept;
+    IncrementalEncoding& operator=(IncrementalEncoding&&) noexcept;
+
+    /// See ProgramEncoding::ExecutionVisitor — same contract, including
+    /// buffer reuse between models.
+    using ExecutionVisitor = std::function<bool(const elt::Execution&)>;
+
+    /// (Re)configures the session for a run: the model and violated axiom
+    /// every subsequent enumerate() queries (empty \p axiom_name = no
+    /// axiom filter, enumerate all well-formed executions), and the
+    /// symbolic-domain bounds every candidate must fit in — \p max_vas
+    /// bounds every event's VA index, \p max_pas bounds num_pas() and
+    /// every Wpte's map_pa. Drops any live base encoding. \p backend_name
+    /// selects the solver backend ("cdcl"); unknown names fall back to
+    /// the default CDCL backend.
+    void configure(const Model* model, std::string axiom_name, int max_vas,
+                   int max_pas, std::string_view backend_name = "cdcl");
+
+    /// Streams every well-formed execution of \p program violating the
+    /// configured axiom. Verdict and model count match
+    /// ProgramEncoding::enumerate on the same program; model order may
+    /// differ (see file comment). Returns false iff the visitor stopped
+    /// the enumeration early. The program must share the configured
+    /// model's VM-awareness and fit the configured domain bounds.
+    bool enumerate(const elt::Program& program, const ExecutionVisitor& visit);
+
+    /// The live solver backend (timing control, lifetime stats — the
+    /// engine merges these into SuiteResult::solver).
+    sat::SolverBackend& backend();
+    const sat::SolverBackend& backend() const;
+
+    /// Session-level reuse counters.
+    struct SessionStats {
+        std::uint64_t candidates = 0;   ///< enumerate() calls served
+        std::uint64_t bases_built = 0;  ///< structure changes (solver resets)
+    };
+    const SessionStats& session_stats() const;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace transform::mtm

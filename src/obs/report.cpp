@@ -94,7 +94,13 @@ append_solver(std::string* out, const std::string& indent,
     *out += "\n" + indent + "  ";
     append_kv(out, "deleted_clauses", s.deleted_clauses);
     *out += "\n" + indent + "  ";
-    append_kv(out, "max_learned", s.max_learned, "");
+    append_kv(out, "max_learned", s.max_learned);
+    *out += "\n" + indent + "  ";
+    append_kv(out, "assumed_literals", s.assumed_literals);
+    *out += "\n" + indent + "  ";
+    append_kv(out, "retired_activations", s.retired_activations);
+    *out += "\n" + indent + "  ";
+    append_kv(out, "retained_clauses", s.retained_clauses, "");
     *out += "\n" + indent + "}";
 }
 

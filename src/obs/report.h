@@ -22,7 +22,9 @@
 namespace transform::obs {
 
 /// Version of the metrics-JSON layout produced by report_to_json.
-inline constexpr int kMetricsSchemaVersion = 1;
+/// v2: solver objects gained assumed_literals / retired_activations /
+/// retained_clauses (the incremental-session counters).
+inline constexpr int kMetricsSchemaVersion = 2;
 
 /// One suite's slice of the report.
 struct SuiteReport {

@@ -1,0 +1,14 @@
+#include "sat/backend.h"
+
+namespace transform::sat {
+
+std::unique_ptr<SolverBackend>
+make_backend(std::string_view name)
+{
+    if (name == "cdcl" || name.empty()) {
+        return std::make_unique<CdclBackend>();
+    }
+    return nullptr;
+}
+
+}  // namespace transform::sat

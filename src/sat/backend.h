@@ -1,0 +1,145 @@
+/// \file
+/// The pluggable solver-backend seam underneath the relational layer.
+///
+/// Everything above the CNF level (mtm::ProgramEncoding, the incremental
+/// session, the enumerator) talks to a SolverBackend rather than to the
+/// concrete CDCL solver, mirroring ESBMC's smt_conv/solve factory layering:
+/// clauses and assumptions go through the virtual surface, so an
+/// alternative solver (a different CDCL, a portfolio, an IPASIR wrapper)
+/// can be slotted in — or raced — behind one `make_backend` name without
+/// touching the encodings. The default (and currently only) implementation
+/// wraps sat::Solver.
+///
+/// One deliberate seam leak: rel::BoolFactory's Tseitin compiler emits
+/// straight into a sat::Solver, so backends expose `native()` for the
+/// circuit layer. A backend with no native CDCL underneath would return
+/// nullptr and circuit-based encodings would refuse it; pure-CNF users
+/// (the property tests, the enumerator) never need it.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "sat/solver.h"
+
+namespace transform::sat {
+
+/// Virtual solving surface: clause intake, assumption-based solving, model
+/// and statistics access. Mirrors sat::Solver's incremental API; see that
+/// header for the contracts (reset bit-identity, lifetime_stats retirement,
+/// gated timing).
+class SolverBackend {
+  public:
+    virtual ~SolverBackend() = default;
+
+    /// Stable backend name ("cdcl"), the `make_backend` key.
+    virtual std::string_view name() const = 0;
+
+    virtual void reset() = 0;
+    virtual Var new_var() = 0;
+    virtual int num_vars() const = 0;
+
+    /// Returns false when the formula became trivially unsatisfiable.
+    virtual bool add_clause(const Lit* lits, std::size_t count) = 0;
+
+    bool add_clause(const Clause& clause)
+    {
+        return add_clause(clause.data(), clause.size());
+    }
+
+    bool add_unit(Lit a) { return add_clause(&a, 1); }
+
+    virtual SolveResult solve(const std::vector<Lit>& assumptions = {},
+                              std::int64_t conflict_budget = -1) = 0;
+
+    /// AllSAT continuation; see Solver::block_and_resolve for the trail
+    /// and activation-guard contract.
+    virtual SolveResult block_and_resolve(
+        const Lit* lits, std::size_t count,
+        const std::vector<Lit>& assumptions,
+        std::int64_t conflict_budget = -1) = 0;
+
+    virtual LBool model_value(Var v) const = 0;
+    virtual bool model_literal_true(Lit l) const = 0;
+
+    /// Permanently asserts ~\p activation; see Solver::retire_activation.
+    virtual bool retire_activation(Lit activation) = 0;
+
+    virtual const SolverStats& stats() const = 0;
+    virtual SolverStats lifetime_stats() const = 0;
+    virtual void set_timing(bool enabled) = 0;
+
+    /// The native CDCL solver when this backend has one (the Tseitin
+    /// compiler requires it); nullptr for hypothetical non-native backends.
+    virtual Solver* native() = 0;
+    const Solver* native() const
+    {
+        return const_cast<SolverBackend*>(this)->native();
+    }
+};
+
+/// The in-tree CDCL solver behind the backend surface.
+class CdclBackend final : public SolverBackend {
+  public:
+    std::string_view name() const override { return "cdcl"; }
+    void reset() override { solver_.reset(); }
+    Var new_var() override { return solver_.new_var(); }
+    int num_vars() const override { return solver_.num_vars(); }
+
+    bool
+    add_clause(const Lit* lits, std::size_t count) override
+    {
+        return solver_.add_clause(lits, count);
+    }
+
+    SolveResult
+    solve(const std::vector<Lit>& assumptions,
+          std::int64_t conflict_budget) override
+    {
+        return solver_.solve(assumptions, conflict_budget);
+    }
+
+    SolveResult
+    block_and_resolve(const Lit* lits, std::size_t count,
+                      const std::vector<Lit>& assumptions,
+                      std::int64_t conflict_budget) override
+    {
+        return solver_.block_and_resolve(lits, count, assumptions,
+                                         conflict_budget);
+    }
+
+    LBool model_value(Var v) const override { return solver_.model_value(v); }
+
+    bool
+    model_literal_true(Lit l) const override
+    {
+        return solver_.model_literal_true(l);
+    }
+
+    bool
+    retire_activation(Lit activation) override
+    {
+        return solver_.retire_activation(activation);
+    }
+
+    const SolverStats& stats() const override { return solver_.stats(); }
+
+    SolverStats
+    lifetime_stats() const override
+    {
+        return solver_.lifetime_stats();
+    }
+
+    void set_timing(bool enabled) override { solver_.set_timing(enabled); }
+
+    Solver* native() override { return &solver_; }
+
+  private:
+    Solver solver_;
+};
+
+/// Constructs the backend registered under \p name ("cdcl"), or nullptr
+/// for an unknown name — callers surface that as a configuration error.
+std::unique_ptr<SolverBackend> make_backend(std::string_view name);
+
+}  // namespace transform::sat

@@ -20,6 +20,9 @@ SolverStats::merge(const SolverStats& other)
     max_learned = std::max(max_learned, other.max_learned);
     solve_calls += other.solve_calls;
     solve_nanos += other.solve_nanos;
+    assumed_literals += other.assumed_literals;
+    retired_activations += other.retired_activations;
+    retained_clauses += other.retained_clauses;
 }
 
 namespace {
@@ -52,6 +55,7 @@ Solver::reset()
     seen_.clear();
     trail_.clear();
     trail_limits_.clear();
+    planted_.clear();
     propagation_head_ = 0;
     order_heap_.clear();
     var_activity_increment_ = 1.0;
@@ -72,6 +76,17 @@ Solver::lifetime_stats() const
     SolverStats out = retired_stats_;
     out.merge(stats_);
     return out;
+}
+
+bool
+Solver::retire_activation(Lit activation)
+{
+    ++stats_.retired_activations;
+    // Live learned clauses this retirement keeps around: the payoff a
+    // fresh-solver restart would have thrown away.
+    stats_.retained_clauses +=
+        stats_.learned_clauses - stats_.deleted_clauses;
+    return add_unit(~activation);
 }
 
 Var
@@ -116,7 +131,9 @@ Solver::add_clause(const Lit* lits, std::size_t count)
     if (!ok_) {
         return false;
     }
-    TF_ASSERT(decision_level() == 0);
+    // A preceding solve() may have left its satisfying trail in place for
+    // block_and_resolve(); adding a clause abandons that continuation.
+    cancel_until(0);
     // Simplify in the reused scratch buffer: sort, drop duplicates, detect
     // tautologies, drop literals already false at the root level, detect
     // already-satisfied clauses.
@@ -262,6 +279,9 @@ Solver::cancel_until(int target_level)
     trail_.resize(boundary);
     trail_limits_.resize(target_level);
     propagation_head_ = static_cast<int>(trail_.size());
+    if (planted_.size() > static_cast<std::size_t>(target_level)) {
+        planted_.resize(target_level);
+    }
 }
 
 void
@@ -618,6 +638,7 @@ SolveResult
 Solver::solve(const std::vector<Lit>& assumptions, std::int64_t conflict_budget)
 {
     ++stats_.solve_calls;
+    stats_.assumed_literals += assumptions.size();
     if (!timing_) {
         return solve_impl(assumptions, conflict_budget);
     }
@@ -638,7 +659,131 @@ Solver::solve_impl(const std::vector<Lit>& assumptions,
     if (!ok_) {
         return SolveResult::kUnsat;
     }
-    cancel_until(0);
+    // Trail reuse: keep the longest prefix of decision levels that were
+    // planted for the same assumption literals by the previous solve —
+    // their propagations are still valid, so an enumeration sweeping
+    // near-identical assumption vectors (the incremental session's
+    // candidate pins differ in a suffix) skips most of the
+    // re-propagation. Callers without assumptions get the historical
+    // restart-from-root behavior (the prefix is empty).
+    int reuse = 0;
+    const int limit =
+        std::min(decision_level(),
+                 static_cast<int>(std::min(planted_.size(),
+                                           assumptions.size())));
+    while (reuse < limit && planted_[reuse] == assumptions[reuse]) {
+        ++reuse;
+    }
+    cancel_until(reuse);
+    return search(assumptions, conflict_budget);
+}
+
+SolveResult
+Solver::block_and_resolve(const Lit* lits, std::size_t count,
+                          const std::vector<Lit>& assumptions,
+                          std::int64_t conflict_budget)
+{
+    ++stats_.solve_calls;
+    stats_.assumed_literals += assumptions.size();
+    if (!timing_) {
+        return block_and_resolve_impl(lits, count, assumptions,
+                                      conflict_budget);
+    }
+    const auto start = std::chrono::steady_clock::now();
+    const SolveResult result =
+        block_and_resolve_impl(lits, count, assumptions, conflict_budget);
+    stats_.solve_nanos += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+    return result;
+}
+
+SolveResult
+Solver::block_and_resolve_impl(const Lit* lits, std::size_t count,
+                               const std::vector<Lit>& assumptions,
+                               std::int64_t conflict_budget)
+{
+    conflict_assumptions_.clear();
+    if (!ok_) {
+        return SolveResult::kUnsat;
+    }
+    // The preceding kSat trail must be intact: every assumption level
+    // established and every clause literal falsified by the model.
+    TF_ASSERT(decision_level() >= static_cast<int>(assumptions.size()));
+    add_scratch_.clear();
+    for (std::size_t i = 0; i < count; ++i) {
+        const Lit l = lits[i];
+        TF_ASSERT(value(l) == LBool::kFalse);
+        if (level_[l.var()] > 0) {
+            add_scratch_.push_back(l);
+        }
+    }
+    if (add_scratch_.empty()) {
+        // Falsified at the root with nothing left to flip: the formula
+        // itself excludes every other model.
+        ok_ = false;
+        return SolveResult::kUnsat;
+    }
+    // Move the two deepest-falsified literals to the watch positions.
+    std::size_t deepest = 0;
+    for (std::size_t i = 1; i < add_scratch_.size(); ++i) {
+        if (level_[add_scratch_[i].var()] >
+            level_[add_scratch_[deepest].var()]) {
+            deepest = i;
+        }
+    }
+    std::swap(add_scratch_[0], add_scratch_[deepest]);
+    const int level_max = level_[add_scratch_[0].var()];
+    if (level_max <= static_cast<int>(assumptions.size())) {
+        // Every remaining literal is pinned false by the assumption prefix
+        // itself: no flip is reachable without undoing an assumption, so
+        // this scope holds no further model. The clause is not stored —
+        // the caller's activation guard (see the header contract) is about
+        // to be retired, which would satisfy it permanently anyway.
+        return SolveResult::kUnsat;
+    }
+    if (add_scratch_.size() == 1) {
+        // Unit after root simplification: assert it at the root.
+        cancel_until(0);
+        enqueue(add_scratch_[0], -1);
+        return search(assumptions, conflict_budget);
+    }
+    std::size_t second = 1;
+    for (std::size_t i = 2; i < add_scratch_.size(); ++i) {
+        if (level_[add_scratch_[i].var()] >
+            level_[add_scratch_[second].var()]) {
+            second = i;
+        }
+    }
+    std::swap(add_scratch_[1], add_scratch_[second]);
+    const int level_second = level_[add_scratch_[1].var()];
+    if (level_second < level_max) {
+        // Asserting clause: backjump to the second-deepest level and
+        // propagate the flipped deepest literal, exactly like a learned
+        // conflict clause (watches on the asserting + deepest-false lit).
+        cancel_until(level_second);
+        const int index = store_clause(add_scratch_.data(),
+                                       add_scratch_.size(),
+                                       /*learned=*/false);
+        attach_clause(index);
+        enqueue(add_scratch_[0], index);
+    } else {
+        // Two or more literals die at the deepest level: undo that level so
+        // both watches sit on unassigned literals, then search on.
+        cancel_until(level_max - 1);
+        const int index = store_clause(add_scratch_.data(),
+                                       add_scratch_.size(),
+                                       /*learned=*/false);
+        attach_clause(index);
+    }
+    return search(assumptions, conflict_budget);
+}
+
+SolveResult
+Solver::search(const std::vector<Lit>& assumptions,
+               std::int64_t conflict_budget)
+{
     const std::uint64_t conflict_start = stats_.conflicts;
     std::uint64_t restart_conflicts =
         static_cast<std::uint64_t>(luby(2.0, static_cast<int>(stats_.restarts)) *
@@ -690,19 +835,24 @@ Solver::solve_impl(const std::vector<Lit>& assumptions,
         }
         reduce_db();
 
-        // Establish pending assumptions, then branch.
+        // Establish pending assumptions, then branch. Each planted level is
+        // recorded so the next solve can reuse a matching prefix.
         Lit next = kUndefLit;
         while (decision_level() < static_cast<int>(assumptions.size())) {
             const Lit a = assumptions[decision_level()];
             if (value(a) == LBool::kTrue) {
+                planted_.push_back(a);
                 trail_limits_.push_back(static_cast<int>(trail_.size()));
             } else if (value(a) == LBool::kFalse) {
                 conflict_assumptions_.clear();
                 conflict_assumptions_.push_back(~a);
                 analyze_final(-1);
-                cancel_until(0);
+                // The levels established so far stay on the trail for the
+                // next solve's prefix reuse; every entry point that needs
+                // the root backtracks there itself.
                 return SolveResult::kUnsat;
             } else {
+                planted_.push_back(a);
                 next = a;
                 break;
             }
@@ -711,8 +861,9 @@ Solver::solve_impl(const std::vector<Lit>& assumptions,
             next = pick_branch_literal();
         }
         if (next == kUndefLit) {
+            // Keep the satisfying trail: block_and_resolve() resumes from
+            // it, and every other entry point backtracks on entry.
             model_ = assigns_;
-            cancel_until(0);
             return SolveResult::kSat;
         }
         trail_limits_.push_back(static_cast<int>(trail_.size()));

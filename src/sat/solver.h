@@ -40,6 +40,17 @@ struct SolverStats {
     /// set_timing(true) — the default-off clock reads keep the hot path
     /// identical when nobody is measuring.
     std::uint64_t solve_nanos = 0;
+    /// Assumption literals passed across all solve() calls — the
+    /// incremental backend's per-candidate work is pure assumptions, so
+    /// this is its "encoding avoided" proxy.
+    std::uint64_t assumed_literals = 0;
+    /// Activation literals permanently retired via retire_activation()
+    /// (one per candidate the incremental session advanced past).
+    std::uint64_t retired_activations = 0;
+    /// Learned clauses alive at each retire_activation() call, summed —
+    /// the clause-retention payoff of keeping one solver across
+    /// candidates instead of resetting per query.
+    std::uint64_t retained_clauses = 0;
 
     /// Accumulates another solver's counters (monotonic counters add;
     /// `max_learned`, a cap rather than a count, takes the maximum).
@@ -92,8 +103,32 @@ class Solver {
 
     /// Solves the current formula under optional \p assumptions.
     /// \p conflict_budget bounds the search (<0 means unlimited).
+    ///
+    /// A kSat answer leaves the satisfying trail in place (the model is
+    /// additionally snapshotted for model_value()): the caller may resume
+    /// the search from it via block_and_resolve(), and every other entry
+    /// point (add_clause, solve, retire_activation) backtracks to the root
+    /// on entry, so callers that never resume see no behavior change.
     SolveResult solve(const std::vector<Lit>& assumptions = {},
                       std::int64_t conflict_budget = -1);
+
+    /// AllSAT continuation: blocks the model found by the immediately
+    /// preceding kSat answer (whose trail must be untouched) and resumes
+    /// the search in place instead of re-solving from scratch — the
+    /// falsified clause is handled like a conflict (backjump, attach,
+    /// propagate), so the decisions below the blocked choice survive.
+    ///
+    /// \p lits must be falsified by the current model. \p assumptions must
+    /// be the vector the preceding solve ran under. Returns kSat with the
+    /// next model, or kUnsat when no model remains under the assumptions —
+    /// including a constant-time exit when every literal not already false
+    /// at the root is pinned false by the assumption prefix itself. In
+    /// that exit the clause is NOT stored: enumeration callers guard their
+    /// blocking clauses with an activation literal they permanently retire
+    /// before the next query, which is what makes the omission sound.
+    SolveResult block_and_resolve(const Lit* lits, std::size_t count,
+                                  const std::vector<Lit>& assumptions,
+                                  std::int64_t conflict_budget = -1);
 
     /// Value of \p v in the most recent satisfying model.
     LBool model_value(Var v) const;
@@ -104,6 +139,14 @@ class Solver {
     /// After an UNSAT answer under assumptions, the subset of assumptions
     /// (negated) that formed the final conflict.
     const std::vector<Lit>& unsat_core() const { return conflict_assumptions_; }
+
+    /// Permanently asserts ~\p activation (a unit clause), retiring an
+    /// activation literal the caller had been solving under: clauses
+    /// guarded on \p activation become satisfied dead weight until the
+    /// next reset(), while every learned clause stays sound (learning
+    /// only ever resolves stored clauses, so retirement cannot invalidate
+    /// it). Bumps the retirement/retention counters.
+    bool retire_activation(Lit activation);
 
     /// Solver statistics accumulated since construction or the last
     /// reset().
@@ -130,6 +173,16 @@ class Solver {
     /// timing wrapper).
     SolveResult solve_impl(const std::vector<Lit>& assumptions,
                            std::int64_t conflict_budget);
+
+    /// block_and_resolve() behind its timing wrapper.
+    SolveResult block_and_resolve_impl(const Lit* lits, std::size_t count,
+                                       const std::vector<Lit>& assumptions,
+                                       std::int64_t conflict_budget);
+
+    /// The shared CDCL loop: propagate / analyze / restart / branch from
+    /// the current trail until a model, a refutation, or the budget.
+    SolveResult search(const std::vector<Lit>& assumptions,
+                       std::int64_t conflict_budget);
 
     struct Watcher {
         int clause_index;
@@ -192,6 +245,11 @@ class Solver {
     std::vector<int> level_;   // decision level per var
     std::vector<Lit> trail_;
     std::vector<int> trail_limits_;
+    /// The assumption literal each leading decision level was planted for
+    /// (kept in lockstep by cancel_until): solve() reuses the longest
+    /// prefix matching its new assumption vector instead of backtracking
+    /// to the root.
+    std::vector<Lit> planted_;
     int propagation_head_ = 0;
 
     // VSIDS.

@@ -9,6 +9,7 @@
 
 #include "elt/derive.h"
 #include "mtm/encoding.h"
+#include "mtm/incremental.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sched/scheduler.h"
@@ -85,6 +86,9 @@ struct WorkerScratch {
     JudgeScratch judge;
     CanonicalScratch canonical;
     mtm::EncodingScratch encoding;  ///< SAT backend: factory + solver reuse
+    /// SAT backend with sat_incremental: the worker's live solver session
+    /// (configured per suite by launch_suite; idle otherwise).
+    mtm::IncrementalEncoding incremental;
 };
 
 /// Searches \p program's execution space for the first violating,
@@ -108,8 +112,9 @@ find_witness(const mtm::Model& model, const std::string& axiom_name,
     }
     const mtm::AxiomMask target = mtm::AxiomMask{1} << axiom_index;
     bool accepted = false;
+    std::uint64_t considered = 0;
     auto consider = [&](const Execution& execution) {
-        ++*executions_considered;
+        ++considered;
         if (deadline.expired()) {
             *timed_out = true;
             return false;
@@ -144,33 +149,65 @@ find_witness(const mtm::Model& model, const std::string& axiom_name,
         return false;  // stop at the first qualifying witness
     };
 
+    // Streaming AllSAT: consider() returning false stops the solver at
+    // the first accepted witness instead of materializing the whole
+    // violating space. The worker's factory/solver pair is reused across
+    // every program of the shard. With sat_incremental, the search first
+    // PROBES through the worker's live assumption-based session (no
+    // per-candidate encoding; candidate order within a structure reuses
+    // one solver and its learned clauses). A probe acceptance only proves
+    // existence — the live solver's model order differs from a fresh
+    // solver's — so accepted candidates (the rare case) REPLAY through
+    // the fresh per-program encoding, reproducing the non-incremental
+    // witness and executions_considered byte for byte. Rejected
+    // candidates enumerate the same violating set either way, so the
+    // probe's execution count stands.
+    auto sat_search = [&]() {
+        if (options.sat_incremental) {
+            scratch->incremental.enumerate(program, consider);
+            if (!accepted || *timed_out) {
+                return;
+            }
+            considered = 0;  // the replay recounts from scratch
+            accepted = false;
+            // Note the replay re-derives and re-judges the executions the
+            // probe already visited: derive/judge phase totals honestly
+            // include that duplicated work (~4% of candidates accept).
+        }
+        mtm::ProgramEncoding encoding(program, &model, &scratch->encoding);
+        encoding.enumerate(axiom_name, consider);
+    };
+
     if (options.backend == Backend::kEnumerative) {
         for_each_execution(program, model.vm_aware(), consider);
     } else if (metrics == nullptr) {
-        // Streaming AllSAT: consider() returning false stops the solver at
-        // the first accepted witness instead of materializing the whole
-        // violating space. The worker's factory/solver pair is reused
-        // across every program of the shard.
-        mtm::ProgramEncoding encoding(program, &model, &scratch->encoding);
-        encoding.enumerate(axiom_name, consider);
+        sat_search();
     } else {
         // Same search, with phase attribution. kSatSolve comes from the
-        // solver's own gated clock (set_timing); kSatEncode is the
-        // remaining wall time of the encode+enumerate pair after
-        // subtracting solve time and the derive/judge time consider()
-        // already claimed above — so the three never double-count.
+        // solvers' own gated clocks (set_timing) — the fresh per-program
+        // solver plus, under sat_incremental, the live session's backend —
+        // and kSatEncode is the remaining wall time of the encode+enumerate
+        // pair after subtracting solve time and the derive/judge time
+        // consider() already claimed above — so the phases never
+        // double-count.
+        auto solve_nanos = [&]() {
+            std::uint64_t nanos =
+                scratch->encoding.solver.lifetime_stats().solve_nanos;
+            if (options.sat_incremental) {
+                nanos += scratch->incremental.backend()
+                             .lifetime_stats()
+                             .solve_nanos;
+            }
+            return nanos;
+        };
         const std::uint64_t start = obs::now_nanos();
         const std::uint64_t inner_before =
             metrics->worker_phase_nanos(worker, obs::Phase::kDerive) +
             metrics->worker_phase_nanos(worker, obs::Phase::kJudge);
-        const std::uint64_t solve_before =
-            scratch->encoding.solver.lifetime_stats().solve_nanos;
-        mtm::ProgramEncoding encoding(program, &model, &scratch->encoding);
-        encoding.enumerate(axiom_name, consider);
+        const std::uint64_t solve_before = solve_nanos();
+        sat_search();
         const std::uint64_t wall = obs::now_nanos() - start;
-        const std::uint64_t solve =
-            scratch->encoding.solver.lifetime_stats().solve_nanos -
-            solve_before;
+        const std::uint64_t solve = solve_nanos() - solve_before;
         const std::uint64_t inner =
             metrics->worker_phase_nanos(worker, obs::Phase::kDerive) +
             metrics->worker_phase_nanos(worker, obs::Phase::kJudge) -
@@ -179,6 +216,7 @@ find_witness(const mtm::Model& model, const std::string& axiom_name,
         metrics->add(worker, obs::Phase::kSatEncode,
                      wall > solve + inner ? wall - solve - inner : 0);
     }
+    *executions_considered += considered;
     return accepted;
 }
 
@@ -516,12 +554,26 @@ launch_suite(sched::WorkStealingPool& pool, const mtm::Model& model,
     auto run = std::make_unique<SuiteRun>(model, axiom_name, options);
     run->axiom_index = run->model.axiom_index(axiom_name);
     run->worker_scratch.resize(pool.workers());
+    if (options.backend == Backend::kSat && options.sat_incremental) {
+        // One live incremental session per worker for the whole suite; the
+        // model pointer must be the run's own copy, which outlives every
+        // job. The domain bounds cover every candidate the skeleton
+        // enumerator can produce (VAs < max_vas; PAs < initial frames +
+        // fresh Wpte targets).
+        for (WorkerScratch& scratch : run->worker_scratch) {
+            scratch.incremental.configure(&run->model, axiom_name,
+                                          options.max_vas,
+                                          options.max_vas +
+                                              options.max_fresh_pas);
+        }
+    }
     if (options.collect_metrics) {
         run->metrics = std::make_unique<obs::MetricsRegistry>(pool.workers());
         // Solver wall-timing is configuration, not state: enabled once per
         // worker solver, before any job runs, surviving per-program resets.
         for (WorkerScratch& scratch : run->worker_scratch) {
             scratch.encoding.solver.set_timing(true);
+            scratch.incremental.backend().set_timing(true);
         }
     }
     run->group = pool.make_group();
@@ -633,6 +685,9 @@ finish_suite(sched::WorkStealingPool& pool, SuiteRun& run)
     // under the enumerative backend.
     for (const WorkerScratch& scratch : run.worker_scratch) {
         result.solver.merge(scratch.encoding.solver.lifetime_stats());
+        // The incremental sessions' backends (all-zero when the suite ran
+        // fresh-per-candidate or enumerative).
+        result.solver.merge(scratch.incremental.backend().lifetime_stats());
     }
     if (run.metrics != nullptr) {
         // Safe single-threaded write into lane 0: every worker quiesced

@@ -64,6 +64,17 @@ struct SynthesisOptions {
     bool dedup = true;               ///< canonical-program deduplication
     double time_budget_seconds = 0;  ///< 0 = unlimited (paper used one week)
     Backend backend = Backend::kEnumerative;
+
+    /// SAT backend only: reuse one live solver per worker across candidates
+    /// (assumption-based incremental solving — see mtm/incremental.h).
+    /// Candidates sharing a skeleton structure share one base encoding and
+    /// one learned-clause database; accepted candidates are replayed
+    /// through the fresh per-program encoding, so the synthesized suite is
+    /// byte-identical with this on or off (tests/sat_incremental_test.cpp).
+    /// Off = build a fresh encoding per candidate (the pre-incremental
+    /// behavior, kept as an escape hatch: --sat-incremental off).
+    bool sat_incremental = true;
+
     int jobs = 1;  ///< scheduler workers; 0 = one per hardware thread
 
     /// Shard granularity: 0 (default) = adaptive — start from a depth-1

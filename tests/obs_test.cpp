@@ -496,5 +496,71 @@ TEST(ObsReport, ReportJsonIsValidVersionedAndTotalled)
                   report.suites[1].programs_considered);
 }
 
+// ---------------------------------------------------------------------------
+// Incremental-session counters: one live solver spanning many candidates
+// must surface its assumption/retirement/retention economy through the
+// same SuiteResult.solver accumulator (and metrics-JSON) as the fresh
+// path — with the suite itself byte-identical either way.
+
+TEST(ObsEngine, IncrementalSatSurfacesSessionCounters)
+{
+    const mtm::Model model = mtm::x86t_elt();
+    synth::SynthesisOptions options = obs_options(1, synth::Backend::kSat);
+    // Bound 5: at bound 4 every model-bearing invlpg candidate accepts at
+    // its first model, so no blocking clause (hence no guard) is ever
+    // spent; one bound up the enumeration visits non-qualifying models
+    // and the retirement path actually runs.
+    options.bound = 5;
+    options.sat_incremental = false;
+    const synth::SuiteResult fresh =
+        synth::synthesize_suite(model, "invlpg", options);
+    // The fresh-per-candidate path never retires an activation literal.
+    EXPECT_EQ(fresh.solver.retired_activations, 0u);
+    EXPECT_EQ(fresh.solver.retained_clauses, 0u);
+
+    options.sat_incremental = true;
+    const synth::SuiteResult live =
+        synth::synthesize_suite(model, "invlpg", options);
+    // Per-candidate work is pure assumptions; candidate advances retire
+    // the spent guards; learned clauses survive those advances.
+    EXPECT_GT(live.solver.assumed_literals, 0u);
+    EXPECT_GT(live.solver.retired_activations, 0u);
+    EXPECT_GT(live.solver.retained_clauses, 0u);
+    // The counters are observability only: suites stay byte-identical.
+    EXPECT_EQ(suite_fingerprint(fresh), suite_fingerprint(live));
+}
+
+TEST(ObsReport, SolverSessionCountersAppearInSchemaV2Json)
+{
+    // The three incremental counters are why the schema moved to v2; pin
+    // the version and the exact keys so a silent rename/removal fails
+    // here rather than in a downstream consumer.
+    EXPECT_EQ(obs::kMetricsSchemaVersion, 2);
+
+    const mtm::Model model = mtm::x86t_elt();
+    obs::RunReport report;
+    report.tool = "obs_test";
+    report.model = "x86t_elt";
+    report.backend = "sat";
+    report.bound = 4;
+    report.jobs = 1;
+    synth::SynthesisOptions options = obs_options(1, synth::Backend::kSat);
+    options.bound = 5;  // deep enough for guard retirement to occur
+    options.sat_incremental = true;
+    options.collect_metrics = true;
+    report.suites.push_back(obs::suite_report(
+        synth::synthesize_suite(model, "invlpg", options)));
+
+    const std::string json = obs::report_to_json(report);
+    EXPECT_TRUE(is_valid_json(json)) << json;
+    EXPECT_NE(json.find("\"schema_version\": 2"), std::string::npos);
+    // Each solver object (one per suite, one in totals) carries the keys.
+    EXPECT_EQ(count_occurrences(json, "\"assumed_literals\""), 2);
+    EXPECT_EQ(count_occurrences(json, "\"retired_activations\""), 2);
+    EXPECT_EQ(count_occurrences(json, "\"retained_clauses\""), 2);
+    // And the totals really accumulate the session's counters.
+    EXPECT_GT(report.totals().solver.retired_activations, 0u);
+}
+
 }  // namespace
 }  // namespace transform

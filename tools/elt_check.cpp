@@ -11,10 +11,19 @@
 ///   elt_check --model sc_t_elt execution.xml
 ///   elt_check --model examples/models/pso.mtm test.litmus
 ///   elt_check --jobs 0 suites/invlpg/*.litmus
+///   elt_check --backend sat --sat-incremental off test.litmus
 ///
 /// --model accepts the same names as elt_synth: a hardwired builtin, a
 /// registry `.mtm` model, or a path to a `.mtm` specification file
 /// (malformed files exit 2 with a file:line:col diagnostic).
+///
+/// --backend enum|sat picks how a litmus program's execution space is
+/// swept: the explicit enumerator (default) or the SAT encoding's AllSAT
+/// loop; --sat-incremental on|off (default on) additionally routes the
+/// SAT sweep through the assumption-based live-solver session that the
+/// synthesis engine uses. The verdicts and counts are identical under
+/// every combination — the flags exist to cross-check exactly that from
+/// the command line.
 ///
 /// Several files are checked concurrently on the shared work-stealing pool
 /// (src/sched/ v2, Chase-Lev deques; --jobs N workers, 0 = one per
@@ -24,6 +33,7 @@
 /// --trace FILE records each file's check as a span on its worker's lane
 /// and writes a Chrome trace-event JSON file (Perfetto /
 /// chrome://tracing; see docs/observability.md).
+#include <algorithm>
 #include <cstdarg>
 #include <cstdio>
 #include <fstream>
@@ -37,6 +47,8 @@
 #include "elt/litmus.h"
 #include "elt/printer.h"
 #include "elt/serialize.h"
+#include "mtm/encoding.h"
+#include "mtm/incremental.h"
 #include "mtm/model.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -49,6 +61,12 @@
 namespace {
 
 using namespace transform;
+
+/// How check_program sweeps a litmus program's execution space.
+struct CheckOptions {
+    bool sat = false;              ///< --backend sat
+    bool sat_incremental = true;   ///< --sat-incremental on|off
+};
 
 /// printf-style append to a report buffer (reports are built off-thread and
 /// printed in input order once every file is checked). For short formatted
@@ -67,7 +85,8 @@ appendf(std::string* out, const char* fmt, ...)
 
 int
 check_program(const mtm::Model& model, const elt::Program& program,
-              const std::string& name, std::string* out)
+              const std::string& name, const CheckOptions& options,
+              std::string* out)
 {
     appendf(out, "test %s:\n", name.c_str());
     *out += elt::program_to_string(program);
@@ -76,24 +95,41 @@ check_program(const mtm::Model& model, const elt::Program& program,
     int forbidden = 0;
     bool any_minimal = false;
     std::map<std::string, int> by_axiom;
-    synth::for_each_execution(program, model.vm_aware(),
-                              [&](const elt::Execution& e) {
-                                  const auto violated =
-                                      model.violated_axioms(e);
-                                  if (violated.empty()) {
-                                      ++permitted;
-                                  } else {
-                                      ++forbidden;
-                                      for (const auto& a : violated) {
-                                          ++by_axiom[a];
-                                      }
-                                      const auto verdict =
-                                          synth::judge(model, e);
-                                      any_minimal =
-                                          any_minimal || verdict.minimal;
-                                  }
-                                  return true;
-                              });
+    auto consider = [&](const elt::Execution& e) {
+        const auto violated = model.violated_axioms(e);
+        if (violated.empty()) {
+            ++permitted;
+        } else {
+            ++forbidden;
+            for (const auto& a : violated) {
+                ++by_axiom[a];
+            }
+            const auto verdict = synth::judge(model, e);
+            any_minimal = any_minimal || verdict.minimal;
+        }
+        return true;
+    };
+    if (!options.sat) {
+        synth::for_each_execution(program, model.vm_aware(), consider);
+    } else if (options.sat_incremental) {
+        // The live-solver session sizes its VA/PA selector domains up
+        // front; a checked program's addresses are fixed, so its own
+        // maxima are the exact domains.
+        int max_vas = 1;
+        int max_pas = 1;
+        for (int e = 0; e < program.num_events(); ++e) {
+            max_vas = std::max(max_vas, program.event(e).va + 1);
+            max_pas = std::max(max_pas, program.event(e).map_pa + 1);
+        }
+        max_pas = std::max(max_pas, max_vas);
+        mtm::IncrementalEncoding session;
+        session.configure(&model, "", max_vas, max_pas);
+        session.enumerate(program, consider);
+    } else {
+        mtm::EncodingScratch scratch;
+        mtm::ProgramEncoding encoding(program, &model, &scratch);
+        encoding.enumerate("", consider);
+    }
     appendf(out, "under %s: %d permitted, %d forbidden execution(s)\n",
             model.name().c_str(), permitted, forbidden);
     for (const auto& [axiom, count] : by_axiom) {
@@ -113,7 +149,7 @@ check_program(const mtm::Model& model, const elt::Program& program,
 /// \p err; returns the process exit code contribution.
 int
 check_file(const mtm::Model& model, const std::string& path,
-           std::string* out, std::string* err)
+           const CheckOptions& options, std::string* out, std::string* err)
 {
     std::ifstream in(path);
     if (!in) {
@@ -160,7 +196,8 @@ check_file(const mtm::Model& model, const std::string& path,
                 problems[0].c_str());
         return 2;
     }
-    return check_program(model, parsed->program, parsed->name, out);
+    return check_program(model, parsed->program, parsed->name, options,
+                         out);
 }
 
 }  // namespace
@@ -171,11 +208,30 @@ main(int argc, char** argv)
     std::string model_name = "x86t_elt";
     int jobs = 1;
     std::string trace_path;
+    CheckOptions options;
     std::vector<std::string> paths;
     for (int i = 1; i < argc; ++i) {
         const std::string flag = argv[i];
         if (flag == "--model" && i + 1 < argc) {
             model_name = argv[++i];
+        } else if (flag == "--backend") {
+            const std::string text = i + 1 < argc ? argv[++i] : "";
+            if (text == "enum") {
+                options.sat = false;
+            } else if (text == "sat") {
+                options.sat = true;
+            } else {
+                return tools::usage_error(flag, "'enum' or 'sat'", text);
+            }
+        } else if (flag == "--sat-incremental") {
+            const std::string text = i + 1 < argc ? argv[++i] : "";
+            if (text == "on") {
+                options.sat_incremental = true;
+            } else if (text == "off") {
+                options.sat_incremental = false;
+            } else {
+                return tools::usage_error(flag, "'on' or 'off'", text);
+            }
         } else if (flag == "--jobs") {
             const std::string text = i + 1 < argc ? argv[++i] : "";
             if (!tools::parse_jobs(text, &jobs)) {
@@ -190,7 +246,8 @@ main(int argc, char** argv)
     }
     if (paths.empty()) {
         std::fprintf(stderr,
-                     "usage: elt_check [--model NAME] [--jobs N] "
+                     "usage: elt_check [--model NAME] [--backend enum|sat] "
+                     "[--sat-incremental on|off] [--jobs N] "
                      "[--trace FILE] <file>...\n");
         return 2;
     }
@@ -220,10 +277,11 @@ main(int argc, char** argv)
     batch.reserve(paths.size());
     for (std::size_t i = 0; i < paths.size(); ++i) {
         obs::TraceCollector* tc = trace ? &*trace : nullptr;
-        batch.push_back([&model, &paths, &reports, tc, i](int worker) {
+        batch.push_back([&model, &paths, &reports, &options, tc,
+                         i](int worker) {
             const std::uint64_t start =
                 tc != nullptr ? obs::now_nanos() : 0;
-            reports[i].rc = check_file(model, paths[i],
+            reports[i].rc = check_file(model, paths[i], options,
                                        &reports[i].out, &reports[i].err);
             if (tc != nullptr) {
                 tc->record_complete(worker, "check " + paths[i], start,

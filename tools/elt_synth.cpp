@@ -23,6 +23,12 @@
 ///   --vas N           max data VAs (default 2)
 ///   --budget SECONDS  time budget per suite (default unlimited)
 ///   --backend NAME    enum (default) | sat
+///   --sat-incremental on|off
+///                     under --backend sat: keep one live solver per
+///                     worker across candidates (assumption-based
+///                     placement, learned clauses retained; default on)
+///                     or re-encode every candidate from scratch (off).
+///                     The suite is byte-identical either way.
 ///   --jobs N          scheduler workers (0 = one per hardware thread)
 ///   --shard-depth D   auto (default: lazy adaptive re-splitting) | fixed
 ///                     prefix depth 1..32; the suite is identical either way
@@ -35,7 +41,9 @@
 ///                     closed-prefix splits, skip re-enumerations, dedup
 ///                     hits, queue wait); under --backend sat also the
 ///                     per-suite SAT solver counters (solves, decisions,
-///                     propagations, conflicts, ...)
+///                     propagations, conflicts, ..., plus the incremental
+///                     session's assumed literals, retired activation
+///                     guards, and retained learned clauses)
 ///   --trace FILE      record shard jobs, suites, and re-split lineage as
 ///                     spans and write a Chrome trace-event JSON file
 ///                     (open in Perfetto or chrome://tracing); see
@@ -92,6 +100,7 @@ struct Args {
     int vas = 2;
     double budget = 0;
     std::string backend = "enum";
+    bool sat_incremental = true;
     int jobs = 1;
     int shard_depth = 0;                  // 0 = adaptive
     std::uint64_t resplit_threshold = 0;  // 0 = cost model
@@ -135,7 +144,8 @@ print_solver_stats(const std::string& scope, const sat::SolverStats& s)
         stderr,
         "[%s] solver: %llu solves (%.3fs), %llu decisions, "
         "%llu propagations, %llu conflicts, %llu restarts, "
-        "%llu learned (%llu deleted)\n",
+        "%llu learned (%llu deleted), %llu assumed, "
+        "%llu retired guards (%llu clauses retained)\n",
         scope.c_str(),
         static_cast<unsigned long long>(s.solve_calls),
         static_cast<double>(s.solve_nanos) * 1e-9,
@@ -144,7 +154,10 @@ print_solver_stats(const std::string& scope, const sat::SolverStats& s)
         static_cast<unsigned long long>(s.conflicts),
         static_cast<unsigned long long>(s.restarts),
         static_cast<unsigned long long>(s.learned_clauses),
-        static_cast<unsigned long long>(s.deleted_clauses));
+        static_cast<unsigned long long>(s.deleted_clauses),
+        static_cast<unsigned long long>(s.assumed_literals),
+        static_cast<unsigned long long>(s.retired_activations),
+        static_cast<unsigned long long>(s.retained_clauses));
 }
 
 int
@@ -161,6 +174,7 @@ run_suite(const mtm::Model& model, const std::string& axiom,
     options.time_budget_seconds = args.budget;
     options.backend = args.backend == "sat" ? synth::Backend::kSat
                                             : synth::Backend::kEnumerative;
+    options.sat_incremental = args.sat_incremental;
     options.jobs = args.jobs;
     options.shard_depth = args.shard_depth;
     options.resplit_threshold = args.resplit_threshold;
@@ -268,6 +282,15 @@ main(int argc, char** argv)
             }
         } else if (flag == "--backend") {
             args.backend = value();
+        } else if (flag == "--sat-incremental") {
+            const std::string text = value();
+            if (text == "on") {
+                args.sat_incremental = true;
+            } else if (text == "off") {
+                args.sat_incremental = false;
+            } else {
+                return usage_error(flag, "'on' or 'off'", text);
+            }
         } else if (flag == "--jobs") {
             const std::string text = value();
             if (!tools::parse_jobs(text, &args.jobs)) {
