@@ -23,7 +23,12 @@ namespace transform::bench {
 /// (tools/bench_compare.py) can refuse to diff records whose layout
 /// drifted instead of silently comparing renamed keys. Bump on any key
 /// addition/removal/rename in a bench's record.
-inline constexpr int kBenchSchemaVersion = 1;
+///
+/// v2: the substrate record gained the judge-loop allocation ratio
+/// (minimality_allocs_per_witness) and the incremental-SAT structure-base
+/// economy (sat_incremental_bases_built / _bases_reused /
+/// _base_builds_per_program).
+inline constexpr int kBenchSchemaVersion = 2;
 
 /// The determinism contract's observable, shared by the scaling and
 /// substrate benches: canonical keys, order, sizes and (optionally) the

@@ -212,6 +212,8 @@ struct BackendRun {
     std::uint64_t programs = 0;
     std::uint64_t executions = 0;
     std::uint64_t allocations = 0;
+    std::uint64_t bases_built = 0;   ///< incremental SAT: structure bases
+    std::uint64_t bases_reused = 0;  ///< incremental SAT: base-cache hits
     int tests = 0;
     std::string fingerprint;       ///< keys + sizes + violated
     std::string key_fingerprint;   ///< keys + sizes only
@@ -243,6 +245,8 @@ run_workload(const mtm::Model& model, synth::Backend backend, int jobs,
         run.programs += suite.programs_considered;
         run.executions += suite.executions_considered;
         run.tests += static_cast<int>(suite.tests.size());
+        run.bases_built += suite.solver.bases_built;
+        run.bases_reused += suite.solver.bases_reused;
     }
     run.fingerprint =
         bench::suite_fingerprint(suites, /*include_violated=*/true);
@@ -274,6 +278,39 @@ best_of(int repeats, const mtm::Model& model, synth::Backend backend,
         }
     }
     return best;
+}
+
+/// Steady-state allocations per judge() verdict with ONE reused
+/// JudgeScratch — the pooled interesting/minimality/relaxation pipeline's
+/// grade: after the warm-up pass seeds the scratch pools (relaxed-program
+/// events, witness vectors, derivation buffers), repeat verdicts over the
+/// same witness mix must run allocation-free. Mixing fixtures of
+/// different shapes (VM ptwalk, dirty-bit, aliased MCM store buffering)
+/// keeps the pools honest: each verdict re-derives every applicable
+/// relaxation of its witness.
+double
+minimality_allocs_per_witness()
+{
+    const mtm::Model model = mtm::x86t_elt();
+    const std::vector<elt::Execution> witnesses = {
+        elt::fixtures::fig10a_ptwalk2(),
+        elt::fixtures::fig10b_dirtybit3(),
+        elt::fixtures::fig2c_sb_elt_aliased(),
+    };
+    synth::JudgeScratch scratch;
+    for (const elt::Execution& e : witnesses) {  // warm-up: fill the pools
+        benchmark::DoNotOptimize(synth::judge(model, e, &scratch));
+    }
+    constexpr int kRounds = 64;
+    const std::uint64_t before = g_allocations.load();
+    for (int round = 0; round < kRounds; ++round) {
+        for (const elt::Execution& e : witnesses) {
+            benchmark::DoNotOptimize(synth::judge(model, e, &scratch));
+        }
+    }
+    const std::uint64_t after = g_allocations.load();
+    return static_cast<double>(after - before) /
+           static_cast<double>(kRounds * witnesses.size());
 }
 
 int
@@ -402,6 +439,25 @@ witness_search_section()
                       sat_run.key_fingerprint == enum_run.key_fingerprint) &&
          ok;
 
+    // Structure-base economy of the jobs=1 incremental run: how many base
+    // encodings the session actually built vs how many structure revisits
+    // the cache absorbed. builds/program is the gated ratio — a broken
+    // cache shows up as it jumping toward the structure-change count.
+    const double base_builds_per_program =
+        static_cast<double>(sat_inc_run.bases_built) /
+        static_cast<double>(sat_inc_run.programs);
+    std::printf("\nsat+inc structure bases: built %" PRIu64
+                ", reused %" PRIu64 " (%.4f builds/prog)\n",
+                sat_inc_run.bases_built, sat_inc_run.bases_reused,
+                base_builds_per_program);
+    ok = bench::check("incremental session reuses structure bases",
+                      sat_inc_run.bases_reused > 0) &&
+         ok;
+
+    const double judge_allocs = minimality_allocs_per_witness();
+    std::printf("judge pipeline steady state: %.3f allocs/witness\n",
+                judge_allocs);
+
     bench::write_json(
         json_path,
         {
@@ -425,6 +481,13 @@ witness_search_section()
             bench::jnum("sat_incremental_allocs_per_program",
                         static_cast<double>(sat_inc_run.allocations) /
                             sat_inc_run.programs),
+            bench::jint("sat_incremental_bases_built",
+                        sat_inc_run.bases_built),
+            bench::jint("sat_incremental_bases_reused",
+                        sat_inc_run.bases_reused),
+            bench::jnum("sat_incremental_base_builds_per_program",
+                        base_builds_per_program),
+            bench::jnum("minimality_allocs_per_witness", judge_allocs),
             bench::jnum("enum_programs_per_sec",
                         enum_run.programs / enum_run.seconds),
             bench::jnum("enum_executions_per_sec",

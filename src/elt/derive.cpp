@@ -318,29 +318,39 @@ ResolutionResult
 resolve_addresses(const Execution& exec, const DeriveOptions& options)
 {
     ResolutionResult out;
+    DeriveScratch scratch;
+    resolve_addresses_into(exec, options, &out, &scratch);
+    return out;
+}
+
+void
+resolve_addresses_into(const Execution& exec, const DeriveOptions& options,
+                       ResolutionResult* out, DeriveScratch* scratch)
+{
+    TF_ASSERT(out != nullptr && scratch != nullptr);
     const Program& p = exec.program;
     const int n = p.num_events();
-    out.resolved_pa.assign(n, kNone);
-    out.provenance.assign(n, kNone);
+    out->resolved_pa.assign(n, kNone);
+    out->provenance.assign(n, kNone);
+    // An empty problems vector never allocates; the failure path (which
+    // fills it) only runs on ill-formed executions.
     std::vector<std::string> problems;
     if (options.vm_enabled) {
-        DeriveScratch scratch;
-        Resolver resolver(exec, &problems, &scratch);
+        Resolver resolver(exec, &problems, scratch);
         for (EventId id = 0; id < n; ++id) {
             if (is_memory(p.event(id).kind)) {
-                out.resolved_pa[id] = resolver.pa_of(id);
-                out.provenance[id] = resolver.provenance_of(id);
+                out->resolved_pa[id] = resolver.pa_of(id);
+                out->provenance[id] = resolver.provenance_of(id);
             }
         }
     } else {
         for (EventId id = 0; id < n; ++id) {
             if (is_data_access(p.event(id).kind)) {
-                out.resolved_pa[id] = p.event(id).va;
+                out->resolved_pa[id] = p.event(id).va;
             }
         }
     }
-    out.ok = problems.empty();
-    return out;
+    out->ok = problems.empty();
 }
 
 DerivedRelations

@@ -153,6 +153,14 @@ struct ResolutionResult {
 ResolutionResult resolve_addresses(const Execution& execution,
                                    const DeriveOptions& options = {});
 
+/// As resolve_addresses(), but writes into \p out (vectors re-assigned,
+/// capacity kept) and resolves through \p scratch's buffers —
+/// allocation-free in steady state when the execution is well-formed.
+/// Field-identical to the materializing overload on the same inputs.
+void resolve_addresses_into(const Execution& execution,
+                            const DeriveOptions& options,
+                            ResolutionResult* out, DeriveScratch* scratch);
+
 /// True when the directed graph over \p num_nodes nodes with the union of
 /// the given edge sets contains a cycle. \p scratch may be null (a local
 /// one is used); passing one makes repeated checks allocation-free.

@@ -104,6 +104,26 @@ Program::add_thread()
     return num_threads() - 1;
 }
 
+void
+Program::reset(int num_threads)
+{
+    TF_ASSERT(num_threads >= 0);
+    events_.clear();
+    positions_.clear();
+    rmws_.clear();
+    // Shrink or grow the thread table without discarding the inner
+    // vectors' capacity (clear, don't reassign).
+    if (static_cast<int>(threads_.size()) > num_threads) {
+        threads_.resize(static_cast<std::size_t>(num_threads));
+    }
+    for (std::vector<EventId>& thread : threads_) {
+        thread.clear();
+    }
+    while (static_cast<int>(threads_.size()) < num_threads) {
+        threads_.emplace_back();
+    }
+}
+
 EventId
 Program::add_event(Event event)
 {

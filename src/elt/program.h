@@ -24,6 +24,13 @@ class Program {
     /// Appends a new empty thread; returns its index.
     int add_thread();
 
+    /// Clears the program back to \p num_threads empty threads while
+    /// keeping every vector's capacity — the reuse step of the pooled
+    /// construction paths (relaxation rebuild, skeleton materialization).
+    /// After reset the program is indistinguishable from a fresh one with
+    /// the same add_thread() calls.
+    void reset(int num_threads);
+
     /// Appends a non-ghost event to its thread's program order.
     /// The event's `thread` field selects the thread (must exist).
     EventId add_event(Event event);

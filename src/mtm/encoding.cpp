@@ -1141,6 +1141,10 @@ struct ProgramEncoding::Build {
         case spec::ExprOp::kClosure:
             result = compile_expr(*e.lhs).closure(&factory);
             break;
+        case spec::ExprOp::kReflexiveClosure:
+            result = compile_expr(*e.lhs).closure(&factory).rel_union(
+                &factory, RelExpr::identity(&factory, n));
+            break;
         case spec::ExprOp::kLetRef:
             result = compile_expr(*e.lhs);
             break;

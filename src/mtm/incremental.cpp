@@ -36,48 +36,46 @@ has_selector(EventKind kind)
     return kind != EventKind::kMfence && kind != EventKind::kInvlpgAll;
 }
 
-}  // namespace
+/// Default base-cache capacity (live base included). The skeleton
+/// enumerator's late stages (rmw marking, linking variants) ping-pong
+/// between a handful of neighbouring structures, so a small cache captures
+/// nearly all revisits; each retained base owns a solver, so the cap also
+/// bounds the session's memory.
+constexpr int kDefaultBaseCacheCapacity = 8;
 
-/// The live base encoding plus per-candidate machinery. The overall shape
-/// deliberately mirrors ProgramEncoding::Build (encoding.cpp) constraint
-/// for constraint; comments below only call out where the symbolic
-/// (selector-based) translation departs from the fresh encoding. The
-/// equivalence argument per constraint: every clause here either (a) is
-/// identical to the fresh clause, (b) is the fresh clause with a concrete
-/// VA/PA test replaced by a va_eq/pa-slot guard that the candidate's
-/// pinned selectors decide by unit propagation, or (c) constrains a
-/// superset choice variable that those same guards force false, making the
-/// clause vacuous — so under any candidate's pins, the satisfying
-/// assignments projected onto the fresh encoding's choice variables are
-/// exactly the fresh encoding's models.
-struct IncrementalEncoding::Impl {
-    // ------------------------------------------------------------------
-    // Session configuration (set by configure()).
-    // ------------------------------------------------------------------
-    const Model* model = nullptr;
-    std::string axiom_name;
-    const Axiom* axiom = nullptr;
-    unsigned needs = 0;
-    bool vm = false;
-    int max_vas = 0;
-    int max_pas = 0;
+/// One edge of a flat extraction template (see BaseState::ext_rf).
+struct TemplateEdge {
+    EventId a;
+    EventId b;
+    sat::Lit lit;
+};
 
+/// The swappable per-structure slice of a session: one built base — its
+/// solver backend, circuit factory, structure key, selector/choice rows,
+/// derived relations, frozen projection templates, and the deferred
+/// activation guards of candidates already served from it. The session's
+/// base cache stashes whole BaseStates and swaps one back in when the
+/// enumerator revisits a known signature; every RelExpr/ExprId inside
+/// indexes the co-swapped factory and expr_memo keys are stable AST
+/// pointers owned by the Model, so a swapped-out base stays internally
+/// consistent with no pointer fixups.
+struct BaseState {
     std::unique_ptr<sat::SolverBackend> backend;
     BoolFactory factory;
-    SessionStats stats;
 
-    // ------------------------------------------------------------------
-    // The live base: structure key + containers (capacities persist
-    // across structures; contents are valid for the current key only).
-    // ------------------------------------------------------------------
-    std::vector<int> structure_key;  ///< empty = no live base
-    std::vector<int> key_buf;
+    std::vector<int> structure_key;  ///< empty = no base built in this slot
+    std::uint64_t last_used = 0;     ///< session use-stamp (LRU eviction)
 
     int n = 0;
     /// s_va[e][v]: one-hot VA selector (events with has_selector only).
     std::vector<std::vector<ExprId>> s_va;
-    /// Symmetric n*n memo of va_eq circuits (kFalseExpr where unbuilt).
+    /// Symmetric n*n memo of va_eq circuits, built lazily: a pair's
+    /// circuit is created by the first base constraint that touches it
+    /// (va_eq_built marks construction — all before freeze_projection, so
+    /// the no-new-circuits-after-freeze discipline holds), and pairs no
+    /// constraint touches never pay for their OR-of-ANDs.
     std::vector<ExprId> va_eq_tab;
+    std::vector<char> va_eq_built;
 
     std::vector<ChoiceMap> rf_choice;
     std::vector<ExprId> init_choice;
@@ -95,12 +93,80 @@ struct IncrementalEncoding::Impl {
     RelExpr po_const, remap_const, ppo_const, fence_const;
     RelExpr po_mem_const, rmw_const, ghost_const;
 
+    std::vector<std::pair<const spec::Expr*, RelExpr>> expr_memo;
+
+    /// Activation guards whose blocking clauses are live in this base.
+    /// Retirement is deferred to the base's rebuild: within the base each
+    /// is assumed false instead (after the pins, so the pin-prefix trail
+    /// survives a candidate advance), which disables its clauses just as
+    /// the unit assertion would — without the backtrack-to-root that
+    /// asserting mid-session costs. Per-base, because the guards are
+    /// variables of this base's solver.
+    std::vector<sat::Lit> spent_acts;
+
+    /// Flat extraction templates, rebuilt per structure by
+    /// freeze_projection(): guard expressions resolved to their Tseitin
+    /// literals once, so the per-model extraction loop is array walks and
+    /// O(1) model reads instead of hash-memo probes per guard per model.
+    std::vector<TemplateEdge> ext_rf;
+    std::vector<TemplateEdge> ext_ptw;
+    std::vector<TemplateEdge> ext_co;
+    std::vector<EventId> ext_write_like;
+};
+
+}  // namespace
+
+/// The session: configuration, the LIVE BaseState (inherited slice — the
+/// build methods below address its members unqualified), the stash of
+/// swapped-out bases, and the per-candidate machinery. The overall shape
+/// deliberately mirrors ProgramEncoding::Build (encoding.cpp) constraint
+/// for constraint; comments below only call out where the symbolic
+/// (selector-based) translation departs from the fresh encoding. The
+/// equivalence argument per constraint: every clause here either (a) is
+/// identical to the fresh clause, (b) is the fresh clause with a concrete
+/// VA/PA test replaced by a va_eq/pa-slot guard that the candidate's
+/// pinned selectors decide by unit propagation, or (c) constrains a
+/// superset choice variable that those same guards force false, making the
+/// clause vacuous — so under any candidate's pins, the satisfying
+/// assignments projected onto the fresh encoding's choice variables are
+/// exactly the fresh encoding's models.
+struct IncrementalEncoding::Impl : BaseState {
+    // ------------------------------------------------------------------
+    // Session configuration (set by configure()).
+    // ------------------------------------------------------------------
+    const Model* model = nullptr;
+    std::string axiom_name;
+    const Axiom* axiom = nullptr;
+    unsigned needs = 0;
+    bool vm = false;
+    int max_vas = 0;
+    int max_pas = 0;
+    std::string backend_name = "cdcl";
+    bool timing = false;
+
+    SessionStats stats;
+    /// Counters of backends this session destroyed (stash shrink,
+    /// configure with a different backend): folded here so
+    /// lifetime_stats() never loses an epoch.
+    sat::SolverStats retired_stats;
+
+    // ------------------------------------------------------------------
+    // Base cache: swapped-out bases, LRU-evicted past the capacity
+    // (which counts the live base too). capacity <= 1 = no caching.
+    // ------------------------------------------------------------------
+    std::vector<BaseState> stash;
+    int cache_capacity = kDefaultBaseCacheCapacity;
+    std::uint64_t use_stamp = 0;
+
+    std::vector<int> key_buf;
+
+    // Build-time clause scratch (valid only while build_base runs on the
+    // live slice, so session-level sharing across bases is safe).
     std::vector<sat::Lit> clause_buf;
     bool clause_sat = false;
     std::vector<ExprId> options_buf;
     std::vector<EventId> events_buf;
     std::vector<EventId> peers_buf;
-    std::vector<std::pair<const spec::Expr*, RelExpr>> expr_memo;
 
     // ------------------------------------------------------------------
     // Per-candidate buffers.
@@ -108,27 +174,6 @@ struct IncrementalEncoding::Impl {
     std::vector<sat::Lit> assumptions;
     std::vector<sat::Lit> block_buf;
     Execution current;
-    /// Activation guards whose blocking clauses are live in the current
-    /// base. Retirement is deferred to the structure boundary: within the
-    /// structure each is assumed false instead (after the pins, so the
-    /// pin-prefix trail survives a candidate advance), which disables its
-    /// clauses just as the unit assertion would — without the
-    /// backtrack-to-root that asserting mid-session costs.
-    std::vector<sat::Lit> spent_acts;
-
-    /// Flat extraction templates, rebuilt per structure by
-    /// freeze_projection(): guard expressions resolved to their Tseitin
-    /// literals once, so the per-model extraction loop is array walks and
-    /// O(1) model reads instead of hash-memo probes per guard per model.
-    struct Edge {
-        EventId a;
-        EventId b;
-        sat::Lit lit;
-    };
-    std::vector<Edge> ext_rf;
-    std::vector<Edge> ext_ptw;
-    std::vector<Edge> ext_co;
-    std::vector<EventId> ext_write_like;
     /// Per-candidate projection literals (build_block_template): the
     /// validity filtering and memo lookups run once per candidate, and
     /// blocking_clause() per model only reads polarities.
@@ -203,10 +248,30 @@ struct IncrementalEncoding::Impl {
         return factory.mk_var(backend->new_var());
     }
 
+    /// Lazy va_eq: the pair's OR-of-ANDs circuit is created by the first
+    /// base constraint that asks for it (always during build_base, before
+    /// freeze_projection). Pairs without two selector rows — or the
+    /// diagonal — stay kFalseExpr, matching the eager table this replaces.
     ExprId
-    va_eq(EventId a, EventId b) const
+    va_eq(EventId a, EventId b)
     {
-        return va_eq_tab[static_cast<std::size_t>(a) * n + b];
+        const std::size_t idx = static_cast<std::size_t>(a) * n + b;
+        if (!va_eq_built[idx]) {
+            ExprId acc = rel::kFalseExpr;
+            if (a != b && !s_va[a].empty() && !s_va[b].empty()) {
+                acc = factory.mk_const(false);
+                for (int v = 0; v < max_vas; ++v) {
+                    acc = factory.mk_or(
+                        acc, factory.mk_and(s_va[a][v], s_va[b][v]));
+                }
+            }
+            const std::size_t mirror = static_cast<std::size_t>(b) * n + a;
+            va_eq_tab[idx] = acc;
+            va_eq_tab[mirror] = acc;
+            va_eq_built[idx] = 1;
+            va_eq_built[mirror] = 1;
+        }
+        return va_eq_tab[idx];
     }
 
     ExprId
@@ -355,6 +420,90 @@ struct IncrementalEncoding::Impl {
         freeze_projection(p);
     }
 
+    std::unique_ptr<sat::SolverBackend>
+    make_session_backend() const
+    {
+        std::unique_ptr<sat::SolverBackend> made =
+            sat::make_backend(backend_name);
+        if (made == nullptr) {
+            made = sat::make_backend("cdcl");
+        }
+        made->set_timing(timing);
+        return made;
+    }
+
+    /// Permanently drops a base slot, folding its backend's lifetime
+    /// counters into retired_stats first (after flushing the slot's
+    /// deferred retirements, so the retention counters are complete).
+    void
+    fold_and_drop(BaseState* slot)
+    {
+        if (slot->backend != nullptr) {
+            for (const sat::Lit act : slot->spent_acts) {
+                slot->backend->retire_activation(act);
+            }
+            retired_stats.merge(slot->backend->lifetime_stats());
+        }
+        *slot = BaseState();
+    }
+
+    /// Evicts least-recently-used stashed bases until the stash fits the
+    /// capacity (minus one for the live base).
+    void
+    shrink_stash()
+    {
+        const int keep = std::max(cache_capacity - 1, 0);
+        while (static_cast<int>(stash.size()) > keep) {
+            std::size_t lru = 0;
+            for (std::size_t i = 1; i < stash.size(); ++i) {
+                if (stash[i].last_used < stash[lru].last_used) {
+                    lru = i;
+                }
+            }
+            fold_and_drop(&stash[lru]);
+            stash.erase(stash.begin() + static_cast<std::ptrdiff_t>(lru));
+        }
+    }
+
+    /// Makes the base for key_buf's structure live: a cache hit swaps the
+    /// frozen base back in untouched (its solver, learned clauses and
+    /// projection templates resume where the structure was left); a miss
+    /// stashes the live base and builds into a fresh or LRU-recycled slot.
+    void
+    switch_structure(const Program& p)
+    {
+        for (BaseState& slot : stash) {
+            if (slot.structure_key == key_buf) {
+                std::swap(static_cast<BaseState&>(*this), slot);
+                ++stats.bases_reused;
+                return;
+            }
+        }
+        if (cache_capacity > 1 && !structure_key.empty()) {
+            if (static_cast<int>(stash.size()) + 1 < cache_capacity) {
+                // Stash the live base in a new slot; the live slice is now
+                // empty and gets a fresh backend below.
+                stash.emplace_back();
+                std::swap(static_cast<BaseState&>(*this), stash.back());
+            } else {
+                // Stash the live base into the LRU slot, recycling that
+                // slot's backend (build_base resets it) for the build.
+                std::size_t lru = 0;
+                for (std::size_t i = 1; i < stash.size(); ++i) {
+                    if (stash[i].last_used < stash[lru].last_used) {
+                        lru = i;
+                    }
+                }
+                std::swap(static_cast<BaseState&>(*this), stash[lru]);
+            }
+        }
+        if (backend == nullptr) {
+            backend = make_session_backend();
+        }
+        build_base(p);
+        structure_key = key_buf;
+    }
+
     /// Pre-compiles every expression extract_into() and blocking_clause()
     /// will touch, while the trail is still at the root. Two payoffs: the
     /// per-model hot paths become pure memo hits plus O(1) model lookups
@@ -428,24 +577,10 @@ struct IncrementalEncoding::Impl {
                 }
             }
         }
+        // va_eq circuits are NOT built here: va_eq() creates each pair's
+        // circuit on first touch, and untouched pairs never build one.
         va_eq_tab.assign(static_cast<std::size_t>(n) * n, rel::kFalseExpr);
-        for (EventId a = 0; a < n; ++a) {
-            if (s_va[a].empty()) {
-                continue;
-            }
-            for (EventId b = a + 1; b < n; ++b) {
-                if (s_va[b].empty()) {
-                    continue;
-                }
-                ExprId acc = factory.mk_const(false);
-                for (int v = 0; v < max_vas; ++v) {
-                    acc = factory.mk_or(
-                        acc, factory.mk_and(s_va[a][v], s_va[b][v]));
-                }
-                va_eq_tab[static_cast<std::size_t>(a) * n + b] = acc;
-                va_eq_tab[static_cast<std::size_t>(b) * n + a] = acc;
-            }
-        }
+        va_eq_built.assign(static_cast<std::size_t>(n) * n, 0);
     }
 
     void
@@ -1187,6 +1322,10 @@ struct IncrementalEncoding::Impl {
         case spec::ExprOp::kClosure:
             result = compile_expr(p, *e.lhs).closure(&factory);
             break;
+        case spec::ExprOp::kReflexiveClosure:
+            result = compile_expr(p, *e.lhs).closure(&factory).rel_union(
+                &factory, RelExpr::identity(&factory, n));
+            break;
         case spec::ExprOp::kLetRef:
             result = compile_expr(p, *e.lhs);
             break;
@@ -1394,12 +1533,12 @@ struct IncrementalEncoding::Impl {
         // the literal's model value is the circuit's) — the per-model loop
         // is flat array walks and O(1) model reads, no DAG re-walk and no
         // memo probe per guard.
-        for (const Edge& e : ext_rf) {
+        for (const TemplateEdge& e : ext_rf) {
             if (s.model_literal_true(e.lit)) {
                 out->rf_src[e.a] = e.b;
             }
         }
-        for (const Edge& e : ext_ptw) {
+        for (const TemplateEdge& e : ext_ptw) {
             if (s.model_literal_true(e.lit)) {
                 out->ptw_src[e.a] = e.b;
             }
@@ -1407,7 +1546,7 @@ struct IncrementalEncoding::Impl {
         for (const EventId w : ext_write_like) {
             out->co_pos[w] = 0;
         }
-        for (const Edge& e : ext_co) {
+        for (const TemplateEdge& e : ext_co) {
             if (s.model_literal_true(e.lit)) {
                 ++out->co_pos[e.b];
             }
@@ -1474,13 +1613,20 @@ IncrementalEncoding::configure(const Model* model, std::string axiom_name,
     if (im.backend != nullptr) {
         im.retire_spent_acts();  // flush counters before any backend swap
     }
+    im.backend_name = std::string(backend_name);
     if (im.backend == nullptr || im.backend->name() != backend_name) {
-        std::unique_ptr<sat::SolverBackend> made =
-            sat::make_backend(backend_name);
-        im.backend = made != nullptr ? std::move(made)
-                                     : sat::make_backend("cdcl");
+        if (im.backend != nullptr) {
+            im.retired_stats.merge(im.backend->lifetime_stats());
+        }
+        im.backend = im.make_session_backend();
     }
     im.structure_key.clear();  // drop any live base
+    // Stale cached bases encode the previous model/axiom/bounds; drop them
+    // (folding their counters) rather than risking a key collision.
+    for (BaseState& slot : im.stash) {
+        im.fold_and_drop(&slot);
+    }
+    im.stash.clear();
 }
 
 sat::SolverBackend&
@@ -1495,6 +1641,46 @@ IncrementalEncoding::backend() const
 {
     TF_ASSERT(impl_->backend != nullptr);
     return *impl_->backend;
+}
+
+void
+IncrementalEncoding::set_timing(bool enabled)
+{
+    Impl& im = *impl_;
+    im.timing = enabled;
+    if (im.backend != nullptr) {
+        im.backend->set_timing(enabled);
+    }
+    for (BaseState& slot : im.stash) {
+        if (slot.backend != nullptr) {
+            slot.backend->set_timing(enabled);
+        }
+    }
+}
+
+sat::SolverStats
+IncrementalEncoding::lifetime_stats() const
+{
+    const Impl& im = *impl_;
+    sat::SolverStats out = im.retired_stats;
+    if (im.backend != nullptr) {
+        out.merge(im.backend->lifetime_stats());
+    }
+    for (const BaseState& slot : im.stash) {
+        if (slot.backend != nullptr) {
+            out.merge(slot.backend->lifetime_stats());
+        }
+    }
+    out.bases_built += im.stats.bases_built;
+    out.bases_reused += im.stats.bases_reused;
+    return out;
+}
+
+void
+IncrementalEncoding::set_base_cache_capacity(int capacity)
+{
+    impl_->cache_capacity = std::max(capacity, 0);
+    impl_->shrink_stash();
 }
 
 const IncrementalEncoding::SessionStats&
@@ -1513,9 +1699,9 @@ IncrementalEncoding::enumerate(const elt::Program& program,
 
     im.compute_key(program, &im.key_buf);
     if (im.key_buf != im.structure_key) {
-        im.build_base(program);
-        im.structure_key = im.key_buf;
+        im.switch_structure(program);
     }
+    im.last_used = ++im.use_stamp;
     im.build_assumptions(program);
 
     im.current.program = program;

@@ -26,6 +26,16 @@
 /// managing the learned set as usual. The solver is reset only when the
 /// structure itself changes.
 ///
+/// Structures are not visited contiguously, though: the enumerator's last
+/// stages (rmw marking, linking variants) ping-pong between a handful of
+/// nearby structures. The session therefore keeps a small cache of built
+/// bases keyed by the structure signature — each base owns its solver,
+/// factory and projection templates, and revisiting a cached signature
+/// swaps the frozen base back in (bases_reused) instead of rebuilding
+/// (bases_built). The va_eq selector circuits inside a base are built
+/// lazily, on the first constraint that touches a pair — all before the
+/// projection freeze, so the no-clauses-after-freeze discipline holds.
+///
 /// Contract against the fresh path (asserted by tests/sat_incremental_test
 /// and the engine's replay discipline): for every candidate, the verdict
 /// (does a violating execution exist / how many are there) and the set of
@@ -82,15 +92,36 @@ class IncrementalEncoding {
     /// model's VM-awareness and fit the configured domain bounds.
     bool enumerate(const elt::Program& program, const ExecutionVisitor& visit);
 
-    /// The live solver backend (timing control, lifetime stats — the
-    /// engine merges these into SuiteResult::solver).
+    /// The live base's solver backend. With the base cache each cached
+    /// base owns its own backend, so session-wide concerns (timing,
+    /// stats) go through set_timing()/lifetime_stats() below; this
+    /// accessor serves tests that poke the current solver directly.
     sat::SolverBackend& backend();
     const sat::SolverBackend& backend() const;
+
+    /// Enables/disables solve-wall-clock accounting on every backend the
+    /// session holds or later creates (cached bases included).
+    void set_timing(bool enabled);
+
+    /// Merged lifetime counters across every backend the session ever
+    /// owned (live base, cached bases, evicted bases' folded epochs),
+    /// plus the session's bases_built/bases_reused. This is what the
+    /// engine merges into SuiteResult::solver.
+    sat::SolverStats lifetime_stats() const;
+
+    /// Caps how many structure bases the session retains, the live one
+    /// included. 0 and 1 both mean no caching (every structure change
+    /// rebuilds — the pre-cache behavior, kept reachable for the
+    /// differential tests). Takes effect at the next enumerate();
+    /// shrinking evicts least-recently-used bases. Default 8.
+    void set_base_cache_capacity(int capacity);
 
     /// Session-level reuse counters.
     struct SessionStats {
         std::uint64_t candidates = 0;   ///< enumerate() calls served
-        std::uint64_t bases_built = 0;  ///< structure changes (solver resets)
+        std::uint64_t bases_built = 0;  ///< bases built from scratch
+        std::uint64_t bases_reused = 0; ///< cache hits (frozen base swapped
+                                        ///  back in, no solver reset)
     };
     const SessionStats& session_stats() const;
 

@@ -1,7 +1,6 @@
 #include "mtm/relax.h"
 
 #include <algorithm>
-#include <map>
 
 #include "elt/derive.h"
 #include "util/logging.h"
@@ -36,55 +35,66 @@ Relaxation::describe(const Program& program) const
     return "?";
 }
 
-std::vector<Relaxation>
-applicable_relaxations(const Program& program)
+void
+applicable_relaxations_into(const Program& program,
+                            std::vector<Relaxation>* out)
 {
-    std::vector<Relaxation> out;
+    out->clear();
     for (EventId id = 0; id < program.num_events(); ++id) {
         const Event& e = program.event(id);
         switch (e.kind) {
         case EventKind::kRead:
         case EventKind::kWrite:
-            out.push_back({Relaxation::Kind::kRemoveUserEvent, id});
+            out->push_back({Relaxation::Kind::kRemoveUserEvent, id});
             break;
         case EventKind::kWpte:
-            out.push_back({Relaxation::Kind::kRemoveWpte, id});
+            out->push_back({Relaxation::Kind::kRemoveWpte, id});
             break;
         case EventKind::kInvlpg:
             if (e.remap_src == kNone) {
-                out.push_back({Relaxation::Kind::kRemoveSpuriousInvlpg, id});
+                out->push_back({Relaxation::Kind::kRemoveSpuriousInvlpg, id});
             }
             break;
         case EventKind::kInvlpgAll:
-            out.push_back({Relaxation::Kind::kRemoveSpuriousInvlpg, id});
+            out->push_back({Relaxation::Kind::kRemoveSpuriousInvlpg, id});
             break;
         case EventKind::kMfence:
-            out.push_back({Relaxation::Kind::kRemoveMfence, id});
+            out->push_back({Relaxation::Kind::kRemoveMfence, id});
             break;
         default:
             break;  // ghosts are never removable in isolation
         }
     }
     for (int i = 0; i < static_cast<int>(program.rmw_pairs().size()); ++i) {
-        out.push_back({Relaxation::Kind::kDropRmw, i});
+        out->push_back({Relaxation::Kind::kDropRmw, i});
     }
+}
+
+std::vector<Relaxation>
+applicable_relaxations(const Program& program)
+{
+    std::vector<Relaxation> out;
+    applicable_relaxations_into(program, &out);
     return out;
 }
 
 namespace {
 
-/// Computes the closure of a removal request: ghosts follow their parents,
-/// remap Invlpgs follow their Wpte, and spurious Invlpgs whose justifying
-/// later same-VA access disappears are cascaded away. Walks whose TLB entry
-/// still has surviving users are spared (re-parented later).
-std::vector<bool>
-removal_closure(const Execution& exec, const std::vector<EventId>& seeds)
+/// Computes the closure of a removal request into scratch->removed:
+/// ghosts follow their parents, remap Invlpgs follow their Wpte, and
+/// spurious Invlpgs whose justifying later same-VA access disappears are
+/// cascaded away. Walks whose TLB entry still has surviving users are
+/// spared (re-parented later).
+void
+removal_closure_into(const Execution& exec, const EventId* seeds,
+                     std::size_t num_seeds, RelaxScratch* scratch)
 {
     const Program& p = exec.program;
     const int n = p.num_events();
-    std::vector<bool> removed(n, false);
-    for (const EventId id : seeds) {
-        removed[id] = true;
+    std::vector<char>& removed = scratch->removed;
+    removed.assign(n, 0);
+    for (std::size_t i = 0; i < num_seeds; ++i) {
+        removed[seeds[i]] = 1;
     }
     bool changed = true;
     while (changed) {
@@ -107,14 +117,14 @@ removal_closure(const Execution& exec, const std::vector<EventId>& seeds)
                     }
                 }
                 if (!keep) {
-                    removed[id] = true;
+                    removed[id] = 1;
                     changed = true;
                 }
             }
             // Remap Invlpgs follow their Wpte.
             if (e.kind == EventKind::kInvlpg && e.remap_src != kNone &&
                 removed[e.remap_src]) {
-                removed[id] = true;
+                removed[id] = 1;
                 changed = true;
             }
             // Spurious invalidations must keep a later (same-VA for
@@ -133,26 +143,54 @@ removal_closure(const Execution& exec, const std::vector<EventId>& seeds)
                     }
                 }
                 if (!useful) {
-                    removed[id] = true;
+                    removed[id] = 1;
                     changed = true;
                 }
             }
         }
     }
-    return removed;
 }
 
-/// Rebuilds the program and witnesses over the surviving events.
-Execution
-rebuild(const Execution& exec, const std::vector<bool>& removed,
-        int dropped_rmw_index, bool vm_enabled)
+/// Sorts the coherence rows (class key, translated old position, new id)
+/// and assigns compacted positions 0..k within each equal-key run into
+/// \p positions. Per-class compaction is independent of class iteration
+/// order, so this matches the old per-map-bucket sorts exactly.
+void
+compact_rows(std::vector<RelaxScratch::Row>* rows, std::vector<int>* positions)
+{
+    std::sort(rows->begin(), rows->end(),
+              [](const RelaxScratch::Row& a, const RelaxScratch::Row& b) {
+                  if (a.key != b.key) {
+                      return a.key < b.key;
+                  }
+                  if (a.pos != b.pos) {
+                      return a.pos < b.pos;
+                  }
+                  return a.id < b.id;
+              });
+    int within = 0;
+    for (std::size_t i = 0; i < rows->size(); ++i) {
+        within = (i > 0 && (*rows)[i].key == (*rows)[i - 1].key)
+                     ? within + 1
+                     : 0;
+        (*positions)[(*rows)[i].id] = within;
+    }
+}
+
+/// Rebuilds the program and witnesses over the surviving events, into
+/// scratch->relaxed (pooled storage, no steady-state allocation).
+void
+rebuild_into(const Execution& exec, int dropped_rmw_index, bool vm_enabled,
+             RelaxScratch* scratch)
 {
     const Program& old = exec.program;
     const int n = old.num_events();
+    const std::vector<char>& removed = scratch->removed;
 
     // Survivor walks that lost their parent get re-parented to their
     // earliest surviving user.
-    std::vector<EventId> new_parent(n, kNone);
+    std::vector<EventId>& new_parent = scratch->new_parent;
+    new_parent.assign(n, kNone);
     for (EventId id = 0; id < n; ++id) {
         const Event& e = old.event(id);
         if (elt::is_ghost(e.kind)) {
@@ -173,13 +211,13 @@ rebuild(const Execution& exec, const std::vector<bool>& removed,
         }
     }
 
-    // Build the new program: non-ghosts first (per-thread po order), then
-    // ghosts (which need their parents to exist).
-    Program fresh;
-    for (int t = 0; t < old.num_threads(); ++t) {
-        fresh.add_thread();
-    }
-    std::vector<EventId> remap_id(n, kNone);
+    // Build the new program in place: non-ghosts first (per-thread po
+    // order), then ghosts (which need their parents to exist).
+    Execution& out = scratch->relaxed;
+    Program& fresh = out.program;
+    fresh.reset(old.num_threads());
+    std::vector<EventId>& remap_id = scratch->remap_id;
+    remap_id.assign(n, kNone);
     for (int t = 0; t < old.num_threads(); ++t) {
         for (const EventId id : old.thread(t)) {
             if (removed[id]) {
@@ -199,33 +237,34 @@ rebuild(const Execution& exec, const std::vector<bool>& removed,
         TF_ASSERT(copy.parent != kNone);
         remap_id[id] = fresh.add_ghost(copy);
     }
-    Execution out = Execution::empty_for(std::move(fresh));
+    const int m = fresh.num_events();
+    out.rf_src.assign(m, kNone);
+    out.co_pos.assign(m, kNone);
+    out.ptw_src.assign(m, kNone);
+    out.co_pa_pos.assign(m, kNone);
     // Translate remap_src in the copied events.
-    {
-        Program& np = out.program;
-        for (EventId id = 0; id < n; ++id) {
-            if (removed[id]) {
-                continue;
-            }
-            const Event& e = old.event(id);
-            if (e.kind == EventKind::kInvlpg && e.remap_src != kNone) {
-                const EventId nid = remap_id[id];
-                Event patched = np.event(nid);
-                patched.remap_src = remap_id[e.remap_src];
-                TF_ASSERT(patched.remap_src != kNone);
-                np.replace_event(nid, patched);
-            }
+    for (EventId id = 0; id < n; ++id) {
+        if (removed[id]) {
+            continue;
         }
-        // rmw pairs: keep pairs with both endpoints alive, except the
-        // explicitly dropped one.
-        for (int i = 0; i < static_cast<int>(old.rmw_pairs().size()); ++i) {
-            if (i == dropped_rmw_index) {
-                continue;
-            }
-            const auto& [r, w] = old.rmw_pairs()[i];
-            if (!removed[r] && !removed[w]) {
-                np.add_rmw(remap_id[r], remap_id[w]);
-            }
+        const Event& e = old.event(id);
+        if (e.kind == EventKind::kInvlpg && e.remap_src != kNone) {
+            const EventId nid = remap_id[id];
+            Event patched = fresh.event(nid);
+            patched.remap_src = remap_id[e.remap_src];
+            TF_ASSERT(patched.remap_src != kNone);
+            fresh.replace_event(nid, patched);
+        }
+    }
+    // rmw pairs: keep pairs with both endpoints alive, except the
+    // explicitly dropped one.
+    for (int i = 0; i < static_cast<int>(old.rmw_pairs().size()); ++i) {
+        if (i == dropped_rmw_index) {
+            continue;
+        }
+        const auto& [r, w] = old.rmw_pairs()[i];
+        if (!removed[r] && !removed[w]) {
+            fresh.add_rmw(remap_id[r], remap_id[w]);
         }
     }
 
@@ -244,46 +283,34 @@ rebuild(const Execution& exec, const std::vector<bool>& removed,
 
     // Old coherence positions, translated to the new ids (used to preserve
     // relative order when classes are re-compacted).
-    std::vector<int> old_pos(out.program.num_events(), kNone);
+    std::vector<int>& old_pos = scratch->old_pos;
+    old_pos.assign(m, kNone);
     for (EventId id = 0; id < n; ++id) {
         if (!removed[id] && remap_id[id] != kNone) {
             old_pos[remap_id[id]] = exec.co_pos[id];
         }
     }
-    auto compact = [&](std::vector<EventId>& members) {
-        std::sort(members.begin(), members.end(), [&](EventId a, EventId b) {
-            if (old_pos[a] != old_pos[b]) {
-                return old_pos[a] < old_pos[b];
-            }
-            return a < b;
-        });
-        for (int i = 0; i < static_cast<int>(members.size()); ++i) {
-            out.co_pos[members[i]] = i;
-        }
-    };
+    std::vector<RelaxScratch::Row>& rows = scratch->rows;
 
     // PTE-location coherence first: its classes are static (per VA) and
     // dirty-bit value resolution depends on it.
-    {
-        std::map<int, std::vector<EventId>> classes;
-        for (EventId nid = 0; nid < out.program.num_events(); ++nid) {
-            const Event& e = out.program.event(nid);
-            if (elt::is_pte_access(e.kind) && elt::is_write_like(e.kind)) {
-                classes[e.va].push_back(nid);
-            }
-        }
-        for (auto& [va, members] : classes) {
-            compact(members);
+    rows.clear();
+    for (EventId nid = 0; nid < m; ++nid) {
+        const Event& e = fresh.event(nid);
+        if (elt::is_pte_access(e.kind) && elt::is_write_like(e.kind)) {
+            rows.push_back({e.va, old_pos[nid], nid});
         }
     }
+    compact_rows(&rows, &out.co_pos);
 
     // Re-resolve addresses on the new program, then drop rf edges between
     // data accesses that no longer share a physical address (with VM off,
     // resolution degenerates to the VA and the check to same-VA).
-    const elt::ResolutionResult resolution =
-        elt::resolve_addresses(out, {vm_enabled});
-    for (EventId nid = 0; nid < out.program.num_events(); ++nid) {
-        const Event& e = out.program.event(nid);
+    elt::ResolutionResult& resolution = scratch->resolution;
+    elt::resolve_addresses_into(out, {vm_enabled}, &resolution,
+                                &scratch->resolve);
+    for (EventId nid = 0; nid < m; ++nid) {
+        const Event& e = fresh.event(nid);
         const EventId src = out.rf_src[nid];
         if (elt::is_data_access(e.kind) && src != kNone &&
             resolution.resolved_pa[nid] != resolution.resolved_pa[src]) {
@@ -294,75 +321,85 @@ rebuild(const Execution& exec, const std::vector<bool>& removed,
     // Data coherence: classes keyed by the new resolved PAs; relative order
     // preserved (ties between writes merged from different old classes
     // break by old position, then by new id).
-    {
-        std::map<int, std::vector<EventId>> classes;
-        for (EventId nid = 0; nid < out.program.num_events(); ++nid) {
-            const Event& e = out.program.event(nid);
-            if (elt::is_data_access(e.kind) && elt::is_write_like(e.kind)) {
-                classes[resolution.resolved_pa[nid]].push_back(nid);
-            }
-        }
-        for (auto& [pa, members] : classes) {
-            compact(members);
+    rows.clear();
+    for (EventId nid = 0; nid < m; ++nid) {
+        const Event& e = fresh.event(nid);
+        if (elt::is_data_access(e.kind) && elt::is_write_like(e.kind)) {
+            rows.push_back({resolution.resolved_pa[nid], old_pos[nid], nid});
         }
     }
-    // co_pa: same treatment over surviving Wptes per target PA.
-    {
-        std::map<int, std::vector<EventId>> classes;
-        std::vector<int> old_pos(out.program.num_events(), kNone);
-        for (EventId id = 0; id < n; ++id) {
-            if (!removed[id] && remap_id[id] != kNone) {
-                old_pos[remap_id[id]] = exec.co_pa_pos[id];
-            }
-        }
-        for (EventId nid = 0; nid < out.program.num_events(); ++nid) {
-            const Event& e = out.program.event(nid);
-            if (e.kind == EventKind::kWpte) {
-                classes[e.map_pa].push_back(nid);
-            }
-        }
-        for (auto& [pa, members] : classes) {
-            std::sort(members.begin(), members.end(),
-                      [&](EventId a, EventId b) {
-                          if (old_pos[a] != old_pos[b]) {
-                              return old_pos[a] < old_pos[b];
-                          }
-                          return a < b;
-                      });
-            for (int i = 0; i < static_cast<int>(members.size()); ++i) {
-                out.co_pa_pos[members[i]] = i;
-            }
+    compact_rows(&rows, &out.co_pos);
+
+    // co_pa: same treatment over surviving Wptes per target PA, ordered by
+    // the translated old co_pa positions.
+    old_pos.assign(m, kNone);
+    for (EventId id = 0; id < n; ++id) {
+        if (!removed[id] && remap_id[id] != kNone) {
+            old_pos[remap_id[id]] = exec.co_pa_pos[id];
         }
     }
-    return out;
+    rows.clear();
+    for (EventId nid = 0; nid < m; ++nid) {
+        const Event& e = fresh.event(nid);
+        if (e.kind == EventKind::kWpte) {
+            rows.push_back({e.map_pa, old_pos[nid], nid});
+        }
+    }
+    compact_rows(&rows, &out.co_pa_pos);
 }
 
 }  // namespace
+
+const Execution&
+remove_events_into(const Execution& execution,
+                   const std::vector<EventId>& to_remove, bool vm_enabled,
+                   RelaxScratch* scratch)
+{
+    TF_ASSERT(scratch != nullptr);
+    removal_closure_into(execution, to_remove.data(), to_remove.size(),
+                         scratch);
+    rebuild_into(execution, /*dropped_rmw_index=*/-1, vm_enabled, scratch);
+    return scratch->relaxed;
+}
+
+const Execution&
+apply_relaxation_into(const Execution& execution, const Relaxation& relaxation,
+                      bool vm_enabled, RelaxScratch* scratch)
+{
+    TF_ASSERT(scratch != nullptr);
+    switch (relaxation.kind) {
+    case Relaxation::Kind::kRemoveUserEvent:
+    case Relaxation::Kind::kRemoveWpte:
+    case Relaxation::Kind::kRemoveSpuriousInvlpg:
+    case Relaxation::Kind::kRemoveMfence: {
+        const EventId seed = relaxation.target;
+        removal_closure_into(execution, &seed, 1, scratch);
+        rebuild_into(execution, /*dropped_rmw_index=*/-1, vm_enabled,
+                     scratch);
+        return scratch->relaxed;
+    }
+    case Relaxation::Kind::kDropRmw:
+        scratch->removed.assign(execution.program.num_events(), 0);
+        rebuild_into(execution, relaxation.target, vm_enabled, scratch);
+        return scratch->relaxed;
+    }
+    TF_PANIC("unreachable relaxation kind");
+}
 
 Execution
 remove_events(const Execution& execution, const std::vector<EventId>& to_remove,
               bool vm_enabled)
 {
-    const std::vector<bool> removed = removal_closure(execution, to_remove);
-    return rebuild(execution, removed, /*dropped_rmw_index=*/-1, vm_enabled);
+    RelaxScratch scratch;
+    return remove_events_into(execution, to_remove, vm_enabled, &scratch);
 }
 
 Execution
 apply_relaxation(const Execution& execution, const Relaxation& relaxation,
                  bool vm_enabled)
 {
-    switch (relaxation.kind) {
-    case Relaxation::Kind::kRemoveUserEvent:
-    case Relaxation::Kind::kRemoveWpte:
-    case Relaxation::Kind::kRemoveSpuriousInvlpg:
-    case Relaxation::Kind::kRemoveMfence:
-        return remove_events(execution, {relaxation.target}, vm_enabled);
-    case Relaxation::Kind::kDropRmw: {
-        const std::vector<bool> removed(execution.program.num_events(), false);
-        return rebuild(execution, removed, relaxation.target, vm_enabled);
-    }
-    }
-    TF_PANIC("unreachable relaxation kind");
+    RelaxScratch scratch;
+    return apply_relaxation_into(execution, relaxation, vm_enabled, &scratch);
 }
 
 }  // namespace transform::mtm

@@ -20,6 +20,8 @@ phase_name(Phase phase)
         return "canonicalize";
     case Phase::kJudge:
         return "judge";
+    case Phase::kRelax:
+        return "relax";
     case Phase::kDedup:
         return "dedup";
     case Phase::kQueueWait:

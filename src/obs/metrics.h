@@ -31,7 +31,9 @@ enum class Phase : int {
     kSatSolve,          ///< SAT backend: time inside sat::Solver::solve
     kDerive,            ///< Table-I relation derivation + axiom verdicts
     kCanonicalize,      ///< canonical-key construction (dedup gate input)
-    kJudge,             ///< spanning-set minimality judging
+    kJudge,             ///< spanning-set minimality judging (verdict side)
+    kRelax,             ///< relaxation rebuilds inside the judge (one
+                        ///  relaxed execution per applicable relaxation)
     kDedup,             ///< sharded canonical-key index lookups
     kQueueWait,         ///< wall time queued on a shared pool before the
                         ///  suite's first job ran
@@ -109,8 +111,8 @@ class MetricsRegistry {
 
   private:
     /// One worker's counters, padded to whole cache lines so neighbouring
-    /// workers never false-share. 8 phases x 2 counters x 8 bytes = 128
-    /// bytes = two lines exactly.
+    /// workers never false-share. 9 phases x 2 counters x 8 bytes = 144
+    /// bytes, padded by alignas to three lines.
     struct alignas(64) Cell {
         std::atomic<std::uint64_t> count[kPhaseCount];
         std::atomic<std::uint64_t> nanos[kPhaseCount];

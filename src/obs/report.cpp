@@ -100,7 +100,11 @@ append_solver(std::string* out, const std::string& indent,
     *out += "\n" + indent + "  ";
     append_kv(out, "retired_activations", s.retired_activations);
     *out += "\n" + indent + "  ";
-    append_kv(out, "retained_clauses", s.retained_clauses, "");
+    append_kv(out, "retained_clauses", s.retained_clauses);
+    *out += "\n" + indent + "  ";
+    append_kv(out, "bases_built", s.bases_built);
+    *out += "\n" + indent + "  ";
+    append_kv(out, "bases_reused", s.bases_reused, "");
     *out += "\n" + indent + "}";
 }
 

@@ -24,7 +24,9 @@ namespace transform::obs {
 /// Version of the metrics-JSON layout produced by report_to_json.
 /// v2: solver objects gained assumed_literals / retired_activations /
 /// retained_clauses (the incremental-session counters).
-inline constexpr int kMetricsSchemaVersion = 2;
+/// v3: solver objects gained bases_built / bases_reused (the structure
+/// base cache's hit accounting) and the phase breakdown gained "relax".
+inline constexpr int kMetricsSchemaVersion = 3;
 
 /// One suite's slice of the report.
 struct SuiteReport {

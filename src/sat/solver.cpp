@@ -23,6 +23,8 @@ SolverStats::merge(const SolverStats& other)
     assumed_literals += other.assumed_literals;
     retired_activations += other.retired_activations;
     retained_clauses += other.retained_clauses;
+    bases_built += other.bases_built;
+    bases_reused += other.bases_reused;
 }
 
 namespace {

@@ -51,6 +51,12 @@ struct SolverStats {
     /// the clause-retention payoff of keeping one solver across
     /// candidates instead of resetting per query.
     std::uint64_t retained_clauses = 0;
+    /// Structure-base encodings built from scratch / served from the
+    /// incremental session's base cache. Counted by the session (the
+    /// solver never bumps them itself); carried here so the per-suite
+    /// solver aggregation surfaces the circuit-construction sharing.
+    std::uint64_t bases_built = 0;
+    std::uint64_t bases_reused = 0;
 
     /// Accumulates another solver's counters (monotonic counters add;
     /// `max_learned`, a cap rather than a count, takes the maximum).

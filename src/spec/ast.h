@@ -7,9 +7,10 @@
 /// relation definitions with `let`, and states axioms as `acyclic`,
 /// `irreflexive` or `empty` conditions over relational expressions built
 /// from the Table-I base relations with union `|`, intersection `&`,
-/// difference `\`, join `;`, transpose `^-1`, transitive closure `^+`, and
-/// identity-on-set brackets `[S]` (domain/range restriction via
-/// `[W] ; r ; [R]`). See docs/models.md for the grammar and the catalogue.
+/// difference `\`, join `;`, transpose `^-1`, transitive closure `^+`,
+/// reflexive-transitive closure `^*`, and identity-on-set brackets `[S]`
+/// (domain/range restriction via `[W] ; r ; [R]`). See docs/models.md for
+/// the grammar and the catalogue.
 ///
 /// This header is dependency-free (std only): the same AST feeds two
 /// compilers — the concrete interpreter over elt::DerivedRelations
@@ -77,6 +78,7 @@ enum class ExprOp {
     kJoin,       ///< lhs ; rhs
     kTranspose,  ///< lhs ^-1
     kClosure,    ///< lhs ^+
+    kReflexiveClosure,  ///< lhs ^* (closure unioned with full identity)
     kLetRef,     ///< reference to a `let` binding (lhs = the bound body)
 };
 

@@ -252,6 +252,20 @@ struct Evaluator {
             closure_in_place(inner);
             return inner;
         }
+        case ExprOp::kReflexiveClosure: {
+            const Slot inner = eval(*e.lhs);
+            closure_in_place(inner);
+            const Slot ident = acquire();
+            for (EventId a = 0; a < n; ++a) {
+                at(ident).emplace_back(a, a);
+            }
+            const Slot out = acquire();
+            std::set_union(at(inner).begin(), at(inner).end(),
+                           at(ident).begin(), at(ident).end(),
+                           std::back_inserter(at(out)));
+            collapse(inner, out);
+            return inner;
+        }
         case ExprOp::kLetRef: {
             const std::size_t pinned = pinned_slot(e.lhs.get());
             if (pinned != kNoSlot) {

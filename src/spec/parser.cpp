@@ -69,6 +69,7 @@ enum class Tok {
     kLBracket,
     kRBracket,
     kCaretPlus,   ///< ^+
+    kCaretStar,   ///< ^*
     kCaretInv,    ///< ^-1
     kZero,        ///< the empty-relation literal
 };
@@ -113,12 +114,17 @@ class Lexer {
                 out->kind = Tok::kCaretPlus;
                 return true;
             }
+            if (src_.substr(pos_, 2) == "^*") {
+                advance(2);
+                out->kind = Tok::kCaretStar;
+                return true;
+            }
             if (src_.substr(pos_, 3) == "^-1") {
                 advance(3);
                 out->kind = Tok::kCaretInv;
                 return true;
             }
-            return fail(diag, "expected '^+' or '^-1' after '^'");
+            return fail(diag, "expected '^+', '^*' or '^-1' after '^'");
         case '"': {
             advance(1);
             std::string text;
@@ -474,10 +480,13 @@ class Parser {
     {
         ExprPtr inner = parse_atom();
         while (inner != nullptr && (cur_.kind == Tok::kCaretPlus ||
+                                    cur_.kind == Tok::kCaretStar ||
                                     cur_.kind == Tok::kCaretInv)) {
             auto node = std::make_shared<Expr>();
             node->op = cur_.kind == Tok::kCaretPlus ? ExprOp::kClosure
-                                                    : ExprOp::kTranspose;
+                       : cur_.kind == Tok::kCaretStar
+                           ? ExprOp::kReflexiveClosure
+                           : ExprOp::kTranspose;
             node->lhs = std::move(inner);
             inner = std::move(node);
             if (!advance()) {

@@ -10,7 +10,7 @@
 ///   expr     := term { "|" term }
 ///   term     := factor { ("&" | "\") factor }
 ///   factor   := postfix { ";" postfix }
-///   postfix  := atom { "^+" | "^-1" }
+///   postfix  := atom { "^+" | "^*" | "^-1" }
 ///   atom     := "(" expr ")" | "[" set "]" | base-rel | let-name | "0"
 ///
 /// Errors carry a 1-based line/column so the tools can report

@@ -21,6 +21,7 @@ level_of(const Expr& e)
         return 3;
     case ExprOp::kTranspose:
     case ExprOp::kClosure:
+    case ExprOp::kReflexiveClosure:
         return 4;
     case ExprOp::kBase:
     case ExprOp::kEmpty:
@@ -65,6 +66,10 @@ print(const Expr& e, int min_level, std::ostream& out)
     case ExprOp::kClosure:
         print(*e.lhs, level, out);
         out << "^+";
+        break;
+    case ExprOp::kReflexiveClosure:
+        print(*e.lhs, level, out);
+        out << "^*";
         break;
     case ExprOp::kBase:
         out << base_rel_name(e.base);

@@ -166,6 +166,27 @@ axiom invlpg "accesses after an INVLPG use the latest mapping: acyclic(fr_va + ^
 axiom tlb_causality "weakened: acyclic(ptw_source + rfe + co + fr) - same-thread rf unconstrained":
   acyclic(ptw_source | rfe | co | fr)
 )MTM" + 1},
+    {"x86tso_star.mtm",
+     "x86-TSO with causality stated via reflexive closure (^* exercise)",
+     R"MTM(
+// x86tso_star - x86-TSO with the causality axiom restated through the
+// reflexive-transitive closure: acyclic(x) is equivalent to
+// irreflexive(x ; x^*) because x ; x^* = x^+. Semantically identical to
+// x86tso.mtm; it exists to exercise the `^*` operator end-to-end (parse,
+// concrete evaluation, symbolic lowering) in every zoo sweep.
+model x86tso_star
+vm off
+
+let com = rf | co | fr
+let tso = rfe | co | fr | ppo | fence
+
+axiom sc_per_loc "coherence: rf + co + fr + po_loc is acyclic per location":
+  acyclic(com | po_loc)
+axiom rmw_atomicity "no same-address write intervenes inside an RMW (fr.co & rmw = 0)":
+  empty((fr ; co) & rmw)
+axiom causality "irreflexive(tso ; tso^*), i.e. acyclic(tso), via reflexive closure":
+  irreflexive(tso ; tso^*)
+)MTM" + 1},
     {"x86t_elt_fence_invlpg.mtm",
      "x86t_elt with invlpg ordering only through fences",
      R"MTM(

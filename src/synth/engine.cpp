@@ -135,8 +135,9 @@ find_witness(const mtm::Model& model, const std::string& axiom_name,
             return true;
         }
         if (options.require_minimal) {
-            const obs::ScopedPhase phase(metrics, worker,
-                                         obs::Phase::kJudge);
+            // The judge attributes its own phases (kJudge for verdicts,
+            // kRelax for relaxation rebuilds) via scratch->judge.metrics,
+            // set per job in search_shard.
             const MinimalityVerdict verdict =
                 judge(model, execution, &scratch->judge);
             if (!verdict.minimal) {
@@ -194,24 +195,24 @@ find_witness(const mtm::Model& model, const std::string& axiom_name,
             std::uint64_t nanos =
                 scratch->encoding.solver.lifetime_stats().solve_nanos;
             if (options.sat_incremental) {
-                nanos += scratch->incremental.backend()
-                             .lifetime_stats()
-                             .solve_nanos;
+                // Session-level: sums the live base's backend and every
+                // cached base's.
+                nanos += scratch->incremental.lifetime_stats().solve_nanos;
             }
             return nanos;
         };
+        const auto inner_nanos = [&]() {
+            return metrics->worker_phase_nanos(worker, obs::Phase::kDerive) +
+                   metrics->worker_phase_nanos(worker, obs::Phase::kJudge) +
+                   metrics->worker_phase_nanos(worker, obs::Phase::kRelax);
+        };
         const std::uint64_t start = obs::now_nanos();
-        const std::uint64_t inner_before =
-            metrics->worker_phase_nanos(worker, obs::Phase::kDerive) +
-            metrics->worker_phase_nanos(worker, obs::Phase::kJudge);
+        const std::uint64_t inner_before = inner_nanos();
         const std::uint64_t solve_before = solve_nanos();
         sat_search();
         const std::uint64_t wall = obs::now_nanos() - start;
         const std::uint64_t solve = solve_nanos() - solve_before;
-        const std::uint64_t inner =
-            metrics->worker_phase_nanos(worker, obs::Phase::kDerive) +
-            metrics->worker_phase_nanos(worker, obs::Phase::kJudge) -
-            inner_before;
+        const std::uint64_t inner = inner_nanos() - inner_before;
         metrics->add(worker, obs::Phase::kSatSolve, solve);
         metrics->add(worker, obs::Phase::kSatEncode,
                      wall > solve + inner ? wall - solve - inner : 0);
@@ -348,6 +349,8 @@ search_shard(SuiteRun* run, const ShardTask& task, std::uint64_t limit,
     const mtm::Model& model = run->model;
     WorkerScratch& scratch = run->worker_scratch[worker];
     obs::MetricsRegistry* metrics = run->metrics.get();
+    scratch.judge.metrics = metrics;
+    scratch.judge.worker = worker;
     const SynthesisOptions& options = run->options;
     const util::Deadline& deadline = run->armed_deadline();
     std::vector<std::pair<SynthesizedTest, std::uint64_t>> tests;
@@ -565,6 +568,8 @@ launch_suite(sched::WorkStealingPool& pool, const mtm::Model& model,
                                           options.max_vas,
                                           options.max_vas +
                                               options.max_fresh_pas);
+            scratch.incremental.set_base_cache_capacity(
+                options.sat_base_cache_capacity);
         }
     }
     if (options.collect_metrics) {
@@ -573,7 +578,7 @@ launch_suite(sched::WorkStealingPool& pool, const mtm::Model& model,
         // worker solver, before any job runs, surviving per-program resets.
         for (WorkerScratch& scratch : run->worker_scratch) {
             scratch.encoding.solver.set_timing(true);
-            scratch.incremental.backend().set_timing(true);
+            scratch.incremental.set_timing(true);
         }
     }
     run->group = pool.make_group();
@@ -685,9 +690,10 @@ finish_suite(sched::WorkStealingPool& pool, SuiteRun& run)
     // under the enumerative backend.
     for (const WorkerScratch& scratch : run.worker_scratch) {
         result.solver.merge(scratch.encoding.solver.lifetime_stats());
-        // The incremental sessions' backends (all-zero when the suite ran
-        // fresh-per-candidate or enumerative).
-        result.solver.merge(scratch.incremental.backend().lifetime_stats());
+        // The incremental sessions (all-zero when the suite ran
+        // fresh-per-candidate or enumerative); session-level, so cached
+        // bases' backends and base build/reuse counts are included.
+        result.solver.merge(scratch.incremental.lifetime_stats());
     }
     if (run.metrics != nullptr) {
         // Safe single-threaded write into lane 0: every worker quiesced

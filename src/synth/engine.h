@@ -75,6 +75,14 @@ struct SynthesisOptions {
     /// behavior, kept as an escape hatch: --sat-incremental off).
     bool sat_incremental = true;
 
+    /// Incremental SAT only: how many structure bases each worker session
+    /// caches, the live one included (see
+    /// mtm::IncrementalEncoding::set_base_cache_capacity; 0 and 1 both
+    /// disable caching). Purely a performance knob — the synthesized suite
+    /// is byte-identical for every capacity (the differential tests sweep
+    /// 0 vs the default).
+    int sat_base_cache_capacity = 8;
+
     int jobs = 1;  ///< scheduler workers; 0 = one per hardware thread
 
     /// Shard granularity: 0 (default) = adaptive — start from a depth-1

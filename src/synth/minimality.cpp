@@ -27,39 +27,52 @@ judge_impl(const mtm::Model& model, const elt::Execution& execution,
            JudgeScratch* scratch, bool diagnostics)
 {
     MinimalityVerdict verdict;
-    elt::derive_into(execution, model.derive_options(), &scratch->derived,
-                     &scratch->derive);
-    if (!scratch->derived.well_formed) {
-        return verdict;  // not even a candidate
-    }
-    verdict.violated_mask = model.violated_mask(
-        execution.program, scratch->derived, &scratch->derive.cycle);
-    if (diagnostics) {
-        verdict.violated = model.mask_names(verdict.violated_mask);
-    }
-    verdict.interesting =
-        contains_write(execution.program) && verdict.violated_mask != 0;
-    if (!verdict.interesting) {
-        return verdict;
+    {
+        obs::ScopedPhase judge_phase(scratch->metrics, scratch->worker,
+                                     obs::Phase::kJudge);
+        elt::derive_into(execution, model.derive_options(), &scratch->derived,
+                         &scratch->derive);
+        if (!scratch->derived.well_formed) {
+            return verdict;  // not even a candidate
+        }
+        verdict.violated_mask = model.violated_mask(
+            execution.program, scratch->derived, &scratch->derive.cycle);
+        if (diagnostics) {
+            verdict.violated = model.mask_names(verdict.violated_mask);
+        }
+        verdict.interesting =
+            contains_write(execution.program) && verdict.violated_mask != 0;
+        if (!verdict.interesting) {
+            return verdict;
+        }
+        mtm::applicable_relaxations_into(execution.program,
+                                         &scratch->relax.relaxations);
     }
     // Minimality: every isolated relaxation must be permitted. Each relaxed
-    // execution is derived into the same reused buffers (the original's
-    // relations are no longer needed at this point).
-    for (const mtm::Relaxation& relaxation :
-         mtm::applicable_relaxations(execution.program)) {
-        const elt::Execution relaxed =
-            mtm::apply_relaxation(execution, relaxation, model.vm_aware());
-        if (relaxed.program.num_events() == 0) {
+    // execution is rebuilt into scratch->relax (kRelax phase), then derived
+    // into the same reused buffers as the original (kJudge phase — the
+    // original's relations are no longer needed at this point).
+    for (const mtm::Relaxation& relaxation : scratch->relax.relaxations) {
+        const elt::Execution* relaxed = nullptr;
+        {
+            obs::ScopedPhase relax_phase(scratch->metrics, scratch->worker,
+                                         obs::Phase::kRelax);
+            relaxed = &mtm::apply_relaxation_into(
+                execution, relaxation, model.vm_aware(), &scratch->relax);
+        }
+        if (relaxed->program.num_events() == 0) {
             continue;  // the relaxation emptied the test: trivially permitted
         }
-        elt::derive_into(relaxed, model.derive_options(), &scratch->derived,
+        obs::ScopedPhase judge_phase(scratch->metrics, scratch->worker,
+                                     obs::Phase::kJudge);
+        elt::derive_into(*relaxed, model.derive_options(), &scratch->derived,
                          &scratch->derive);
         // An ill-formed relaxed execution is trivially permitted (the
         // string API reported it as the "well_formed" pseudo-axiom, which
         // the old code did not count as still-forbidden either).
         const bool still_forbidden =
             scratch->derived.well_formed &&
-            model.violated_mask(relaxed.program, scratch->derived,
+            model.violated_mask(relaxed->program, scratch->derived,
                                 &scratch->derive.cycle) != 0;
         if (still_forbidden) {
             if (diagnostics) {

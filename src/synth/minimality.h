@@ -17,15 +17,25 @@
 
 #include "elt/execution.h"
 #include "mtm/model.h"
+#include "mtm/relax.h"
+#include "obs/metrics.h"
 
 namespace transform::synth {
 
 /// Reusable buffers for judge: the derived relations of the execution (and
-/// of each relaxed execution, sequentially) plus the derivation scratch.
-/// One per worker; not shareable between concurrent judges.
+/// of each relaxed execution, sequentially), the derivation scratch, and
+/// the relaxation-rebuild scratch (each relaxed execution is built into
+/// relax.relaxed rather than materialized per relaxation). One per worker;
+/// not shareable between concurrent judges.
 struct JudgeScratch {
     elt::DerivedRelations derived;
     elt::DeriveScratch derive;
+    mtm::RelaxScratch relax;
+    /// When set, the scratch-reusing judge overload attributes its own time
+    /// to Phase::kJudge and the relaxation rebuilds to Phase::kRelax on
+    /// \p worker's cell (the engine no longer wraps the call site).
+    obs::MetricsRegistry* metrics = nullptr;
+    int worker = 0;
 };
 
 /// Result of judging one candidate.

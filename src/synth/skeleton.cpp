@@ -117,23 +117,37 @@ slot_signature(const std::vector<SlotInfo>& slots)
     return out;
 }
 
-/// Builds the final Program from a fully-assigned draft.
-Program
-materialize(const Draft& draft, const SkeletonOptions& opt)
+/// One placed non-ghost event while materializing (creation order).
+struct Placed {
+    EventId id;
+    const SlotInfo* info;
+    int thread;
+};
+
+/// Reusable storage for materialize_into: the candidate Program handed to
+/// the visitor plus the placement bookkeeping. One per enumerator — the
+/// shard search emits millions of candidates, and rebuilding into pooled
+/// vectors keeps the emit path allocation-free in steady state.
+struct MaterializePool {
+    Program program;
+    std::vector<Placed> placed;
+    std::vector<EventId> wpte_ids;  // by global Wpte index
+    std::vector<int> wpte_vas;      // Assigner: WPTE VAs by global index
+};
+
+/// Builds the final Program from a fully-assigned draft, into the pool.
+void
+materialize_into(const Draft& draft, const SkeletonOptions& opt,
+                 MaterializePool* pool)
 {
-    Program p;
-    for (std::size_t t = 0; t < draft.threads.size(); ++t) {
-        p.add_thread();
-    }
+    Program& p = pool->program;
+    p.reset(static_cast<int>(draft.threads.size()));
     // First pass: add all non-ghost events in per-thread order, remembering
     // ids so Invlpgs can reference their Wpte and ghosts their parent.
-    struct Placed {
-        EventId id;
-        const SlotInfo* info;
-        int thread;
-    };
-    std::vector<Placed> placed;             // in creation order
-    std::vector<EventId> wpte_ids;          // by global Wpte index
+    std::vector<Placed>& placed = pool->placed;
+    std::vector<EventId>& wpte_ids = pool->wpte_ids;
+    placed.clear();
+    wpte_ids.clear();
     for (std::size_t t = 0; t < draft.threads.size(); ++t) {
         for (const SlotInfo& s : draft.threads[t]) {
             Event e;
@@ -203,7 +217,6 @@ materialize(const Draft& draft, const SkeletonOptions& opt)
             }
         }
     }
-    return p;
 }
 
 /// Stage 4/5: assign VAs (canonical first-use numbering), then Wpte target
@@ -211,8 +224,9 @@ materialize(const Draft& draft, const SkeletonOptions& opt)
 class Assigner {
   public:
     Assigner(Draft* draft, const SkeletonOptions& opt,
-             const std::function<bool(const Program&)>& visit)
-        : draft_(draft), opt_(opt), visit_(visit)
+             const std::function<bool(const Program&)>& visit,
+             MaterializePool* pool)
+        : draft_(draft), opt_(opt), visit_(visit), pool_(pool)
     {
         for (auto& thread : draft_->threads) {
             for (auto& slot : thread) {
@@ -282,8 +296,10 @@ class Assigner {
     bool
     check_va_constraints()
     {
-        // Collect WPTE VAs by global index.
-        std::vector<int> wpte_vas;
+        // Collect WPTE VAs by global index (pooled — this runs once per
+        // complete VA assignment).
+        std::vector<int>& wpte_vas = pool_->wpte_vas;
+        wpte_vas.clear();
         for (const SlotInfo* s : ordered_) {
             if (s->slot == Slot::kWpte) {
                 wpte_vas.push_back(s->va);
@@ -428,7 +444,8 @@ class Assigner {
     bool
     emit()
     {
-        const Program program = materialize(*draft_, opt_);
+        materialize_into(*draft_, opt_, pool_);
+        const Program& program = pool_->program;
         TF_ASSERT(program.validate(opt_.vm_enabled).empty());
         return visit_(program);
     }
@@ -436,6 +453,7 @@ class Assigner {
     Draft* draft_;
     const SkeletonOptions& opt_;
     const std::function<bool(const Program&)>& visit_;
+    MaterializePool* pool_;
     std::vector<SlotInfo*> ordered_;
 };
 
@@ -445,8 +463,9 @@ class Assigner {
 class Linker {
   public:
     Linker(Draft* draft, const SkeletonOptions& opt,
-           const std::function<bool(const Program&)>& visit)
-        : draft_(draft), opt_(opt), visit_(visit)
+           const std::function<bool(const Program&)>& visit,
+           MaterializePool* pool)
+        : draft_(draft), opt_(opt), visit_(visit), pool_(pool)
     {
         int wpte_index = 0;
         for (std::size_t t = 0; t < draft->threads.size(); ++t) {
@@ -513,13 +532,14 @@ class Linker {
     bool
     finish()
     {
-        Assigner assigner(draft_, opt_, visit_);
+        Assigner assigner(draft_, opt_, visit_, pool_);
         return assigner.run();
     }
 
     Draft* draft_;
     const SkeletonOptions& opt_;
     const std::function<bool(const Program&)>& visit_;
+    MaterializePool* pool_;
     std::vector<Ref> wptes_;
     std::vector<Ref> invlpgs_;
 };
@@ -631,7 +651,7 @@ class SlotEnumerator {
             if (opt_.require_shared_walk && !has_possible_hit(draft)) {
                 return true;  // prune: tlb_causality needs a shared entry
             }
-            Linker linker(&draft, opt_, sink_);
+            Linker linker(&draft, opt_, sink_, &pool_);
             return linker.run();
         }
         if (static_cast<int>(draft.threads.size()) >= opt_.max_threads ||
@@ -717,6 +737,7 @@ class SlotEnumerator {
     const std::function<bool()>& interrupt_;
     std::vector<Slot> slots_;
     std::function<bool(const Program&)> sink_;  ///< skip/limit wrapper
+    MaterializePool pool_;  ///< candidate Program + placement, reused
 
     std::size_t depth_ = 0;         ///< decisions made on the current path
     std::uint64_t consumed_ = 0;    ///< skipped + visited candidates

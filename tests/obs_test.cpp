@@ -235,6 +235,7 @@ TEST(MetricsRegistry, PhaseNamesAreStable)
     EXPECT_STREQ(obs::phase_name(obs::Phase::kDerive), "derive");
     EXPECT_STREQ(obs::phase_name(obs::Phase::kCanonicalize), "canonicalize");
     EXPECT_STREQ(obs::phase_name(obs::Phase::kJudge), "judge");
+    EXPECT_STREQ(obs::phase_name(obs::Phase::kRelax), "relax");
     EXPECT_STREQ(obs::phase_name(obs::Phase::kDedup), "dedup");
     EXPECT_STREQ(obs::phase_name(obs::Phase::kQueueWait), "queue_wait");
 }
@@ -526,16 +527,31 @@ TEST(ObsEngine, IncrementalSatSurfacesSessionCounters)
     EXPECT_GT(live.solver.assumed_literals, 0u);
     EXPECT_GT(live.solver.retired_activations, 0u);
     EXPECT_GT(live.solver.retained_clauses, 0u);
+    // Structure bases are session-built; the fresh path never builds one.
+    EXPECT_GT(live.solver.bases_built, 0u);
+    EXPECT_EQ(fresh.solver.bases_built, 0u);
+    // Base-cache hits need a structure-key revisit, which the invlpg
+    // workload's require_wpte pruning squeezes out at this bound (every
+    // rmw-markable pair is pinned to one VA assignment). sc_per_loc at
+    // bound 5 keeps free-VA (R, W) pairs, so its rmw-marking stage
+    // alternates the key under a fixed placement prefix and the cache
+    // demonstrably absorbs the revisits.
+    synth::SynthesisOptions reuse_options = options;
+    reuse_options.bound = 5;
+    const synth::SuiteResult reuse =
+        synth::synthesize_suite(model, "sc_per_loc", reuse_options);
+    EXPECT_GT(reuse.solver.bases_reused, 0u);
     // The counters are observability only: suites stay byte-identical.
     EXPECT_EQ(suite_fingerprint(fresh), suite_fingerprint(live));
 }
 
-TEST(ObsReport, SolverSessionCountersAppearInSchemaV2Json)
+TEST(ObsReport, SolverSessionCountersAppearInSchemaV3Json)
 {
-    // The three incremental counters are why the schema moved to v2; pin
-    // the version and the exact keys so a silent rename/removal fails
-    // here rather than in a downstream consumer.
-    EXPECT_EQ(obs::kMetricsSchemaVersion, 2);
+    // The three incremental counters moved the schema to v2; the base
+    // cache's bases_built/bases_reused (and the "relax" phase) moved it
+    // to v3. Pin the version and the exact keys so a silent rename or
+    // removal fails here rather than in a downstream consumer.
+    EXPECT_EQ(obs::kMetricsSchemaVersion, 3);
 
     const mtm::Model model = mtm::x86t_elt();
     obs::RunReport report;
@@ -553,11 +569,14 @@ TEST(ObsReport, SolverSessionCountersAppearInSchemaV2Json)
 
     const std::string json = obs::report_to_json(report);
     EXPECT_TRUE(is_valid_json(json)) << json;
-    EXPECT_NE(json.find("\"schema_version\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"schema_version\": 3"), std::string::npos);
     // Each solver object (one per suite, one in totals) carries the keys.
     EXPECT_EQ(count_occurrences(json, "\"assumed_literals\""), 2);
     EXPECT_EQ(count_occurrences(json, "\"retired_activations\""), 2);
     EXPECT_EQ(count_occurrences(json, "\"retained_clauses\""), 2);
+    EXPECT_EQ(count_occurrences(json, "\"bases_built\""), 2);
+    EXPECT_EQ(count_occurrences(json, "\"bases_reused\""), 2);
+    EXPECT_EQ(count_occurrences(json, "\"relax\""), 2);
     // And the totals really accumulate the session's counters.
     EXPECT_GT(report.totals().solver.retired_activations, 0u);
 }

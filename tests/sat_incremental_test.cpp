@@ -207,6 +207,107 @@ TEST(SatIncremental, SuitesByteIdenticalAcrossJobsAndShardDepth)
     }
 }
 
+/// Base-cache differential, per candidate: a session with the cache
+/// disabled (capacity 0 — every structure change rebuilds, the pre-cache
+/// behavior) enumerates exactly the same model multisets as a session
+/// with the default cache, across the skeleton stream whose rmw/linking
+/// stages ping-pong between structures. Also pins the counters: the
+/// cached session actually reuses bases, the uncached one never does.
+TEST(SatIncremental, BaseCacheOffMatchesDefaultPerCandidate)
+{
+    // MCM vocabulary at bound 4: plain same-thread (R, W) pairs are free
+    // to alias or not, so the innermost rmw-marking stage alternates the
+    // structure key under a fixed placement prefix — the revisit pattern
+    // the cache exists for. (vm-on at this bound pins every rmw-markable
+    // pair to one VA assignment, so its key stream happens to be
+    // monotone and the cache would never hit.)
+    const mtm::Model model = mtm::x86tso();
+    synth::SkeletonOptions opts;
+    opts.num_events = 4;
+    opts.vm_enabled = false;
+    mtm::IncrementalEncoding cached;
+    cached.configure(&model, "sc_per_loc", opts.max_vas,
+                     opts.max_vas + opts.max_fresh_pas);
+    mtm::IncrementalEncoding uncached;
+    uncached.configure(&model, "sc_per_loc", opts.max_vas,
+                       opts.max_vas + opts.max_fresh_pas);
+    uncached.set_base_cache_capacity(0);
+    synth::for_each_skeleton(opts, [&](const elt::Program& program) {
+        std::vector<std::vector<int>> cached_keys;
+        std::vector<std::vector<int>> uncached_keys;
+        cached.enumerate(program, [&](const elt::Execution& e) {
+            cached_keys.push_back(execution_key(e));
+            return true;
+        });
+        uncached.enumerate(program, [&](const elt::Execution& e) {
+            uncached_keys.push_back(execution_key(e));
+            return true;
+        });
+        std::sort(cached_keys.begin(), cached_keys.end());
+        std::sort(uncached_keys.begin(), uncached_keys.end());
+        EXPECT_EQ(cached_keys, uncached_keys);
+        return cached_keys == uncached_keys;
+    });
+    EXPECT_GT(cached.session_stats().candidates, 0u);
+    EXPECT_EQ(cached.session_stats().candidates,
+              uncached.session_stats().candidates);
+    EXPECT_GT(cached.session_stats().bases_reused, 0u)
+        << "the enumeration order must revisit structures for the cache "
+           "to earn its keep";
+    EXPECT_EQ(uncached.session_stats().bases_reused, 0u);
+    EXPECT_LT(cached.session_stats().bases_built,
+              uncached.session_stats().bases_built);
+    // The counters surface through the merged lifetime stats too.
+    EXPECT_EQ(cached.lifetime_stats().bases_built,
+              cached.session_stats().bases_built);
+    EXPECT_EQ(cached.lifetime_stats().bases_reused,
+              cached.session_stats().bases_reused);
+}
+
+/// Base-cache differential, per suite: synthesize_all through the engine
+/// with the cache off vs the default capacity must be byte-identical for
+/// every zoo model and across the jobs x shard-depth matrix (the replay
+/// discipline makes cache effects invisible to suites; this pins it).
+TEST(SatIncremental, SuitesByteIdenticalWithBaseCacheOnOrOff)
+{
+    for (const std::string& name : zoo_names()) {
+        const mtm::Model model = zoo_model(name);
+        synth::SynthesisOptions options;
+        options.min_bound = 2;
+        options.bound = 4;
+        options.backend = synth::Backend::kSat;
+        options.sat_incremental = true;
+        options.sat_base_cache_capacity = 0;
+        const std::string uncached =
+            suite_signature(synth::synthesize_all(model, options));
+        options.sat_base_cache_capacity = 8;
+        const std::string cached =
+            suite_signature(synth::synthesize_all(model, options));
+        EXPECT_EQ(uncached, cached) << name;
+    }
+    const mtm::Model model = mtm::x86t_elt();
+    synth::SynthesisOptions options;
+    options.min_bound = 3;
+    options.bound = 5;
+    options.backend = synth::Backend::kSat;
+    options.sat_incremental = true;
+    options.sat_base_cache_capacity = 0;
+    options.jobs = 1;
+    const std::string reference =
+        suite_signature(synth::synthesize_all(model, options));
+    options.sat_base_cache_capacity = 8;
+    for (const int jobs : {1, 2, 4}) {
+        for (const int shard_depth : {0, 1, 2}) {
+            options.jobs = jobs;
+            options.shard_depth = shard_depth;
+            const std::string cached =
+                suite_signature(synth::synthesize_all(model, options));
+            EXPECT_EQ(reference, cached)
+                << "jobs=" << jobs << " shard_depth=" << shard_depth;
+        }
+    }
+}
+
 /// The session survives a visitor that stops mid-enumeration (the
 /// engine's accept path) and stays exact for the following candidates —
 /// the kept solver trail and deferred guard retirement must not leak

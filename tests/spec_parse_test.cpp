@@ -84,11 +84,13 @@ TEST(SpecParse, PrecedenceJoinOverIntersectOverUnion)
 TEST(SpecParse, PostfixOperatorsAndSets)
 {
     const ModelSpec spec = parse_ok(
-        "model m\naxiom a: acyclic(([W] ; po ; [R])^+ | rf^-1)\n");
+        "model m\naxiom a: acyclic(([W] ; po ; [R])^+ | rf^-1 | co^*)\n");
     const Expr& root = *spec.axioms[0].expr;
     ASSERT_EQ(root.op, ExprOp::kUnion);
-    EXPECT_EQ(root.lhs->op, ExprOp::kClosure);
-    EXPECT_EQ(root.rhs->op, ExprOp::kTranspose);
+    ASSERT_EQ(root.lhs->op, ExprOp::kUnion);
+    EXPECT_EQ(root.lhs->lhs->op, ExprOp::kClosure);
+    EXPECT_EQ(root.lhs->rhs->op, ExprOp::kTranspose);
+    EXPECT_EQ(root.rhs->op, ExprOp::kReflexiveClosure);
 }
 
 TEST(SpecParse, LetBindingsShareBodies)
@@ -139,7 +141,7 @@ TEST(SpecParse, ErrorCatalogue)
         {"model m\naxiom a: acyclic(po |)\n", 2, "expected a relation"},
         {"model m\naxiom a: acyclic([Q])\n", 2, "unknown event class"},
         {"model m\naxiom a: acyclic(W)\n", 2, "unknown relation"},
-        {"model m\naxiom a: acyclic(po^)\n", 2, "'^+' or '^-1'"},
+        {"model m\naxiom a: acyclic(po^)\n", 2, "'^+', '^*' or '^-1'"},
         {"model m\naxiom a: acyclic(po) axiom a: empty(0)\n", 2,
          "duplicate axiom"},
         {"model m\nlet x = po\nlet x = rf\n", 3, "duplicate let"},
@@ -172,6 +174,22 @@ TEST(SpecPrint, MinimalParensReparseIdentically)
     EXPECT_EQ(expr_to_source(*spec.axioms[0].expr), "fr ; co & rmw");
     EXPECT_EQ(expr_to_source(*spec.axioms[1].expr), "(rf | co)^+");
     EXPECT_EQ(expr_to_source(*spec.axioms[2].expr), "po \\ (po & rf)");
+}
+
+TEST(SpecPrint, ReflexiveClosureRoundTrips)
+{
+    // `^*` prints back as itself (postfix level) and re-parses to the
+    // same tree, parenthesized operand included.
+    const ModelSpec spec = parse_ok(
+        "model m\n"
+        "axiom a: irreflexive(rf ; (co | fr)^*)\n"
+        "axiom b: empty(po^* \\ po^+ \\ [M])\n");
+    EXPECT_EQ(expr_to_source(*spec.axioms[0].expr), "rf ; (co | fr)^*");
+    EXPECT_EQ(expr_to_source(*spec.axioms[1].expr), "po^* \\ po^+ \\ [M]");
+    const std::string printed = model_to_source(spec);
+    const ModelSpec reparsed = parse_ok(printed);
+    EXPECT_EQ(model_to_source(reparsed), printed);
+    EXPECT_EQ(reparsed.axioms[0].expr->rhs->op, ExprOp::kReflexiveClosure);
 }
 
 TEST(SpecPrint, RoundTripFixedPointForEveryZooModel)

@@ -15,8 +15,11 @@ Design decisions (see docs/performance.md, "CI regression gate"):
   producing output); a fresh record with no baseline is a warning (new
   bench, commit a baseline when ready).
 - Gated keys are exactly the `*_per_sec` rates (lower is worse) and the
-  `*_allocs_per_program` ratios (higher is worse). Everything else is
-  context.
+  deterministic per-unit ratios where higher is worse:
+  `*_allocs_per_program`, `*_allocs_per_witness` (the judge pipeline's
+  steady-state allocation grade) and `*_base_builds_per_program` (the
+  incremental-SAT structure-base cache economy — a broken cache rebuilds
+  per structure change and the ratio jumps). Everything else is context.
 - Rates carry machine noise — CI runners differ wildly from the machines
   baselines were recorded on — so their band is loose by default (a run
   must lose over 60% of baseline throughput to fail, i.e. catch
@@ -49,7 +52,10 @@ def is_rate_key(key):
 
 
 def is_allocs_key(key):
-    return key.endswith("_allocs_per_program")
+    """Deterministic higher-is-worse ratios sharing the tight band."""
+    return (key.endswith("_allocs_per_program")
+            or key.endswith("_allocs_per_witness")
+            or key.endswith("_base_builds_per_program"))
 
 
 def load(path):
@@ -128,9 +134,11 @@ def main():
                              "(default 0.60: catch catastrophes, not "
                              "runner jitter)")
     parser.add_argument("--allocs-tolerance", type=float, default=0.15,
-                        help="allowed fractional growth for "
-                             "*_allocs_per_program keys (default 0.15: "
-                             "allocations are deterministic)")
+                        help="allowed fractional growth for the tight-band "
+                             "ratio keys (*_allocs_per_program, "
+                             "*_allocs_per_witness, "
+                             "*_base_builds_per_program; default 0.15: "
+                             "they are deterministic per workload)")
     parser.add_argument("--update", action="store_true",
                         help="rewrite the baselines from the fresh records")
     args = parser.parse_args()

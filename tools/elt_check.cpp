@@ -33,6 +33,12 @@
 /// --trace FILE records each file's check as a span on its worker's lane
 /// and writes a Chrome trace-event JSON file (Perfetto /
 /// chrome://tracing; see docs/observability.md).
+///
+/// --metrics-json FILE writes the same versioned metrics-JSON document as
+/// elt_synth (obs::report_to_json, docs/observability.md): one suite row
+/// per input file (axiom = the file path) carrying the execution counts,
+/// wall seconds, and — on the incremental SAT backend — the session's
+/// solver counters, plus the merged totals object.
 #include <algorithm>
 #include <cstdarg>
 #include <cstdio>
@@ -51,6 +57,7 @@
 #include "mtm/incremental.h"
 #include "mtm/model.h"
 #include "obs/metrics.h"
+#include "obs/report.h"
 #include "obs/trace.h"
 #include "sched/scheduler.h"
 #include "spec/registry.h"
@@ -66,6 +73,7 @@ using namespace transform;
 struct CheckOptions {
     bool sat = false;              ///< --backend sat
     bool sat_incremental = true;   ///< --sat-incremental on|off
+    bool metrics = false;          ///< --metrics-json (enables solver timing)
 };
 
 /// printf-style append to a report buffer (reports are built off-thread and
@@ -86,7 +94,7 @@ appendf(std::string* out, const char* fmt, ...)
 int
 check_program(const mtm::Model& model, const elt::Program& program,
               const std::string& name, const CheckOptions& options,
-              std::string* out)
+              std::string* out, obs::SuiteReport* suite)
 {
     appendf(out, "test %s:\n", name.c_str());
     *out += elt::program_to_string(program);
@@ -124,7 +132,9 @@ check_program(const mtm::Model& model, const elt::Program& program,
         max_pas = std::max(max_pas, max_vas);
         mtm::IncrementalEncoding session;
         session.configure(&model, "", max_vas, max_pas);
+        session.set_timing(options.metrics);
         session.enumerate(program, consider);
+        suite->solver.merge(session.lifetime_stats());
     } else {
         mtm::EncodingScratch scratch;
         mtm::ProgramEncoding encoding(program, &model, &scratch);
@@ -142,6 +152,12 @@ check_program(const mtm::Model& model, const elt::Program& program,
                               "(TransForm would synthesize this test)"
                             : "forbidden but reducible (not minimal)");
     }
+    suite->programs_considered += 1;
+    suite->executions_considered +=
+        static_cast<std::uint64_t>(permitted + forbidden);
+    if (forbidden > 0 && any_minimal) {
+        suite->tests += 1;  // a spanning-set-worthy test
+    }
     return 0;
 }
 
@@ -149,7 +165,8 @@ check_program(const mtm::Model& model, const elt::Program& program,
 /// \p err; returns the process exit code contribution.
 int
 check_file(const mtm::Model& model, const std::string& path,
-           const CheckOptions& options, std::string* out, std::string* err)
+           const CheckOptions& options, std::string* out, std::string* err,
+           obs::SuiteReport* suite)
 {
     std::ifstream in(path);
     if (!in) {
@@ -197,7 +214,7 @@ check_file(const mtm::Model& model, const std::string& path,
         return 2;
     }
     return check_program(model, parsed->program, parsed->name, options,
-                         out);
+                         out, suite);
 }
 
 }  // namespace
@@ -208,6 +225,7 @@ main(int argc, char** argv)
     std::string model_name = "x86t_elt";
     int jobs = 1;
     std::string trace_path;
+    std::string metrics_path;
     CheckOptions options;
     std::vector<std::string> paths;
     for (int i = 1; i < argc; ++i) {
@@ -240,6 +258,8 @@ main(int argc, char** argv)
             }
         } else if (flag == "--trace" && i + 1 < argc) {
             trace_path = argv[++i];
+        } else if (flag == "--metrics-json" && i + 1 < argc) {
+            metrics_path = argv[++i];
         } else {
             paths.push_back(flag);
         }
@@ -248,7 +268,7 @@ main(int argc, char** argv)
         std::fprintf(stderr,
                      "usage: elt_check [--model NAME] [--backend enum|sat] "
                      "[--sat-incremental on|off] [--jobs N] "
-                     "[--trace FILE] <file>...\n");
+                     "[--trace FILE] [--metrics-json FILE] <file>...\n");
         return 2;
     }
     std::string model_error;
@@ -261,10 +281,13 @@ main(int argc, char** argv)
     // checks through a const reference are safe.
     const mtm::Model& model = resolved->model;
 
+    options.metrics = !metrics_path.empty();
+
     struct Report {
         int rc = 0;
         std::string out;
         std::string err;
+        obs::SuiteReport suite;
     };
     std::vector<Report> reports(paths.size());
     sched::WorkStealingPool pool(jobs);
@@ -279,13 +302,18 @@ main(int argc, char** argv)
         obs::TraceCollector* tc = trace ? &*trace : nullptr;
         batch.push_back([&model, &paths, &reports, &options, tc,
                          i](int worker) {
-            const std::uint64_t start =
-                tc != nullptr ? obs::now_nanos() : 0;
+            const std::uint64_t start = obs::now_nanos();
+            reports[i].suite.axiom = paths[i];
             reports[i].rc = check_file(model, paths[i], options,
-                                       &reports[i].out, &reports[i].err);
+                                       &reports[i].out, &reports[i].err,
+                                       &reports[i].suite);
+            const std::uint64_t stop = obs::now_nanos();
+            reports[i].suite.seconds =
+                static_cast<double>(stop - start) * 1e-9;
+            reports[i].suite.complete = reports[i].rc == 0;
             if (tc != nullptr) {
                 tc->record_complete(worker, "check " + paths[i], start,
-                                    obs::now_nanos());
+                                    stop);
             }
         });
     }
@@ -295,6 +323,22 @@ main(int argc, char** argv)
         std::string error;
         if (!trace->write(trace_path, &error)) {
             std::fprintf(stderr, "--trace: %s\n", error.c_str());
+            return 1;
+        }
+    }
+
+    if (!metrics_path.empty()) {
+        obs::RunReport run;
+        run.tool = "elt_check";
+        run.model = model_name;
+        run.backend = options.sat ? "sat" : "enum";
+        run.jobs = pool.workers();
+        for (const Report& report : reports) {
+            run.suites.push_back(report.suite);
+        }
+        std::string error;
+        if (!obs::write_report(metrics_path, run, &error)) {
+            std::fprintf(stderr, "--metrics-json: %s\n", error.c_str());
             return 1;
         }
     }
