@@ -1327,6 +1327,20 @@ blocking_clause(ProgramEncoding::Build& b, std::vector<sat::Lit>* clause)
     }
 }
 
+/// Maps a non-kSat query verdict onto the robustness contract: a
+/// budget-exhausted kUnknown is unsound to fold into "no model" and is
+/// surfaced as a retryable fault; an interrupt kUnknown reads as
+/// "not found" — the cancelled caller discards the result anyway.
+void
+require_decisive_or_interrupted(const sat::Solver& solver,
+                                sat::SolveResult verdict)
+{
+    if (verdict == sat::SolveResult::kUnknown &&
+        solver.unknown_cause() == sat::UnknownCause::kConflictBudget) {
+        throw sat::BudgetExhausted();
+    }
+}
+
 }  // namespace
 
 bool
@@ -1345,7 +1359,9 @@ ProgramEncoding::find_violating(const std::string& axiom_name)
                           &b.solver);
     stats_.variables = b.solver.num_vars();
     stats_.circuit_nodes = static_cast<int>(b.factory.num_nodes());
-    if (b.solver.solve() != sat::SolveResult::kSat) {
+    const sat::SolveResult verdict = b.solver.solve();
+    require_decisive_or_interrupted(b.solver, verdict);
+    if (verdict != sat::SolveResult::kSat) {
         return std::nullopt;
     }
     Execution out = Execution::empty_for(program_);
@@ -1366,7 +1382,9 @@ ProgramEncoding::exists_permitted()
     }
     stats_.variables = b.solver.num_vars();
     stats_.circuit_nodes = static_cast<int>(b.factory.num_nodes());
-    return b.solver.solve() == sat::SolveResult::kSat;
+    const sat::SolveResult verdict = b.solver.solve();
+    require_decisive_or_interrupted(b.solver, verdict);
+    return verdict == sat::SolveResult::kSat;
 }
 
 bool
@@ -1375,7 +1393,9 @@ ProgramEncoding::exists_execution()
     Build b(program_, model_->vm_aware(), /*needs=*/0, scratch_);
     stats_.variables = b.solver.num_vars();
     stats_.circuit_nodes = static_cast<int>(b.factory.num_nodes());
-    return b.solver.solve() == sat::SolveResult::kSat;
+    const sat::SolveResult verdict = b.solver.solve();
+    require_decisive_or_interrupted(b.solver, verdict);
+    return verdict == sat::SolveResult::kSat;
 }
 
 bool
@@ -1398,7 +1418,14 @@ ProgramEncoding::enumerate(const std::string& violating_axiom,
     stats_.models = 0;
     Execution current = Execution::empty_for(program_);
     sat::Clause clause;
-    while (b.solver.solve() == sat::SolveResult::kSat) {
+    while (true) {
+        const sat::SolveResult verdict = b.solver.solve();
+        require_decisive_or_interrupted(b.solver, verdict);
+        if (verdict != sat::SolveResult::kSat) {
+            // kUnsat exhausts the space; an interrupt kUnknown stops the
+            // sweep like a visitor veto — the cancelled caller discards it.
+            return verdict == sat::SolveResult::kUnsat;
+        }
         extract_into(b, program_, &current);
         ++stats_.models;
         if (!visit(current)) {

@@ -143,6 +143,11 @@ struct IncrementalEncoding::Impl : BaseState {
     int max_pas = 0;
     std::string backend_name = "cdcl";
     bool timing = false;
+    /// Robustness configuration, applied (like timing) to every backend
+    /// the session holds or later creates: 0 = no conflict budget; an
+    /// empty interrupt = never interrupted.
+    std::int64_t conflict_budget = 0;
+    std::function<bool()> interrupt;
 
     SessionStats stats;
     /// Counters of backends this session destroyed (stash shrink,
@@ -429,6 +434,8 @@ struct IncrementalEncoding::Impl : BaseState {
             made = sat::make_backend("cdcl");
         }
         made->set_timing(timing);
+        made->set_conflict_budget(conflict_budget);
+        made->set_interrupt(interrupt);
         return made;
     }
 
@@ -1658,6 +1665,36 @@ IncrementalEncoding::set_timing(bool enabled)
     }
 }
 
+void
+IncrementalEncoding::set_conflict_budget(std::int64_t budget)
+{
+    Impl& im = *impl_;
+    im.conflict_budget = budget;
+    if (im.backend != nullptr) {
+        im.backend->set_conflict_budget(budget);
+    }
+    for (BaseState& slot : im.stash) {
+        if (slot.backend != nullptr) {
+            slot.backend->set_conflict_budget(budget);
+        }
+    }
+}
+
+void
+IncrementalEncoding::set_interrupt(std::function<bool()> poll)
+{
+    Impl& im = *impl_;
+    im.interrupt = std::move(poll);
+    if (im.backend != nullptr) {
+        im.backend->set_interrupt(im.interrupt);
+    }
+    for (BaseState& slot : im.stash) {
+        if (slot.backend != nullptr) {
+            slot.backend->set_interrupt(im.interrupt);
+        }
+    }
+}
+
 sat::SolverStats
 IncrementalEncoding::lifetime_stats() const
 {
@@ -1752,6 +1789,16 @@ IncrementalEncoding::enumerate(const elt::Program& program,
         // a clause are simply abandoned (recycled wholesale at the next
         // base rebuild).
         im.spent_acts.push_back(act);
+    }
+    if (verdict == sat::SolveResult::kUnknown) {
+        // The guard was parked above, so the session stays consistent
+        // whether the caller retries (fresh session after a shard fault)
+        // or unwinds (cancellation).
+        if (im.backend->unknown_cause() ==
+            sat::UnknownCause::kConflictBudget) {
+            throw sat::BudgetExhausted();
+        }
+        completed = false;  // interrupted: partial, caller discards it
     }
     return completed;
 }

@@ -103,6 +103,18 @@ class IncrementalEncoding {
     /// session holds or later creates (cached bases included).
     void set_timing(bool enabled);
 
+    /// Applies a persistent per-solve conflict budget (0 = unlimited) to
+    /// every backend the session holds or later creates. A budget-exhausted
+    /// candidate query makes enumerate() throw sat::BudgetExhausted — the
+    /// engine treats that as a retryable shard fault (docs/robustness.md).
+    void set_conflict_budget(std::int64_t budget);
+
+    /// Installs a cooperative interrupt hook (see sat::Solver::set_interrupt)
+    /// on every backend the session holds or later creates. An interrupted
+    /// candidate query makes enumerate() return false, like a visitor veto;
+    /// the cancelled caller discards the partial result.
+    void set_interrupt(std::function<bool()> poll);
+
     /// Merged lifetime counters across every backend the session ever
     /// owned (live base, cached bases, evicted bases' folded epochs),
     /// plus the session's bases_built/bases_reused. This is what the

@@ -67,7 +67,18 @@ append_scheduler(std::string* out, const std::string& indent,
     *out += "\n" + indent + "  ";
     append_kv(out, "dedup_hits", s.dedup_hits);
     *out += "\n" + indent + "  ";
-    append_kv(out, "queue_wait_seconds", s.queue_wait_seconds, "");
+    append_kv(out, "queue_wait_seconds", s.queue_wait_seconds);
+    *out += "\n" + indent + "  ";
+    append_kv(out, "job_faults", s.job_faults);
+    *out += "\n" + indent + "  ";
+    append_kv(out, "shard_retries", s.shard_retries);
+    *out += "\n" + indent + "  ";
+    append_kv(out, "shards_quarantined", s.shards_quarantined);
+    *out += "\n" + indent + "  ";
+    append_kv(out, "checkpoint_shards_saved", s.checkpoint_shards_saved);
+    *out += "\n" + indent + "  ";
+    append_kv(out, "checkpoint_shards_replayed", s.checkpoint_shards_replayed,
+              "");
     *out += "\n" + indent + "}";
 }
 
@@ -147,6 +158,8 @@ append_suite(std::string* out, const std::string& indent,
     append_kv(out, "seconds", suite.seconds);
     *out += "\n" + indent + "  \"complete\": ";
     *out += suite.complete ? "true" : "false";
+    *out += ",\n" + indent + "  \"cancelled\": ";
+    *out += suite.cancelled ? "true" : "false";
     *out += ",\n" + indent + "  \"scheduler\": ";
     append_scheduler(out, indent + "  ", suite.scheduler);
     *out += ",\n" + indent + "  \"solver\": ";
@@ -167,6 +180,7 @@ SuiteReport::merge(const SuiteReport& other)
     duplicates_rejected += other.duplicates_rejected;
     seconds += other.seconds;
     complete = complete && other.complete;
+    cancelled = cancelled || other.cancelled;
     scheduler.merge(other.scheduler);
     solver.merge(other.solver);
     phases.merge(other.phases);
@@ -183,6 +197,7 @@ suite_report(const synth::SuiteResult& suite)
     report.duplicates_rejected = suite.duplicates_rejected;
     report.seconds = suite.seconds;
     report.complete = suite.complete;
+    report.cancelled = suite.cancelled;
     report.scheduler = suite.scheduler;
     report.solver = suite.solver;
     report.phases = suite.phases;

@@ -26,7 +26,12 @@ namespace transform::obs {
 /// retained_clauses (the incremental-session counters).
 /// v3: solver objects gained bases_built / bases_reused (the structure
 /// base cache's hit accounting) and the phase breakdown gained "relax".
-inline constexpr int kMetricsSchemaVersion = 3;
+/// v4: suites gained "cancelled" (cooperative cancellation fired) and
+/// scheduler objects gained job_faults, shard_retries,
+/// shards_quarantined, checkpoint_shards_saved, and
+/// checkpoint_shards_replayed (the fault-tolerant runtime's counters —
+/// docs/robustness.md).
+inline constexpr int kMetricsSchemaVersion = 4;
 
 /// One suite's slice of the report.
 struct SuiteReport {
@@ -37,12 +42,13 @@ struct SuiteReport {
     std::uint64_t duplicates_rejected = 0;
     double seconds = 0.0;
     bool complete = true;
+    bool cancelled = false;
     sched::SchedulerStats scheduler;
     sat::SolverStats solver;
     PhaseTotals phases;
 
     /// Accumulates another suite's counters (SchedulerStats/SolverStats
-    /// merge semantics; seconds add, complete ANDs).
+    /// merge semantics; seconds add, complete ANDs, cancelled ORs).
     void merge(const SuiteReport& other);
 };
 

@@ -69,6 +69,17 @@ class SolverBackend {
     virtual SolverStats lifetime_stats() const = 0;
     virtual void set_timing(bool enabled) = 0;
 
+    /// Persistent conflict budget (0 = unlimited) applied when the per-call
+    /// budget is left at -1; see Solver::set_conflict_budget.
+    virtual void set_conflict_budget(std::int64_t budget) = 0;
+
+    /// Cooperative interrupt hook polled at conflict-count intervals; see
+    /// Solver::set_interrupt.
+    virtual void set_interrupt(std::function<bool()> poll) = 0;
+
+    /// Why the last solve answered kUnknown; see Solver::unknown_cause.
+    virtual UnknownCause unknown_cause() const = 0;
+
     /// The native CDCL solver when this backend has one (the Tseitin
     /// compiler requires it); nullptr for hypothetical non-native backends.
     virtual Solver* native() = 0;
@@ -131,6 +142,23 @@ class CdclBackend final : public SolverBackend {
     }
 
     void set_timing(bool enabled) override { solver_.set_timing(enabled); }
+
+    void
+    set_conflict_budget(std::int64_t budget) override
+    {
+        solver_.set_conflict_budget(budget);
+    }
+
+    void
+    set_interrupt(std::function<bool()> poll) override
+    {
+        solver_.set_interrupt(std::move(poll));
+    }
+
+    UnknownCause unknown_cause() const override
+    {
+        return solver_.unknown_cause();
+    }
 
     Solver* native() override { return &solver_; }
 

@@ -32,6 +32,11 @@ constexpr double kVarDecay = 0.95;
 constexpr double kClauseDecay = 0.999;
 constexpr double kRescaleLimit = 1e100;
 constexpr int kRestartBase = 100;
+/// How many conflicts between set_interrupt() polls: frequent enough that
+/// a cancelled run stops within milliseconds even inside one hard query,
+/// rare enough that the hook (a relaxed atomic load) never shows up in a
+/// profile.
+constexpr std::uint64_t kInterruptPollConflicts = 1024;
 }  // namespace
 
 Solver::Solver()
@@ -658,6 +663,10 @@ Solver::solve_impl(const std::vector<Lit>& assumptions,
                    std::int64_t conflict_budget)
 {
     conflict_assumptions_.clear();
+    unknown_cause_ = UnknownCause::kNone;
+    if (conflict_budget < 0) {
+        conflict_budget = default_budget_;
+    }
     if (!ok_) {
         return SolveResult::kUnsat;
     }
@@ -707,6 +716,10 @@ Solver::block_and_resolve_impl(const Lit* lits, std::size_t count,
                                std::int64_t conflict_budget)
 {
     conflict_assumptions_.clear();
+    unknown_cause_ = UnknownCause::kNone;
+    if (conflict_budget < 0) {
+        conflict_budget = default_budget_;
+    }
     if (!ok_) {
         return SolveResult::kUnsat;
     }
@@ -791,6 +804,7 @@ Solver::search(const std::vector<Lit>& assumptions,
         static_cast<std::uint64_t>(luby(2.0, static_cast<int>(stats_.restarts)) *
                                    kRestartBase);
     std::uint64_t conflicts_since_restart = 0;
+    std::uint64_t conflicts_since_poll = 0;
     Clause learned;
 
     while (true) {
@@ -822,7 +836,18 @@ Solver::search(const std::vector<Lit>& assumptions,
                 stats_.conflicts - conflict_start >
                     static_cast<std::uint64_t>(conflict_budget)) {
                 cancel_until(0);
+                unknown_cause_ = UnknownCause::kConflictBudget;
                 return SolveResult::kUnknown;
+            }
+            // Cooperative interrupt: poll at conflict-count intervals so a
+            // cancelled run stops even mid-way through one hard query.
+            if (interrupt_ && ++conflicts_since_poll >= kInterruptPollConflicts) {
+                conflicts_since_poll = 0;
+                if (interrupt_()) {
+                    cancel_until(0);
+                    unknown_cause_ = UnknownCause::kInterrupt;
+                    return SolveResult::kUnknown;
+                }
             }
             continue;
         }

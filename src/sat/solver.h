@@ -10,7 +10,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
+#include <stdexcept>
 #include <vector>
 
 #include "sat/types.h"
@@ -19,6 +21,30 @@ namespace transform::sat {
 
 /// Result of a solve call.
 enum class SolveResult { kSat, kUnsat, kUnknown };
+
+/// Why the most recent solve answered kUnknown (kNone after kSat/kUnsat).
+/// Callers that must tell a budget expiry (retryable shard fault) from a
+/// cooperative interrupt (cancellation/deadline: discard and stop) branch
+/// on this instead of guessing.
+enum class UnknownCause {
+    kNone,            ///< last answer was decisive
+    kConflictBudget,  ///< per-call or set_conflict_budget limit hit
+    kInterrupt,       ///< the set_interrupt hook asked the search to stop
+};
+
+/// Thrown by the encoding layers (mtm::ProgramEncoding,
+/// mtm::IncrementalEncoding) when a witness query exhausts its conflict
+/// budget: the candidate's verdict is unknown, so the enumeration result
+/// would be unsound to keep. The synthesis engine catches it at the shard
+/// boundary and treats the shard as a retryable fault (docs/robustness.md).
+class BudgetExhausted : public std::runtime_error {
+  public:
+    BudgetExhausted()
+        : std::runtime_error(
+              "SAT conflict budget exhausted before a decisive verdict")
+    {
+    }
+};
 
 /// Aggregate statistics, exposed for the substrate micro-benchmarks and
 /// aggregated per suite into synth::SuiteResult::solver (the observability
@@ -171,6 +197,32 @@ class Solver {
     /// it is configuration, like buffer capacity.
     void set_timing(bool enabled) { timing_ = enabled; }
 
+    /// Persistent conflict budget applied to every solve()/
+    /// block_and_resolve() whose caller left the per-call budget at the
+    /// default: the search answers kUnknown (unknown_cause() ==
+    /// kConflictBudget) once it spends this many conflicts. 0 = unlimited
+    /// (the default). An explicit per-call budget still takes precedence.
+    /// Survives reset() — configuration, like set_timing.
+    void
+    set_conflict_budget(std::int64_t budget)
+    {
+        default_budget_ = budget <= 0 ? -1 : budget;
+    }
+
+    /// Installs a cooperative interrupt hook, polled inside the CDCL loop
+    /// every ~1024 conflicts: when it returns true the search unwinds to
+    /// the root and answers kUnknown (unknown_cause() == kInterrupt). The
+    /// hook runs on the solving thread and must be cheap (the engine polls
+    /// a relaxed atomic). An empty function clears it. Survives reset().
+    void set_interrupt(std::function<bool()> poll)
+    {
+        interrupt_ = std::move(poll);
+    }
+
+    /// Why the most recent solve()/block_and_resolve() answered kUnknown
+    /// (kNone after a decisive answer).
+    UnknownCause unknown_cause() const { return unknown_cause_; }
+
     /// True if the formula was proven unsatisfiable without assumptions.
     bool proven_unsat() const { return ok_ == false; }
 
@@ -276,6 +328,12 @@ class Solver {
     /// Counters folded in from previous reset() epochs (lifetime_stats).
     SolverStats retired_stats_;
     bool timing_ = false;  ///< accumulate solve_nanos (set_timing)
+    /// Configuration (survives reset() like timing_): the fallback budget
+    /// applied when a caller passes conflict_budget = -1, the cooperative
+    /// interrupt hook, and the cause of the last kUnknown answer.
+    std::int64_t default_budget_ = -1;
+    std::function<bool()> interrupt_;
+    UnknownCause unknown_cause_ = UnknownCause::kNone;
     /// Learned-DB cap; grown geometrically by reduce_db (never fixed — a
     /// static cap makes every conflict past it rescan the clause DB).
     int max_learned_ = 4096;

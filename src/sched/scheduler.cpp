@@ -26,6 +26,11 @@ SchedulerStats::merge(const SchedulerStats& other)
     dedup_hits += other.dedup_hits;
     queue_wait_seconds = std::max(queue_wait_seconds,
                                   other.queue_wait_seconds);
+    job_faults += other.job_faults;
+    shard_retries += other.shard_retries;
+    shards_quarantined += other.shards_quarantined;
+    checkpoint_shards_saved += other.checkpoint_shards_saved;
+    checkpoint_shards_replayed += other.checkpoint_shards_replayed;
 }
 
 int
@@ -47,6 +52,7 @@ class WorkStealingPool::JobGroup {
     std::atomic<std::uint64_t> pending{0};
     std::atomic<std::uint64_t> jobs_run{0};
     std::atomic<std::uint64_t> steals{0};
+    std::atomic<std::uint64_t> job_faults{0};
 
     /// Marks one job finished; wakes waiters on the last one. The notify
     /// runs under the mutex so a waiter cannot check the predicate between
@@ -188,13 +194,36 @@ struct WorkStealingPool::Impl {
     void
     execute(JobRecord* rec, int self)
     {
+        // Job-boundary fault containment: a job closure that throws must
+        // never unwind into the worker thread (the std::jthread body would
+        // std::terminate the whole process). The synthesis engine catches
+        // and retries its own shard faults before they reach this point;
+        // the backstop contains everything else, counts it, and keeps the
+        // group's completion accounting intact so wait() still returns.
+        const auto run_contained = [&] {
+            try {
+                rec->fn(self);
+            } catch (const std::exception& e) {
+                faults_total.fetch_add(1, std::memory_order_relaxed);
+                rec->group->job_faults.fetch_add(1,
+                                                 std::memory_order_relaxed);
+                TF_LOG_WARN("scheduler: job raised uncontained exception: "
+                            << e.what());
+            } catch (...) {
+                faults_total.fetch_add(1, std::memory_order_relaxed);
+                rec->group->job_faults.fetch_add(1,
+                                                 std::memory_order_relaxed);
+                TF_LOG_WARN(
+                    "scheduler: job raised uncontained non-std exception");
+            }
+        };
         obs::TraceCollector* tc = trace.load(std::memory_order_relaxed);
         if (tc != nullptr) {
             const std::uint64_t start = obs::now_nanos();
-            rec->fn(self);
+            run_contained();
             tc->record_complete(self, "job", start, obs::now_nanos());
         } else {
-            rec->fn(self);
+            run_contained();
         }
         const std::shared_ptr<JobGroup> group = std::move(rec->group);
         delete rec;
@@ -218,6 +247,7 @@ struct WorkStealingPool::Impl {
     std::atomic<std::uint64_t> pending_total{0};
     std::atomic<std::uint64_t> jobs_total{0};
     std::atomic<std::uint64_t> steals_total{0};
+    std::atomic<std::uint64_t> faults_total{0};
     /// Optional span collector (set_trace); jobs are recorded as complete
     /// spans on the executing worker's lane.
     std::atomic<obs::TraceCollector*> trace{nullptr};
@@ -373,6 +403,7 @@ WorkStealingPool::stats() const
     stats.workers = workers();
     stats.jobs_run = impl_->jobs_total.load(std::memory_order_relaxed);
     stats.steals = impl_->steals_total.load(std::memory_order_relaxed);
+    stats.job_faults = impl_->faults_total.load(std::memory_order_relaxed);
     return stats;
 }
 
@@ -384,6 +415,7 @@ WorkStealingPool::group_stats(const GroupHandle& group) const
     stats.workers = workers();
     stats.jobs_run = group->jobs_run.load(std::memory_order_relaxed);
     stats.steals = group->steals.load(std::memory_order_relaxed);
+    stats.job_faults = group->job_faults.load(std::memory_order_relaxed);
     return stats;
 }
 

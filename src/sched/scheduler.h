@@ -52,6 +52,23 @@ struct SchedulerStats {
     /// first one ran (its deadline armed); excluded from
     /// SuiteResult::seconds (engine).
     double queue_wait_seconds = 0.0;
+    /// Jobs whose closure escaped with an exception and were contained by
+    /// the pool's job-boundary backstop. The synthesis engine catches and
+    /// retries its own shard faults before they reach the pool, so a
+    /// nonzero count here means a fault outside the engine's guarded
+    /// region (pool).
+    std::uint64_t job_faults = 0;
+    /// Fault containment (engine, docs/robustness.md): shard jobs
+    /// re-enqueued after a contained fault, and shard jobs quarantined
+    /// once the retry budget ran out (their structured errors are in
+    /// SuiteResult::failures).
+    std::uint64_t shard_retries = 0;
+    std::uint64_t shards_quarantined = 0;
+    /// Checkpointing (engine): completed shard records appended to the
+    /// `--checkpoint` journal, and shards replayed from it on `--resume`
+    /// instead of re-searched.
+    std::uint64_t checkpoint_shards_saved = 0;
+    std::uint64_t checkpoint_shards_replayed = 0;
 
     /// Accumulates another group's counters (per-suite totals in
     /// synthesize_all; `workers` and `queue_wait_seconds` — which overlap
@@ -144,11 +161,12 @@ class WorkStealingPool {
     SchedulerStats stats() const;
 
     /// Counters attributed to one group. The pool fills only `workers`,
-    /// `jobs_run`, and `steals`; the five engine-owned fields —
+    /// `jobs_run`, `steals`, and `job_faults`; the engine-owned fields —
     /// `lazy_resplits`, `closed_prefix_splits`, `skip_enumerations`,
-    /// `dedup_hits`, `queue_wait_seconds` — stay 0 here and are filled by
-    /// the synthesis engine into SuiteResult::scheduler. Thread-safe;
-    /// settled once wait(group) has returned.
+    /// `dedup_hits`, `queue_wait_seconds`, `shard_retries`,
+    /// `shards_quarantined`, and the checkpoint counters — stay 0 here and
+    /// are filled by the synthesis engine into SuiteResult::scheduler.
+    /// Thread-safe; settled once wait(group) has returned.
     SchedulerStats group_stats(const GroupHandle& group) const;
 
   private:

@@ -5,6 +5,7 @@
 #include <memory>
 #include <mutex>
 #include <set>
+#include <sstream>
 #include <utility>
 
 #include "elt/derive.h"
@@ -15,9 +16,11 @@
 #include "sched/scheduler.h"
 #include "sched/sharded_index.h"
 #include "synth/canonical.h"
+#include "synth/checkpoint.h"
 #include "synth/exec_enum.h"
 #include "synth/minimality.h"
 #include "synth/skeleton.h"
+#include "util/fault.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -89,6 +92,14 @@ struct WorkerScratch {
     /// SAT backend with sat_incremental: the worker's live solver session
     /// (configured per suite by launch_suite; idle otherwise).
     mtm::IncrementalEncoding incremental;
+    /// Fault injection (docs/robustness.md): the suite's plan plus the
+    /// probe identity of the candidate under evaluation — set per job and
+    /// per candidate by search_shard, so firing is a pure function of
+    /// (seed, site, candidate ticket, attempt), never of scheduling. Null
+    /// plan (the default) costs one pointer check per probe.
+    const util::FaultPlan* fault_plan = nullptr;
+    std::uint64_t fault_key = 0;
+    int fault_attempt = 0;
 };
 
 /// Searches \p program's execution space for the first violating,
@@ -105,7 +116,8 @@ find_witness(const mtm::Model& model, const std::string& axiom_name,
              WorkerScratch* scratch, obs::MetricsRegistry* metrics,
              int worker, Execution* witness,
              std::vector<std::string>* witness_violated,
-             std::uint64_t* executions_considered, bool* timed_out)
+             std::uint64_t* executions_considered, bool* timed_out,
+             bool* cancelled)
 {
     if (!contains_write(program)) {
         return false;  // never interesting: skip the whole execution space
@@ -118,6 +130,15 @@ find_witness(const mtm::Model& model, const std::string& axiom_name,
         if (deadline.expired()) {
             *timed_out = true;
             return false;
+        }
+        if (options.cancel.requested()) {
+            *cancelled = true;
+            return false;
+        }
+        if (scratch->fault_plan != nullptr) {
+            scratch->fault_plan->maybe_fire(util::FaultSite::kDerive,
+                                            scratch->fault_key,
+                                            scratch->fault_attempt);
         }
         mtm::AxiomMask violated{};
         {
@@ -135,6 +156,11 @@ find_witness(const mtm::Model& model, const std::string& axiom_name,
             return true;
         }
         if (options.require_minimal) {
+            if (scratch->fault_plan != nullptr) {
+                scratch->fault_plan->maybe_fire(util::FaultSite::kJudge,
+                                                scratch->fault_key,
+                                                scratch->fault_attempt);
+            }
             // The judge attributes its own phases (kJudge for verdicts,
             // kRelax for relaxation rebuilds) via scratch->judge.metrics,
             // set per job in search_shard.
@@ -164,6 +190,11 @@ find_witness(const mtm::Model& model, const std::string& axiom_name,
     // candidates enumerate the same violating set either way, so the
     // probe's execution count stands.
     auto sat_search = [&]() {
+        if (scratch->fault_plan != nullptr) {
+            scratch->fault_plan->maybe_fire(util::FaultSite::kSatSolve,
+                                            scratch->fault_key,
+                                            scratch->fault_attempt);
+        }
         if (options.sat_incremental) {
             scratch->incremental.enumerate(program, consider);
             if (!accepted || *timed_out) {
@@ -232,6 +263,11 @@ struct ShardTask {
     std::uint64_t ticket_base = 0;
     std::uint64_t ticket_stride = 0;
     std::uint64_t skip = 0;
+    /// Fault containment: which attempt at this task this is (0 = first).
+    /// Retries bump it — it bounds the retry budget and keys the
+    /// fault-injection probes, so a plan with attempts=1 faults the first
+    /// attempt and lets the retry through.
+    int attempt = 0;
     /// When tracing: the flow id the submitting parent opened with
     /// record_flow_start, consumed by this task's record_flow_end at job
     /// start — the arrow that draws re-split lineage in the timeline.
@@ -308,6 +344,13 @@ struct SuiteRun {
     std::atomic<double> queue_wait_seconds{0.0};
     std::atomic<double> search_seconds{0.0};
     std::atomic<bool> timed_out{false};
+    std::atomic<bool> cancelled{false};
+    std::atomic<std::uint64_t> shard_retries{0};
+    std::atomic<std::uint64_t> shards_quarantined{0};
+    std::atomic<std::uint64_t> ckpt_saved{0};
+    std::atomic<std::uint64_t> ckpt_replayed{0};
+    /// The run's checkpoint journal (options.checkpoint; null = off).
+    CheckpointJournal* journal = nullptr;
 
     /// Every shard job calls this on completion, so search_seconds ends up
     /// holding arm-to-last-job wall time — finish_suite cannot read the
@@ -325,8 +368,9 @@ struct SuiteRun {
         }
     }
 
-    std::mutex mu;  ///< guards merged (one lock per finished shard)
+    std::mutex mu;  ///< guards merged + failures (one lock per event)
     std::vector<std::pair<SynthesizedTest, std::uint64_t>> merged;
+    std::vector<ShardFailure> failures;  ///< quarantined shards
 
     /// Builds the job for a ShardTask; recursive through re-splitting, so
     /// it lives here rather than on the launch_suite stack.
@@ -344,13 +388,15 @@ struct SuiteRun {
 /// returned stop tells the caller where the unsearched remainder begins.
 ShardSearchStop
 search_shard(SuiteRun* run, const ShardTask& task, std::uint64_t limit,
-             int worker)
+             int worker, CheckpointJournal::ShardRecord* record_out)
 {
     const mtm::Model& model = run->model;
     WorkerScratch& scratch = run->worker_scratch[worker];
     obs::MetricsRegistry* metrics = run->metrics.get();
     scratch.judge.metrics = metrics;
     scratch.judge.worker = worker;
+    scratch.fault_plan = run->options.fault_plan;
+    scratch.fault_attempt = task.attempt;
     const SynthesisOptions& options = run->options;
     const util::Deadline& deadline = run->armed_deadline();
     std::vector<std::pair<SynthesizedTest, std::uint64_t>> tests;
@@ -358,14 +404,19 @@ search_shard(SuiteRun* run, const ShardTask& task, std::uint64_t limit,
     std::uint64_t executions = 0;
     std::uint64_t duplicates = 0;
     bool timed_out = false;
+    bool cancelled = false;
     std::uint64_t next_ticket = task.ticket_base;
     // Skipped candidates never reach the visitor below, so the skip
-    // replay polls the deadline through the interrupt hook — otherwise a
-    // resumed boundary child would replay its whole (compounding) skip
-    // prefix after the budget expired.
+    // replay polls the deadline (and the cancel token) through the
+    // interrupt hook — otherwise a resumed boundary child would replay its
+    // whole (compounding) skip prefix after the budget expired.
     const std::function<bool()> deadline_interrupt = [&] {
         if (deadline.expired()) {
             timed_out = true;
+            return true;
+        }
+        if (options.cancel.requested()) {
+            cancelled = true;
             return true;
         }
         return false;
@@ -374,6 +425,10 @@ search_shard(SuiteRun* run, const ShardTask& task, std::uint64_t limit,
         task.shard, task.skip, limit, [&](const Program& program) {
         if (deadline.expired()) {
             timed_out = true;
+            return false;
+        }
+        if (options.cancel.requested()) {
+            cancelled = true;
             return false;
         }
         const std::uint64_t ticket = next_ticket++;
@@ -408,11 +463,13 @@ search_shard(SuiteRun* run, const ShardTask& task, std::uint64_t limit,
         }
         Execution witness = Execution::empty_for(program);
         std::vector<std::string> violated;
+        scratch.fault_key = ticket;
         const bool accepted =
             find_witness(model, run->axiom, run->axiom_index, options,
                          program, deadline, &scratch, metrics, worker,
-                         &witness, &violated, &executions, &timed_out);
-        if (timed_out) {
+                         &witness, &violated, &executions, &timed_out,
+                         &cancelled);
+        if (timed_out || cancelled) {
             return false;
         }
         if (accepted) {
@@ -440,6 +497,18 @@ search_shard(SuiteRun* run, const ShardTask& task, std::uint64_t limit,
     if (timed_out) {
         run->timed_out.store(true, std::memory_order_relaxed);
     }
+    if (cancelled) {
+        run->cancelled.store(true, std::memory_order_relaxed);
+    }
+    if (record_out != nullptr && !timed_out && !cancelled) {
+        // The task completed its pass (drained or split cleanly): journal
+        // its counters and tests. An aborted pass is never journaled — the
+        // resumed run re-searches it.
+        record_out->programs = programs;
+        record_out->executions = executions;
+        record_out->duplicates = duplicates;
+        record_out->tests = tests;
+    }
     if (!tests.empty()) {
         std::lock_guard<std::mutex> lock(run->mu);
         for (auto& entry : tests) {
@@ -447,6 +516,143 @@ search_shard(SuiteRun* run, const ShardTask& task, std::uint64_t limit,
         }
     }
     return stop;
+}
+
+/// Human-readable identity of a shard task for a quarantine record.
+std::string
+describe_task(const SuiteRun& run, const ShardTask& task)
+{
+    std::ostringstream out;
+    out << run.axiom << " events=" << task.shard.options.num_events
+        << " prefix=[";
+    for (std::size_t i = 0; i < task.shard.prefix.size(); ++i) {
+        out << (i == 0 ? "" : ",") << task.shard.prefix[i];
+    }
+    out << "] skip=" << task.skip;
+    return out.str();
+}
+
+/// Contains a shard fault (docs/robustness.md, "Fault containment"): the
+/// job's search escaped with an exception. Rebuilds the worker's possibly
+/// poisoned solver state, then retries the identical task with the attempt
+/// counter bumped — or quarantines it into SuiteResult::failures once the
+/// retry budget is spent. Safe to re-run the task: the throw left no
+/// partial results (tests and counters flush only when a search pass
+/// completes), and the dedup index records the aborted pass made are
+/// idempotent under the retry's equal tickets, so a retried shard's
+/// contribution is byte-identical to a fault-free run's.
+void
+recover_and_reschedule(SuiteRun* raw, sched::WorkStealingPool* pool_ptr,
+                       const ShardTask& task, int worker, const char* what)
+{
+    const SynthesisOptions& options = raw->options;
+    WorkerScratch& scratch = raw->worker_scratch[worker];
+    // The fresh-path solver may be mid-encoding and the incremental
+    // session mid-enumeration; reset both so the worker's next job starts
+    // clean. configure() keeps session configuration (timing, conflict
+    // budget, interrupt, cache capacity) and rebuilds the solver state.
+    scratch.encoding.solver.reset();
+    if (options.backend == Backend::kSat && options.sat_incremental) {
+        scratch.incremental.configure(&raw->model, raw->axiom,
+                                      options.max_vas,
+                                      options.max_vas +
+                                          options.max_fresh_pas);
+    }
+    obs::TraceCollector* trace = options.trace;
+    if (options.cancel.requested()) {
+        raw->cancelled.store(true, std::memory_order_relaxed);
+    } else if (raw->armed_deadline().expired()) {
+        raw->timed_out.store(true, std::memory_order_relaxed);
+    } else if (task.attempt < options.shard_retry_limit) {
+        raw->shard_retries.fetch_add(1, std::memory_order_relaxed);
+        if (trace != nullptr) {
+            trace->record_instant(worker, "shard retry: " + raw->axiom,
+                                  obs::now_nanos());
+        }
+        ShardTask retry = task;
+        retry.attempt = task.attempt + 1;
+        retry.trace_flow = 0;  // the parent's flow arrow was consumed
+        pool_ptr->submit(raw->group, raw->make_job(std::move(retry)));
+    } else {
+        raw->shards_quarantined.fetch_add(1, std::memory_order_relaxed);
+        if (trace != nullptr) {
+            trace->record_instant(worker,
+                                  "shard quarantine: " + raw->axiom,
+                                  obs::now_nanos());
+        }
+        std::lock_guard<std::mutex> lock(raw->mu);
+        raw->failures.push_back(
+            {describe_task(*raw, task), what, task.attempt + 1});
+    }
+    raw->note_job_finished();
+}
+
+/// Replays a journaled shard task instead of re-searching it: counters and
+/// tests come from the record, the tests' tickets are re-recorded in the
+/// dedup index, and a split task resubmits exactly the children the
+/// original run derived (same strides and skips — the resumed task tree,
+/// and with it the journal ids, matches the interrupted run's). Suite
+/// byte-identity holds even when only some tasks replay: a kept test's min
+/// ticket is in the journal, and a rejected candidate's absence from the
+/// index only ever promotes an isomorphic candidate that receives the same
+/// rejection. (Counters like dedup_hits can differ in such mixed runs —
+/// they are diagnostics; at jobs=1 full replays reproduce them exactly.)
+void
+replay_shard_record(SuiteRun* raw, sched::WorkStealingPool* pool_ptr,
+                    const ShardTask& task,
+                    const CheckpointJournal::ShardRecord& rec,
+                    std::uint64_t* visited_out, bool* resplit_out)
+{
+    raw->armed_deadline();
+    raw->programs.fetch_add(rec.programs, std::memory_order_relaxed);
+    raw->executions.fetch_add(rec.executions, std::memory_order_relaxed);
+    raw->duplicates.fetch_add(rec.duplicates, std::memory_order_relaxed);
+    for (const auto& [test, ticket] : rec.tests) {
+        raw->index.record(test.canonical_key, ticket);
+    }
+    if (!rec.tests.empty()) {
+        std::lock_guard<std::mutex> lock(raw->mu);
+        for (const auto& entry : rec.tests) {
+            raw->merged.push_back(entry);
+        }
+    }
+    raw->ckpt_replayed.fetch_add(1, std::memory_order_relaxed);
+    if (visited_out != nullptr) {
+        *visited_out = rec.visited;
+    }
+    if (rec.split) {
+        if (resplit_out != nullptr) {
+            *resplit_out = true;
+        }
+        raw->lazy_resplits.fetch_add(1, std::memory_order_relaxed);
+        if (std::find(task.shard.prefix.begin(), task.shard.prefix.end(),
+                      kCloseThread) != task.shard.prefix.end()) {
+            raw->closed_prefix_splits.fetch_add(1,
+                                                std::memory_order_relaxed);
+        }
+        const std::vector<SkeletonShard> children = split_shard(task.shard);
+        std::size_t boundary = children.size();
+        for (std::size_t i = 0; i < children.size(); ++i) {
+            if (children[i].prefix.back() == rec.resume_decision) {
+                boundary = i;
+                break;
+            }
+        }
+        TF_ASSERT(boundary < children.size());
+        const std::uint64_t child_stride = child_stride_for(
+            task.ticket_stride - rec.visited, children.size() - boundary);
+        for (std::size_t i = boundary; i < children.size(); ++i) {
+            pool_ptr->submit(
+                raw->group,
+                raw->make_job({children[i],
+                               task.ticket_base + rec.visited +
+                                   (i - boundary) * child_stride,
+                               child_stride,
+                               i == boundary ? rec.resume_skip : 0,
+                               0, 0}));
+        }
+    }
+    raw->note_job_finished();
 }
 
 /// The body of one shard job — lazy-resplit arming, the search itself, and
@@ -459,6 +665,27 @@ execute_shard_task(SuiteRun* raw, sched::WorkStealingPool* pool_ptr,
                    std::uint64_t* visited_out, bool* resplit_out)
 {
     const SynthesisOptions& options = raw->options;
+    if (options.cancel.requested()) {
+        // A cancelled run drains its remaining queue without searching —
+        // and without arming the deadline or the search clock, so a suite
+        // cancelled before its first real job reports ~0 searched seconds
+        // rather than its queue wait.
+        raw->cancelled.store(true, std::memory_order_relaxed);
+        return;
+    }
+    CheckpointJournal* journal = raw->journal;
+    std::uint64_t task_id = 0;
+    if (journal != nullptr) {
+        task_id = checkpoint_task_id(raw->axiom, task.shard,
+                                     task.ticket_base, task.ticket_stride,
+                                     task.skip);
+        if (const CheckpointJournal::ShardRecord* rec =
+                journal->find(task_id)) {
+            replay_shard_record(raw, pool_ptr, task, *rec, visited_out,
+                                resplit_out);
+            return;
+        }
+    }
     // Lazy adaptive re-splitting: the job starts searching
     // immediately, with a visit limit armed whenever the shard
     // could be split (no separate count_skeletons probe — the old
@@ -481,12 +708,33 @@ execute_shard_task(SuiteRun* raw, sched::WorkStealingPool* pool_ptr,
             }
         }
     }
-    const ShardSearchStop stop =
-        search_shard(raw, task, limit, worker);
+    // Fault containment boundary: everything a shard search can throw —
+    // injected faults included — is caught here and turned into a retry or
+    // a quarantine record instead of unwinding into the pool (whose
+    // backstop would only log it) or std::terminate.
+    CheckpointJournal::ShardRecord record;
+    ShardSearchStop stop;
+    try {
+        if (options.fault_plan != nullptr) {
+            options.fault_plan->maybe_fire(util::FaultSite::kShardBoundary,
+                                           task.ticket_base ^ task.skip,
+                                           task.attempt);
+        }
+        stop = search_shard(raw, task, limit, worker,
+                            journal != nullptr ? &record : nullptr);
+    } catch (const std::exception& e) {
+        recover_and_reschedule(raw, pool_ptr, task, worker, e.what());
+        return;
+    }
     if (visited_out != nullptr) {
         *visited_out = stop.visited;
     }
     if (!stop.hit_limit) {
+        if (journal != nullptr && !stop.visitor_stopped) {
+            record.task_id = task_id;
+            journal->append(record);
+            raw->ckpt_saved.fetch_add(1, std::memory_order_relaxed);
+        }
         raw->note_job_finished();
         return;  // the shard drained (or the deadline fired) inline
     }
@@ -504,6 +752,11 @@ execute_shard_task(SuiteRun* raw, sched::WorkStealingPool* pool_ptr,
         raw->note_job_finished();
         return;
     }
+    if (options.cancel.requested()) {
+        raw->cancelled.store(true, std::memory_order_relaxed);
+        raw->note_job_finished();
+        return;
+    }
     std::size_t boundary = children.size();
     for (std::size_t i = 0; i < children.size(); ++i) {
         if (children[i].prefix.back() == stop.resume_decision) {
@@ -514,6 +767,18 @@ execute_shard_task(SuiteRun* raw, sched::WorkStealingPool* pool_ptr,
     TF_ASSERT(boundary < children.size());
     const std::uint64_t child_stride = child_stride_for(
         task.ticket_stride - stop.visited, children.size() - boundary);
+    if (journal != nullptr) {
+        // Journal the split BEFORE submitting the children: a crash in
+        // between resumes by replaying this record, which resubmits the
+        // same children (replay_shard_record mirrors the loop below).
+        record.task_id = task_id;
+        record.split = true;
+        record.visited = stop.visited;
+        record.resume_decision = stop.resume_decision;
+        record.resume_skip = stop.resume_skip;
+        journal->append(record);
+        raw->ckpt_saved.fetch_add(1, std::memory_order_relaxed);
+    }
     raw->lazy_resplits.fetch_add(1, std::memory_order_relaxed);
     if (resplit_out != nullptr) {
         *resplit_out = true;
@@ -541,6 +806,7 @@ execute_shard_task(SuiteRun* raw, sched::WorkStealingPool* pool_ptr,
                      (i - boundary) * child_stride,
                  child_stride,
                  i == boundary ? stop.resume_skip : 0,
+                 0,  // children are first attempts, whatever ours was
                  flow}));
     }
     raw->note_job_finished();
@@ -581,9 +847,35 @@ launch_suite(sched::WorkStealingPool& pool, const mtm::Model& model,
             scratch.incremental.set_timing(true);
         }
     }
+    run->journal = options.checkpoint;
     run->group = pool.make_group();
     SuiteRun* raw = run.get();
     sched::WorkStealingPool* pool_ptr = &pool;
+    if (options.sat_conflict_budget > 0) {
+        // Per-solve conflict cap on every per-worker solver (fresh path
+        // and incremental sessions). Exhaustion raises BudgetExhausted out
+        // of the search, which the fault-containment boundary treats like
+        // any other shard fault.
+        for (WorkerScratch& scratch : run->worker_scratch) {
+            scratch.encoding.solver.set_conflict_budget(
+                options.sat_conflict_budget);
+            scratch.incremental.set_conflict_budget(
+                options.sat_conflict_budget);
+        }
+    }
+    if (options.cancel.valid() || options.time_budget_seconds > 0) {
+        // Solver-level interrupt: a long single solve polls cancellation
+        // and the deadline every ~1k conflicts, bounding cancel latency
+        // even mid-solve. Reading raw->deadline here is safe — every job
+        // arms it (call_once) before its first solve runs.
+        const auto poll = [raw] {
+            return raw->options.cancel.requested() || raw->deadline.expired();
+        };
+        for (WorkerScratch& scratch : run->worker_scratch) {
+            scratch.encoding.solver.set_interrupt(poll);
+            scratch.incremental.set_interrupt(poll);
+        }
+    }
 
     run->make_job = [raw, pool_ptr](ShardTask task)
         -> sched::WorkStealingPool::Job {
@@ -709,11 +1001,19 @@ finish_suite(sched::WorkStealingPool& pool, SuiteRun& run)
     result.scheduler.skip_enumerations = run.skip_enumerations.load();
     result.scheduler.dedup_hits = run.index.hits();
     result.scheduler.queue_wait_seconds = run.queue_wait_seconds.load();
+    result.scheduler.shard_retries = run.shard_retries.load();
+    result.scheduler.shards_quarantined = run.shards_quarantined.load();
+    result.scheduler.checkpoint_shards_saved = run.ckpt_saved.load();
+    result.scheduler.checkpoint_shards_replayed = run.ckpt_replayed.load();
     // Arm-to-last-job wall time (the watch restarted when the deadline
     // armed, and every job recorded its completion); the queue wait is
-    // reported separately above. Zero for a suite that ran no jobs.
+    // reported separately above. Zero for a suite that ran no jobs —
+    // including one cancelled before its first job searched.
     result.seconds = run.search_seconds.load();
-    result.complete = !run.timed_out.load();
+    result.cancelled = run.cancelled.load();
+    result.failures = std::move(run.failures);  // group drained: no races
+    result.complete = !run.timed_out.load() && !result.cancelled &&
+                      result.failures.empty();
     return result;
 }
 

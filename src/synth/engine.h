@@ -36,12 +36,19 @@
 #include "sat/solver.h"
 #include "sched/scheduler.h"
 #include "synth/skeleton.h"
+#include "util/cancel.h"
 
 namespace transform::obs {
 class TraceCollector;
 }
 
+namespace transform::util {
+class FaultPlan;
+}
+
 namespace transform::synth {
+
+class CheckpointJournal;
 
 /// Which execution-space backend drives the per-program search.
 enum class Backend {
@@ -121,6 +128,56 @@ struct SynthesisOptions {
     /// least resolve_jobs(jobs) worker lanes plus the main lane and must
     /// outlive the synthesis call. nullptr (default) disables recording.
     obs::TraceCollector* trace = nullptr;
+
+    /// Robustness knobs (docs/robustness.md). All default to off / inert,
+    /// and when inert cost at most a relaxed load per candidate — the
+    /// fault-tolerant runtime is always compiled in but never perturbs a
+    /// fault-free run.
+
+    /// Cooperative cancellation: shard jobs, the candidate loop, and the
+    /// SAT search poll this token and stop within milliseconds of a
+    /// request, still merging the deterministic partial suite
+    /// (SuiteResult::cancelled / complete report the early exit). The
+    /// default token is inert (never cancels); the CancelSource behind a
+    /// real one must outlive the synthesis call.
+    util::CancelToken cancel;
+
+    /// Fault containment: how many times a shard job whose search escaped
+    /// with an exception is re-enqueued before being quarantined into
+    /// SuiteResult::failures. Retries re-search the identical shard with a
+    /// rebuilt solver; the min-ticket merge makes a retried shard's
+    /// contribution byte-identical, so transient faults never change the
+    /// suite.
+    int shard_retry_limit = 2;
+
+    /// SAT backend only: per-solve conflict budget (0 = unlimited). A
+    /// solve that exhausts the budget without a decisive verdict raises
+    /// sat::BudgetExhausted, which the engine treats as a retryable shard
+    /// fault — deterministic, so it quarantines once the retry budget runs
+    /// out rather than looping.
+    std::int64_t sat_conflict_budget = 0;
+
+    /// Deterministic fault injection (tests / CI only): when non-null,
+    /// probes at each fault site ask the plan whether to throw. Firing is a
+    /// pure function of (seed, site, candidate key, attempt), so injected
+    /// faults reproduce across jobs counts and scheduling. Must outlive the
+    /// synthesis call.
+    const util::FaultPlan* fault_plan = nullptr;
+
+    /// Crash-safe checkpointing: when non-null, every completed shard task
+    /// is journaled and tasks found in the journal (from a previous run of
+    /// the same configuration) are replayed instead of re-searched. Shared
+    /// across suites; must outlive the synthesis call.
+    CheckpointJournal* checkpoint = nullptr;
+};
+
+/// A shard job that kept faulting past the retry budget: its identity and
+/// the error that quarantined it, surfaced in SuiteResult::failures so a
+/// partial suite is diagnosable rather than silently short.
+struct ShardFailure {
+    std::string shard;   ///< human-readable task identity (axiom + prefix)
+    std::string error;   ///< what() of the final attempt's exception
+    int attempts = 0;    ///< total attempts made (initial + retries)
 };
 
 /// One synthesized ELT.
@@ -143,7 +200,14 @@ struct SuiteResult {
     /// behind other suites is excluded and reported as
     /// scheduler.queue_wait_seconds instead.
     double seconds = 0.0;
-    bool complete = false;  ///< false when the time budget expired
+    /// False when the suite is partial: the time budget expired, the run
+    /// was cancelled, or shards were quarantined after repeated faults.
+    bool complete = false;
+    bool cancelled = false;  ///< the cancel token fired during this suite
+    /// Shards quarantined after exhausting the retry budget (empty on a
+    /// healthy run). Deterministic faults land here; transient ones are
+    /// absorbed by retries and only show up in scheduler.shard_retries.
+    std::vector<ShardFailure> failures;
     sched::SchedulerStats scheduler;  ///< runtime counters for the search
     /// SAT-solver counters summed across every per-worker solver the suite
     /// used (lifetime_stats, so per-program reset() cycles are included).

@@ -1,0 +1,33 @@
+#include "util/cancel.h"
+
+#include <csignal>
+
+namespace transform::util {
+namespace {
+
+/// Process-global cancellation state shared by every token returned from
+/// install_signal_cancel(). Never destroyed, so tokens stay valid through
+/// static teardown.
+std::atomic<int> g_signal_state{0};
+
+void
+handle_cancel_signal(int)
+{
+    // Async-signal-safe: a single lock-free CAS, no locks, no allocation.
+    int expected = 0;
+    g_signal_state.compare_exchange_strong(
+        expected, static_cast<int>(CancelReason::kSignal),
+        std::memory_order_relaxed);
+}
+
+}  // namespace
+
+CancelToken
+install_signal_cancel()
+{
+    std::signal(SIGINT, handle_cancel_signal);
+    std::signal(SIGTERM, handle_cancel_signal);
+    return CancelToken(&g_signal_state);
+}
+
+}  // namespace transform::util

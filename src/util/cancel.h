@@ -1,0 +1,105 @@
+/// \file
+/// Cooperative cancellation for long-running synthesis runs.
+///
+/// A `CancelSource` owns one atomic flag; `CancelToken` is a trivially
+/// copyable view of it that search loops poll at safe points (per
+/// candidate in the engine, at conflict-count intervals inside the SAT
+/// solver). Requesting cancellation never interrupts a worker
+/// asynchronously: every holder notices at its next poll, stops cleanly,
+/// and the run still emits the deterministic partial suite with
+/// `SuiteResult::cancelled` set (see docs/robustness.md, "Cancellation
+/// contract").
+///
+/// `install_signal_cancel()` wires SIGINT/SIGTERM to a process-global
+/// source so Ctrl-C on `elt_synth` behaves exactly like a programmatic
+/// request. The handler only performs a lock-free atomic store, which is
+/// async-signal-safe.
+#pragma once
+
+#include <atomic>
+
+namespace transform::util {
+
+/// Why a run was cancelled. First request wins; later requests with a
+/// different reason are ignored.
+enum class CancelReason : int {
+    kNone = 0,          ///< not cancelled
+    kProgrammatic = 1,  ///< CancelSource::request() from code
+    kSignal = 2,        ///< SIGINT/SIGTERM via install_signal_cancel()
+};
+
+/// A read-only, trivially copyable view of a CancelSource's flag. The
+/// default-constructed token is inert: it is never cancelled and costs a
+/// null check per poll. The source (or the process-global signal state)
+/// must outlive every token viewing it.
+class CancelToken {
+  public:
+    constexpr CancelToken() = default;
+
+    /// True when this token views a real source (polling can ever fire).
+    bool valid() const { return state_ != nullptr; }
+
+    /// True once cancellation was requested. Relaxed load: safe to call
+    /// from any thread at any frequency.
+    bool
+    requested() const
+    {
+        return state_ != nullptr &&
+               state_->load(std::memory_order_relaxed) != 0;
+    }
+
+    /// The first-requested reason, or kNone.
+    CancelReason
+    reason() const
+    {
+        return state_ == nullptr
+                   ? CancelReason::kNone
+                   : static_cast<CancelReason>(
+                         state_->load(std::memory_order_relaxed));
+    }
+
+  private:
+    friend class CancelSource;
+    friend CancelToken install_signal_cancel();
+
+    explicit constexpr CancelToken(const std::atomic<int>* state)
+        : state_(state)
+    {
+    }
+
+    const std::atomic<int>* state_ = nullptr;
+};
+
+/// Owns the cancellation flag. Hand out tokens with token(); request
+/// cancellation from any thread with request(). Must outlive its tokens.
+class CancelSource {
+  public:
+    /// Requests cancellation; the first call's reason sticks.
+    void
+    request(CancelReason reason = CancelReason::kProgrammatic)
+    {
+        int expected = 0;
+        state_.compare_exchange_strong(expected, static_cast<int>(reason),
+                                       std::memory_order_relaxed);
+    }
+
+    bool
+    requested() const
+    {
+        return state_.load(std::memory_order_relaxed) != 0;
+    }
+
+    CancelToken token() const { return CancelToken(&state_); }
+
+  private:
+    std::atomic<int> state_{0};
+};
+
+/// Installs SIGINT/SIGTERM handlers that request cancellation on a
+/// process-global source and returns a token viewing it. Idempotent; the
+/// global state outlives everything, so the returned token is always safe
+/// to hold. Tools call this once at startup and thread the token through
+/// SynthesisOptions::cancel.
+CancelToken install_signal_cancel();
+
+}  // namespace transform::util

@@ -1,0 +1,180 @@
+#include "util/fault.h"
+
+#include <csignal>
+#include <cstdint>
+#include <limits>
+#include <new>
+#include <sstream>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace transform::util {
+namespace {
+
+/// splitmix64 finalizer over (seed, site, key): a high-quality stateless
+/// mix so rate-based selection is uniform yet reproducible.
+std::uint64_t
+fault_hash(std::uint64_t seed, FaultSite site, std::uint64_t key)
+{
+    std::uint64_t x = seed * 0x9E3779B97F4A7C15ULL;
+    x += key + (static_cast<std::uint64_t>(site) << 56);
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ULL;
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBULL;
+    x ^= x >> 31;
+    return x;
+}
+
+bool
+parse_u64(const std::string& text, std::uint64_t* out)
+{
+    if (text.empty()) {
+        return false;
+    }
+    std::uint64_t value = 0;
+    for (char c : text) {
+        if (c < '0' || c > '9') {
+            return false;
+        }
+        if (value > (std::numeric_limits<std::uint64_t>::max() - 9) / 10) {
+            return false;
+        }
+        value = value * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    *out = value;
+    return true;
+}
+
+}  // namespace
+
+const char*
+fault_site_name(FaultSite site)
+{
+    switch (site) {
+    case FaultSite::kShardBoundary:
+        return "shard_boundary";
+    case FaultSite::kDerive:
+        return "derive";
+    case FaultSite::kJudge:
+        return "judge";
+    case FaultSite::kSatSolve:
+        return "sat_solve";
+    }
+    return "unknown";
+}
+
+bool
+FaultPlan::parse(const std::string& spec, FaultPlan* out, std::string* error)
+{
+    for (const std::string& pair : split(spec, ',')) {
+        const std::size_t eq = pair.find('=');
+        if (eq == std::string::npos) {
+            *error = "expected key=value, got '" + pair + "'";
+            return false;
+        }
+        const std::string key = pair.substr(0, eq);
+        const std::string value = pair.substr(eq + 1);
+        if (key == "seed") {
+            if (!parse_u64(value, &out->seed)) {
+                *error = "seed: expected a non-negative integer, got '" +
+                         value + "'";
+                return false;
+            }
+        } else if (key == "site") {
+            if (value == "shard_boundary") {
+                out->site = FaultSite::kShardBoundary;
+            } else if (value == "derive") {
+                out->site = FaultSite::kDerive;
+            } else if (value == "judge") {
+                out->site = FaultSite::kJudge;
+            } else if (value == "sat_solve") {
+                out->site = FaultSite::kSatSolve;
+            } else {
+                *error = "site: expected shard_boundary|derive|judge|"
+                         "sat_solve, got '" +
+                         value + "'";
+                return false;
+            }
+        } else if (key == "kind") {
+            if (value == "throw") {
+                out->kind = Kind::kThrow;
+            } else if (value == "alloc") {
+                out->kind = Kind::kBadAlloc;
+            } else if (value == "kill") {
+                out->kind = Kind::kKill;
+            } else {
+                *error = "kind: expected throw|alloc|kill, got '" + value +
+                         "'";
+                return false;
+            }
+        } else if (key == "rate") {
+            if (!parse_u64(value, &out->rate) || out->rate == 0) {
+                *error = "rate: expected an integer >= 1, got '" + value +
+                         "'";
+                return false;
+            }
+        } else if (key == "mode") {
+            if (value == "transient") {
+                out->attempts = 1;
+            } else if (value == "sticky") {
+                out->attempts = std::numeric_limits<int>::max();
+            } else {
+                *error = "mode: expected transient|sticky, got '" + value +
+                         "'";
+                return false;
+            }
+        } else if (key == "attempts") {
+            std::uint64_t n = 0;
+            if (!parse_u64(value, &n) || n == 0 ||
+                n > static_cast<std::uint64_t>(
+                        std::numeric_limits<int>::max())) {
+                *error = "attempts: expected an integer >= 1, got '" + value +
+                         "'";
+                return false;
+            }
+            out->attempts = static_cast<int>(n);
+        } else if (key == "after") {
+            if (!parse_u64(value, &out->after)) {
+                *error = "after: expected a non-negative integer, got '" +
+                         value + "'";
+                return false;
+            }
+        } else {
+            *error = "unknown key '" + key + "'";
+            return false;
+        }
+    }
+    return true;
+}
+
+void
+FaultPlan::maybe_fire(FaultSite at, std::uint64_t key, int attempt) const
+{
+    if (at != site || attempt >= attempts) {
+        return;
+    }
+    if (rate > 1 && fault_hash(seed, at, key) % rate != 0) {
+        return;
+    }
+    if (after > 0 && matched_.fetch_add(1, std::memory_order_relaxed) < after) {
+        return;
+    }
+    fired_.fetch_add(1, std::memory_order_relaxed);
+    switch (kind) {
+    case Kind::kThrow: {
+        std::ostringstream msg;
+        msg << "injected fault: site=" << fault_site_name(at)
+            << " key=" << key << " attempt=" << attempt;
+        throw InjectedFault(msg.str());
+    }
+    case Kind::kBadAlloc:
+        throw std::bad_alloc();
+    case Kind::kKill:
+        std::raise(SIGKILL);
+        break;
+    }
+}
+
+}  // namespace transform::util

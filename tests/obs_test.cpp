@@ -545,13 +545,14 @@ TEST(ObsEngine, IncrementalSatSurfacesSessionCounters)
     EXPECT_EQ(suite_fingerprint(fresh), suite_fingerprint(live));
 }
 
-TEST(ObsReport, SolverSessionCountersAppearInSchemaV3Json)
+TEST(ObsReport, SolverSessionCountersAppearInSchemaV4Json)
 {
     // The three incremental counters moved the schema to v2; the base
     // cache's bases_built/bases_reused (and the "relax" phase) moved it
-    // to v3. Pin the version and the exact keys so a silent rename or
+    // to v3; the fault-tolerant runtime's counters and "cancelled" moved
+    // it to v4. Pin the version and the exact keys so a silent rename or
     // removal fails here rather than in a downstream consumer.
-    EXPECT_EQ(obs::kMetricsSchemaVersion, 3);
+    EXPECT_EQ(obs::kMetricsSchemaVersion, 4);
 
     const mtm::Model model = mtm::x86t_elt();
     obs::RunReport report;
@@ -569,7 +570,7 @@ TEST(ObsReport, SolverSessionCountersAppearInSchemaV3Json)
 
     const std::string json = obs::report_to_json(report);
     EXPECT_TRUE(is_valid_json(json)) << json;
-    EXPECT_NE(json.find("\"schema_version\": 3"), std::string::npos);
+    EXPECT_NE(json.find("\"schema_version\": 4"), std::string::npos);
     // Each solver object (one per suite, one in totals) carries the keys.
     EXPECT_EQ(count_occurrences(json, "\"assumed_literals\""), 2);
     EXPECT_EQ(count_occurrences(json, "\"retired_activations\""), 2);
@@ -577,6 +578,13 @@ TEST(ObsReport, SolverSessionCountersAppearInSchemaV3Json)
     EXPECT_EQ(count_occurrences(json, "\"bases_built\""), 2);
     EXPECT_EQ(count_occurrences(json, "\"bases_reused\""), 2);
     EXPECT_EQ(count_occurrences(json, "\"relax\""), 2);
+    // v4: the robustness keys, in every suite and scheduler object.
+    EXPECT_EQ(count_occurrences(json, "\"cancelled\""), 2);
+    EXPECT_EQ(count_occurrences(json, "\"job_faults\""), 2);
+    EXPECT_EQ(count_occurrences(json, "\"shard_retries\""), 2);
+    EXPECT_EQ(count_occurrences(json, "\"shards_quarantined\""), 2);
+    EXPECT_EQ(count_occurrences(json, "\"checkpoint_shards_saved\""), 2);
+    EXPECT_EQ(count_occurrences(json, "\"checkpoint_shards_replayed\""), 2);
     // And the totals really accumulate the session's counters.
     EXPECT_GT(report.totals().solver.retired_activations, 0u);
 }

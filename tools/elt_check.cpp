@@ -39,6 +39,16 @@
 /// per input file (axiom = the file path) carrying the execution counts,
 /// wall seconds, and — on the incremental SAT backend — the session's
 /// solver counters, plus the merged totals object.
+///
+/// Robustness (docs/robustness.md): --sat-conflict-budget N caps each SAT
+/// solve at N conflicts (0 = unlimited); a sweep that exhausts it reports
+/// the file as incomplete. SIGINT/SIGTERM cancel cooperatively — queued
+/// files are skipped, the in-flight sweep stops between executions, and
+/// finished reports still print.
+///
+/// Exit codes: 0 = every file checked and complete; 1 = I/O error writing
+/// --trace/--metrics-json; 2 = usage error or unreadable/malformed input;
+/// 3 = a check was cut short (cancelled or conflict budget exhausted).
 #include <algorithm>
 #include <cstdarg>
 #include <cstdio>
@@ -64,6 +74,7 @@
 #include "synth/exec_enum.h"
 #include "synth/minimality.h"
 #include "tool_args.h"
+#include "util/cancel.h"
 
 namespace {
 
@@ -74,6 +85,8 @@ struct CheckOptions {
     bool sat = false;              ///< --backend sat
     bool sat_incremental = true;   ///< --sat-incremental on|off
     bool metrics = false;          ///< --metrics-json (enables solver timing)
+    long long sat_conflict_budget = 0;  ///< per-solve cap (0 = unlimited)
+    util::CancelToken cancel;      ///< SIGINT/SIGTERM (inert by default)
 };
 
 /// printf-style append to a report buffer (reports are built off-thread and
@@ -102,8 +115,13 @@ check_program(const mtm::Model& model, const elt::Program& program,
     int permitted = 0;
     int forbidden = 0;
     bool any_minimal = false;
+    bool cancelled = false;
     std::map<std::string, int> by_axiom;
     auto consider = [&](const elt::Execution& e) {
+        if (options.cancel.requested()) {
+            cancelled = true;
+            return false;
+        }
         const auto violated = model.violated_axioms(e);
         if (violated.empty()) {
             ++permitted;
@@ -117,28 +135,42 @@ check_program(const mtm::Model& model, const elt::Program& program,
         }
         return true;
     };
-    if (!options.sat) {
-        synth::for_each_execution(program, model.vm_aware(), consider);
-    } else if (options.sat_incremental) {
-        // The live-solver session sizes its VA/PA selector domains up
-        // front; a checked program's addresses are fixed, so its own
-        // maxima are the exact domains.
-        int max_vas = 1;
-        int max_pas = 1;
-        for (int e = 0; e < program.num_events(); ++e) {
-            max_vas = std::max(max_vas, program.event(e).va + 1);
-            max_pas = std::max(max_pas, program.event(e).map_pa + 1);
+    try {
+        if (!options.sat) {
+            synth::for_each_execution(program, model.vm_aware(), consider);
+        } else if (options.sat_incremental) {
+            // The live-solver session sizes its VA/PA selector domains up
+            // front; a checked program's addresses are fixed, so its own
+            // maxima are the exact domains.
+            int max_vas = 1;
+            int max_pas = 1;
+            for (int e = 0; e < program.num_events(); ++e) {
+                max_vas = std::max(max_vas, program.event(e).va + 1);
+                max_pas = std::max(max_pas, program.event(e).map_pa + 1);
+            }
+            max_pas = std::max(max_pas, max_vas);
+            mtm::IncrementalEncoding session;
+            session.configure(&model, "", max_vas, max_pas);
+            session.set_timing(options.metrics);
+            session.set_conflict_budget(options.sat_conflict_budget);
+            session.enumerate(program, consider);
+            suite->solver.merge(session.lifetime_stats());
+        } else {
+            mtm::EncodingScratch scratch;
+            scratch.solver.set_conflict_budget(options.sat_conflict_budget);
+            mtm::ProgramEncoding encoding(program, &model, &scratch);
+            encoding.enumerate("", consider);
         }
-        max_pas = std::max(max_pas, max_vas);
-        mtm::IncrementalEncoding session;
-        session.configure(&model, "", max_vas, max_pas);
-        session.set_timing(options.metrics);
-        session.enumerate(program, consider);
-        suite->solver.merge(session.lifetime_stats());
-    } else {
-        mtm::EncodingScratch scratch;
-        mtm::ProgramEncoding encoding(program, &model, &scratch);
-        encoding.enumerate("", consider);
+    } catch (const sat::BudgetExhausted& e) {
+        appendf(out, "check cut short: %s\n", e.what());
+        suite->complete = false;
+        return 3;
+    }
+    if (cancelled) {
+        appendf(out, "check cancelled before the sweep finished\n");
+        suite->complete = false;
+        suite->cancelled = true;
+        return 3;
     }
     appendf(out, "under %s: %d permitted, %d forbidden execution(s)\n",
             model.name().c_str(), permitted, forbidden);
@@ -250,6 +282,15 @@ main(int argc, char** argv)
             } else {
                 return tools::usage_error(flag, "'on' or 'off'", text);
             }
+        } else if (flag == "--sat-conflict-budget") {
+            const std::string text = i + 1 < argc ? argv[++i] : "";
+            long long parsed = 0;
+            if (!tools::parse_int(text, 0, 1LL << 40, &parsed)) {
+                return tools::usage_error(
+                    flag, "a conflict count in 0..2^40 (0 = unlimited)",
+                    text);
+            }
+            options.sat_conflict_budget = parsed;
         } else if (flag == "--jobs") {
             const std::string text = i + 1 < argc ? argv[++i] : "";
             if (!tools::parse_jobs(text, &jobs)) {
@@ -268,6 +309,7 @@ main(int argc, char** argv)
         std::fprintf(stderr,
                      "usage: elt_check [--model NAME] [--backend enum|sat] "
                      "[--sat-incremental on|off] [--jobs N] "
+                     "[--sat-conflict-budget N] "
                      "[--trace FILE] [--metrics-json FILE] <file>...\n");
         return 2;
     }
@@ -282,6 +324,9 @@ main(int argc, char** argv)
     const mtm::Model& model = resolved->model;
 
     options.metrics = !metrics_path.empty();
+    // Cooperative cancellation: queued file jobs exit immediately, the
+    // in-flight sweep stops between executions, finished reports print.
+    options.cancel = util::install_signal_cancel();
 
     struct Report {
         int rc = 0;
@@ -304,6 +349,14 @@ main(int argc, char** argv)
                          i](int worker) {
             const std::uint64_t start = obs::now_nanos();
             reports[i].suite.axiom = paths[i];
+            if (options.cancel.requested()) {
+                appendf(&reports[i].err, "%s: skipped (cancelled)\n",
+                        paths[i].c_str());
+                reports[i].rc = 3;
+                reports[i].suite.cancelled = true;
+                reports[i].suite.complete = false;
+                return;
+            }
             reports[i].rc = check_file(model, paths[i], options,
                                        &reports[i].out, &reports[i].err,
                                        &reports[i].suite);

@@ -57,6 +57,30 @@
 ///   --spec-mtm        print the model as .mtm DSL source and exit
 ///   --list-models     list every resolvable --model name and exit
 ///
+/// Robustness (docs/robustness.md):
+///   --checkpoint FILE journal every completed shard task (atomic header,
+///                     fsync'ed checksummed records) so an interrupted run
+///                     can resume
+///   --resume          with --checkpoint: replay the journal's shards
+///                     instead of re-searching them (refused when the
+///                     journal's run configuration differs); the resumed
+///                     suite is byte-identical to an uninterrupted run
+///   --shard-retries N re-enqueue a faulted shard up to N times before
+///                     quarantining it into the suite's failure list
+///                     (default 2)
+///   --sat-conflict-budget N
+///                     under --backend sat: cap each solve at N conflicts;
+///                     an exhausted budget is a retryable shard fault
+///                     (0 = unlimited, default)
+///   --fault-plan SPEC deterministic fault injection for testing the
+///                     containment machinery, e.g.
+///                     "seed=7,site=derive,rate=1000,mode=transient"
+///                     (also read from $TRANSFORM_FAULT_PLAN)
+///
+/// SIGINT/SIGTERM request cooperative cancellation: in-flight shards stop
+/// within milliseconds, the deterministic partial suite is still merged
+/// and printed, and the summary notes the cancellation.
+///
 /// Numeric flags are validated strictly (std::from_chars, tool_args.h):
 /// trailing junk, hex/garbage, or out-of-range values are usage errors,
 /// never silently 0.
@@ -64,12 +88,17 @@
 /// Suite content (test listings, --out files) goes to stdout/disk; summary
 /// and stats diagnostics go to stderr. Within a time budget the suite is
 /// deterministic, so stdout is byte-identical for every --jobs value.
+///
+/// Exit codes: 0 = every suite complete; 1 = I/O error; 2 = usage error;
+/// 3 = at least one suite incomplete (budget hit, cancelled, or shards
+/// quarantined) — the partial output is still valid.
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -84,8 +113,11 @@
 #include "obs/trace.h"
 #include "sched/scheduler.h"
 #include "spec/registry.h"
+#include "synth/checkpoint.h"
 #include "synth/engine.h"
 #include "tool_args.h"
+#include "util/cancel.h"
+#include "util/fault.h"
 
 namespace {
 
@@ -108,6 +140,11 @@ struct Args {
     std::string trace_path;
     std::string metrics_json;
     std::string out_dir;
+    std::string checkpoint_path;
+    bool resume = false;
+    int shard_retries = 2;
+    long long sat_conflict_budget = 0;
+    std::string fault_spec;
     bool quiet = false;
     bool list_axioms = false;
     bool list_models = false;
@@ -135,6 +172,20 @@ print_stats(const std::string& scope, const sched::SchedulerStats& s)
         static_cast<unsigned long long>(s.skip_enumerations),
         static_cast<unsigned long long>(s.dedup_hits),
         s.queue_wait_seconds);
+    if (s.shard_retries + s.shards_quarantined + s.checkpoint_shards_saved +
+            s.checkpoint_shards_replayed + s.job_faults >
+        0) {
+        std::fprintf(
+            stderr,
+            "[%s] robustness: %llu shard retries, %llu quarantined, "
+            "%llu ckpt saved, %llu ckpt replayed, %llu pool faults\n",
+            scope.c_str(),
+            static_cast<unsigned long long>(s.shard_retries),
+            static_cast<unsigned long long>(s.shards_quarantined),
+            static_cast<unsigned long long>(s.checkpoint_shards_saved),
+            static_cast<unsigned long long>(s.checkpoint_shards_replayed),
+            static_cast<unsigned long long>(s.job_faults));
+    }
 }
 
 void
@@ -162,9 +213,11 @@ print_solver_stats(const std::string& scope, const sat::SolverStats& s)
 
 int
 run_suite(const mtm::Model& model, const std::string& axiom,
-          const Args& args, obs::TraceCollector* trace,
+          const Args& args, util::CancelToken cancel,
+          const util::FaultPlan* fault_plan,
+          synth::CheckpointJournal* journal, obs::TraceCollector* trace,
           sched::SchedulerStats* total, sat::SolverStats* solver_total,
-          obs::RunReport* report)
+          obs::RunReport* report, bool* any_incomplete)
 {
     synth::SynthesisOptions options;
     options.min_bound = model.vm_aware() ? 4 : 2;
@@ -180,16 +233,41 @@ run_suite(const mtm::Model& model, const std::string& axiom,
     options.resplit_threshold = args.resplit_threshold;
     options.collect_metrics = report != nullptr;
     options.trace = trace;
+    options.cancel = cancel;
+    options.shard_retry_limit = args.shard_retries;
+    options.sat_conflict_budget = args.sat_conflict_budget;
+    options.fault_plan = fault_plan;
+    options.checkpoint = journal;
     const synth::SuiteResult suite =
         synth::synthesize_suite(model, axiom, options);
 
+    std::string status;
+    if (suite.cancelled) {
+        status += ", cancelled";
+    }
+    if (!suite.failures.empty()) {
+        status += ", " + std::to_string(suite.failures.size()) +
+                  " shards quarantined";
+    }
+    if (!suite.complete && status.empty()) {
+        status = ", budget hit";
+    }
+    if (!suite.complete) {
+        *any_incomplete = true;
+    }
     std::fprintf(stderr,
                  "[%s / %s] %zu unique minimal ELTs "
                  "(%llu programs, %llu executions, %.2fs%s)\n",
                  model.name().c_str(), axiom.c_str(), suite.tests.size(),
                  static_cast<unsigned long long>(suite.programs_considered),
                  static_cast<unsigned long long>(suite.executions_considered),
-                 suite.seconds, suite.complete ? "" : ", budget hit");
+                 suite.seconds, status.c_str());
+    for (const synth::ShardFailure& failure : suite.failures) {
+        std::fprintf(stderr,
+                     "[%s / %s] quarantined after %d attempts: %s (%s)\n",
+                     model.name().c_str(), axiom.c_str(), failure.attempts,
+                     failure.shard.c_str(), failure.error.c_str());
+    }
     total->merge(suite.scheduler);
     solver_total->merge(suite.solver);
     if (report != nullptr) {
@@ -319,6 +397,32 @@ main(int argc, char** argv)
                     flag, "'auto' or a candidate count in 1..2^32",
                     threshold);
             }
+        } else if (flag == "--checkpoint") {
+            args.checkpoint_path = value();
+            if (args.checkpoint_path.empty()) {
+                return usage_error(flag, "a journal file path", "");
+            }
+        } else if (flag == "--resume") {
+            args.resume = true;
+        } else if (flag == "--shard-retries") {
+            const std::string text = value();
+            if (!parse_int(text, 0, 16, &parsed)) {
+                return usage_error(flag, "a retry count in 0..16", text);
+            }
+            args.shard_retries = static_cast<int>(parsed);
+        } else if (flag == "--sat-conflict-budget") {
+            const std::string text = value();
+            if (!parse_int(text, 0, std::int64_t{1} << 40, &parsed)) {
+                return usage_error(
+                    flag, "a conflict count in 0..2^40 (0 = unlimited)",
+                    text);
+            }
+            args.sat_conflict_budget = parsed;
+        } else if (flag == "--fault-plan") {
+            args.fault_spec = value();
+            if (args.fault_spec.empty()) {
+                return usage_error(flag, "a fault-plan spec", "");
+            }
         } else if (flag == "--stats") {
             args.stats = true;
         } else if (flag == "--trace") {
@@ -392,6 +496,62 @@ main(int argc, char** argv)
             axioms.push_back(axiom.name);
         }
     }
+    if (args.resume && args.checkpoint_path.empty()) {
+        return usage_error("--resume", "--checkpoint PATH to resume from",
+                           "");
+    }
+    // Fault injection (tests/CI): flag wins, environment is the fallback
+    // so harnesses can inject without plumbing argv.
+    std::optional<util::FaultPlan> fault_plan;
+    std::string fault_source = args.fault_spec;
+    if (fault_source.empty()) {
+        const char* env = std::getenv("TRANSFORM_FAULT_PLAN");
+        fault_source = env == nullptr ? "" : env;
+    }
+    if (!fault_source.empty()) {
+        fault_plan.emplace();
+        std::string fault_error;
+        if (!util::FaultPlan::parse(fault_source, &*fault_plan,
+                                    &fault_error)) {
+            return usage_error("--fault-plan", fault_error.c_str(),
+                               fault_source);
+        }
+    }
+    // Cooperative cancellation on SIGINT/SIGTERM: the partial suite is
+    // still merged, printed, and (if journaling) resumable.
+    const util::CancelToken cancel = util::install_signal_cancel();
+    // Checkpoint journal: the fingerprint covers everything that shapes
+    // the shard task tree or the suites. --jobs and --sat-incremental are
+    // deliberately absent — the suite and the task tree are byte-identical
+    // across them (the determinism contract), so a resume may change them.
+    std::unique_ptr<synth::CheckpointJournal> journal;
+    if (!args.checkpoint_path.empty()) {
+        const std::string fingerprint =
+            "model=" + model.name() + " bound=" + std::to_string(args.bound) +
+            " threads=" + std::to_string(args.threads) +
+            " vas=" + std::to_string(args.vas) +
+            " backend=" + args.backend +
+            " shard-depth=" + std::to_string(args.shard_depth) +
+            " resplit-threshold=" + std::to_string(args.resplit_threshold);
+        std::string journal_error;
+        journal = args.resume
+                      ? synth::CheckpointJournal::resume(
+                            args.checkpoint_path, fingerprint,
+                            &journal_error)
+                      : synth::CheckpointJournal::create(
+                            args.checkpoint_path, fingerprint,
+                            &journal_error);
+        if (journal == nullptr) {
+            std::fprintf(stderr, "--checkpoint: %s\n",
+                         journal_error.c_str());
+            return 1;
+        }
+        if (args.resume) {
+            std::fprintf(stderr, "[checkpoint] resuming %zu journaled "
+                         "shards from %s\n", journal->loaded(),
+                         args.checkpoint_path.c_str());
+        }
+    }
     // Observability (docs/observability.md): one collector/report spans
     // every suite of the invocation. Each suite builds its own pool, so the
     // collector is sized for the resolved worker count, which every pool
@@ -412,10 +572,14 @@ main(int argc, char** argv)
 
     sched::SchedulerStats total;
     sat::SolverStats solver_total;
+    bool any_incomplete = false;
     for (const auto& axiom : axioms) {
-        const int rc = run_suite(model, axiom, args,
-                                 trace ? &*trace : nullptr, &total,
-                                 &solver_total, report ? &*report : nullptr);
+        const int rc = run_suite(model, axiom, args, cancel,
+                                 fault_plan ? &*fault_plan : nullptr,
+                                 journal.get(), trace ? &*trace : nullptr,
+                                 &total, &solver_total,
+                                 report ? &*report : nullptr,
+                                 &any_incomplete);
         if (rc != 0) {
             return rc;
         }
@@ -447,5 +611,8 @@ main(int argc, char** argv)
         std::fprintf(stderr, "[metrics] %zu suites -> %s\n",
                      report->suites.size(), args.metrics_json.c_str());
     }
-    return 0;
+    // Exit 3: the output is valid but at least one suite is partial
+    // (budget hit, cancelled, or quarantined shards) — scripts must not
+    // mistake it for a complete run.
+    return any_incomplete ? 3 : 0;
 }
