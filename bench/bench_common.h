@@ -28,7 +28,9 @@ namespace transform::bench {
 /// (minimality_allocs_per_witness) and the incremental-SAT structure-base
 /// economy (sat_incremental_bases_built / _bases_reused /
 /// _base_builds_per_program).
-inline constexpr int kBenchSchemaVersion = 2;
+/// v3: the substrate record gained the phase-attributed allocation
+/// breakdown (sat_allocs_per_phase_<phase>, one key per obs::Phase).
+inline constexpr int kBenchSchemaVersion = 3;
 
 /// The determinism contract's observable, shared by the scaling and
 /// substrate benches: canonical keys, order, sizes and (optionally) the

@@ -27,6 +27,7 @@
 #include "elt/fixtures.h"
 #include "mtm/encoding.h"
 #include "mtm/model.h"
+#include "obs/alloc.h"
 #include "rel/bool_factory.h"
 #include "rel/relation.h"
 #include "sat/solver.h"
@@ -37,39 +38,11 @@
 #include "synth/minimality.h"
 #include "util/stopwatch.h"
 
-// ---------------------------------------------------------------------------
-// Allocation proxy: every operator-new in the process bumps one counter, so
-// the witness-search section can report allocations per candidate program —
-// the observable the zero-allocation hot path is graded on.
-// ---------------------------------------------------------------------------
-namespace {
-std::atomic<std::uint64_t> g_allocations{0};
-}  // namespace
-
-void*
-operator new(std::size_t size)
-{
-    g_allocations.fetch_add(1, std::memory_order_relaxed);
-    if (void* p = std::malloc(size)) {
-        return p;
-    }
-    throw std::bad_alloc();
-}
-
-void*
-operator new[](std::size_t size)
-{
-    g_allocations.fetch_add(1, std::memory_order_relaxed);
-    if (void* p = std::malloc(size)) {
-        return p;
-    }
-    throw std::bad_alloc();
-}
-
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+// The allocation proxy this bench grades the zero-allocation hot path on
+// is the library's always-on interposed operator-new counter
+// (obs::alloc_count(), obs/alloc.h) — it lived here as a private proxy
+// until the observability layer promoted it so tools and tests share one
+// counter.
 
 namespace {
 
@@ -234,13 +207,13 @@ run_workload(const mtm::Model& model, synth::Backend backend, int jobs,
     opt.sat_incremental = sat_incremental;
     BackendRun run;
     std::vector<synth::SuiteResult> suites;
-    const std::uint64_t allocations_before = g_allocations.load();
+    const std::uint64_t allocations_before = obs::alloc_count();
     util::Stopwatch watch;
     for (const char* axiom : {"sc_per_loc", "causality"}) {
         suites.push_back(synth::synthesize_suite(model, axiom, opt));
     }
     run.seconds = watch.elapsed_seconds();
-    run.allocations = g_allocations.load() - allocations_before;
+    run.allocations = obs::alloc_count() - allocations_before;
     for (const synth::SuiteResult& suite : suites) {
         run.programs += suite.programs_considered;
         run.executions += suite.executions_considered;
@@ -302,15 +275,50 @@ minimality_allocs_per_witness()
         benchmark::DoNotOptimize(synth::judge(model, e, &scratch));
     }
     constexpr int kRounds = 64;
-    const std::uint64_t before = g_allocations.load();
+    const std::uint64_t before = obs::alloc_count();
     for (int round = 0; round < kRounds; ++round) {
         for (const elt::Execution& e : witnesses) {
             benchmark::DoNotOptimize(synth::judge(model, e, &scratch));
         }
     }
-    const std::uint64_t after = g_allocations.load();
+    const std::uint64_t after = obs::alloc_count();
     return static_cast<double>(after - before) /
            static_cast<double>(kRounds * witnesses.size());
+}
+
+/// The phase-attributed allocation breakdown of the SAT workload: one
+/// jobs=1 run with track_allocs + collect_metrics on, so every operator
+/// new lands in a phase bucket. Returns the merged totals plus programs
+/// and the fingerprint (which must match the untracked run's — tracking
+/// is not allowed to perturb the suite).
+struct TrackedAllocRun {
+    obs::AllocTotals allocs;
+    std::uint64_t programs = 0;
+    std::string fingerprint;
+};
+
+TrackedAllocRun
+tracked_alloc_run(const mtm::Model& model, int min_bound, int bound)
+{
+    synth::SynthesisOptions opt;
+    opt.min_bound = min_bound;
+    opt.bound = bound;
+    opt.jobs = 1;
+    opt.backend = synth::Backend::kSat;
+    opt.collect_metrics = true;
+    opt.track_allocs = true;
+    TrackedAllocRun run;
+    std::vector<synth::SuiteResult> suites;
+    for (const char* axiom : {"sc_per_loc", "causality"}) {
+        suites.push_back(synth::synthesize_suite(model, axiom, opt));
+    }
+    for (const synth::SuiteResult& suite : suites) {
+        run.programs += suite.programs_considered;
+        run.allocs.merge(suite.allocs);
+    }
+    run.fingerprint =
+        bench::suite_fingerprint(suites, /*include_violated=*/true);
+    return run;
 }
 
 int
@@ -458,8 +466,32 @@ witness_search_section()
     std::printf("judge pipeline steady state: %.3f allocs/witness\n",
                 judge_allocs);
 
-    bench::write_json(
-        json_path,
+    // Phase-attributed allocation breakdown (obs::AllocTracker): where the
+    // per-candidate allocations actually happen. Tracking must not perturb
+    // the suite — the tracked fingerprint is held to the untracked one.
+    const TrackedAllocRun tracked =
+        tracked_alloc_run(hardwired, min_bound, bound);
+    ok = bench::check("alloc tracking does not perturb the suite",
+                      tracked.fingerprint == sat_run.fingerprint) &&
+         ok;
+    std::printf("\nsat allocs per phase (per program):\n");
+    std::vector<bench::JsonPair> phase_pairs;
+    for (int p = 0; p < obs::kPhaseCount; ++p) {
+        const obs::AllocSlot& slot =
+            tracked.allocs.phases[static_cast<std::size_t>(p)];
+        const double per_program =
+            static_cast<double>(slot.count) /
+            static_cast<double>(std::max<std::uint64_t>(tracked.programs, 1));
+        std::printf("  %-14s %10" PRIu64 " allocs  %8.3f /prog\n",
+                    obs::phase_name(static_cast<obs::Phase>(p)), slot.count,
+                    per_program);
+        phase_pairs.push_back(bench::jnum(
+            std::string("sat_allocs_per_phase_") +
+                obs::phase_name(static_cast<obs::Phase>(p)),
+            per_program));
+    }
+
+    std::vector<bench::JsonPair> pairs =
         {
             bench::jstr("bench", "substrate_micro"),
             bench::jstr("workload", "x86t_elt sc_per_loc+causality suites"),
@@ -505,8 +537,10 @@ witness_search_section()
             bench::jnum("spec_enum_allocs_per_program",
                         static_cast<double>(spec_enum_run.allocations) /
                             spec_enum_run.programs),
-            bench::jbool("fingerprints_jobs_identical", ok),
-        });
+        };
+    pairs.insert(pairs.end(), phase_pairs.begin(), phase_pairs.end());
+    pairs.push_back(bench::jbool("fingerprints_jobs_identical", ok));
+    bench::write_json(json_path, pairs);
     std::printf("\nwitness search overall: %s\n", ok ? "PASS" : "FAIL");
     return ok ? 0 : 1;
 }

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "mtm/encoding_detail.h"
+#include "obs/alloc.h"
 #include "rel/bool_factory.h"
 #include "rel/constraints.h"
 #include "rel/relation.h"
@@ -1431,6 +1432,8 @@ ProgramEncoding::enumerate(const std::string& violating_axiom,
         if (!visit(current)) {
             return false;  // the visitor stopped the solver
         }
+        const obs::ScopedAllocSite alloc_site(
+            obs::AllocSite::kSiteBlockingClause);
         blocking_clause(b, &clause);
         if (clause.empty() || !b.solver.add_clause(clause)) {
             break;

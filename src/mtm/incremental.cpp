@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "mtm/encoding_detail.h"
+#include "obs/alloc.h"
 #include "rel/bool_factory.h"
 #include "rel/constraints.h"
 #include "rel/relation.h"
@@ -148,6 +149,7 @@ struct IncrementalEncoding::Impl : BaseState {
     /// empty interrupt = never interrupted.
     std::int64_t conflict_budget = 0;
     std::function<bool()> interrupt;
+    std::function<void(std::uint64_t)> solve_observer;
 
     SessionStats stats;
     /// Counters of backends this session destroyed (stash shrink,
@@ -436,6 +438,7 @@ struct IncrementalEncoding::Impl : BaseState {
         made->set_timing(timing);
         made->set_conflict_budget(conflict_budget);
         made->set_interrupt(interrupt);
+        made->set_solve_observer(solve_observer);
         return made;
     }
 
@@ -1695,6 +1698,22 @@ IncrementalEncoding::set_interrupt(std::function<bool()> poll)
     }
 }
 
+void
+IncrementalEncoding::set_solve_observer(
+    std::function<void(std::uint64_t)> observer)
+{
+    Impl& im = *impl_;
+    im.solve_observer = std::move(observer);
+    if (im.backend != nullptr) {
+        im.backend->set_solve_observer(im.solve_observer);
+    }
+    for (BaseState& slot : im.stash) {
+        if (slot.backend != nullptr) {
+            slot.backend->set_solve_observer(im.solve_observer);
+        }
+    }
+}
+
 sat::SolverStats
 IncrementalEncoding::lifetime_stats() const
 {
@@ -1771,6 +1790,8 @@ IncrementalEncoding::enumerate(const elt::Program& program,
             im.build_block_template(program);
             have_template = true;
         }
+        const obs::ScopedAllocSite alloc_site(
+            obs::AllocSite::kSiteBlockingClause);
         im.blocking_clause(&im.block_buf);
         if (im.block_buf.empty()) {
             break;  // no projection variables: the single model is it

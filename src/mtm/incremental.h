@@ -115,6 +115,11 @@ class IncrementalEncoding {
     /// the cancelled caller discards the partial result.
     void set_interrupt(std::function<bool()> poll);
 
+    /// Installs a per-solve latency observer (see
+    /// sat::Solver::set_solve_observer) on every backend the session holds
+    /// or later creates. Fires only under set_timing(true).
+    void set_solve_observer(std::function<void(std::uint64_t)> observer);
+
     /// Merged lifetime counters across every backend the session ever
     /// owned (live base, cached bases, evicted bases' folded epochs),
     /// plus the session's bases_built/bases_reused. This is what the

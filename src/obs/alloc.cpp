@@ -1,0 +1,246 @@
+/// \file
+/// Global operator-new interposition + the AllocTracker cells it feeds.
+///
+/// The replacement allocator family lives in the transform library (one
+/// definition per process; bench_substrate_micro's private proxy moved
+/// here in PR 10). Every path is malloc/free-based and allocation-free
+/// itself, so tracker attribution can run inside operator new without
+/// recursion. Alignment-aware forms use posix_memalign; the standard
+/// nothrow forms are NOT replaced — the default ones forward to these
+/// throwing forms, so they are counted too.
+#include "obs/alloc.h"
+
+#include <cstdlib>
+#include <new>
+
+namespace transform::obs {
+
+namespace {
+
+/// The always-on process-wide proxy. Constant-initialized: safe to bump
+/// from allocations that run before main().
+constinit std::atomic<std::uint64_t> g_alloc_count{0};
+
+}  // namespace
+
+namespace detail {
+
+thread_local constinit AllocBinding t_alloc_binding{nullptr, 0, 0, 0};
+
+/// One allocation of \p bytes on the calling thread: bump the global
+/// proxy, then attribute to the bound tracker when there is one.
+inline void
+note_alloc(std::size_t bytes) noexcept
+{
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+    const AllocBinding& binding = t_alloc_binding;
+    if (binding.tracker != nullptr) {
+        binding.tracker->add(binding.worker, binding.phase, binding.site,
+                             static_cast<std::uint64_t>(bytes));
+    }
+}
+
+}  // namespace detail
+
+std::uint64_t
+alloc_count()
+{
+    return g_alloc_count.load(std::memory_order_relaxed);
+}
+
+const char*
+alloc_site_name(AllocSite site)
+{
+    switch (site) {
+    case AllocSite::kSiteOther:
+        return "other";
+    case AllocSite::kSiteCanonicalKey:
+        return "canonical_key";
+    case AllocSite::kSiteSuiteGrowth:
+        return "suite_growth";
+    case AllocSite::kSiteBlockingClause:
+        return "blocking_clause";
+    case AllocSite::kSiteJudgeVerdict:
+        return "judge_verdict";
+    }
+    return "unknown";
+}
+
+void
+AllocTotals::merge(const AllocTotals& other)
+{
+    for (int p = 0; p < kPhaseCount; ++p) {
+        phases[static_cast<std::size_t>(p)].count +=
+            other.phases[static_cast<std::size_t>(p)].count;
+        phases[static_cast<std::size_t>(p)].bytes +=
+            other.phases[static_cast<std::size_t>(p)].bytes;
+    }
+    for (int s = 0; s < kAllocSiteCount; ++s) {
+        sites[static_cast<std::size_t>(s)].count +=
+            other.sites[static_cast<std::size_t>(s)].count;
+        sites[static_cast<std::size_t>(s)].bytes +=
+            other.sites[static_cast<std::size_t>(s)].bytes;
+    }
+}
+
+std::uint64_t
+AllocTotals::total_count() const
+{
+    std::uint64_t total = 0;
+    for (const AllocSlot& slot : phases) {
+        total += slot.count;
+    }
+    return total;
+}
+
+std::uint64_t
+AllocTotals::total_bytes() const
+{
+    std::uint64_t total = 0;
+    for (const AllocSlot& slot : phases) {
+        total += slot.bytes;
+    }
+    return total;
+}
+
+AllocTracker::AllocTracker(int workers)
+    : cells_(workers > 0 ? static_cast<std::size_t>(workers) : 1)
+{
+}
+
+void
+AllocTracker::add(int worker, int phase, int site, std::uint64_t bytes)
+{
+    if (worker < 0 || worker >= workers() || phase < 0 ||
+        phase >= kPhaseCount || site < 0 || site >= kAllocSiteCount) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    Cell& cell = cells_[static_cast<std::size_t>(worker)];
+    cell.phase_count[phase].fetch_add(1, std::memory_order_relaxed);
+    cell.phase_bytes[phase].fetch_add(bytes, std::memory_order_relaxed);
+    cell.site_count[site].fetch_add(1, std::memory_order_relaxed);
+    cell.site_bytes[site].fetch_add(bytes, std::memory_order_relaxed);
+}
+
+AllocTotals
+AllocTracker::merged() const
+{
+    AllocTotals totals;
+    for (const Cell& cell : cells_) {
+        for (int p = 0; p < kPhaseCount; ++p) {
+            totals.phases[static_cast<std::size_t>(p)].count +=
+                cell.phase_count[p].load(std::memory_order_relaxed);
+            totals.phases[static_cast<std::size_t>(p)].bytes +=
+                cell.phase_bytes[p].load(std::memory_order_relaxed);
+        }
+        for (int s = 0; s < kAllocSiteCount; ++s) {
+            totals.sites[static_cast<std::size_t>(s)].count +=
+                cell.site_count[s].load(std::memory_order_relaxed);
+            totals.sites[static_cast<std::size_t>(s)].bytes +=
+                cell.site_bytes[s].load(std::memory_order_relaxed);
+        }
+    }
+    return totals;
+}
+
+std::uint64_t
+AllocTracker::worker_count(int worker) const
+{
+    if (worker < 0 || worker >= workers()) {
+        return 0;
+    }
+    const Cell& cell = cells_[static_cast<std::size_t>(worker)];
+    std::uint64_t total = 0;
+    for (int p = 0; p < kPhaseCount; ++p) {
+        total += cell.phase_count[p].load(std::memory_order_relaxed);
+    }
+    return total;
+}
+
+void
+bind_alloc_tracker(AllocTracker* tracker, int worker)
+{
+    detail::t_alloc_binding.tracker = tracker;
+    detail::t_alloc_binding.worker = worker;
+    detail::t_alloc_binding.phase = static_cast<int>(Phase::kSkeletonEnum);
+    detail::t_alloc_binding.site = static_cast<int>(AllocSite::kSiteOther);
+}
+
+}  // namespace transform::obs
+
+// ---------------------------------------------------------------------------
+// Replacement allocation functions (global namespace, one set per process).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void*
+counted_alloc(std::size_t size)
+{
+    transform::obs::detail::note_alloc(size);
+    // malloc(0) may return nullptr; callers of operator new expect a
+    // distinct non-null pointer.
+    if (void* p = std::malloc(size != 0 ? size : 1)) {
+        return p;
+    }
+    throw std::bad_alloc();
+}
+
+void*
+counted_aligned_alloc(std::size_t size, std::align_val_t align)
+{
+    transform::obs::detail::note_alloc(size);
+    // posix_memalign needs alignment to be a power of two multiple of
+    // sizeof(void*); std::align_val_t guarantees the power of two.
+    std::size_t alignment = static_cast<std::size_t>(align);
+    if (alignment < sizeof(void*)) {
+        alignment = sizeof(void*);
+    }
+    void* p = nullptr;
+    if (posix_memalign(&p, alignment, size != 0 ? size : alignment) == 0) {
+        return p;
+    }
+    throw std::bad_alloc();
+}
+
+}  // namespace
+
+void*
+operator new(std::size_t size)
+{
+    return counted_alloc(size);
+}
+
+void*
+operator new[](std::size_t size)
+{
+    return counted_alloc(size);
+}
+
+void*
+operator new(std::size_t size, std::align_val_t align)
+{
+    return counted_aligned_alloc(size, align);
+}
+
+void*
+operator new[](std::size_t size, std::align_val_t align)
+{
+    return counted_aligned_alloc(size, align);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}

@@ -31,6 +31,59 @@ phase_name(Phase phase)
 }
 
 void
+LatencyHistogram::merge(const LatencyHistogram& other)
+{
+    for (int b = 0; b < kLatencyBucketCount; ++b) {
+        buckets[static_cast<std::size_t>(b)] +=
+            other.buckets[static_cast<std::size_t>(b)];
+    }
+}
+
+std::uint64_t
+LatencyHistogram::total() const
+{
+    std::uint64_t total = 0;
+    for (const std::uint64_t bucket : buckets) {
+        total += bucket;
+    }
+    return total;
+}
+
+std::uint64_t
+LatencyHistogram::percentile_nanos(double p) const
+{
+    const std::uint64_t samples = total();
+    if (samples == 0) {
+        return 0;
+    }
+    if (p < 0.0) {
+        p = 0.0;
+    }
+    if (p > 1.0) {
+        p = 1.0;
+    }
+    // Rank of the p-quantile sample, 1-based ("nearest rank" definition).
+    std::uint64_t rank =
+        static_cast<std::uint64_t>(p * static_cast<double>(samples) + 0.5);
+    if (rank < 1) {
+        rank = 1;
+    }
+    if (rank > samples) {
+        rank = samples;
+    }
+    std::uint64_t cumulative = 0;
+    for (int b = 0; b < kLatencyBucketCount; ++b) {
+        cumulative += buckets[static_cast<std::size_t>(b)];
+        if (cumulative >= rank) {
+            // Upper edge of bucket b: bucket 0 holds exact zeros, bucket
+            // i >= 1 holds [2^(i-1), 2^i - 1].
+            return b == 0 ? 0 : (std::uint64_t{1} << b) - 1;
+        }
+    }
+    return (std::uint64_t{1} << (kLatencyBucketCount - 1)) - 1;
+}
+
+void
 PhaseTotals::merge(const PhaseTotals& other)
 {
     for (int p = 0; p < kPhaseCount; ++p) {
@@ -38,6 +91,8 @@ PhaseTotals::merge(const PhaseTotals& other)
             other.phases[static_cast<std::size_t>(p)].count;
         phases[static_cast<std::size_t>(p)].nanos +=
             other.phases[static_cast<std::size_t>(p)].nanos;
+        latency[static_cast<std::size_t>(p)].merge(
+            other.latency[static_cast<std::size_t>(p)]);
     }
 }
 
@@ -93,6 +148,18 @@ MetricsRegistry::add(int worker, Phase phase, std::uint64_t nanos,
     cell.nanos[p].fetch_add(nanos, std::memory_order_relaxed);
 }
 
+void
+MetricsRegistry::record_latency(int worker, Phase phase, std::uint64_t nanos)
+{
+    if (worker < 0 || worker >= workers()) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    Cell& cell = cells_[static_cast<std::size_t>(worker)];
+    cell.hist[static_cast<int>(phase)][latency_bucket(nanos)].fetch_add(
+        1, std::memory_order_relaxed);
+}
+
 std::uint64_t
 MetricsRegistry::worker_nanos(int worker) const
 {
@@ -128,6 +195,11 @@ MetricsRegistry::merged() const
                 cell.count[p].load(std::memory_order_relaxed);
             totals.phases[static_cast<std::size_t>(p)].nanos +=
                 cell.nanos[p].load(std::memory_order_relaxed);
+            for (int b = 0; b < kLatencyBucketCount; ++b) {
+                totals.latency[static_cast<std::size_t>(p)]
+                    .buckets[static_cast<std::size_t>(b)] +=
+                    cell.hist[p][b].load(std::memory_order_relaxed);
+            }
         }
     }
     return totals;

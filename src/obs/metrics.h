@@ -16,10 +16,13 @@
 
 #include <array>
 #include <atomic>
+#include <bit>
 #include <cstdint>
 #include <vector>
 
 namespace transform::obs {
+
+class AllocTracker;  // obs/alloc.h
 
 /// The phase taxonomy. Fixed and versioned with the metrics-JSON schema
 /// (obs/report.h): every nanosecond a shard job spends is attributed to
@@ -52,10 +55,47 @@ struct PhaseSlot {
     std::uint64_t nanos = 0;  ///< wall nanoseconds attributed
 };
 
+/// Number of log2 latency buckets. Bucket i (i >= 1) holds samples whose
+/// nanosecond value has bit-width i, i.e. [2^(i-1), 2^i - 1]; bucket 0
+/// holds exact zeros. 40 buckets cover up to ~9 minutes per sample.
+inline constexpr int kLatencyBucketCount = 40;
+
+/// The bucket index a latency sample lands in.
+inline int
+latency_bucket(std::uint64_t nanos)
+{
+    const int width = std::bit_width(nanos);
+    return width < kLatencyBucketCount ? width : kLatencyBucketCount - 1;
+}
+
+/// A log2-bucket latency distribution. Merging across workers is exact
+/// (bucket counts add); percentiles are resolved to the owning bucket's
+/// upper edge, so merged percentiles equal the percentile of the merged
+/// sample multiset at bucket resolution.
+struct LatencyHistogram {
+    std::array<std::uint64_t, kLatencyBucketCount> buckets{};
+
+    void record(std::uint64_t nanos)
+    {
+        ++buckets[static_cast<std::size_t>(latency_bucket(nanos))];
+    }
+    void merge(const LatencyHistogram& other);
+    /// Total samples recorded.
+    std::uint64_t total() const;
+    /// Upper edge (in nanos) of the bucket holding the p-quantile sample
+    /// (p in [0, 1]); 0 when the histogram is empty.
+    std::uint64_t percentile_nanos(double p) const;
+};
+
 /// Totals across every worker, merged on demand by MetricsRegistry or
 /// accumulated across suites by tools.
 struct PhaseTotals {
     std::array<PhaseSlot, kPhaseCount> phases{};
+    /// Per-phase latency distribution of the *scoped* sections (one
+    /// sample per ScopedPhase / explicit record_latency; subtract-based
+    /// add() attributions contribute no samples — they are aggregates,
+    /// not per-item latencies).
+    std::array<LatencyHistogram, kPhaseCount> latency{};
 
     void merge(const PhaseTotals& other);
     double seconds(Phase phase) const;
@@ -92,6 +132,12 @@ class MetricsRegistry {
     void add(int worker, Phase phase, std::uint64_t nanos,
              std::uint64_t count = 1);
 
+    /// Records one latency sample of \p nanos into \p phase's histogram
+    /// on \p worker's cell. Kept separate from add(): totals sum every
+    /// attribution (including subtract-based aggregates), histograms only
+    /// take genuine per-section/per-solve samples.
+    void record_latency(int worker, Phase phase, std::uint64_t nanos);
+
     /// Sum of nanos across every phase of \p worker's cell. Used by the
     /// engine to attribute a shard job's *unclaimed* wall time to
     /// kSkeletonEnum: snapshot before the job, subtract after.
@@ -111,17 +157,22 @@ class MetricsRegistry {
 
   private:
     /// One worker's counters, padded to whole cache lines so neighbouring
-    /// workers never false-share. 9 phases x 2 counters x 8 bytes = 144
-    /// bytes, padded by alignas to three lines.
+    /// workers never false-share. The histogram block is cold relative to
+    /// count/nanos (one extra fetch_add per scoped section) and lives in
+    /// the same single-writer cell, so merging stays exact.
     struct alignas(64) Cell {
         std::atomic<std::uint64_t> count[kPhaseCount];
         std::atomic<std::uint64_t> nanos[kPhaseCount];
+        std::atomic<std::uint64_t> hist[kPhaseCount][kLatencyBucketCount];
 
         Cell()
         {
             for (int p = 0; p < kPhaseCount; ++p) {
                 count[p].store(0, std::memory_order_relaxed);
                 nanos[p].store(0, std::memory_order_relaxed);
+                for (int b = 0; b < kLatencyBucketCount; ++b) {
+                    hist[p][b].store(0, std::memory_order_relaxed);
+                }
             }
         }
     };
@@ -130,21 +181,59 @@ class MetricsRegistry {
     std::atomic<std::uint64_t> dropped_{0};
 };
 
+namespace detail {
+
+/// The thread-local binding consulted by the interposed operator new
+/// (obs/alloc.cpp) and maintained by ScopedPhase. Plain zero-initialized
+/// POD: no dynamic initialization or destruction order to worry about, so
+/// it is safe to read from allocations at any point in a thread's life.
+/// Lives here (not obs/alloc.h) so ScopedPhase can swap the phase without
+/// a header cycle.
+struct AllocBinding {
+    AllocTracker* tracker;
+    int worker;
+    int phase;  ///< static_cast<int>(Phase), maintained by ScopedPhase
+    int site;   ///< static_cast<int>(AllocSite), by ScopedAllocSite
+};
+
+extern thread_local constinit AllocBinding t_alloc_binding;
+
+/// Swaps the calling thread's active allocation phase, returning the
+/// previous one. Unconditional (two thread-local int moves): when no
+/// tracker is bound the value is simply never read.
+inline int
+exchange_alloc_phase(int phase)
+{
+    const int previous = t_alloc_binding.phase;
+    t_alloc_binding.phase = phase;
+    return previous;
+}
+
+}  // namespace detail
+
 /// RAII phase section: times construction-to-destruction and attributes it
-/// to (worker, phase). A null registry is the disabled fast path — no
-/// clock read on either end, just one branch.
+/// to (worker, phase), records the duration as one latency sample, and
+/// keeps the thread-local *allocation* phase in sync so a bound
+/// AllocTracker (obs/alloc.h) attributes this section's allocations to the
+/// same phase. A null registry is the disabled fast path — no clock read
+/// on either end, one branch plus two thread-local int moves.
 class ScopedPhase {
   public:
     ScopedPhase(MetricsRegistry* registry, int worker, Phase phase)
         : registry_(registry), worker_(worker), phase_(phase),
+          saved_alloc_phase_(
+              detail::exchange_alloc_phase(static_cast<int>(phase))),
           start_(registry != nullptr ? now_nanos() : 0)
     {
     }
 
     ~ScopedPhase()
     {
+        detail::t_alloc_binding.phase = saved_alloc_phase_;
         if (registry_ != nullptr) {
-            registry_->add(worker_, phase_, now_nanos() - start_);
+            const std::uint64_t elapsed = now_nanos() - start_;
+            registry_->add(worker_, phase_, elapsed);
+            registry_->record_latency(worker_, phase_, elapsed);
         }
     }
 
@@ -155,7 +244,28 @@ class ScopedPhase {
     MetricsRegistry* registry_;
     int worker_;
     Phase phase_;
+    int saved_alloc_phase_;
     std::uint64_t start_;
+};
+
+/// RAII allocation-phase-only section: swaps the thread-local allocation
+/// phase without touching timers — for regions whose *time* is attributed
+/// by subtraction (e.g. the SAT-encode shell around a witness search) but
+/// whose allocations should still land in a named phase.
+class ScopedAllocPhase {
+  public:
+    explicit ScopedAllocPhase(Phase phase)
+        : saved_(detail::exchange_alloc_phase(static_cast<int>(phase)))
+    {
+    }
+
+    ~ScopedAllocPhase() { detail::t_alloc_binding.phase = saved_; }
+
+    ScopedAllocPhase(const ScopedAllocPhase&) = delete;
+    ScopedAllocPhase& operator=(const ScopedAllocPhase&) = delete;
+
+  private:
+    int saved_;
 };
 
 }  // namespace transform::obs

@@ -77,8 +77,13 @@ append_scheduler(std::string* out, const std::string& indent,
     *out += "\n" + indent + "  ";
     append_kv(out, "checkpoint_shards_saved", s.checkpoint_shards_saved);
     *out += "\n" + indent + "  ";
-    append_kv(out, "checkpoint_shards_replayed", s.checkpoint_shards_replayed,
-              "");
+    append_kv(out, "checkpoint_shards_replayed", s.checkpoint_shards_replayed);
+    *out += "\n" + indent + "  ";
+    append_kv(out, "observed_cost_resplits", s.observed_cost_resplits);
+    *out += "\n" + indent + "  ";
+    append_kv(out, "resplit_threshold_min", s.resplit_threshold_min);
+    *out += "\n" + indent + "  ";
+    append_kv(out, "resplit_threshold_max", s.resplit_threshold_max, "");
     *out += "\n" + indent + "}";
 }
 
@@ -121,21 +126,74 @@ append_solver(std::string* out, const std::string& indent,
 
 void
 append_phases(std::string* out, const std::string& indent,
-              const PhaseTotals& phases)
+              const PhaseTotals& phases, const AllocTotals& allocs)
 {
     *out += "{\n";
     for (int p = 0; p < kPhaseCount; ++p) {
         const Phase phase = static_cast<Phase>(p);
+        const LatencyHistogram& hist =
+            phases.latency[static_cast<std::size_t>(p)];
+        const AllocSlot& alloc = allocs.phases[static_cast<std::size_t>(p)];
         *out += indent + "  \"";
         *out += phase_name(phase);
         *out += "\": {";
         append_kv(out, "seconds", phases.seconds(phase));
         *out += " ";
-        append_kv(out, "count", phases.count(phase), "");
+        append_kv(out, "count", phases.count(phase));
+        *out += " ";
+        append_kv(out, "p50_ns", hist.percentile_nanos(0.5));
+        *out += " ";
+        append_kv(out, "p90_ns", hist.percentile_nanos(0.9));
+        *out += " ";
+        append_kv(out, "p99_ns", hist.percentile_nanos(0.99));
+        *out += " ";
+        append_kv(out, "alloc_count", alloc.count);
+        *out += " ";
+        append_kv(out, "alloc_bytes", alloc.bytes, "");
         *out += "}";
         *out += p + 1 < kPhaseCount ? ",\n" : "\n";
     }
     *out += indent + "}";
+}
+
+void
+append_alloc_sites(std::string* out, const std::string& indent,
+                   const AllocTotals& allocs)
+{
+    *out += "{\n";
+    for (int s = 0; s < kAllocSiteCount; ++s) {
+        const AllocSlot& slot = allocs.sites[static_cast<std::size_t>(s)];
+        *out += indent + "  \"";
+        *out += alloc_site_name(static_cast<AllocSite>(s));
+        *out += "\": {";
+        append_kv(out, "count", slot.count);
+        *out += " ";
+        append_kv(out, "bytes", slot.bytes, "");
+        *out += "}";
+        *out += s + 1 < kAllocSiteCount ? ",\n" : "\n";
+    }
+    *out += indent + "}";
+}
+
+void
+append_failures(std::string* out, const std::string& indent,
+                const std::vector<synth::ShardFailure>& failures)
+{
+    if (failures.empty()) {
+        *out += "[]";
+        return;
+    }
+    *out += "[\n";
+    for (std::size_t i = 0; i < failures.size(); ++i) {
+        const synth::ShardFailure& f = failures[i];
+        *out += indent + "  {\"shard\": \"" + escaped(f.shard) +
+                "\", \"error\": \"" + escaped(f.error) + "\", ";
+        append_kv(out, "attempts", static_cast<std::uint64_t>(f.attempts),
+                  "");
+        *out += "}";
+        *out += i + 1 < failures.size() ? ",\n" : "\n";
+    }
+    *out += indent + "]";
 }
 
 void
@@ -165,7 +223,11 @@ append_suite(std::string* out, const std::string& indent,
     *out += ",\n" + indent + "  \"solver\": ";
     append_solver(out, indent + "  ", suite.solver);
     *out += ",\n" + indent + "  \"phases\": ";
-    append_phases(out, indent + "  ", suite.phases);
+    append_phases(out, indent + "  ", suite.phases, suite.allocs);
+    *out += ",\n" + indent + "  \"alloc_sites\": ";
+    append_alloc_sites(out, indent + "  ", suite.allocs);
+    *out += ",\n" + indent + "  \"failures\": ";
+    append_failures(out, indent + "  ", suite.failures);
     *out += "\n" + indent + "}";
 }
 
@@ -184,6 +246,9 @@ SuiteReport::merge(const SuiteReport& other)
     scheduler.merge(other.scheduler);
     solver.merge(other.solver);
     phases.merge(other.phases);
+    allocs.merge(other.allocs);
+    failures.insert(failures.end(), other.failures.begin(),
+                    other.failures.end());
 }
 
 SuiteReport
@@ -201,6 +266,8 @@ suite_report(const synth::SuiteResult& suite)
     report.scheduler = suite.scheduler;
     report.solver = suite.solver;
     report.phases = suite.phases;
+    report.allocs = suite.allocs;
+    report.failures = suite.failures;
     return report;
 }
 

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/alloc.h"
 #include "obs/metrics.h"
 #include "sat/solver.h"
 #include "sched/scheduler.h"
@@ -31,7 +32,13 @@ namespace transform::obs {
 /// shards_quarantined, checkpoint_shards_saved, and
 /// checkpoint_shards_replayed (the fault-tolerant runtime's counters —
 /// docs/robustness.md).
-inline constexpr int kMetricsSchemaVersion = 4;
+/// v5: phase entries gained p50_ns/p90_ns/p99_ns (log2-bucket latency
+/// percentiles) and alloc_count/alloc_bytes (phase-attributed allocation
+/// tracking); suites gained "alloc_sites" (call-site allocation buckets)
+/// and "failures" (quarantined-shard records, elt_check parity); scheduler
+/// objects gained observed_cost_resplits, resplit_threshold_min, and
+/// resplit_threshold_max (the observed-cost re-split feedback).
+inline constexpr int kMetricsSchemaVersion = 5;
 
 /// One suite's slice of the report.
 struct SuiteReport {
@@ -46,9 +53,12 @@ struct SuiteReport {
     sched::SchedulerStats scheduler;
     sat::SolverStats solver;
     PhaseTotals phases;
+    AllocTotals allocs;  ///< all-zero unless the run tracked allocations
+    std::vector<synth::ShardFailure> failures;  ///< quarantined shards
 
     /// Accumulates another suite's counters (SchedulerStats/SolverStats
-    /// merge semantics; seconds add, complete ANDs, cancelled ORs).
+    /// merge semantics; seconds add, complete ANDs, cancelled ORs,
+    /// failures concatenate).
     void merge(const SuiteReport& other);
 };
 

@@ -181,6 +181,23 @@ TraceCollector::record_async_end(int lane, std::string name,
     push(lane, std::move(event));
 }
 
+void
+TraceCollector::record_counter(int lane, std::string name,
+                               std::uint64_t ts_ns,
+                               std::initializer_list<Arg> args)
+{
+    Event event;
+    event.kind = Event::Kind::kCounter;
+    event.name = std::move(name);
+    event.ts_ns = ts_ns;
+    for (const Arg& arg : args) {
+        if (event.num_args < 3) {
+            event.args[event.num_args++] = arg;
+        }
+    }
+    push(lane, std::move(event));
+}
+
 std::size_t
 TraceCollector::events_resident() const
 {
@@ -293,6 +310,23 @@ TraceCollector::chrome_json() const
                        ",\"ts\":";
                 append_us(&out, ts);
                 out += "}";
+                break;
+            case Event::Kind::kCounter:
+                out += "{\"ph\":\"C\",\"cat\":\"synth\",\"name\":\"";
+                append_escaped(&out, event.name);
+                out += "\",\"pid\":1,\"tid\":" + std::to_string(lane) +
+                       ",\"ts\":";
+                append_us(&out, ts);
+                out += ",\"args\":{";
+                for (int a = 0; a < event.num_args; ++a) {
+                    if (a > 0) {
+                        out += ",";
+                    }
+                    out += "\"";
+                    out += event.args[a].key;
+                    out += "\":" + std::to_string(event.args[a].value);
+                }
+                out += "}}";
                 break;
             }
         }

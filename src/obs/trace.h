@@ -91,6 +91,12 @@ class TraceCollector {
     void record_async_end(int lane, std::string name, std::uint64_t id,
                           std::uint64_t ts_ns);
 
+    /// Records a counter sample (Chrome "C" event, rendered as a stacked
+    /// chart of the arg series). Used for per-phase latency percentiles
+    /// and the observed-cost re-split threshold at suite boundaries.
+    void record_counter(int lane, std::string name, std::uint64_t ts_ns,
+                        std::initializer_list<Arg> args);
+
     /// Events recorded and still resident across all lanes.
     std::size_t events_resident() const;
 
@@ -116,6 +122,7 @@ class TraceCollector {
             kFlowEnd,
             kAsyncBegin,
             kAsyncEnd,
+            kCounter,
         };
         Kind kind = Kind::kComplete;
         std::uint8_t num_args = 0;

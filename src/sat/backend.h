@@ -77,6 +77,11 @@ class SolverBackend {
     /// Solver::set_interrupt.
     virtual void set_interrupt(std::function<bool()> poll) = 0;
 
+    /// Per-solve latency observer, fired under set_timing(true); see
+    /// Solver::set_solve_observer.
+    virtual void
+    set_solve_observer(std::function<void(std::uint64_t)> observer) = 0;
+
     /// Why the last solve answered kUnknown; see Solver::unknown_cause.
     virtual UnknownCause unknown_cause() const = 0;
 
@@ -153,6 +158,12 @@ class CdclBackend final : public SolverBackend {
     set_interrupt(std::function<bool()> poll) override
     {
         solver_.set_interrupt(std::move(poll));
+    }
+
+    void
+    set_solve_observer(std::function<void(std::uint64_t)> observer) override
+    {
+        solver_.set_solve_observer(std::move(observer));
     }
 
     UnknownCause unknown_cause() const override

@@ -651,10 +651,14 @@ Solver::solve(const std::vector<Lit>& assumptions, std::int64_t conflict_budget)
     }
     const auto start = std::chrono::steady_clock::now();
     const SolveResult result = solve_impl(assumptions, conflict_budget);
-    stats_.solve_nanos += static_cast<std::uint64_t>(
+    const std::uint64_t elapsed = static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now() - start)
             .count());
+    stats_.solve_nanos += elapsed;
+    if (solve_observer_) {
+        solve_observer_(elapsed);
+    }
     return result;
 }
 
@@ -703,10 +707,14 @@ Solver::block_and_resolve(const Lit* lits, std::size_t count,
     const auto start = std::chrono::steady_clock::now();
     const SolveResult result =
         block_and_resolve_impl(lits, count, assumptions, conflict_budget);
-    stats_.solve_nanos += static_cast<std::uint64_t>(
+    const std::uint64_t elapsed = static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now() - start)
             .count());
+    stats_.solve_nanos += elapsed;
+    if (solve_observer_) {
+        solve_observer_(elapsed);
+    }
     return result;
 }
 

@@ -219,6 +219,18 @@ class Solver {
         interrupt_ = std::move(poll);
     }
 
+    /// Installs a per-solve latency observer, invoked with each
+    /// solve()/block_and_resolve() call's wall nanoseconds. Only fires
+    /// while set_timing(true) — it rides the same two gated clock reads,
+    /// so the untimed hot path stays identical. The observer runs on the
+    /// solving thread (the engine feeds a per-worker histogram cell, so
+    /// no synchronization is needed). An empty function clears it.
+    /// Survives reset() — configuration, like set_timing.
+    void set_solve_observer(std::function<void(std::uint64_t)> observer)
+    {
+        solve_observer_ = std::move(observer);
+    }
+
     /// Why the most recent solve()/block_and_resolve() answered kUnknown
     /// (kNone after a decisive answer).
     UnknownCause unknown_cause() const { return unknown_cause_; }
@@ -333,6 +345,7 @@ class Solver {
     /// interrupt hook, and the cause of the last kUnknown answer.
     std::int64_t default_budget_ = -1;
     std::function<bool()> interrupt_;
+    std::function<void(std::uint64_t)> solve_observer_;
     UnknownCause unknown_cause_ = UnknownCause::kNone;
     /// Learned-DB cap; grown geometrically by reduce_db (never fixed — a
     /// static cap makes every conflict past it rescan the clause DB).

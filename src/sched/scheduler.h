@@ -69,10 +69,21 @@ struct SchedulerStats {
     /// instead of re-searched.
     std::uint64_t checkpoint_shards_saved = 0;
     std::uint64_t checkpoint_shards_replayed = 0;
+    /// Observed-cost re-split feedback (engine,
+    /// SynthesisOptions::observed_cost_feedback): shard jobs whose armed
+    /// re-split threshold came from the run-time EWMA of observed
+    /// per-candidate cost rather than the static model, and the range of
+    /// thresholds armed across the group's jobs (0/0 when no job armed
+    /// one — fixed depth, explicit threshold, or shards too small to
+    /// split).
+    std::uint64_t observed_cost_resplits = 0;
+    std::uint64_t resplit_threshold_min = 0;
+    std::uint64_t resplit_threshold_max = 0;
 
     /// Accumulates another group's counters (per-suite totals in
     /// synthesize_all; `workers` and `queue_wait_seconds` — which overlap
-    /// across groups rather than add — take the maximum).
+    /// across groups rather than add — take the maximum; the threshold
+    /// range widens).
     void merge(const SchedulerStats& other);
 };
 

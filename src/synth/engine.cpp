@@ -1,16 +1,21 @@
 #include "synth/engine.h"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <set>
 #include <sstream>
+#include <thread>
 #include <utility>
 
 #include "elt/derive.h"
 #include "mtm/encoding.h"
 #include "mtm/incremental.h"
+#include "obs/alloc.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sched/scheduler.h"
@@ -34,16 +39,42 @@ namespace {
 // kTicketStride / kMinLeafStride / child_stride_for live in engine.h so
 // replays (bench_parallel_scaling's eager-probe baseline) share them.
 
-/// Resolves the adaptive re-split threshold: an explicit
-/// SynthesisOptions::resplit_threshold wins; 0 selects the cost model. The
-/// model targets a roughly constant amount of per-leaf evaluation work: the
-/// witness search per candidate grows roughly exponentially with the event
-/// count (each extra event multiplies the execution space), VM mode adds
-/// ghost events (page-table walks, dirty-bit writes) on top of the
-/// architectural ones, and the dirty-bit-as-RMW ablation adds one more Rdb
-/// per write — so the candidate threshold shrinks as those knobs grow. A
-/// pure function of the skeleton options, never of timing, which keeps the
-/// re-split tree deterministic.
+/// The re-split cost model's band: whatever picks the threshold (static
+/// model or observed-cost feedback), an armed limit stays within
+/// [kResplitThresholdFloor, kResplitThresholdCeil] candidates.
+constexpr std::uint64_t kResplitThresholdFloor = std::uint64_t{1} << 6;
+constexpr std::uint64_t kResplitThresholdCeil = std::uint64_t{1} << 14;
+
+/// Observed-cost feedback targets this much evaluation work per leaf
+/// before it re-splits (~270 ms): threshold = target / EWMA(per-candidate
+/// nanos), clamped to the band above. Large enough that re-splitting stays
+/// rare on cheap workloads, small enough that one expensive shard cannot
+/// serialize a whole suite behind one worker.
+constexpr std::uint64_t kResplitTargetLeafNanos = std::uint64_t{1} << 28;
+
+/// Observed per-candidate cost is tracked per event bound (cost grows
+/// ~exponentially with the bound, so mixing bounds in one average would
+/// make the cheap bounds re-split like the expensive ones). Bounds are
+/// tiny integers; clamp into a fixed slot array.
+constexpr int kCostSlots = 32;
+
+int
+cost_slot(int num_events)
+{
+    return std::clamp(num_events, 0, kCostSlots - 1);
+}
+
+/// Resolves the adaptive re-split threshold from the STATIC cost model: an
+/// explicit SynthesisOptions::resplit_threshold wins; 0 selects the model.
+/// The model targets a roughly constant amount of per-leaf evaluation
+/// work: the witness search per candidate grows roughly exponentially with
+/// the event count (each extra event multiplies the execution space), VM
+/// mode adds ghost events (page-table walks, dirty-bit writes) on top of
+/// the architectural ones, and the dirty-bit-as-RMW ablation adds one more
+/// Rdb per write — so the candidate threshold shrinks as those knobs grow.
+/// A pure function of the skeleton options; execute_shard_task layers the
+/// observed-cost EWMA on top (auto mode only), which refines the threshold
+/// from measured per-candidate nanos once the suite has observations.
 std::uint64_t
 resolve_resplit_threshold(const SynthesisOptions& options,
                           const SkeletonOptions& skeleton)
@@ -190,6 +221,11 @@ find_witness(const mtm::Model& model, const std::string& axiom_name,
     // candidates enumerate the same violating set either way, so the
     // probe's execution count stands.
     auto sat_search = [&]() {
+        // Allocations of the encode/solve machinery land in kSatEncode
+        // (the time split between encode and solve comes from the solver's
+        // gated clock; the alloc split is not worth a second seam).
+        // consider()'s ScopedPhase sections re-tag their own allocations.
+        const obs::ScopedAllocPhase alloc_phase(obs::Phase::kSatEncode);
         if (scratch->fault_plan != nullptr) {
             scratch->fault_plan->maybe_fire(util::FaultSite::kSatSolve,
                                             scratch->fault_key,
@@ -351,6 +387,62 @@ struct SuiteRun {
     std::atomic<std::uint64_t> ckpt_replayed{0};
     /// The run's checkpoint journal (options.checkpoint; null = off).
     CheckpointJournal* journal = nullptr;
+    /// Phase/site-attributed allocation cells (options.track_allocs);
+    /// null when tracking is off — shard jobs then never bind a tracker.
+    std::unique_ptr<obs::AllocTracker> allocs;
+
+    /// Observed-cost re-split feedback (options.observed_cost_feedback,
+    /// auto-threshold mode only): EWMA of observed per-candidate nanos,
+    /// one slot per event bound. 0 = no observation yet (the static model
+    /// stands); updated with a lock-free CAS fold by completing jobs.
+    std::array<std::atomic<std::uint64_t>, kCostSlots> cost_ewma{};
+    std::atomic<std::uint64_t> observed_resplits{0};
+    std::atomic<std::uint64_t> threshold_min{0};
+    std::atomic<std::uint64_t> threshold_max{0};
+
+    /// Progress-heartbeat counters (options.progress): jobs submitted /
+    /// drained across every path (initial shards, re-split children,
+    /// retries, replay children) and pre-merge accepted witnesses.
+    std::atomic<std::uint64_t> jobs_submitted{0};
+    std::atomic<std::uint64_t> jobs_done{0};
+    std::atomic<std::uint64_t> tests_found{0};
+
+    /// Records that a shard job armed re-split threshold \p threshold
+    /// (widening the min/max range), \p observed = it came from the EWMA
+    /// rather than the static model.
+    void
+    note_threshold(std::uint64_t threshold, bool observed)
+    {
+        if (observed) {
+            observed_resplits.fetch_add(1, std::memory_order_relaxed);
+        }
+        std::uint64_t prev = threshold_min.load(std::memory_order_relaxed);
+        while ((prev == 0 || threshold < prev) &&
+               !threshold_min.compare_exchange_weak(
+                   prev, threshold, std::memory_order_relaxed)) {
+        }
+        prev = threshold_max.load(std::memory_order_relaxed);
+        while (threshold > prev &&
+               !threshold_max.compare_exchange_weak(
+                   prev, threshold, std::memory_order_relaxed)) {
+        }
+    }
+
+    /// Folds one completed job's per-candidate cost sample (nanos) into
+    /// the bound's EWMA with alpha = 1/4: next = prev - prev/4 + sample/4
+    /// (first observation seeds the average).
+    void
+    observe_cost(int num_events, std::uint64_t sample)
+    {
+        std::atomic<std::uint64_t>& slot = cost_ewma[static_cast<std::size_t>(
+            cost_slot(num_events))];
+        std::uint64_t prev = slot.load(std::memory_order_relaxed);
+        std::uint64_t next = 0;
+        do {
+            next = prev == 0 ? sample : prev - prev / 4 + sample / 4;
+        } while (!slot.compare_exchange_weak(prev, next,
+                                             std::memory_order_relaxed));
+    }
 
     /// Every shard job calls this on completion, so search_seconds ends up
     /// holding arm-to-last-job wall time — finish_suite cannot read the
@@ -448,6 +540,8 @@ search_shard(SuiteRun* run, const ShardTask& task, std::uint64_t limit,
             {
                 const obs::ScopedPhase phase(metrics, worker,
                                              obs::Phase::kCanonicalize);
+                const obs::ScopedAllocSite site(
+                    obs::AllocSite::kSiteCanonicalKey);
                 key = canonical_key(program, &scratch.canonical);
             }
             bool is_min = false;
@@ -473,6 +567,8 @@ search_shard(SuiteRun* run, const ShardTask& task, std::uint64_t limit,
             return false;
         }
         if (accepted) {
+            const obs::ScopedAllocSite site(
+                obs::AllocSite::kSiteSuiteGrowth);
             SynthesizedTest test;
             test.witness = witness;
             test.canonical_key =
@@ -510,6 +606,9 @@ search_shard(SuiteRun* run, const ShardTask& task, std::uint64_t limit,
         record_out->tests = tests;
     }
     if (!tests.empty()) {
+        run->tests_found.fetch_add(tests.size(),
+                                   std::memory_order_relaxed);
+        const obs::ScopedAllocSite site(obs::AllocSite::kSiteSuiteGrowth);
         std::lock_guard<std::mutex> lock(run->mu);
         for (auto& entry : tests) {
             run->merged.push_back(std::move(entry));
@@ -572,6 +671,7 @@ recover_and_reschedule(SuiteRun* raw, sched::WorkStealingPool* pool_ptr,
         ShardTask retry = task;
         retry.attempt = task.attempt + 1;
         retry.trace_flow = 0;  // the parent's flow arrow was consumed
+        raw->jobs_submitted.fetch_add(1, std::memory_order_relaxed);
         pool_ptr->submit(raw->group, raw->make_job(std::move(retry)));
     } else {
         raw->shards_quarantined.fetch_add(1, std::memory_order_relaxed);
@@ -611,6 +711,8 @@ replay_shard_record(SuiteRun* raw, sched::WorkStealingPool* pool_ptr,
         raw->index.record(test.canonical_key, ticket);
     }
     if (!rec.tests.empty()) {
+        raw->tests_found.fetch_add(rec.tests.size(),
+                                   std::memory_order_relaxed);
         std::lock_guard<std::mutex> lock(raw->mu);
         for (const auto& entry : rec.tests) {
             raw->merged.push_back(entry);
@@ -641,6 +743,8 @@ replay_shard_record(SuiteRun* raw, sched::WorkStealingPool* pool_ptr,
         TF_ASSERT(boundary < children.size());
         const std::uint64_t child_stride = child_stride_for(
             task.ticket_stride - rec.visited, children.size() - boundary);
+        raw->jobs_submitted.fetch_add(children.size() - boundary,
+                                      std::memory_order_relaxed);
         for (std::size_t i = boundary; i < children.size(); ++i) {
             pool_ptr->submit(
                 raw->group,
@@ -690,15 +794,32 @@ execute_shard_task(SuiteRun* raw, sched::WorkStealingPool* pool_ptr,
     // immediately, with a visit limit armed whenever the shard
     // could be split (no separate count_skeletons probe — the old
     // eager probe enumerated every leaf's candidates twice). The
-    // limit is the cost-model threshold; the split is viable only
-    // while the remaining ticket range still subdivides cleanly.
+    // limit is the cost-model threshold — refined by the suite's
+    // observed-cost EWMA once the bound has observations — and the
+    // split is viable only while the remaining ticket range still
+    // subdivides cleanly.
+    const bool feedback = options.shard_depth == 0 &&
+                          options.resplit_threshold == 0 &&
+                          options.observed_cost_feedback;
     std::uint64_t limit = 0;
-    std::uint64_t threshold = 0;
+    bool observed_threshold = false;
     std::vector<SkeletonShard> children;
     if (options.shard_depth == 0 &&
         task.ticket_stride >= kMinLeafStride * 2) {
-        threshold =
+        std::uint64_t threshold =
             resolve_resplit_threshold(options, task.shard.options);
+        if (feedback) {
+            const std::uint64_t ewma =
+                raw->cost_ewma[static_cast<std::size_t>(
+                                   cost_slot(task.shard.options.num_events))]
+                    .load(std::memory_order_relaxed);
+            if (ewma > 0) {
+                threshold = std::clamp(kResplitTargetLeafNanos / ewma,
+                                       kResplitThresholdFloor,
+                                       kResplitThresholdCeil);
+                observed_threshold = true;
+            }
+        }
         if (threshold <= task.ticket_stride - kMinLeafStride) {
             children = split_shard(task.shard);
             if (!children.empty() &&
@@ -706,6 +827,9 @@ execute_shard_task(SuiteRun* raw, sched::WorkStealingPool* pool_ptr,
                                  children.size()) >= kMinLeafStride) {
                 limit = threshold;
             }
+        }
+        if (limit != 0) {
+            raw->note_threshold(limit, observed_threshold);
         }
     }
     // Fault containment boundary: everything a shard search can throw —
@@ -720,8 +844,14 @@ execute_shard_task(SuiteRun* raw, sched::WorkStealingPool* pool_ptr,
                                            task.ticket_base ^ task.skip,
                                            task.attempt);
         }
+        const std::uint64_t search_start = feedback ? obs::now_nanos() : 0;
         stop = search_shard(raw, task, limit, worker,
                             journal != nullptr ? &record : nullptr);
+        if (feedback && stop.visited > 0) {
+            raw->observe_cost(task.shard.options.num_events,
+                              (obs::now_nanos() - search_start) /
+                                  stop.visited);
+        }
     } catch (const std::exception& e) {
         recover_and_reschedule(raw, pool_ptr, task, worker, e.what());
         return;
@@ -791,6 +921,8 @@ execute_shard_task(SuiteRun* raw, sched::WorkStealingPool* pool_ptr,
                                             std::memory_order_relaxed);
     }
     obs::TraceCollector* trace = raw->options.trace;
+    raw->jobs_submitted.fetch_add(children.size() - boundary,
+                                  std::memory_order_relaxed);
     for (std::size_t i = boundary; i < children.size(); ++i) {
         std::uint64_t flow = 0;
         if (trace != nullptr) {
@@ -842,10 +974,24 @@ launch_suite(sched::WorkStealingPool& pool, const mtm::Model& model,
         run->metrics = std::make_unique<obs::MetricsRegistry>(pool.workers());
         // Solver wall-timing is configuration, not state: enabled once per
         // worker solver, before any job runs, surviving per-program resets.
-        for (WorkerScratch& scratch : run->worker_scratch) {
+        // The solve observer rides the same gated clock reads: every
+        // individual solve call lands one latency sample in the worker's
+        // kSatSolve histogram (the find_witness subtract path keeps
+        // attributing the *totals*).
+        obs::MetricsRegistry* metrics = run->metrics.get();
+        for (int w = 0; w < pool.workers(); ++w) {
+            WorkerScratch& scratch = run->worker_scratch[w];
             scratch.encoding.solver.set_timing(true);
             scratch.incremental.set_timing(true);
+            const auto observe = [metrics, w](std::uint64_t nanos) {
+                metrics->record_latency(w, obs::Phase::kSatSolve, nanos);
+            };
+            scratch.encoding.solver.set_solve_observer(observe);
+            scratch.incremental.set_solve_observer(observe);
         }
+    }
+    if (options.track_allocs) {
+        run->allocs = std::make_unique<obs::AllocTracker>(pool.workers());
     }
     run->journal = options.checkpoint;
     run->group = pool.make_group();
@@ -882,44 +1028,59 @@ launch_suite(sched::WorkStealingPool& pool, const mtm::Model& model,
         return [raw, pool_ptr, task = std::move(task)](int worker) {
             obs::MetricsRegistry* metrics = raw->metrics.get();
             obs::TraceCollector* trace = raw->options.trace;
+            obs::AllocTracker* allocs = raw->allocs.get();
+            if (allocs != nullptr) {
+                // Bound for the whole job: allocations follow the active
+                // phase (ScopedPhase keeps it in sync), unclaimed ones
+                // land in kSkeletonEnum like unclaimed wall time.
+                obs::bind_alloc_tracker(allocs, worker);
+            }
             if (metrics == nullptr && trace == nullptr) {
-                // Disabled fast path: two null checks, no clock reads.
+                // Disabled fast path: three null checks, no clock reads.
                 execute_shard_task(raw, pool_ptr, task, worker, nullptr,
                                    nullptr);
-                return;
+            } else {
+                const std::uint64_t start = obs::now_nanos();
+                const std::uint64_t claimed_before =
+                    metrics == nullptr ? 0 : metrics->worker_nanos(worker);
+                if (trace != nullptr && task.trace_flow != 0) {
+                    trace->record_flow_end(worker, task.trace_flow, start);
+                }
+                std::uint64_t visited = 0;
+                bool resplit = false;
+                execute_shard_task(raw, pool_ptr, task, worker, &visited,
+                                   &resplit);
+                const std::uint64_t end = obs::now_nanos();
+                if (metrics != nullptr) {
+                    // Whatever wall time no inner phase claimed is the
+                    // candidate generator itself — skeleton enumeration
+                    // plus shard framing. This closes the attribution:
+                    // per-phase seconds sum to shard-job wall time. The
+                    // whole-job wall also lands one kSkeletonEnum latency
+                    // sample: the per-shard-job duration distribution.
+                    const std::uint64_t claimed =
+                        metrics->worker_nanos(worker) - claimed_before;
+                    const std::uint64_t wall = end - start;
+                    metrics->add(worker, obs::Phase::kSkeletonEnum,
+                                 wall > claimed ? wall - claimed : 0);
+                    metrics->record_latency(
+                        worker, obs::Phase::kSkeletonEnum, wall);
+                }
+                if (trace != nullptr) {
+                    trace->record_complete(
+                        worker, "shard " + raw->axiom, start, end,
+                        {{"events",
+                          static_cast<std::uint64_t>(
+                              task.shard.options.num_events)},
+                         {"visited", visited},
+                         {"resplit", resplit ? std::uint64_t{1}
+                                             : std::uint64_t{0}}});
+                }
             }
-            const std::uint64_t start = obs::now_nanos();
-            const std::uint64_t claimed_before =
-                metrics == nullptr ? 0 : metrics->worker_nanos(worker);
-            if (trace != nullptr && task.trace_flow != 0) {
-                trace->record_flow_end(worker, task.trace_flow, start);
+            if (allocs != nullptr) {
+                obs::bind_alloc_tracker(nullptr, 0);
             }
-            std::uint64_t visited = 0;
-            bool resplit = false;
-            execute_shard_task(raw, pool_ptr, task, worker, &visited,
-                               &resplit);
-            const std::uint64_t end = obs::now_nanos();
-            if (metrics != nullptr) {
-                // Whatever wall time no inner phase claimed is the
-                // candidate generator itself — skeleton enumeration plus
-                // shard framing. This closes the attribution: per-phase
-                // seconds sum to shard-job wall time.
-                const std::uint64_t claimed =
-                    metrics->worker_nanos(worker) - claimed_before;
-                const std::uint64_t wall = end - start;
-                metrics->add(worker, obs::Phase::kSkeletonEnum,
-                             wall > claimed ? wall - claimed : 0);
-            }
-            if (trace != nullptr) {
-                trace->record_complete(
-                    worker, "shard " + raw->axiom, start, end,
-                    {{"events",
-                      static_cast<std::uint64_t>(
-                          task.shard.options.num_events)},
-                     {"visited", visited},
-                     {"resplit", resplit ? std::uint64_t{1}
-                                         : std::uint64_t{0}}});
-            }
+            raw->jobs_done.fetch_add(1, std::memory_order_relaxed);
         };
     };
 
@@ -940,6 +1101,7 @@ launch_suite(sched::WorkStealingPool& pool, const mtm::Model& model,
             ++shard_index;
         }
     }
+    run->jobs_submitted.fetch_add(jobs.size(), std::memory_order_relaxed);
     pool.submit(run->group, std::move(jobs));
     return run;
 }
@@ -995,7 +1157,45 @@ finish_suite(sched::WorkStealingPool& pool, SuiteRun& run)
                              run.queue_wait_seconds.load() * 1e9));
         result.phases = run.metrics->merged();
     }
+    if (run.allocs != nullptr) {
+        result.allocs = run.allocs->merged();
+    }
+    obs::TraceCollector* trace = run.options.trace;
+    if (trace != nullptr) {
+        // Counter-track summary of the suite (one "C" event per series,
+        // main lane): per-phase latency percentiles (µs — Perfetto counter
+        // values read better in micros) for phases with samples, and the
+        // observed-cost threshold range when any job armed one.
+        const std::uint64_t ts = obs::now_nanos();
+        if (run.metrics != nullptr) {
+            for (int p = 0; p < obs::kPhaseCount; ++p) {
+                const obs::LatencyHistogram& hist =
+                    result.phases.latency[static_cast<std::size_t>(p)];
+                if (hist.total() == 0) {
+                    continue;
+                }
+                trace->record_counter(
+                    trace->main_lane(),
+                    std::string("latency_us ") + run.axiom + " " +
+                        obs::phase_name(static_cast<obs::Phase>(p)),
+                    ts,
+                    {{"p50", hist.percentile_nanos(0.5) / 1000},
+                     {"p90", hist.percentile_nanos(0.9) / 1000},
+                     {"p99", hist.percentile_nanos(0.99) / 1000}});
+            }
+        }
+        if (run.threshold_max.load() > 0) {
+            trace->record_counter(
+                trace->main_lane(), "resplit_threshold " + run.axiom, ts,
+                {{"min", run.threshold_min.load()},
+                 {"max", run.threshold_max.load()},
+                 {"observed", run.observed_resplits.load()}});
+        }
+    }
     result.scheduler = pool.group_stats(run.group);
+    result.scheduler.observed_cost_resplits = run.observed_resplits.load();
+    result.scheduler.resplit_threshold_min = run.threshold_min.load();
+    result.scheduler.resplit_threshold_max = run.threshold_max.load();
     result.scheduler.lazy_resplits = run.lazy_resplits.load();
     result.scheduler.closed_prefix_splits = run.closed_prefix_splits.load();
     result.scheduler.skip_enumerations = run.skip_enumerations.load();
@@ -1017,6 +1217,75 @@ finish_suite(sched::WorkStealingPool& pool, SuiteRun& run)
     return result;
 }
 
+/// The sampling thread behind SynthesisOptions::progress: wakes every
+/// progress_interval_seconds, snapshots the run(s)' relaxed counters via
+/// the caller-supplied sampler, and invokes the callback. stop() fires one
+/// final snapshot after joining, so the last report the caller sees
+/// reflects the drained run. Inert (no thread) when options.progress is
+/// unset — the default costs nothing.
+class ProgressHeartbeat {
+  public:
+    ProgressHeartbeat(const SynthesisOptions& options,
+                      std::function<SynthesisProgress()> sampler)
+    {
+        if (!options.progress) {
+            return;
+        }
+        callback_ = options.progress;
+        sampler_ = std::move(sampler);
+        interval_ = std::max(options.progress_interval_seconds, 0.01);
+        thread_ = std::thread([this] { loop(); });
+    }
+
+    ~ProgressHeartbeat() { stop(); }
+
+    ProgressHeartbeat(const ProgressHeartbeat&) = delete;
+    ProgressHeartbeat& operator=(const ProgressHeartbeat&) = delete;
+
+    /// Joins the sampler and fires the final snapshot. Call after the
+    /// job groups drained (pool.wait) so the snapshot is settled;
+    /// idempotent.
+    void
+    stop()
+    {
+        if (!thread_.joinable()) {
+            return;
+        }
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            done_ = true;
+        }
+        cv_.notify_all();
+        thread_.join();
+        callback_(sampler_());
+    }
+
+  private:
+    void
+    loop()
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        while (!done_) {
+            if (cv_.wait_for(lock,
+                             std::chrono::duration<double>(interval_),
+                             [this] { return done_; })) {
+                break;  // stop() reports the final snapshot
+            }
+            lock.unlock();
+            callback_(sampler_());
+            lock.lock();
+        }
+    }
+
+    std::function<void(const SynthesisProgress&)> callback_;
+    std::function<SynthesisProgress()> sampler_;
+    double interval_ = 0.0;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    bool done_ = false;
+    std::thread thread_;
+};
+
 }  // namespace
 
 SuiteResult
@@ -1034,7 +1303,28 @@ synthesize_suite(const mtm::Model& model, const std::string& axiom_name,
     }
     const std::unique_ptr<SuiteRun> run =
         launch_suite(pool, model, axiom_name, options);
+    SuiteRun* raw = run.get();
+    const std::uint64_t t0 = obs::now_nanos();
+    std::atomic<int> suites_done{0};  // outlives the heartbeat below
+    ProgressHeartbeat heartbeat(options, [raw, t0, &suites_done] {
+        SynthesisProgress p;
+        p.shards_done = raw->jobs_done.load(std::memory_order_relaxed);
+        p.shards_submitted =
+            raw->jobs_submitted.load(std::memory_order_relaxed);
+        p.candidates = raw->programs.load(std::memory_order_relaxed);
+        p.tests_found = raw->tests_found.load(std::memory_order_relaxed);
+        p.checkpoint_shards_saved =
+            raw->ckpt_saved.load(std::memory_order_relaxed);
+        p.checkpoint_shards_replayed =
+            raw->ckpt_replayed.load(std::memory_order_relaxed);
+        p.suites_done = suites_done.load(std::memory_order_relaxed);
+        p.suites_total = 1;
+        p.seconds = static_cast<double>(obs::now_nanos() - t0) * 1e-9;
+        return p;
+    });
     pool.wait(run->group);
+    suites_done.store(1, std::memory_order_relaxed);
+    heartbeat.stop();
     if (trace != nullptr) {
         trace->record_async_end(trace->main_lane(), "suite " + axiom_name,
                                 suite_id, obs::now_nanos());
@@ -1077,16 +1367,43 @@ synthesize_all_parallel(const mtm::Model& model,
         }
         runs.push_back(launch_suite(pool, model, axiom.name, options));
     }
+    const std::uint64_t t0 = obs::now_nanos();
+    std::atomic<int> suites_done{0};  // outlives the heartbeat below
+    ProgressHeartbeat heartbeat(options, [&runs, t0, &suites_done] {
+        // Aggregate snapshot across every axiom's run: the runs vector is
+        // settled (all launched) before the heartbeat starts, and each
+        // field is a relaxed counter read.
+        SynthesisProgress p;
+        for (const std::unique_ptr<SuiteRun>& run : runs) {
+            p.shards_done +=
+                run->jobs_done.load(std::memory_order_relaxed);
+            p.shards_submitted +=
+                run->jobs_submitted.load(std::memory_order_relaxed);
+            p.candidates += run->programs.load(std::memory_order_relaxed);
+            p.tests_found +=
+                run->tests_found.load(std::memory_order_relaxed);
+            p.checkpoint_shards_saved +=
+                run->ckpt_saved.load(std::memory_order_relaxed);
+            p.checkpoint_shards_replayed +=
+                run->ckpt_replayed.load(std::memory_order_relaxed);
+        }
+        p.suites_done = suites_done.load(std::memory_order_relaxed);
+        p.suites_total = static_cast<int>(runs.size());
+        p.seconds = static_cast<double>(obs::now_nanos() - t0) * 1e-9;
+        return p;
+    });
     std::vector<SuiteResult> out;
     out.reserve(runs.size());
     for (std::size_t i = 0; i < runs.size(); ++i) {
         pool.wait(runs[i]->group);
+        suites_done.fetch_add(1, std::memory_order_relaxed);
         if (trace != nullptr) {
             trace->record_async_end(trace->main_lane(),
                                     "suite " + runs[i]->axiom, suite_ids[i],
                                     obs::now_nanos());
         }
     }
+    heartbeat.stop();
     for (const std::unique_ptr<SuiteRun>& run : runs) {
         out.push_back(finish_suite(pool, *run));
     }

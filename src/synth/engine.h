@@ -26,12 +26,14 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "elt/execution.h"
 #include "mtm/model.h"
+#include "obs/alloc.h"
 #include "obs/metrics.h"
 #include "sat/solver.h"
 #include "sched/scheduler.h"
@@ -54,6 +56,22 @@ class CheckpointJournal;
 enum class Backend {
     kEnumerative,  ///< explicit backtracking (synth/exec_enum.h)
     kSat,          ///< relational SAT encoding (mtm/encoding.h)
+};
+
+/// A point-in-time view of an in-flight synthesis run, sampled by the
+/// engine's heartbeat thread for SynthesisOptions::progress. Counters are
+/// relaxed snapshots — internally consistent enough for a status line, not
+/// for asserting invariants (use SuiteResult for settled numbers).
+struct SynthesisProgress {
+    std::uint64_t shards_done = 0;       ///< shard jobs completed
+    std::uint64_t shards_submitted = 0;  ///< grows with lazy re-splits
+    std::uint64_t candidates = 0;        ///< programs considered so far
+    std::uint64_t tests_found = 0;       ///< pre-merge accepted witnesses
+    std::uint64_t checkpoint_shards_saved = 0;
+    std::uint64_t checkpoint_shards_replayed = 0;
+    int suites_done = 0;   ///< job groups fully drained
+    int suites_total = 0;  ///< suites in this synthesis call
+    double seconds = 0.0;  ///< wall time since the synthesis call started
 };
 
 /// Synthesis knobs.
@@ -106,10 +124,24 @@ struct SynthesisOptions {
     /// split on thread 1+ decisions, so deep re-splits never dead-end).
     /// 0 (default) selects a cost model that shrinks the threshold as the
     /// per-candidate evaluation cost grows with the bound / VM / dirty-bit
-    /// mix. Either way the trigger is a deterministic candidate count, so
-    /// the re-split tree — and with it jobs_run / lazy_resplits — is a
-    /// pure function of the options, not of scheduling.
+    /// mix, refined at run time by observed_cost_feedback below. An
+    /// explicit threshold keeps the trigger a deterministic candidate
+    /// count, so the re-split tree — and with it jobs_run / lazy_resplits
+    /// — is a pure function of the options, not of scheduling.
     std::uint64_t resplit_threshold = 0;
+
+    /// Adaptive mode with resplit_threshold == 0 only: feed an EWMA of
+    /// each completed shard job's observed per-candidate nanos (keyed by
+    /// event bound) back into the re-split threshold, so expensive bounds
+    /// split earlier than the static cost model would and cheap ones
+    /// later. The SUITE is byte-identical either way — thresholds only
+    /// move work between jobs, never change tickets' order or the merge
+    /// (the long-standing every-threshold determinism contract) — but
+    /// job-tree counters (jobs_run, lazy_resplits) become timing-dependent,
+    /// which is why explicit-threshold runs ignore this knob. Chosen
+    /// thresholds surface in SchedulerStats::resplit_threshold_min/max and
+    /// the trace's counter track.
+    bool observed_cost_feedback = true;
 
     /// Observability (src/obs/, docs/observability.md). Both knobs are
     /// purely observational: they never influence search order, tickets, or
@@ -122,6 +154,21 @@ struct SynthesisOptions {
     /// per-worker solvers. Off (default) costs one null check per
     /// instrumentation point and zero clock reads.
     bool collect_metrics = false;
+
+    /// When true the run carries a per-suite obs::AllocTracker and every
+    /// shard job binds its worker thread to it, so operator-new calls are
+    /// attributed to the active phase / call-site bucket
+    /// (SuiteResult::allocs). Off (default) costs one thread-local pointer
+    /// test per allocation (the process-wide proxy counter is always on).
+    bool track_allocs = false;
+
+    /// Progress heartbeat: when set, a sampling thread inside the
+    /// synthesis call invokes this roughly every
+    /// progress_interval_seconds with a SynthesisProgress snapshot (and
+    /// once more when the run drains). The callback runs on that sampling
+    /// thread — keep it cheap and thread-safe. Purely observational.
+    std::function<void(const SynthesisProgress&)> progress;
+    double progress_interval_seconds = 2.0;
 
     /// When non-null, shard jobs / suites / re-split lineage are recorded
     /// as spans, async spans, and flow arrows. The collector must have at
@@ -214,9 +261,13 @@ struct SuiteResult {
     /// All-zero under the enumerative backend; solve_nanos is populated
     /// only when SynthesisOptions::collect_metrics enabled solver timing.
     sat::SolverStats solver;
-    /// Phase-attributed time/count breakdown; all-zero unless
+    /// Phase-attributed time/count breakdown (per-phase latency
+    /// histograms included); all-zero unless
     /// SynthesisOptions::collect_metrics was set.
     obs::PhaseTotals phases;
+    /// Phase/site-attributed allocation breakdown; all-zero unless
+    /// SynthesisOptions::track_allocs was set.
+    obs::AllocTotals allocs;
 };
 
 /// Synthesizes the suite of unique, minimal, interesting ELT programs whose

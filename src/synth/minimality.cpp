@@ -2,6 +2,7 @@
 
 #include "elt/derive.h"
 #include "mtm/relax.h"
+#include "obs/alloc.h"
 #include "util/logging.h"
 
 namespace transform::synth {
@@ -27,6 +28,10 @@ judge_impl(const mtm::Model& model, const elt::Execution& execution,
            JudgeScratch* scratch, bool diagnostics)
 {
     MinimalityVerdict verdict;
+    // Verdict-side allocations (violated-name strings, relaxation-list
+    // growth) carry their own call-site bucket in the alloc breakdown.
+    const obs::ScopedAllocSite alloc_site(
+        obs::AllocSite::kSiteJudgeVerdict);
     {
         obs::ScopedPhase judge_phase(scratch->metrics, scratch->worker,
                                      obs::Phase::kJudge);

@@ -16,6 +16,7 @@
 
 #include "elt/serialize.h"
 #include "mtm/model.h"
+#include "obs/alloc.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/trace.h"
@@ -391,6 +392,49 @@ TEST(ObsDeterminism, SuitesAreByteIdenticalWithObservabilityOnOrOff)
     }
 }
 
+TEST(ObsDeterminism, SuitesAreByteIdenticalAcrossInstrumentationMatrix)
+{
+    // The PR-10 extension of the on/off contract: alloc tracking and the
+    // observed-cost re-split feedback are purely observational too. The
+    // reference is a bare 1-job run; every (jobs, shard-depth, backend)
+    // cell runs with metrics + alloc tracking + feedback armed (feedback
+    // is live only at depth 0 with an auto threshold — exactly the cell
+    // where timing-driven thresholds could, if buggy, perturb the merge).
+    const mtm::Model model = mtm::x86t_elt();
+    for (const synth::Backend backend :
+         {synth::Backend::kEnumerative, synth::Backend::kSat}) {
+        const synth::SuiteResult reference = synth::synthesize_suite(
+            model, "invlpg", obs_options(1, backend));
+        EXPECT_FALSE(reference.tests.empty());
+        for (const int jobs : {1, 2, 4}) {
+            for (const int depth : {0, 1, 2}) {
+                synth::SynthesisOptions instrumented =
+                    obs_options(jobs, backend);
+                instrumented.shard_depth = depth;
+                instrumented.collect_metrics = true;
+                instrumented.track_allocs = true;
+                instrumented.observed_cost_feedback = true;
+                const synth::SuiteResult observed =
+                    synth::synthesize_suite(model, "invlpg",
+                                            instrumented);
+                EXPECT_EQ(suite_fingerprint(reference),
+                          suite_fingerprint(observed))
+                    << "backend=" << static_cast<int>(backend)
+                    << " jobs=" << jobs << " depth=" << depth;
+                EXPECT_GT(observed.allocs.total_count(), 0u);
+            }
+        }
+        // Feedback off is the other half of the on/off matrix.
+        synth::SynthesisOptions no_feedback = obs_options(2, backend);
+        no_feedback.observed_cost_feedback = false;
+        no_feedback.track_allocs = true;
+        const synth::SuiteResult cold = synth::synthesize_suite(
+            model, "invlpg", no_feedback);
+        EXPECT_EQ(suite_fingerprint(reference), suite_fingerprint(cold));
+        EXPECT_EQ(cold.scheduler.observed_cost_resplits, 0u);
+    }
+}
+
 TEST(ObsEngine, CollectMetricsFillsPhaseTotals)
 {
     const mtm::Model model = mtm::x86t_elt();
@@ -545,14 +589,16 @@ TEST(ObsEngine, IncrementalSatSurfacesSessionCounters)
     EXPECT_EQ(suite_fingerprint(fresh), suite_fingerprint(live));
 }
 
-TEST(ObsReport, SolverSessionCountersAppearInSchemaV4Json)
+TEST(ObsReport, SolverSessionCountersAppearInSchemaV5Json)
 {
     // The three incremental counters moved the schema to v2; the base
     // cache's bases_built/bases_reused (and the "relax" phase) moved it
     // to v3; the fault-tolerant runtime's counters and "cancelled" moved
-    // it to v4. Pin the version and the exact keys so a silent rename or
-    // removal fails here rather than in a downstream consumer.
-    EXPECT_EQ(obs::kMetricsSchemaVersion, 4);
+    // it to v4; the latency percentiles, allocation breakdowns, failures
+    // array, and observed-cost re-split counters moved it to v5. Pin the
+    // version and the exact keys so a silent rename or removal fails here
+    // rather than in a downstream consumer.
+    EXPECT_EQ(obs::kMetricsSchemaVersion, 5);
 
     const mtm::Model model = mtm::x86t_elt();
     obs::RunReport report;
@@ -570,7 +616,7 @@ TEST(ObsReport, SolverSessionCountersAppearInSchemaV4Json)
 
     const std::string json = obs::report_to_json(report);
     EXPECT_TRUE(is_valid_json(json)) << json;
-    EXPECT_NE(json.find("\"schema_version\": 4"), std::string::npos);
+    EXPECT_NE(json.find("\"schema_version\": 5"), std::string::npos);
     // Each solver object (one per suite, one in totals) carries the keys.
     EXPECT_EQ(count_occurrences(json, "\"assumed_literals\""), 2);
     EXPECT_EQ(count_occurrences(json, "\"retired_activations\""), 2);
@@ -585,8 +631,212 @@ TEST(ObsReport, SolverSessionCountersAppearInSchemaV4Json)
     EXPECT_EQ(count_occurrences(json, "\"shards_quarantined\""), 2);
     EXPECT_EQ(count_occurrences(json, "\"checkpoint_shards_saved\""), 2);
     EXPECT_EQ(count_occurrences(json, "\"checkpoint_shards_replayed\""), 2);
+    // v5: every phase entry (9 per phases object, 2 phases objects)
+    // carries the latency percentiles and the allocation slot.
+    EXPECT_EQ(count_occurrences(json, "\"p50_ns\""), 2 * obs::kPhaseCount);
+    EXPECT_EQ(count_occurrences(json, "\"p90_ns\""), 2 * obs::kPhaseCount);
+    EXPECT_EQ(count_occurrences(json, "\"p99_ns\""), 2 * obs::kPhaseCount);
+    EXPECT_EQ(count_occurrences(json, "\"alloc_count\""),
+              2 * obs::kPhaseCount);
+    EXPECT_EQ(count_occurrences(json, "\"alloc_bytes\""),
+              2 * obs::kPhaseCount);
+    // v5: the site table, the failures array, and the observed-cost
+    // re-split counters, once per suite object / scheduler object.
+    EXPECT_EQ(count_occurrences(json, "\"alloc_sites\""), 2);
+    EXPECT_EQ(count_occurrences(json, "\"failures\""), 2);
+    EXPECT_EQ(count_occurrences(json, "\"observed_cost_resplits\""), 2);
+    EXPECT_EQ(count_occurrences(json, "\"resplit_threshold_min\""), 2);
+    EXPECT_EQ(count_occurrences(json, "\"resplit_threshold_max\""), 2);
+    for (int s = 0; s < obs::kAllocSiteCount; ++s) {
+        EXPECT_NE(json.find(obs::alloc_site_name(
+                      static_cast<obs::AllocSite>(s))),
+                  std::string::npos);
+    }
+    // The collected run carries real per-solve latency samples.
+    EXPECT_NE(json.find("\"sat_solve\": {"), std::string::npos);
+    EXPECT_GT(report.suites[0].phases
+                  .latency[static_cast<std::size_t>(obs::Phase::kSatSolve)]
+                  .total(),
+              0u);
     // And the totals really accumulate the session's counters.
     EXPECT_GT(report.totals().solver.retired_activations, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Latency histograms: log2 buckets, exact concurrent merges.
+
+TEST(LatencyHistogram, BucketEdgesAndPercentiles)
+{
+    EXPECT_EQ(obs::latency_bucket(0), 0);
+    EXPECT_EQ(obs::latency_bucket(1), 1);
+    EXPECT_EQ(obs::latency_bucket(2), 2);
+    EXPECT_EQ(obs::latency_bucket(3), 2);
+    EXPECT_EQ(obs::latency_bucket(4), 3);
+    EXPECT_EQ(obs::latency_bucket(~std::uint64_t{0}),
+              obs::kLatencyBucketCount - 1);
+
+    obs::LatencyHistogram hist;
+    EXPECT_EQ(hist.percentile_nanos(0.5), 0u);  // empty
+    hist.record(0);
+    hist.record(1);
+    hist.record(1000);  // bit-width 10: bucket upper edge 1023
+    EXPECT_EQ(hist.total(), 3u);
+    EXPECT_EQ(hist.percentile_nanos(0.0), 0u);
+    EXPECT_EQ(hist.percentile_nanos(0.5), 1u);
+    EXPECT_EQ(hist.percentile_nanos(1.0), 1023u);
+}
+
+TEST(LatencyHistogram, ConcurrentRecordingMergesExactly)
+{
+    // 8 threads hammer 4 worker cells (two threads per cell, breaking the
+    // single-writer convention on purpose) with a deterministic sample
+    // stream; the merged per-bucket counts must equal a serial replay of
+    // the same stream — the histogram merge is exact, not approximate.
+    constexpr int kThreads = 8;
+    constexpr int kSamples = 20000;
+    obs::MetricsRegistry registry(4);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&registry, t] {
+            const obs::Phase phase =
+                static_cast<obs::Phase>(t % obs::kPhaseCount);
+            for (int i = 0; i < kSamples; ++i) {
+                registry.record_latency(
+                    t % 4, phase,
+                    static_cast<std::uint64_t>(i) * 37 % 100000);
+            }
+        });
+    }
+    for (std::thread& thread : threads) {
+        thread.join();
+    }
+    obs::LatencyHistogram expected;
+    for (int t = 0; t < kThreads; ++t) {
+        for (int i = 0; i < kSamples; ++i) {
+            expected.record(static_cast<std::uint64_t>(i) * 37 % 100000);
+        }
+    }
+    const obs::PhaseTotals totals = registry.merged();
+    for (int b = 0; b < obs::kLatencyBucketCount; ++b) {
+        std::uint64_t merged = 0;
+        for (int p = 0; p < obs::kPhaseCount; ++p) {
+            merged += totals.latency[static_cast<std::size_t>(p)]
+                          .buckets[static_cast<std::size_t>(b)];
+        }
+        EXPECT_EQ(merged, expected.buckets[static_cast<std::size_t>(b)])
+            << "bucket " << b;
+    }
+    EXPECT_EQ(registry.dropped(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Allocation tracking: per-phase/per-site sums equal the process-wide
+// operator-new proxy over the bound region.
+
+TEST(AllocTracker, SumsMatchTheProcessWideProxy)
+{
+    obs::AllocTracker tracker(2);
+    EXPECT_FALSE(obs::alloc_tracking_bound());
+    const std::uint64_t before = obs::alloc_count();
+    obs::bind_alloc_tracker(&tracker, 1);
+    {
+        // Untagged region: lands in kSkeletonEnum / kSiteOther.
+        auto* spill = new std::vector<int>(100);
+        delete spill;
+    }
+    {
+        obs::ScopedAllocPhase phase(obs::Phase::kDerive);
+        std::vector<std::string> rows;
+        for (int i = 0; i < 16; ++i) {
+            rows.emplace_back(static_cast<std::size_t>(64 + i), 'x');
+        }
+    }
+    {
+        obs::ScopedAllocPhase phase(obs::Phase::kJudge);
+        const obs::ScopedAllocSite site(
+            obs::AllocSite::kSiteJudgeVerdict);
+        auto* verdict = new std::string(256, 'y');
+        delete verdict;
+    }
+    obs::bind_alloc_tracker(nullptr, 0);
+    const std::uint64_t proxy_delta = obs::alloc_count() - before;
+
+    const obs::AllocTotals totals = tracker.merged();
+    EXPECT_GT(totals.total_count(), 0u);
+    // THE sum contract: every allocation of the bound region was
+    // attributed, so the per-phase table sums exactly to the process-wide
+    // proxy delta (this test body is the only thread allocating).
+    EXPECT_EQ(totals.total_count(), proxy_delta);
+    std::uint64_t site_count = 0;
+    std::uint64_t site_bytes = 0;
+    for (const obs::AllocSlot& slot : totals.sites) {
+        site_count += slot.count;
+        site_bytes += slot.bytes;
+    }
+    // ... and the site table covers the same allocations.
+    EXPECT_EQ(site_count, totals.total_count());
+    EXPECT_EQ(site_bytes, totals.total_bytes());
+    EXPECT_EQ(tracker.worker_count(1), proxy_delta);
+    EXPECT_EQ(tracker.worker_count(0), 0u);
+    EXPECT_EQ(tracker.dropped(), 0u);
+    using Idx = std::size_t;
+    EXPECT_GT(totals.phases[static_cast<Idx>(obs::Phase::kSkeletonEnum)]
+                  .count, 0u);
+    EXPECT_GT(totals.phases[static_cast<Idx>(obs::Phase::kDerive)].count,
+              0u);
+    EXPECT_GT(totals.phases[static_cast<Idx>(obs::Phase::kJudge)].count,
+              0u);
+    EXPECT_GT(totals.sites[static_cast<Idx>(
+                  obs::AllocSite::kSiteJudgeVerdict)].count, 0u);
+    // After unbinding, allocations flow past the tracker again.
+    const std::uint64_t settled = tracker.merged().total_count();
+    auto* untracked = new std::string(512, 'z');
+    delete untracked;
+    EXPECT_EQ(tracker.merged().total_count(), settled);
+}
+
+TEST(AllocTracker, OutOfRangeWorkersAreDroppedNotCrashed)
+{
+    obs::AllocTracker tracker(1);
+    tracker.add(-1, 0, 0, 8);
+    tracker.add(1, 0, 0, 8);
+    tracker.add(0, obs::kPhaseCount, 0, 8);
+    tracker.add(0, 0, obs::kAllocSiteCount, 8);
+    tracker.add(0, 0, 0, 8);
+    EXPECT_EQ(tracker.dropped(), 4u);
+    EXPECT_EQ(tracker.merged().total_count(), 1u);
+}
+
+TEST(ObsEngine, TrackAllocsFillsSuiteAllocTotals)
+{
+    const mtm::Model model = mtm::x86t_elt();
+    synth::SynthesisOptions options =
+        obs_options(2, synth::Backend::kEnumerative);
+    options.collect_metrics = true;
+    options.track_allocs = true;
+    const synth::SuiteResult suite =
+        synth::synthesize_suite(model, "sc_per_loc", options);
+    EXPECT_GT(suite.allocs.total_count(), 0u);
+    std::uint64_t site_count = 0;
+    for (const obs::AllocSlot& slot : suite.allocs.sites) {
+        site_count += slot.count;
+    }
+    EXPECT_EQ(site_count, suite.allocs.total_count())
+        << "phase and site tables must cover the same allocations";
+    using Idx = std::size_t;
+    EXPECT_GT(suite.allocs
+                  .phases[static_cast<Idx>(obs::Phase::kSkeletonEnum)]
+                  .count, 0u);
+    EXPECT_GT(suite.allocs
+                  .sites[static_cast<Idx>(
+                      obs::AllocSite::kSiteCanonicalKey)].count, 0u);
+
+    // Off (the default): the breakdown stays all-zero.
+    options.track_allocs = false;
+    const synth::SuiteResult off =
+        synth::synthesize_suite(model, "sc_per_loc", options);
+    EXPECT_EQ(off.allocs.total_count(), 0u);
+    EXPECT_EQ(off.allocs.total_bytes(), 0u);
 }
 
 }  // namespace

@@ -17,9 +17,12 @@ Design decisions (see docs/performance.md, "CI regression gate"):
 - Gated keys are exactly the `*_per_sec` rates (lower is worse) and the
   deterministic per-unit ratios where higher is worse:
   `*_allocs_per_program`, `*_allocs_per_witness` (the judge pipeline's
-  steady-state allocation grade) and `*_base_builds_per_program` (the
+  steady-state allocation grade), `*_base_builds_per_program` (the
   incremental-SAT structure-base cache economy — a broken cache rebuilds
-  per structure change and the ratio jumps). Everything else is context.
+  per structure change and the ratio jumps), and the phase-attributed
+  `*_allocs_per_phase_<phase>` breakdown (a leak in one phase moves its
+  key even when the per-program total hides it). Everything else is
+  context.
 - Rates carry machine noise — CI runners differ wildly from the machines
   baselines were recorded on — so their band is loose by default (a run
   must lose over 60% of baseline throughput to fail, i.e. catch
@@ -55,7 +58,8 @@ def is_allocs_key(key):
     """Deterministic higher-is-worse ratios sharing the tight band."""
     return (key.endswith("_allocs_per_program")
             or key.endswith("_allocs_per_witness")
-            or key.endswith("_base_builds_per_program"))
+            or key.endswith("_base_builds_per_program")
+            or "_allocs_per_phase_" in key)
 
 
 def load(path):
@@ -137,7 +141,8 @@ def main():
                         help="allowed fractional growth for the tight-band "
                              "ratio keys (*_allocs_per_program, "
                              "*_allocs_per_witness, "
-                             "*_base_builds_per_program; default 0.15: "
+                             "*_base_builds_per_program, "
+                             "*_allocs_per_phase_<phase>; default 0.15: "
                              "they are deterministic per workload)")
     parser.add_argument("--update", action="store_true",
                         help="rewrite the baselines from the fresh records")

@@ -38,7 +38,11 @@
 /// elt_synth (obs::report_to_json, docs/observability.md): one suite row
 /// per input file (axiom = the file path) carrying the execution counts,
 /// wall seconds, and — on the incremental SAT backend — the session's
-/// solver counters, plus the merged totals object.
+/// solver counters, plus the merged totals object. Failure parity with
+/// elt_synth: a file whose check was cut short (conflict budget) or whose
+/// input was unreadable/malformed lands in that suite row's "failures"
+/// array ({shard, error, attempts}), exactly like a quarantined synthesis
+/// shard, so downstream report consumers handle both tools uniformly.
 ///
 /// Robustness (docs/robustness.md): --sat-conflict-budget N caps each SAT
 /// solve at N conflicts (0 = unlimited); a sweep that exhausts it reports
@@ -164,6 +168,9 @@ check_program(const mtm::Model& model, const elt::Program& program,
     } catch (const sat::BudgetExhausted& e) {
         appendf(out, "check cut short: %s\n", e.what());
         suite->complete = false;
+        // Failure parity with elt_synth's quarantine records: one check
+        // attempt, cut short by the budget.
+        suite->failures.push_back({name, e.what(), 1});
         return 3;
     }
     if (cancelled) {
@@ -203,6 +210,8 @@ check_file(const mtm::Model& model, const std::string& path,
     std::ifstream in(path);
     if (!in) {
         appendf(err, "cannot open %s\n", path.c_str());
+        suite->complete = false;
+        suite->failures.push_back({path, "cannot open", 1});
         return 2;
     }
     std::stringstream buffer;
@@ -213,6 +222,8 @@ check_file(const mtm::Model& model, const std::string& path,
         const auto execution = elt::execution_from_xml(text);
         if (!execution) {
             appendf(err, "malformed XML in %s\n", path.c_str());
+            suite->complete = false;
+            suite->failures.push_back({path, "malformed XML", 1});
             return 2;
         }
         const auto derived =
@@ -237,12 +248,17 @@ check_file(const mtm::Model& model, const std::string& path,
     const auto parsed = elt::parse_litmus(text, &error);
     if (!parsed) {
         appendf(err, "%s: %s\n", path.c_str(), error.c_str());
+        suite->complete = false;
+        suite->failures.push_back({path, error, 1});
         return 2;
     }
     const auto problems = parsed->program.validate(model.vm_aware());
     if (!problems.empty()) {
         appendf(err, "%s: invalid program: %s\n", path.c_str(),
                 problems[0].c_str());
+        suite->complete = false;
+        suite->failures.push_back(
+            {path, "invalid program: " + problems[0], 1});
         return 2;
     }
     return check_program(model, parsed->program, parsed->name, options,

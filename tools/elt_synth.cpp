@@ -36,6 +36,16 @@
 ///                     adaptive mode: abandon-and-split a shard after N
 ///                     visited candidates (auto = cost model from the
 ///                     bound/VM/dirty-bit mix)
+///   --progress        stderr heartbeat every ~2s while a suite runs:
+///                     shards done/submitted, candidates visited (with an
+///                     instantaneous candidates/sec rate), pre-merge tests
+///                     found, checkpoint save/replay counters, and a rough
+///                     ETA from the shard completion ratio. stdout (the
+///                     suite itself) is untouched; off by default
+///   --alloc-stats     attribute every operator-new call to the active
+///                     phase and call-site bucket (obs::AllocTracker) and
+///                     print the per-suite breakdown to stderr; also
+///                     carried in --metrics-json reports
 ///   --stats           print scheduler counters per suite plus an
 ///                     all-axiom aggregate (jobs, steals, lazy re-splits,
 ///                     closed-prefix splits, skip re-enumerations, dedup
@@ -109,6 +119,7 @@
 #include "elt/serialize.h"
 #include "mtm/model.h"
 #include "mtm/spec_printer.h"
+#include "obs/alloc.h"
 #include "obs/report.h"
 #include "obs/trace.h"
 #include "sched/scheduler.h"
@@ -137,6 +148,8 @@ struct Args {
     int shard_depth = 0;                  // 0 = adaptive
     std::uint64_t resplit_threshold = 0;  // 0 = cost model
     bool stats = false;
+    bool progress = false;
+    bool alloc_stats = false;
     std::string trace_path;
     std::string metrics_json;
     std::string out_dir;
@@ -211,13 +224,46 @@ print_solver_stats(const std::string& scope, const sat::SolverStats& s)
         static_cast<unsigned long long>(s.retained_clauses));
 }
 
+void
+print_alloc_stats(const std::string& scope, const obs::AllocTotals& a)
+{
+    std::fprintf(stderr, "[%s] allocs: %llu calls, %llu bytes\n",
+                 scope.c_str(),
+                 static_cast<unsigned long long>(a.total_count()),
+                 static_cast<unsigned long long>(a.total_bytes()));
+    for (int p = 0; p < obs::kPhaseCount; ++p) {
+        const obs::AllocSlot& slot =
+            a.phases[static_cast<std::size_t>(p)];
+        if (slot.count == 0) {
+            continue;
+        }
+        std::fprintf(stderr, "[%s]   phase %-14s %10llu allocs %12llu B\n",
+                     scope.c_str(),
+                     obs::phase_name(static_cast<obs::Phase>(p)),
+                     static_cast<unsigned long long>(slot.count),
+                     static_cast<unsigned long long>(slot.bytes));
+    }
+    for (int s = 0; s < obs::kAllocSiteCount; ++s) {
+        const obs::AllocSlot& slot = a.sites[static_cast<std::size_t>(s)];
+        if (slot.count == 0) {
+            continue;
+        }
+        std::fprintf(stderr, "[%s]   site  %-14s %10llu allocs %12llu B\n",
+                     scope.c_str(),
+                     obs::alloc_site_name(static_cast<obs::AllocSite>(s)),
+                     static_cast<unsigned long long>(slot.count),
+                     static_cast<unsigned long long>(slot.bytes));
+    }
+}
+
 int
 run_suite(const mtm::Model& model, const std::string& axiom,
           const Args& args, util::CancelToken cancel,
           const util::FaultPlan* fault_plan,
           synth::CheckpointJournal* journal, obs::TraceCollector* trace,
           sched::SchedulerStats* total, sat::SolverStats* solver_total,
-          obs::RunReport* report, bool* any_incomplete)
+          obs::RunReport* report, obs::AllocTotals* alloc_total,
+          bool* any_incomplete)
 {
     synth::SynthesisOptions options;
     options.min_bound = model.vm_aware() ? 4 : 2;
@@ -232,7 +278,63 @@ run_suite(const mtm::Model& model, const std::string& axiom,
     options.shard_depth = args.shard_depth;
     options.resplit_threshold = args.resplit_threshold;
     options.collect_metrics = report != nullptr;
+    // Allocation attribution rides with --alloc-stats and (so the report
+    // carries real alloc data) with --metrics-json.
+    options.track_allocs = args.alloc_stats || report != nullptr;
     options.trace = trace;
+    // Progress heartbeat (stderr only; the suite on stdout is untouched).
+    // The callback runs on the engine's sampling thread, which lives
+    // inside the synthesize_suite call below, so capturing locals by
+    // reference is safe.
+    struct {
+        std::uint64_t candidates = 0;
+        double seconds = 0.0;
+    } last;
+    const std::string scope = model.name() + " / " + axiom;
+    if (args.progress) {
+        options.progress = [&last,
+                            &scope](const synth::SynthesisProgress& p) {
+            const double dt = p.seconds - last.seconds;
+            const double rate =
+                dt > 0 ? static_cast<double>(p.candidates - last.candidates)
+                             / dt
+                       : 0.0;
+            last.candidates = p.candidates;
+            last.seconds = p.seconds;
+            // ETA from the shard completion ratio — rough by design:
+            // shards_submitted grows as lazy re-splits fire.
+            char eta[32] = "?";
+            if (p.shards_done > 0 && p.shards_submitted > p.shards_done) {
+                std::snprintf(eta, sizeof eta, "~%.1fs",
+                              p.seconds *
+                                  static_cast<double>(p.shards_submitted -
+                                                      p.shards_done) /
+                                  static_cast<double>(p.shards_done));
+            } else if (p.shards_done == p.shards_submitted &&
+                       p.shards_done > 0) {
+                std::snprintf(eta, sizeof eta, "draining");
+            }
+            std::string ckpt;
+            if (p.checkpoint_shards_saved + p.checkpoint_shards_replayed >
+                0) {
+                ckpt = ", ckpt " +
+                       std::to_string(p.checkpoint_shards_saved) +
+                       " saved/" +
+                       std::to_string(p.checkpoint_shards_replayed) +
+                       " replayed";
+            }
+            std::fprintf(
+                stderr,
+                "[progress] %s: shards %llu/%llu, %llu candidates "
+                "(%.0f/s), %llu found%s, %.1fs elapsed, ETA %s\n",
+                scope.c_str(),
+                static_cast<unsigned long long>(p.shards_done),
+                static_cast<unsigned long long>(p.shards_submitted),
+                static_cast<unsigned long long>(p.candidates), rate,
+                static_cast<unsigned long long>(p.tests_found),
+                ckpt.c_str(), p.seconds, eta);
+        };
+    }
     options.cancel = cancel;
     options.shard_retry_limit = args.shard_retries;
     options.sat_conflict_budget = args.sat_conflict_budget;
@@ -270,14 +372,18 @@ run_suite(const mtm::Model& model, const std::string& axiom,
     }
     total->merge(suite.scheduler);
     solver_total->merge(suite.solver);
+    alloc_total->merge(suite.allocs);
     if (report != nullptr) {
         report->suites.push_back(obs::suite_report(suite));
     }
     if (args.stats) {
-        print_stats(model.name() + " / " + axiom, suite.scheduler);
+        print_stats(scope, suite.scheduler);
         if (suite.solver.solve_calls > 0) {
-            print_solver_stats(model.name() + " / " + axiom, suite.solver);
+            print_solver_stats(scope, suite.solver);
         }
+    }
+    if (args.alloc_stats) {
+        print_alloc_stats(scope, suite.allocs);
     }
 
     for (std::size_t i = 0; i < suite.tests.size(); ++i) {
@@ -425,6 +531,10 @@ main(int argc, char** argv)
             }
         } else if (flag == "--stats") {
             args.stats = true;
+        } else if (flag == "--progress") {
+            args.progress = true;
+        } else if (flag == "--alloc-stats") {
+            args.alloc_stats = true;
         } else if (flag == "--trace") {
             args.trace_path = value();
             if (args.trace_path.empty()) {
@@ -572,13 +682,14 @@ main(int argc, char** argv)
 
     sched::SchedulerStats total;
     sat::SolverStats solver_total;
+    obs::AllocTotals alloc_total;
     bool any_incomplete = false;
     for (const auto& axiom : axioms) {
         const int rc = run_suite(model, axiom, args, cancel,
                                  fault_plan ? &*fault_plan : nullptr,
                                  journal.get(), trace ? &*trace : nullptr,
                                  &total, &solver_total,
-                                 report ? &*report : nullptr,
+                                 report ? &*report : nullptr, &alloc_total,
                                  &any_incomplete);
         if (rc != 0) {
             return rc;
@@ -592,6 +703,9 @@ main(int argc, char** argv)
         if (solver_total.solve_calls > 0) {
             print_solver_stats(model.name() + " / all axioms", solver_total);
         }
+    }
+    if (args.alloc_stats && axioms.size() > 1) {
+        print_alloc_stats(model.name() + " / all axioms", alloc_total);
     }
     if (trace) {
         std::string error;
